@@ -1,0 +1,101 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments [-fig 2|3|4|5|6|threshold|features|all] [-timeout 20s] [-maxtrans N] [-thold N]
+//
+// Figure 5 follows the paper's protocol of re-running HYBRID with
+// SEP_THOLD=100 on the invariant-checking benchmarks; every other figure
+// uses the library default (or -thold).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sufsat/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, threshold, features or all")
+	timeout := flag.Duration("timeout", 20*time.Second, "per-run timeout (the paper used 30 minutes)")
+	maxTrans := flag.Int("maxtrans", 1_000_000, "translation cap on transitivity constraints")
+	thold := flag.Int("thold", 0, "SEP_THOLD override for HYBRID (0 = library default)")
+	flag.Parse()
+
+	cfg := experiments.Config{Timeout: *timeout, MaxTrans: *maxTrans, Threshold: *thold}
+	w := os.Stdout
+
+	runFig2 := func() {
+		experiments.PrintFig2(w, experiments.Fig2(cfg))
+	}
+	runFig3 := func() {
+		experiments.PrintFig3(w, experiments.Fig3(cfg))
+	}
+	runThreshold := func() {
+		th, pts := experiments.Threshold(cfg)
+		experiments.PrintFig3(w, pts)
+		fmt.Fprintf(w, "§4.1 automatic threshold selection: SEP_THOLD = %d\n", th)
+	}
+	runFig4 := func() {
+		vsSD, vsEIJ := experiments.Fig4(cfg)
+		experiments.PrintPairs(w, "Figure 4: HYBRID vs SD (39 non-invariant benchmarks)", "SD", vsSD)
+		fmt.Fprintln(w)
+		experiments.PrintPairs(w, "Figure 4: HYBRID vs EIJ (39 non-invariant benchmarks)", "EIJ", vsEIJ)
+	}
+	runFig5 := func() {
+		c5 := cfg
+		if c5.Threshold == 0 {
+			c5.Threshold = 100 // the paper's Figure 5 setting
+		}
+		vsSD, vsEIJ := experiments.Fig5(c5)
+		experiments.PrintPairs(w, "Figure 5: HYBRID(SEP_THOLD=100) vs SD (invariant checking)", "SD", vsSD)
+		fmt.Fprintln(w)
+		experiments.PrintPairs(w, "Figure 5: HYBRID(SEP_THOLD=100) vs EIJ (invariant checking)", "EIJ", vsEIJ)
+	}
+	runFeatures := func() {
+		experiments.PrintFeatureStudy(w, experiments.FeatureStudy(cfg))
+	}
+	runFig6 := func() {
+		vsSVC, vsCVC := experiments.Fig6(cfg)
+		experiments.PrintPairs(w, "Figure 6: HYBRID vs SVC-style baseline (39 non-invariant)", "SVC", vsSVC)
+		fmt.Fprintln(w)
+		experiments.PrintPairs(w, "Figure 6: HYBRID vs lazy CVC-style baseline (39 non-invariant)", "CVC", vsCVC)
+	}
+
+	switch *fig {
+	case "2":
+		runFig2()
+	case "3":
+		runFig3()
+	case "threshold":
+		runThreshold()
+	case "4":
+		runFig4()
+	case "5":
+		runFig5()
+	case "6":
+		runFig6()
+	case "features":
+		runFeatures()
+	case "all":
+		runFig2()
+		fmt.Fprintln(w)
+		runFeatures()
+		fmt.Fprintln(w)
+		runThreshold()
+		fmt.Fprintln(w)
+		runFig4()
+		fmt.Fprintln(w)
+		runFig5()
+		fmt.Fprintln(w)
+		runFig6()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,141 @@
+// Command sufdecide decides the validity of a SUF formula read from a file
+// or standard input.
+//
+// Usage:
+//
+//	sufdecide [-method hybrid|sd|eij|lazy|svc] [-timeout 30s]
+//	          [-thold N] [-maxtrans N] [-stats] [file.suf]
+//
+// The input is one formula in s-expression syntax, for example:
+//
+//	; functional congruence
+//	(=> (= x y) (= (f x) (f y)))
+//
+// Exit status: 0 valid, 1 invalid, 2 timeout or error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sufsat"
+)
+
+func main() {
+	method := flag.String("method", "hybrid", "decision method: hybrid, sd, eij, lazy, svc or portfolio")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
+	thold := flag.Int("thold", 0, "SEP_THOLD for the hybrid method (0 = default)")
+	maxTrans := flag.Int("maxtrans", 0, "transitivity-constraint cap (0 = none)")
+	showStats := flag.Bool("stats", false, "print pipeline statistics")
+	showModel := flag.Bool("model", false, "print the counterexample when the formula is invalid")
+	ackermann := flag.Bool("ackermann", false, "use Ackermann's function elimination (ablation)")
+	smt2 := flag.Bool("smt2", false, "input is an SMT-LIB v2 script (QF_IDL/QF_UFIDL); reports sat/unsat")
+	dimacs := flag.String("dimacs", "", "write the encoded SAT query to this file in DIMACS format")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sufdecide [flags] [file.suf]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufdecide:", err)
+		os.Exit(2)
+	}
+
+	var m sufsat.Method
+	switch *method {
+	case "hybrid":
+		m = sufsat.MethodHybrid
+	case "sd":
+		m = sufsat.MethodSD
+	case "eij":
+		m = sufsat.MethodEIJ
+	case "lazy":
+		m = sufsat.MethodLazy
+	case "svc":
+		m = sufsat.MethodSVC
+	case "portfolio":
+		m = sufsat.MethodPortfolio
+	default:
+		fmt.Fprintf(os.Stderr, "sufdecide: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	b := sufsat.NewBuilder()
+	var f sufsat.Formula
+	if *smt2 {
+		f, err = b.ParseSMTLIB(string(src))
+	} else {
+		f, err = b.Parse(string(src))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufdecide:", err)
+		os.Exit(2)
+	}
+
+	opts := sufsat.Options{
+		Method:       m,
+		Timeout:      *timeout,
+		SepThreshold: *thold,
+		MaxTrans:     *maxTrans,
+		Ackermann:    *ackermann,
+	}
+	if *dimacs != "" {
+		out, err := os.Create(*dimacs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufdecide:", err)
+			os.Exit(2)
+		}
+		defer out.Close()
+		opts.DumpCNF = out
+	}
+	if *smt2 {
+		sat, model, err := sufsat.CheckSat(f, opts)
+		if err != nil {
+			fmt.Println("unknown")
+			fmt.Fprintln(os.Stderr, "sufdecide:", err)
+			os.Exit(2)
+		}
+		if sat {
+			fmt.Println("sat")
+			if *showModel && model != nil {
+				fmt.Println(model)
+			}
+			os.Exit(0)
+		}
+		fmt.Println("unsat")
+		os.Exit(0)
+	}
+	res := sufsat.Decide(f, opts)
+	fmt.Println(res.Status)
+	if *showModel && res.Counterexample != nil {
+		fmt.Println(res.Counterexample)
+	}
+	if *showStats {
+		st := res.Stats
+		fmt.Printf("nodes=%d sep-preds=%d classes=%d (sd=%d) p-fraction=%.2f\n",
+			st.Nodes, st.SepPreds, st.Classes, st.SDClasses, st.PFuncFraction)
+		fmt.Printf("cnf-clauses=%d conflict-clauses=%d\n", st.CNFClauses, st.ConflictClauses)
+		fmt.Printf("encode=%v sat=%v total=%v\n", st.EncodeTime, st.SATTime, st.TotalTime)
+	}
+	switch res.Status {
+	case sufsat.Valid:
+		os.Exit(0)
+	case sufsat.Invalid:
+		os.Exit(1)
+	default:
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "sufdecide:", res.Err)
+		}
+		os.Exit(2)
+	}
+}

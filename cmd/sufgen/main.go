@@ -1,0 +1,48 @@
+// Command sufgen writes the benchmark suite to disk as .suf files in
+// s-expression syntax, one file per benchmark, so other tools (or future
+// versions of this one) can consume the exact formulas the experiments run.
+//
+// Usage:
+//
+//	sufgen [-dir benchmarks] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sufsat/internal/bench"
+	"sufsat/internal/suf"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	list := flag.Bool("list", false, "list benchmark names and sizes without writing files")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-8s %9s %6s\n", "name", "family", "invariant", "nodes")
+		for _, bm := range bench.Suite() {
+			f, _ := bm.Build()
+			fmt.Printf("%-12s %-8s %9v %6d\n", bm.Name, bm.Family, bm.Invariant, suf.CountNodes(f))
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "sufgen:", err)
+		os.Exit(1)
+	}
+	for _, bm := range bench.Suite() {
+		f, _ := bm.Build()
+		path := filepath.Join(*dir, bm.Name+".suf")
+		header := fmt.Sprintf("; benchmark %s (family %s, invariant=%v, valid)\n", bm.Name, bm.Family, bm.Invariant)
+		if err := os.WriteFile(path, []byte(header+f.String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sufgen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(bench.Suite()), *dir)
+}

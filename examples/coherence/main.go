@@ -1,0 +1,57 @@
+// Coherence: prove a cache-coherence invariant inductive — the protocol
+// verification workload of the paper's benchmark set (parameterized
+// protocols are checked on a symbolic, skolemized address, so the
+// quantifier-free SUF formula covers all addresses at once).
+//
+// The protocol fragment: a write to address w moves the line to Modified and
+// must invalidate Shared copies. The invariant is exclusivity:
+//
+//	M(a) ⟹ ¬S(a)        for every address a.
+//
+// Inductiveness is the validity of  Inv(s) ∧ Trans(s,s′) ⟹ Inv(s′)  with the
+// per-address state abstracted by uninterpreted predicates M and S.
+package main
+
+import (
+	"fmt"
+
+	"sufsat"
+)
+
+func main() {
+	b := sufsat.NewBuilder()
+	a, w := b.Int("a"), b.Int("w") // a: generic address, w: written address
+
+	M := func(t sufsat.Term) sufsat.Formula { return b.Pred("M", t) }
+	S := func(t sufsat.Term) sufsat.Formula { return b.Pred("S", t) }
+
+	// Invariant instances the proof may use: at the generic address and at
+	// the written address (the two terms the transition mentions).
+	inv := b.And(
+		M(a).Implies(S(a).Not()),
+		M(w).Implies(S(w).Not()),
+	)
+
+	// Correct transition: write(w) sets M on w and clears S everywhere the
+	// write invalidates — evaluated at the generic address a.
+	newM := b.Eq(a, w).Or(M(a))
+	newSGood := S(a).And(b.Eq(a, w).Not())
+	good := inv.Implies(newM.Implies(newSGood.Not()))
+	fmt.Println("invalidating write keeps exclusivity:", sufsat.Decide(good, sufsat.Options{}).Status)
+
+	// Buggy transition: the write forgets to invalidate Shared copies.
+	newSBad := S(a)
+	bad := inv.Implies(newM.Implies(newSBad.Not()))
+	res := sufsat.Decide(bad, sufsat.Options{})
+	fmt.Println("non-invalidating write:               ", res.Status)
+	if cx := res.Counterexample; cx != nil {
+		fmt.Println("counterexample state:")
+		fmt.Printf("  a = %d, w = %d (the written line itself)\n", cx.Const("a"), cx.Const("w"))
+		fmt.Println("  the line was Shared before the write and stays Shared while becoming Modified")
+	}
+
+	// The stronger protocol obligation — a freshly written line is Modified —
+	// holds in both designs.
+	fresh := inv.Implies(b.Eq(a, w).Implies(newM))
+	fmt.Println("written line becomes Modified:        ", sufsat.Decide(fresh, sufsat.Options{}).Status)
+}

@@ -1,0 +1,3 @@
+module sufsat
+
+go 1.22

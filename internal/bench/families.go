@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+
+	"sufsat/internal/suf"
+)
+
+// The suite mirrors the paper's §3 benchmark population: 49 valid formulas
+// from six problem domains, 39 non-invariant plus 10 invariant-checking,
+// with DAG sizes from roughly one hundred to several thousand nodes.
+//
+// Family profiles (the features each one stresses):
+//
+//	dlx      5-stage pipeline commutativity: deep ITE forwarding muxes over
+//	         ALU/register-file functions; equality-dominated, high p-fraction.
+//	lsu      load-store unit: queue pointers with offsets, memory functions,
+//	         mixed equalities/inequalities in hypotheses.
+//	ooo.t    out-of-order processor bounded-model-checking steps: wide
+//	         formulas, moderate inequalities, some disjunction.
+//	ccp      cache coherence protocol: predicate/Boolean-heavy shallow
+//	         formulas with disjunctive protocol cases.
+//	elf      device-driver safety (BLAST-style): control-flow conditions
+//	         over counters, many small classes, few functions.
+//	cvt      translation validation: two forms of the same expression with a
+//	         heavy rewrite budget; p-function rich.
+//	ooo.inv  OOO invariant checking (Figure 5): long inequality chains over
+//	         one large class, g-functions, almost no p-applications.
+func familyConfig(family string, size int, seed int64) genConfig {
+	switch family {
+	case "dlx":
+		return genConfig{
+			seed: seed, nGroups: 2 + size/3, nConsts: 5 + size, nFuncs: 3, nPreds: 1, nBools: 2,
+			nConcl: 2 + 3*size, termDepth: 4 + size/2, offsetMax: 1,
+			rewrites: 6 + 3*size, guardFuncs: false,
+			nHyps: 2 + 2*size, hypWidth: 1, hypIneq: 0.05, hypFuncProb: 0.05,
+			ladder: 4 + size, nChainConcl: 1 + size/2, diamonds: 3 + 2*size,
+		}
+	case "lsu":
+		return genConfig{
+			seed: seed, nGroups: 2 + size/2, nConsts: 6 + size, nFuncs: 2, nPreds: 1, nBools: 1,
+			nConcl: 2 + 2*size, termDepth: 3, offsetMax: 2,
+			rewrites: 4 + 2*size, guardFuncs: true,
+			nHyps: 8 + 8*size, hypWidth: 2, hypIneq: 0.5, hypFuncProb: 0.3,
+			ladder: 5 + 2*size, nChainConcl: 2 + size, diamonds: 2 + 2*size,
+		}
+	case "ooo.t":
+		return genConfig{
+			seed: seed, nGroups: 2 + size/2, nConsts: 8 + 2*size, nFuncs: 2, nPreds: 2, nBools: 3,
+			nConcl: 2 + size, termDepth: 3, offsetMax: 2,
+			rewrites: 6 + 2*size, guardFuncs: true,
+			nHyps: 8 + 8*size, hypWidth: 2, hypIneq: 0.6, hypFuncProb: 0.25,
+			ladder: 5 + 2*size, nChainConcl: 2 + size, diamonds: 3 + 2*size,
+		}
+	case "ccp":
+		return genConfig{
+			seed: seed, nGroups: 2 + size/2, nConsts: 5 + size, nFuncs: 1, nPreds: 3, nBools: 4 + size,
+			nConcl: 2 + size, termDepth: 2, offsetMax: 0,
+			rewrites: 4 + 2*size, guardFuncs: false,
+			nHyps: 16 + 12*size, hypWidth: 3, hypIneq: 0.1, hypFuncProb: 0.2,
+			ladder: 4 + size, nChainConcl: 2 + size/2, diamonds: 2 + 2*size,
+		}
+	case "elf":
+		return genConfig{
+			seed: seed, nGroups: 1, nConsts: 8 + 4*size, nFuncs: 0, nPreds: 0, nBools: 3 + size,
+			nConcl: 2 + 2*size, termDepth: 2, offsetMax: 0,
+			rewrites: 10 + 5*size, guardFuncs: false,
+			nHyps: 16 + 16*size, hypWidth: 2, hypIneq: 0.7, hypFuncProb: 0,
+			ladder: 4 + size, nChainConcl: 3 + size, diamonds: 2 + 2*size,
+		}
+	case "cvt":
+		return genConfig{
+			seed: seed, nGroups: 1 + size/3, nConsts: 5 + size, nFuncs: 4, nPreds: 0, nBools: 1,
+			nConcl: 2 + 2*size, termDepth: 4 + size/2, offsetMax: 2,
+			rewrites: 12 + 8*size, guardFuncs: false,
+			nHyps: 1 + size/3, hypWidth: 1, hypIneq: 0.3, hypFuncProb: 0.2,
+			ladder: 3 + size, nChainConcl: 1 + size/2, diamonds: 2 + 2*size,
+		}
+	case "ooo.inv":
+		return genConfig{
+			seed: seed, nGroups: 1, nConsts: 4, nFuncs: 3, nPreds: 1, nBools: 1,
+			nConcl: 1, termDepth: 2, offsetMax: 2,
+			rewrites: 2, guardFuncs: true,
+			nHyps: 6 + 2*size, hypWidth: 1, hypIneq: 0.9, hypFuncProb: 0.7,
+			chain: 8 + 4*size,
+		}
+	default:
+		panic("bench: unknown family " + family)
+	}
+}
+
+func mk(family string, idx, size int, invariant bool) Benchmark {
+	seed := int64(1000*idx + 17)
+	name := fmt.Sprintf("%s-%d", family, idx)
+	return Benchmark{
+		Name:      name,
+		Family:    family,
+		Invariant: invariant,
+		Valid:     true,
+		Build: func() (*suf.BoolExpr, *suf.Builder) {
+			return Generate(familyConfig(family, size, seed))
+		},
+	}
+}
+
+// Suite returns the full 49-benchmark suite: 39 non-invariant formulas
+// across six domains plus 10 invariant-checking formulas.
+func Suite() []Benchmark {
+	var out []Benchmark
+	add := func(family string, n int, invariant bool) {
+		for i := 1; i <= n; i++ {
+			out = append(out, mk(family, i, i, invariant))
+		}
+	}
+	add("dlx", 7, false)
+	add("lsu", 6, false)
+	add("ccp", 6, false)
+	add("elf", 8, false)
+	add("cvt", 7, false)
+	add("ooo.t", 5, false)
+	add("ooo.inv", 10, true)
+	return out
+}
+
+// NonInvariant filters the suite to the 39 non-invariant benchmarks
+// (Figures 4 and 6).
+func NonInvariant() []Benchmark {
+	var out []Benchmark
+	for _, b := range Suite() {
+		if !b.Invariant {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// InvariantChecking filters the suite to the 10 invariant-checking
+// benchmarks (Figure 5).
+func InvariantChecking() []Benchmark {
+	var out []Benchmark
+	for _, b := range Suite() {
+		if b.Invariant {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Sample16 returns the paper's experimental 16-benchmark sample: at least
+// one formula from each problem domain, spanning the size spectrum
+// (§3 "we selected a sample of 16 formulas … such that there was at least 1
+// formula from each problem domain").
+func Sample16() []Benchmark {
+	want := map[string]bool{
+		"dlx-2": true, "dlx-5": true, "dlx-7": true,
+		"lsu-2": true, "lsu-5": true,
+		"ccp-2": true, "ccp-5": true,
+		"elf-2": true, "elf-5": true, "elf-8": true,
+		"cvt-2": true, "cvt-5": true, "cvt-7": true,
+		"ooo.t-3": true, "ooo.t-5": true,
+		"ooo.inv-3": true,
+	}
+	var out []Benchmark
+	for _, b := range Suite() {
+		if want[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// InvalidVariants returns test-only invalid formulas, one per family, built
+// by breaking the conclusion of a valid benchmark.
+func InvalidVariants() []Benchmark {
+	families := []string{"dlx", "lsu", "ccp", "elf", "cvt", "ooo.t"}
+	var out []Benchmark
+	for i, fam := range families {
+		cfg := familyConfig(fam, 2, int64(9000+i))
+		cfg.mutate = true
+		fam := fam
+		out = append(out, Benchmark{
+			Name:   fmt.Sprintf("%s-bad", fam),
+			Family: fam,
+			Valid:  false,
+			Build: func() (*suf.BoolExpr, *suf.Builder) {
+				return Generate(cfg)
+			},
+		})
+	}
+	return out
+}
+
+// ByName returns the suite benchmark with the given name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

@@ -1,0 +1,484 @@
+// Package bench generates the benchmark suite standing in for the paper's
+// 49 valid SUF formulas (the originals, drawn from industrial designs, are
+// unavailable). Each family reproduces the formula *features* the paper
+// identifies as performance-relevant — number of separation predicates,
+// p-function fraction, class structure, domain sizes and offset usage —
+// because those features, not the concrete netlists, drive the relative
+// behaviour of the SD, EIJ and HYBRID encodings.
+//
+// Validity by construction: every benchmark has the shape
+//
+//	(hypotheses) ⟹ (E = rewrite(E))
+//
+// where rewrite applies semantics-preserving transformations over the
+// integers (ITE guard flips, guarded self-selections, order-tautology
+// injection, antisymmetry expansion of equalities, and the non-density
+// rewrite a < b ⟺ ¬(b < a+1)). The conclusion is valid on its own; the
+// hypotheses — which shape polarity, classes and predicate counts — are kept
+// satisfiable by orienting each one to hold under a hidden random model, so
+// no benchmark is vacuously valid.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sufsat/internal/suf"
+)
+
+// Benchmark is one suite entry. Build constructs a fresh formula and builder
+// on every call (builders accumulate nodes, so sharing them across decision
+// procedure runs would skew DAG-size statistics).
+type Benchmark struct {
+	Name   string
+	Family string
+	// Invariant marks the OOO invariant-checking family (Figure 5; excluded
+	// from the SVC/CVC comparison like in the paper).
+	Invariant bool
+	// Valid is the known status (true throughout the paper's suite; invalid
+	// variants exist only for tests).
+	Valid bool
+	Build func() (*suf.BoolExpr, *suf.Builder)
+}
+
+// genConfig parameterizes the formula generator.
+type genConfig struct {
+	seed        int64
+	nGroups     int     // independent constant groups (→ classes); min 1
+	nConsts     int     // symbolic constants per group
+	nFuncs      int     // uninterpreted function pool
+	nPreds      int     // uninterpreted predicate pool
+	nBools      int     // symbolic Boolean constants
+	nConcl      int     // number of E = rewrite(E) conclusion conjuncts (min 1)
+	termDepth   int     // depth of the conclusion expressions
+	offsetMax   int     // offsets drawn from [−offsetMax, offsetMax]
+	rewrites    int     // rewrite budget per conclusion's right side
+	guardFuncs  bool    // whether ITE-guard atoms may apply functions
+	nHyps       int     // number of hypotheses
+	hypWidth    int     // disjuncts per hypothesis
+	hypIneq     float64 // fraction of hypothesis atoms that are inequalities
+	hypFuncProb float64 // probability a hypothesis term applies a function
+	chain       int     // length of an inequality chain hypothesis (0 = none)
+	ladder      int     // per-group inequality ladder length (0 = none)
+	nChainConcl int     // ladder-consequence conclusion conjuncts per group
+	diamonds    int     // diamond-chain length in the dominant group (0 = none)
+	mutate      bool    // break validity (test-only invalid variants)
+}
+
+type gen struct {
+	cfg    genConfig
+	rng    *rand.Rand
+	b      *suf.Builder
+	group  int         // current constant/function group
+	hidden *suf.Interp // hidden model keeping the hypotheses satisfiable
+}
+
+// constant draws a symbolic constant from the current group. Groups never
+// mix inside one conclusion or hypothesis, so each group induces its own
+// symbolic-constant class — real formulas have one class per "type" of
+// value (addresses, tags, data, queue indices, …).
+func (g *gen) constant() *suf.IntExpr {
+	return g.b.Sym(fmt.Sprintf("g%dc%d", g.group, g.rng.Intn(g.cfg.nConsts)))
+}
+
+func (g *gen) fname(i int) string { return fmt.Sprintf("g%df%d", g.group, i) }
+func (g *gen) pname(i int) string { return fmt.Sprintf("g%dp%d", g.group, i) }
+func (g *gen) groups() int {
+	if g.cfg.nGroups < 1 {
+		return 1
+	}
+	return g.cfg.nGroups
+}
+
+// pickGroup selects the group for the next conclusion or hypothesis. Group 0
+// dominates (~60% of the formula), mirroring real designs where one value
+// type — tags, indices — carries most of the ordering reasoning; the class
+// structure then tracks the formula-level separation-predicate count that
+// the paper's threshold calibration is based on.
+func (g *gen) pickGroup() int {
+	n := g.groups()
+	if n == 1 || g.rng.Float64() < 0.6 {
+		return 0
+	}
+	return 1 + g.rng.Intn(n-1)
+}
+
+// offset draws a term offset, biased strongly toward zero: the paper
+// observes that real verification formulas use succ/pred sparingly, and the
+// weight diversity of separation predicates is the main driver of
+// transitivity-constraint growth.
+func (g *gen) offset() int {
+	if g.cfg.offsetMax == 0 || g.rng.Intn(3) != 0 {
+		return 0
+	}
+	return g.rng.Intn(2*g.cfg.offsetMax+1) - g.cfg.offsetMax
+}
+
+// term generates a random integer term.
+func (g *gen) term(depth int) *suf.IntExpr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return g.b.Offset(g.constant(), g.offset())
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		if g.cfg.nFuncs > 0 {
+			fn := g.fname(g.rng.Intn(g.cfg.nFuncs))
+			if g.rng.Intn(2) == 0 {
+				return g.b.Fn(fn, g.term(depth-1))
+			}
+			return g.b.Fn(fn, g.term(depth-1), g.term(depth-1))
+		}
+		return g.b.Offset(g.constant(), g.offset())
+	case 1:
+		return g.b.Ite(g.cond(depth-1), g.term(depth-1), g.term(depth-1))
+	default:
+		return g.b.Offset(g.term(depth-1), g.offset())
+	}
+}
+
+// cond generates a random Boolean condition.
+func (g *gen) cond(depth int) *suf.BoolExpr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return g.atom(depth)
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return g.b.Not(g.cond(depth - 1))
+	case 1:
+		return g.b.And(g.cond(depth-1), g.cond(depth-1))
+	default:
+		return g.b.Or(g.cond(depth-1), g.cond(depth-1))
+	}
+}
+
+// atom generates a guard atom. Unless cfg.guardFuncs is set, guard terms
+// avoid function applications so the functions of equality-dominated
+// families keep their p-classification (guards are both-polarity positions).
+func (g *gen) atom(depth int) *suf.BoolExpr {
+	if g.cfg.nBools > 0 && g.rng.Intn(4) == 0 {
+		return g.b.BoolSym(fmt.Sprintf("s%d", g.rng.Intn(g.cfg.nBools)))
+	}
+	mk := func() *suf.IntExpr {
+		if g.cfg.guardFuncs {
+			return g.term(depth)
+		}
+		return g.b.Offset(g.constant(), g.offset())
+	}
+	if g.cfg.nPreds > 0 && g.rng.Intn(4) == 0 {
+		return g.b.PredApp(g.pname(g.rng.Intn(g.cfg.nPreds)), mk())
+	}
+	t1, t2 := mk(), mk()
+	for retry := 0; t1 == t2 && retry < 4; retry++ {
+		t2 = mk()
+	}
+	if g.rng.Intn(2) == 0 {
+		return g.b.Eq(t1, t2)
+	}
+	return g.b.Lt(t1, t2)
+}
+
+// rewriteTerm applies up to budget semantics-preserving rewrites in one
+// bottom-up pass, returning the transformed term and the remaining budget.
+func (g *gen) rewriteTerm(t *suf.IntExpr, budget int) (*suf.IntExpr, int) {
+	if budget <= 0 {
+		return t, 0
+	}
+	b := g.b
+	switch t.Kind() {
+	case suf.IIte:
+		a, e := t.Branches()
+		c := t.Cond()
+		var na, ne *suf.IntExpr
+		var nc *suf.BoolExpr
+		na, budget = g.rewriteTerm(a, budget)
+		ne, budget = g.rewriteTerm(e, budget)
+		nc, budget = g.rewriteBool(c, budget)
+		t = b.Ite(nc, na, ne)
+		// The rebuilt ITE may have folded to a plain term; only flip guards
+		// of genuine ITE nodes.
+		if t.Kind() == suf.IIte && budget > 0 && g.rng.Intn(3) == 0 {
+			// ITE(c, a, e) → ITE(¬c, e, a)
+			budget--
+			a2, e2 := t.Branches()
+			t = b.Ite(b.Not(t.Cond()), e2, a2)
+		}
+	case suf.ISucc, suf.IPred:
+		a, _ := t.Branches()
+		off := 0
+		for t.Kind() == suf.ISucc || t.Kind() == suf.IPred {
+			if t.Kind() == suf.ISucc {
+				off++
+			} else {
+				off--
+			}
+			a, _ = t.Branches()
+			t = a
+		}
+		var na *suf.IntExpr
+		na, budget = g.rewriteTerm(t, budget)
+		t = b.Offset(na, off)
+	case suf.IFunc:
+		if len(t.Args()) > 0 {
+			args := make([]*suf.IntExpr, len(t.Args()))
+			for i, a := range t.Args() {
+				args[i], budget = g.rewriteTerm(a, budget)
+			}
+			t = b.Fn(t.FuncName(), args...)
+		}
+	}
+	if budget > 0 && g.rng.Intn(3) == 0 {
+		// t → ITE(A, t, t') where t' is a further rewrite of t; semantics
+		// preserved because both branches denote t. The guard atom A is
+		// fresh, contributing both-polarity atoms like real guard logic.
+		budget--
+		t2, rest := g.rewriteTerm(t, budget)
+		budget = rest
+		t = b.Ite(g.atom(1), t, t2)
+	}
+	return t, budget
+}
+
+// rewriteBool applies semantics-preserving Boolean rewrites.
+func (g *gen) rewriteBool(f *suf.BoolExpr, budget int) (*suf.BoolExpr, int) {
+	if budget <= 0 {
+		return f, 0
+	}
+	b := g.b
+	switch f.Kind() {
+	case suf.BNot:
+		l, _ := f.BoolChildren()
+		var nl *suf.BoolExpr
+		nl, budget = g.rewriteBool(l, budget)
+		f = b.Not(nl)
+	case suf.BAnd, suf.BOr:
+		l, r := f.BoolChildren()
+		var nl, nr *suf.BoolExpr
+		nl, budget = g.rewriteBool(l, budget)
+		nr, budget = g.rewriteBool(r, budget)
+		if f.Kind() == suf.BAnd {
+			f = b.And(nl, nr)
+		} else {
+			f = b.Or(nl, nr)
+		}
+	case suf.BEq:
+		t1, t2 := f.Terms()
+		var n1, n2 *suf.IntExpr
+		n1, budget = g.rewriteTerm(t1, budget)
+		n2, budget = g.rewriteTerm(t2, budget)
+		f = b.Eq(n1, n2)
+		if budget > 0 && g.rng.Intn(3) == 0 {
+			// a = b ⟺ ¬(a<b) ∧ ¬(b<a): antisymmetry over the integers.
+			budget--
+			a, bb := f.Terms()
+			if f.Kind() == suf.BEq { // may have folded to a constant
+				f = b.And(b.Not(b.Lt(a, bb)), b.Not(b.Lt(bb, a)))
+			}
+		}
+	case suf.BLt:
+		t1, t2 := f.Terms()
+		var n1, n2 *suf.IntExpr
+		n1, budget = g.rewriteTerm(t1, budget)
+		n2, budget = g.rewriteTerm(t2, budget)
+		f = b.Lt(n1, n2)
+		if budget > 0 && f.Kind() == suf.BLt && g.rng.Intn(3) == 0 {
+			// a < b ⟺ ¬(b < a+1): integers are not dense.
+			budget--
+			a, bb := f.Terms()
+			f = b.Not(b.Lt(bb, b.Offset(a, 1)))
+		}
+	}
+	if budget > 0 && g.rng.Intn(4) == 0 {
+		// f → f ∧ (A ∨ ¬A): order-tautology injection; the fresh atom A
+		// appears in both polarities.
+		budget--
+		a := g.atom(1)
+		f = b.And(f, b.Or(a, b.Not(a)))
+	}
+	return f, budget
+}
+
+// hypothesis builds one (possibly disjunctive) hypothesis. Its first
+// disjunct is oriented to hold under the generator's hidden model, so the
+// hypothesis set is always satisfiable — real verification hypotheses
+// describe reachable states, and an inconsistent set would make the whole
+// benchmark vacuously valid.
+func (g *gen) hypothesis() *suf.BoolExpr {
+	width := 1
+	if g.cfg.hypWidth > 1 {
+		width = 1 + g.rng.Intn(g.cfg.hypWidth)
+	}
+	first := g.hypAtom()
+	if !suf.EvalBool(first, g.hidden) {
+		first = g.b.Not(first)
+	}
+	out := first
+	for i := 1; i < width; i++ {
+		out = g.b.Or(out, g.hypAtom())
+	}
+	return out
+}
+
+func (g *gen) hypAtom() *suf.BoolExpr {
+	mk := func() *suf.IntExpr {
+		if g.cfg.nFuncs > 0 && g.rng.Float64() < g.cfg.hypFuncProb {
+			return g.b.Fn(g.fname(g.rng.Intn(g.cfg.nFuncs)), g.b.Offset(g.constant(), g.offset()))
+		}
+		return g.b.Offset(g.constant(), g.offset())
+	}
+	t1, t2 := mk(), mk()
+	for retry := 0; t1 == t2 && retry < 4; retry++ {
+		t2 = mk()
+	}
+	neg := g.rng.Intn(2) == 0
+	var a *suf.BoolExpr
+	if g.rng.Float64() < g.cfg.hypIneq {
+		a = g.b.Lt(t1, t2)
+	} else {
+		a = g.b.Eq(t1, t2)
+	}
+	if neg {
+		a = g.b.Not(a)
+	}
+	return a
+}
+
+// guardedDup returns a term semantically equal to t but syntactically
+// distinct: ITE(A, t, ITE(A, s, t)) — both outer branches denote t.
+func (g *gen) guardedDup(t *suf.IntExpr) *suf.IntExpr {
+	a := g.atom(1)
+	s := g.term(1)
+	inner := g.b.Ite(a, s, t)
+	if inner == t { // s folded into t; pick a definitely-different alternative
+		inner = g.b.Ite(a, g.b.Offset(t, 1), t)
+	}
+	return g.b.Ite(a, t, inner)
+}
+
+// Generate builds the benchmark formula for cfg.
+func Generate(cfg genConfig) (*suf.BoolExpr, *suf.Builder) {
+	b := suf.NewBuilder()
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.seed)), b: b}
+	g.hidden = suf.RandomInterp(rand.New(rand.NewSource(cfg.seed^0x5deece66d)), 24)
+
+	// Conclusion: conjunction of E = rewrite(E) pairs — valid by
+	// construction. Rewriting is forced to be syntactically effective so the
+	// equality never folds to true.
+	nConcl := cfg.nConcl
+	if nConcl < 1 {
+		nConcl = 1
+	}
+	concl := b.True()
+	for i := 0; i < nConcl; i++ {
+		g.group = g.pickGroup()
+		e := g.term(cfg.termDepth)
+		e2, _ := g.rewriteTerm(e, cfg.rewrites)
+		for retry := 0; e2 == e && retry < 8; retry++ {
+			e2, _ = g.rewriteTerm(e2, cfg.rewrites)
+		}
+		if e2 == e {
+			e2 = g.guardedDup(e)
+		}
+		c := b.Eq(e, e2)
+		if cfg.mutate {
+			c = b.Eq(e, b.Offset(e2, 1)) // invalid variant: shift one side
+		}
+		concl = b.And(concl, c)
+	}
+
+	// Ladder consequences: per group, a ladder of inequality atoms
+	// L_i: c_i ≤ c_{i+1} + k_i and conclusion conjuncts
+	// (L_a ∧ … ∧ L_{b−1}) ⟹ c_a ≤ c_b + Σk — valid chain implications whose
+	// refutation forces genuine transitive reasoning. The bound is exact, so
+	// the SAT search must propagate the entire chain; this is where the
+	// per-constraint encoding's predicate-level case splitting shines over
+	// bit-level small-domain reasoning (the paper's Figure 2 effect).
+	if cfg.ladder >= 2 {
+		for gi := 0; gi < g.groups(); gi++ {
+			g.group = gi
+			length := cfg.ladder
+			if gi > 0 {
+				length = cfg.ladder/2 + 2 // secondary groups get short ladders
+			}
+			lad := func(i int) *suf.IntExpr { return b.Sym(fmt.Sprintf("g%dc%d", gi, i)) }
+			ks := make([]int, length)
+			atoms := make([]*suf.BoolExpr, length)
+			for i := range atoms {
+				if g.cfg.offsetMax > 0 {
+					ks[i] = g.rng.Intn(2)
+				}
+				atoms[i] = b.Le(lad(i), b.Offset(lad(i+1), ks[i]))
+			}
+			for j := 0; j < cfg.nChainConcl; j++ {
+				a := g.rng.Intn(length - 1)
+				bi := a + 2 + g.rng.Intn(length-a-1)
+				if bi > length {
+					bi = length
+				}
+				w := 0
+				ante := b.True()
+				for i := a; i < bi; i++ {
+					w += ks[i]
+					ante = b.And(ante, atoms[i])
+				}
+				concl = b.And(concl, b.Implies(ante, b.Le(lad(a), b.Offset(lad(bi), w))))
+			}
+		}
+	}
+
+	// Diamond chain (dominant group): the conclusion conjunct
+	//
+	//	⋀_i ((d_i ≤ y_i ∧ y_i ≤ d_{i+1}) ∨ (d_i ≤ z_i ∧ z_i ≤ d_{i+1}))
+	//	    ⟹ d_0 ≤ d_n
+	//
+	// is valid via any of the 2^n path combinations. Lazy procedures must
+	// enumerate one negative cycle per combination, while the eager
+	// transitivity encoding collapses the diamond polynomially — the classic
+	// separation the paper's Figure 6 rests on.
+	if cfg.diamonds >= 1 {
+		n := cfg.diamonds
+		d := func(i int) *suf.IntExpr { return b.Sym(fmt.Sprintf("g0d%d", i)) }
+		dc := b.True()
+		for i := 0; i < n; i++ {
+			yi := b.Sym(fmt.Sprintf("g0dy%d", i))
+			zi := b.Sym(fmt.Sprintf("g0dz%d", i))
+			left := b.And(b.Le(d(i), yi), b.Le(yi, d(i+1)))
+			right := b.And(b.Le(d(i), zi), b.Le(zi, d(i+1)))
+			dc = b.And(dc, b.Or(left, right))
+		}
+		concl = b.And(concl, b.Implies(dc, b.Le(d(0), d(n))))
+	}
+
+	// Hypotheses.
+	hyp := b.True()
+	for i := 0; i < cfg.nHyps; i++ {
+		g.group = g.pickGroup()
+		hyp = b.And(hyp, g.hypothesis())
+	}
+	// Inequality chain: q_0 ≤ q_1+k_1 ≤ … builds one large class of queue /
+	// reorder-buffer indices (the invariant-checking shape).
+	for i := 0; i < cfg.chain; i++ {
+		qi := b.Sym(fmt.Sprintf("q%d", i))
+		qj := b.Sym(fmt.Sprintf("q%d", i+1))
+		hyp = b.And(hyp, b.Le(qi, b.Offset(qj, g.rng.Intn(3))))
+		// Cross-links densify the difference graph.
+		if i > 1 {
+			qk := b.Sym(fmt.Sprintf("q%d", g.rng.Intn(i)))
+			hyp = b.And(hyp, b.Le(qk, b.Offset(qj, g.rng.Intn(5)+1)))
+		}
+	}
+	if cfg.chain > 0 {
+		// Tie the chain into the conclusion so it is not dead code: the
+		// per-link slacks are at most 2, so q0 ≤ q_chain + 2·chain follows.
+		total := 2 * cfg.chain
+		concl = b.And(concl, b.Implies(hyp,
+			b.Le(b.Sym("q0"), b.Offset(b.Sym(fmt.Sprintf("q%d", cfg.chain)), total))))
+	}
+
+	if cfg.mutate {
+		// The mutated conclusion conjunct is unsatisfiable, so the bare
+		// conclusion is invalid; keeping the hypotheses could make the
+		// implication vacuously valid when they are inconsistent.
+		return concl, b
+	}
+	return b.Implies(hyp, concl), b
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+
+	"sufsat/internal/funcelim"
+	"sufsat/internal/sep"
+	"sufsat/internal/suf"
+)
+
+// TestGoldenSuiteStats pins the deterministic characteristics of every suite
+// benchmark — DAG size, separation-predicate count and class count — so an
+// accidental generator change (which would silently invalidate the
+// calibrated SEP_THOLD and every figure in EXPERIMENTS.md) fails loudly.
+// If a change is intentional, re-run the calibration and experiments, update
+// this table, and refresh EXPERIMENTS.md.
+func TestGoldenSuiteStats(t *testing.T) {
+	golden := []struct {
+		name             string
+		nodes, seps, cls int
+	}{
+		{"dlx-1", 211, 91, 3},
+		{"dlx-2", 295, 122, 3},
+		{"dlx-3", 415, 185, 5},
+		{"dlx-4", 514, 142, 4},
+		{"dlx-5", 687, 262, 6},
+		{"dlx-6", 860, 331, 5},
+		{"dlx-7", 1074, 885, 7},
+		{"lsu-1", 283, 155, 3},
+		{"lsu-2", 487, 231, 4},
+		{"lsu-3", 562, 340, 4},
+		{"lsu-4", 782, 723, 5},
+		{"lsu-5", 1024, 797, 5},
+		{"lsu-6", 1145, 1386, 6},
+		{"ccp-1", 291, 195, 3},
+		{"ccp-2", 406, 261, 4},
+		{"ccp-3", 531, 285, 4},
+		{"ccp-4", 750, 556, 5},
+		{"ccp-5", 855, 567, 6},
+		{"ccp-6", 993, 655, 6},
+		{"elf-1", 256, 85, 2},
+		{"elf-2", 427, 142, 2},
+		{"elf-3", 523, 181, 2},
+		{"elf-4", 591, 206, 2},
+		{"elf-5", 718, 257, 2},
+		{"elf-6", 842, 307, 2},
+		{"elf-7", 963, 360, 2},
+		{"elf-8", 1072, 389, 2},
+		{"cvt-1", 119, 32, 2},
+		{"cvt-2", 276, 100, 2},
+		{"cvt-3", 257, 66, 3},
+		{"cvt-4", 500, 130, 3},
+		{"cvt-5", 642, 176, 3},
+		{"cvt-6", 639, 168, 5},
+		{"cvt-7", 899, 290, 4},
+		{"ooo.t-1", 292, 135, 3},
+		{"ooo.t-2", 488, 223, 4},
+		{"ooo.t-3", 566, 409, 5},
+		{"ooo.t-4", 770, 544, 5},
+		{"ooo.t-5", 945, 690, 6},
+		{"ooo.inv-1", 181, 43, 3},
+		{"ooo.inv-2", 235, 79, 2},
+		{"ooo.inv-3", 282, 104, 2},
+		{"ooo.inv-4", 339, 142, 2},
+		{"ooo.inv-5", 407, 171, 2},
+		{"ooo.inv-6", 459, 191, 2},
+		{"ooo.inv-7", 518, 234, 2},
+		{"ooo.inv-8", 568, 253, 2},
+		{"ooo.inv-9", 620, 306, 2},
+		{"ooo.inv-10", 689, 394, 2},
+	}
+	byName := make(map[string]struct{ nodes, seps, cls int })
+	for _, g := range golden {
+		byName[g.name] = struct{ nodes, seps, cls int }{g.nodes, g.seps, g.cls}
+	}
+	for _, bm := range Suite() {
+		want, ok := byName[bm.Name]
+		if !ok {
+			t.Errorf("%s: missing from the golden table", bm.Name)
+			continue
+		}
+		f, b := bm.Build()
+		n := suf.CountNodes(f)
+		elim := funcelim.Eliminate(f, b)
+		info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if n != want.nodes || info.NumSepPreds != want.seps || len(info.Classes) != want.cls {
+			t.Errorf("%s: (nodes, seps, classes) = (%d, %d, %d), golden (%d, %d, %d)",
+				bm.Name, n, info.NumSepPreds, len(info.Classes), want.nodes, want.seps, want.cls)
+		}
+	}
+}

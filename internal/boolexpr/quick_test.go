@@ -1,0 +1,103 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"sufsat/internal/sat"
+	"testing"
+	"testing/quick"
+)
+
+// genEnv decodes a bitmask into an assignment for variables a..h.
+func genEnv(mask uint8) map[string]bool {
+	env := make(map[string]bool, 8)
+	for v := 0; v < 8; v++ {
+		env[varName(v)] = mask>>uint(v)&1 == 1
+	}
+	return env
+}
+
+// TestQuickBooleanLaws checks algebraic laws semantically on random DAGs:
+// De Morgan, double negation, distribution, ITE expansion, implication.
+func TestQuickBooleanLaws(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		x := randomExpr(rng, b, 4, 4)
+		y := randomExpr(rng, b, 4, 4)
+		z := randomExpr(rng, b, 4, 4)
+		env := genEnv(mask)
+
+		ev := func(n *Node) bool { return Eval(n, env) }
+		laws := []struct {
+			l, r *Node
+		}{
+			{b.Not(b.And(x, y)), b.Or(b.Not(x), b.Not(y))},         // De Morgan
+			{b.Not(b.Or(x, y)), b.And(b.Not(x), b.Not(y))},         // De Morgan
+			{b.Not(b.Not(x)), x},                                   // involution
+			{b.And(x, b.Or(y, z)), b.Or(b.And(x, y), b.And(x, z))}, // distribution
+			{b.Ite(x, y, z), b.Or(b.And(x, y), b.And(b.Not(x), z))},
+			{b.Implies(x, y), b.Or(b.Not(x), y)},
+			{b.Iff(x, y), b.Not(b.Xor(x, y))},
+		}
+		for _, law := range laws {
+			if ev(law.l) != ev(law.r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashConsIsSemantic checks the structural-identity invariant: two
+// pointer-equal nodes always evaluate equal (trivially), and the
+// simplifications never change semantics relative to a naive evaluator.
+func TestQuickSimplificationsPreserveSemantics(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		b := NewBuilder()
+		env := genEnv(mask)
+		// Build the same random expression twice; hash-consing must yield
+		// the identical node, and its value must match a recomputation.
+		e1 := randomExpr(rand.New(rand.NewSource(seed)), b, 5, 5)
+		e2 := randomExpr(rand.New(rand.NewSource(seed)), b, 5, 5)
+		if e1 != e2 {
+			return false
+		}
+		return Eval(e1, env) == Eval(e2, env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCNFAgreesWithEval: for random expressions and assignments, the
+// Tseitin CNF restricted to the source variables is satisfiable with exactly
+// the assignments that satisfy the expression (checked one direction per
+// sample: pin the source variables with unit clauses and compare).
+func TestQuickCNFPinnedAssignment(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		e := randomExpr(rng, b, 4, 5)
+		env := genEnv(mask)
+
+		s := newSATForTest()
+		cnf := AssertTrue(e, s)
+		for name, lit := range cnf.VarLits {
+			l := lit
+			if !env[name] {
+				l = l.Not()
+			}
+			s.AddClause(l)
+		}
+		got := s.Solve().String() == "SAT"
+		return got == Eval(e, env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newSATForTest() *sat.Solver { return sat.New() }

@@ -1,0 +1,179 @@
+// Package congruence implements congruence closure for the logic of
+// equality with uninterpreted functions (EUF): union-find over hash-consed
+// terms with upward congruence propagation.
+//
+// It is the classical decision engine inside checkers like SVC, and serves
+// here as an independent oracle for the function-elimination pipeline: a
+// conjunction of ground equalities and disequalities over uninterpreted
+// terms is satisfiable iff, after closing the equalities under congruence,
+// no disequality joins two merged classes.
+package congruence
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermID identifies a hash-consed term inside one Closure.
+type TermID int32
+
+// Closure maintains a congruence-closed union-find over terms. The zero
+// value is not usable; call New.
+type Closure struct {
+	terms   []term
+	consed  map[string]TermID
+	parent  []TermID
+	rank    []int32
+	parents [][]TermID // class representative → terms having a member as argument
+	sig     map[string]TermID
+	pending []TermID
+}
+
+type term struct {
+	fn   string
+	args []TermID
+}
+
+// New returns an empty closure.
+func New() *Closure {
+	return &Closure{
+		consed: make(map[string]TermID),
+		sig:    make(map[string]TermID),
+	}
+}
+
+// Term interns the application fn(args...) and returns its id. A zero-arity
+// application is a constant.
+func (c *Closure) Term(fn string, args ...TermID) TermID {
+	var sb strings.Builder
+	sb.WriteString(fn)
+	for _, a := range args {
+		sb.WriteByte('(')
+		sb.WriteString(strconv.Itoa(int(a)))
+	}
+	key := sb.String()
+	if id, ok := c.consed[key]; ok {
+		return id
+	}
+	id := TermID(len(c.terms))
+	cp := make([]TermID, len(args))
+	copy(cp, args)
+	c.terms = append(c.terms, term{fn, cp})
+	c.parent = append(c.parent, id)
+	c.rank = append(c.rank, 0)
+	c.parents = append(c.parents, nil)
+	c.consed[key] = id
+	for _, a := range args {
+		r := c.find(a)
+		c.parents[r] = append(c.parents[r], id)
+	}
+	// Congruence may already identify the new term with an existing one.
+	c.updateSig(id)
+	c.propagate()
+	return id
+}
+
+func (c *Closure) find(x TermID) TermID {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+// signature returns the canonical key of t under the current classes.
+func (c *Closure) signature(t TermID) string {
+	tm := c.terms[t]
+	var sb strings.Builder
+	sb.WriteString(tm.fn)
+	for _, a := range tm.args {
+		sb.WriteByte('(')
+		sb.WriteString(strconv.Itoa(int(c.find(a))))
+	}
+	return sb.String()
+}
+
+// updateSig re-registers t's signature, scheduling a merge on collision.
+func (c *Closure) updateSig(t TermID) {
+	key := c.signature(t)
+	if other, ok := c.sig[key]; ok {
+		if c.find(other) != c.find(t) {
+			c.pending = append(c.pending, t, other)
+		}
+		return
+	}
+	c.sig[key] = t
+}
+
+// Merge asserts a = b and closes under congruence.
+func (c *Closure) Merge(a, b TermID) {
+	c.pending = append(c.pending, a, b)
+	c.propagate()
+}
+
+func (c *Closure) propagate() {
+	for len(c.pending) >= 2 {
+		a := c.pending[len(c.pending)-1]
+		b := c.pending[len(c.pending)-2]
+		c.pending = c.pending[:len(c.pending)-2]
+		ra, rb := c.find(a), c.find(b)
+		if ra == rb {
+			continue
+		}
+		if c.rank[ra] > c.rank[rb] {
+			ra, rb = rb, ra
+		}
+		if c.rank[ra] == c.rank[rb] {
+			c.rank[rb]++
+		}
+		// Union: ra under rb; all parents of ra's class may change signature.
+		c.parent[ra] = rb
+		moved := c.parents[ra]
+		c.parents[rb] = append(c.parents[rb], moved...)
+		c.parents[ra] = nil
+		for _, p := range moved {
+			c.updateSig(p)
+		}
+	}
+}
+
+// Equal reports whether a and b are in the same congruence class.
+func (c *Closure) Equal(a, b TermID) bool { return c.find(a) == c.find(b) }
+
+// NumTerms returns the number of interned terms.
+func (c *Closure) NumTerms() int { return len(c.terms) }
+
+// Literal is an (dis)equality between two EUF terms.
+type Literal struct {
+	A, B TermID
+	Neq  bool
+}
+
+func (l Literal) String() string {
+	op := "="
+	if l.Neq {
+		op = "≠"
+	}
+	return fmt.Sprintf("t%d %s t%d", l.A, op, l.B)
+}
+
+// Satisfiable decides a conjunction of EUF literals over terms interned in
+// c: merge all equalities, then check that no disequality's sides were
+// identified.
+func Satisfiable(c *Closure, lits []Literal) bool {
+	for _, l := range lits {
+		if !l.Neq {
+			c.Merge(l.A, l.B)
+		}
+	}
+	for _, l := range lits {
+		if l.Neq && c.Equal(l.A, l.B) {
+			return false
+		}
+		if !l.Neq && !c.Equal(l.A, l.B) {
+			panic("congruence: merged equality not equal")
+		}
+	}
+	return true
+}

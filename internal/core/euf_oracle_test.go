@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sufsat/internal/congruence"
+	"sufsat/internal/suf"
+)
+
+// TestEUFConjunctionsAgainstCongruenceClosure cross-checks the full pipeline
+// (function elimination + positive equality + hybrid encoding + SAT) against
+// an independent congruence-closure oracle on the pure-EUF fragment:
+// conjunctions of (dis)equalities over uninterpreted terms. The two
+// implementations share no code beyond the AST.
+func TestEUFConjunctionsAgainstCongruenceClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 300; iter++ {
+		b := suf.NewBuilder()
+		cc := congruence.New()
+
+		// A pool of EUF terms mirrored in both representations.
+		type mirrored struct {
+			t  *suf.IntExpr
+			id congruence.TermID
+		}
+		var pool []mirrored
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("c%d", i)
+			pool = append(pool, mirrored{b.Sym(name), cc.Term(name)})
+		}
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			fn := fmt.Sprintf("f%d", rng.Intn(2))
+			arg := pool[rng.Intn(len(pool))]
+			pool = append(pool, mirrored{b.Fn(fn, arg.t), cc.Term(fn, arg.id)})
+		}
+
+		// A random conjunction of literals.
+		conj := b.True()
+		var lits []congruence.Literal
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			a := pool[rng.Intn(len(pool))]
+			c := pool[rng.Intn(len(pool))]
+			neq := rng.Intn(2) == 0
+			atom := b.Eq(a.t, c.t)
+			if neq {
+				conj = b.And(conj, b.Not(atom))
+			} else {
+				conj = b.And(conj, atom)
+			}
+			lits = append(lits, congruence.Literal{A: a.id, B: c.id, Neq: neq})
+		}
+
+		want := congruence.Satisfiable(cc, lits)
+		// Satisfiability of the conjunction ⟺ invalidity of its negation.
+		res := Decide(b.Not(conj), b, Options{Method: Hybrid})
+		if res.Err != nil {
+			t.Fatalf("iter %d: %v", iter, res.Err)
+		}
+		got := res.Status == Invalid
+		if got != want {
+			t.Fatalf("iter %d: pipeline satisfiable=%v, congruence closure=%v\nconj = %v",
+				iter, got, want, conj)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+
+	"sufsat/internal/boolexpr"
+	"sufsat/internal/difflogic"
+	"sufsat/internal/funcelim"
+	"sufsat/internal/perconstraint"
+	"sufsat/internal/sat"
+	"sufsat/internal/sep"
+	"sufsat/internal/smalldomain"
+	"sufsat/internal/suf"
+)
+
+// Model is a falsifying interpretation reconstructed from a satisfying
+// assignment of the Boolean query F_trans ∧ ¬F_bvar: integer values for the
+// separation-level symbolic constants (including the fresh constants of
+// function elimination), truth values for the symbolic Boolean constants,
+// and — via Interp — uninterpreted function and predicate tables for the
+// original formula.
+type Model struct {
+	// Consts assigns the separation-level symbolic constants.
+	Consts map[string]int64
+	// Bools assigns the symbolic Boolean constants.
+	Bools map[string]bool
+
+	elim *funcelim.Result
+}
+
+// extractModel rebuilds an integer model from the SAT assignment.
+//
+//   - SD-routed constants decode directly from their bit-vectors;
+//   - EIJ-routed constants get values from a difference-logic run over the
+//     constraints the predicate-variable assignment asserts (feasible by
+//     F_trans);
+//   - V_p constants get fresh maximally diverse values above everything
+//     else, re-spaced here rather than reusing the encoder's bit patterns so
+//     they also clear the unbounded difference-logic values.
+func extractModel(solver *sat.Solver, cnf boolexpr.CNF, info *sep.Info,
+	sdEnc *smalldomain.Encoder, eijEnc *perconstraint.Encoder,
+	elim *funcelim.Result) *Model {
+
+	model := solver.Model()
+	litVal := func(l sat.Lit) bool {
+		v := model[l.Var()]
+		if l.Neg() {
+			v = !v
+		}
+		return v
+	}
+	nameVal := func(name string) (bool, bool) {
+		l, ok := cnf.VarLits[name]
+		if !ok {
+			return false, false
+		}
+		return litVal(l), true
+	}
+
+	m := &Model{
+		Consts: make(map[string]int64),
+		Bools:  make(map[string]bool),
+		elim:   elim,
+	}
+
+	// Symbolic Boolean constants.
+	for name, l := range cnf.VarLits {
+		if len(name) > 3 && name[:3] == "sb!" {
+			m.Bools[name[3:]] = litVal(l)
+		}
+	}
+
+	// SD-routed constants.
+	for v, x := range sdEnc.DecodeConsts(nameVal) {
+		m.Consts[v] = x
+	}
+
+	// EIJ-routed constants: difference-logic reconstruction.
+	cs := eijEnc.ModelConstraints(func(n *boolexpr.Node) (bool, bool) {
+		return nameVal(n.Name())
+	})
+	th := difflogic.NewSolver()
+	if confl := th.AssertAll(cs); confl == nil {
+		for v, x := range th.Model() {
+			if _, done := m.Consts[v]; !done {
+				m.Consts[v] = x
+			}
+		}
+	}
+	// F_trans makes the constraint set feasible for every model; a conflict
+	// here would be an encoder bug, which the cross-method tests would catch
+	// — the values simply stay unset and default below.
+
+	// Any remaining general constants were unconstrained.
+	for v := range info.GConsts {
+		if _, ok := m.Consts[v]; !ok {
+			m.Consts[v] = 0
+		}
+	}
+
+	// V_p constants: maximally diverse, above everything assigned so far.
+	spread := int64(info.MaxPosOff - info.MaxNegOff)
+	var top int64
+	for _, x := range m.Consts {
+		if x > top {
+			top = x
+		}
+	}
+	var pnames []string
+	for v := range info.PConsts {
+		pnames = append(pnames, v)
+	}
+	sort.Strings(pnames)
+	for i, v := range pnames {
+		m.Consts[v] = top + spread + 1 + int64(i)*(spread+1)
+	}
+	return m
+}
+
+// sepInterp interprets the separation-level formula: constants from the
+// model, everything else defaulted.
+func (m *Model) sepInterp() *suf.Interp {
+	return &suf.Interp{
+		Fn: func(name string, args []int64) int64 {
+			if len(args) == 0 {
+				return m.Consts[name]
+			}
+			return 0
+		},
+		Pred: func(name string, args []int64) bool {
+			if len(args) == 0 {
+				return m.Bools[name]
+			}
+			return false
+		},
+	}
+}
+
+// Interp builds an interpretation of the *original* formula's uninterpreted
+// function and predicate symbols that realizes this model: each fresh
+// constant's value becomes a table entry for the application it replaced,
+// processed in introduction order so that, as in the elimination's selection
+// chains, the earliest application wins when argument tuples collide.
+func (m *Model) Interp() *suf.Interp {
+	si := m.sepInterp()
+	ftab := make(map[string]map[string]int64) // fn → encoded args → value
+	ptab := make(map[string]map[string]bool)
+
+	key := func(args []int64) string {
+		out := make([]byte, 0, len(args)*6)
+		for _, a := range args {
+			out = strconv.AppendInt(out, a, 10)
+			out = append(out, '/')
+		}
+		return string(out)
+	}
+	evalArgs := func(def funcelim.AppDef) []int64 {
+		vals := make([]int64, len(def.Args))
+		for i, a := range def.Args {
+			vals[i] = suf.EvalInt(a, si)
+		}
+		return vals
+	}
+	if m.elim != nil {
+		for _, name := range m.elim.FreshIntOrder {
+			def := m.elim.FreshIntDefs[name]
+			k := key(evalArgs(def))
+			if ftab[def.Sym] == nil {
+				ftab[def.Sym] = make(map[string]int64)
+			}
+			if _, taken := ftab[def.Sym][k]; !taken {
+				ftab[def.Sym][k] = m.Consts[name]
+			}
+		}
+		for _, name := range m.elim.FreshBoolOrder {
+			def := m.elim.FreshBoolDefs[name]
+			k := key(evalArgs(def))
+			if ptab[def.Sym] == nil {
+				ptab[def.Sym] = make(map[string]bool)
+			}
+			if _, taken := ptab[def.Sym][k]; !taken {
+				ptab[def.Sym][k] = m.Bools[name]
+			}
+		}
+	}
+
+	return &suf.Interp{
+		Fn: func(name string, args []int64) int64 {
+			if len(args) == 0 {
+				return m.Consts[name]
+			}
+			if tab := ftab[name]; tab != nil {
+				if v, ok := tab[key(args)]; ok {
+					return v
+				}
+			}
+			return 0
+		},
+		Pred: func(name string, args []int64) bool {
+			if len(args) == 0 {
+				return m.Bools[name]
+			}
+			if tab := ptab[name]; tab != nil {
+				if v, ok := tab[key(args)]; ok {
+					return v
+				}
+			}
+			return false
+		},
+	}
+}

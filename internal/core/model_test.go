@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sufsat/internal/suf"
+)
+
+// TestModelFalsifiesOriginalFormula is the defining property of
+// counterexample extraction: whenever Decide reports Invalid, evaluating the
+// *original* SUF formula under the reconstructed interpretation must yield
+// false — through bit-vector decoding, difference-logic reconstruction,
+// maximal-diversity values AND function-table rebuilding.
+func TestModelFalsifiesOriginalFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	checked := 0
+	for iter := 0; iter < 400; iter++ {
+		b := suf.NewBuilder()
+		f := randomSUF(rng, b, 3)
+		for _, opts := range []Options{
+			{Method: Hybrid},
+			{Method: SD},
+			{Method: EIJ},
+			{Method: Hybrid, SepThreshold: -1},      // force SD routing
+			{Method: Hybrid, SepThreshold: 1 << 20}, // force EIJ routing
+		} {
+			res := Decide(f, b, opts)
+			if res.Err != nil {
+				t.Fatalf("iter %d: %v", iter, res.Err)
+			}
+			if res.Status == Valid {
+				if res.Model != nil {
+					t.Fatalf("iter %d: valid result carries a model", iter)
+				}
+				continue
+			}
+			if res.Model == nil {
+				t.Fatalf("iter %d: invalid result without a model", iter)
+			}
+			checked++
+			if suf.EvalBool(f, res.Model.Interp()) {
+				t.Fatalf("iter %d (%+v): model does not falsify the formula\nf = %v\nconsts = %v\nbools = %v",
+					iter, opts, f, res.Model.Consts, res.Model.Bools)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d invalid cases exercised; generator too tame", checked)
+	}
+}
+
+// TestModelOnKnownCounterexamples spot-checks reconstructed values on
+// formulas with forced structure.
+func TestModelOnKnownCounterexamples(t *testing.T) {
+	b := suf.NewBuilder()
+	// ¬(x < y): any model must satisfy x ≥ y.
+	f := b.Lt(b.Sym("x"), b.Sym("y"))
+	res := Decide(f, b, Options{Method: Hybrid})
+	if res.Status != Invalid || res.Model == nil {
+		t.Fatalf("got %v", res.Status)
+	}
+	if res.Model.Consts["x"] < res.Model.Consts["y"] {
+		t.Fatalf("model %v does not refute x < y", res.Model.Consts)
+	}
+
+	// Injectivity failure: f(x) = f(y) with x ≠ y requires the model to
+	// collide the function outputs.
+	b2 := suf.NewBuilder()
+	g := suf.MustParse("(=> (= (f x) (f y)) (= x y))", b2)
+	res2 := Decide(g, b2, Options{Method: SD})
+	if res2.Status != Invalid || res2.Model == nil {
+		t.Fatalf("got %v", res2.Status)
+	}
+	it := res2.Model.Interp()
+	x := it.Fn("x", nil)
+	y := it.Fn("y", nil)
+	if x == y {
+		t.Fatal("model must pick x ≠ y")
+	}
+	if it.Fn("f", []int64{x}) != it.Fn("f", []int64{y}) {
+		t.Fatal("model must collide f(x) and f(y)")
+	}
+}
+
+func TestModelOffsets(t *testing.T) {
+	// ¬(x+3 = y) invalid; the model must satisfy x+3 = y exactly — offsets
+	// exercise the lshift decoding of the small-domain path.
+	for _, m := range []Method{SD, EIJ, Hybrid} {
+		b := suf.NewBuilder()
+		f := b.Not(b.Eq(b.Offset(b.Sym("x"), 3), b.Sym("y")))
+		res := Decide(f, b, Options{Method: m})
+		if res.Status != Invalid {
+			t.Fatalf("%v: got %v", m, res.Status)
+		}
+		c := res.Model.Consts
+		if c["x"]+3 != c["y"] {
+			t.Fatalf("%v: model %v does not satisfy x+3 = y", m, c)
+		}
+	}
+}
+
+func TestModelBoolConstants(t *testing.T) {
+	b := suf.NewBuilder()
+	f := b.Or(b.BoolSym("p"), b.BoolSym("q")) // invalid: p=q=false refutes
+	res := Decide(f, b, Options{})
+	if res.Status != Invalid {
+		t.Fatalf("got %v", res.Status)
+	}
+	if res.Model.Bools["p"] || res.Model.Bools["q"] {
+		t.Fatalf("model %v does not refute p ∨ q", res.Model.Bools)
+	}
+}
+
+func TestModelPredicateTables(t *testing.T) {
+	b := suf.NewBuilder()
+	// ¬(P(x) → P(y)) requires P(x) ∧ ¬P(y), hence x ≠ y in the model.
+	f := b.Implies(b.PredApp("P", b.Sym("x")), b.PredApp("P", b.Sym("y")))
+	res := Decide(f, b, Options{})
+	if res.Status != Invalid {
+		t.Fatalf("got %v", res.Status)
+	}
+	it := res.Model.Interp()
+	x, y := it.Fn("x", nil), it.Fn("y", nil)
+	if !it.Pred("P", []int64{x}) || it.Pred("P", []int64{y}) {
+		t.Fatalf("model tables wrong: P(%d)=%v P(%d)=%v",
+			x, it.Pred("P", []int64{x}), y, it.Pred("P", []int64{y}))
+	}
+}
+
+func TestModelMixedHybridRouting(t *testing.T) {
+	// One class is pushed to SD (threshold 3), the other stays EIJ; the
+	// model must be consistent across the split.
+	b := suf.NewBuilder()
+	f := b.True()
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			vi, vj := b.Sym(fmt.Sprintf("a%d", i)), b.Sym(fmt.Sprintf("a%d", j))
+			f = b.And(f, b.Or(b.Lt(vi, vj), b.Le(vj, vi)))
+		}
+	}
+	// Small class: single false atom makes the whole formula invalid.
+	f = b.And(f, b.Lt(b.Sym("z1"), b.Sym("z2")))
+	res := Decide(f, b, Options{Method: Hybrid, SepThreshold: 3})
+	if res.Status != Invalid {
+		t.Fatalf("got %v", res.Status)
+	}
+	if res.Stats.SDClasses == 0 {
+		t.Fatal("expected at least one SD-routed class in this test")
+	}
+	if suf.EvalBool(f, res.Model.Interp()) {
+		t.Fatalf("mixed-routing model does not falsify: %v", res.Model.Consts)
+	}
+}

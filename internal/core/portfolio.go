@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"sufsat/internal/suf"
+)
+
+// DecidePortfolio runs the SD, EIJ and HYBRID encodings concurrently on
+// copies of the formula and returns the first definitive answer, cancelling
+// the others. A portfolio is the classic alternative to the paper's hybrid
+// routing: instead of predicting which encoding will win (SEP_THOLD), run
+// them all and keep the winner. It costs up to 3× the work and memory but is
+// robust even when the predictor misroutes; the ablation benchmarks compare
+// the two approaches.
+//
+// Each method runs on its own Builder (re-parsed from the printed formula),
+// because Builders are not safe for concurrent use.
+func DecidePortfolio(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
+	methods := []Method{Hybrid, SD, EIJ}
+	src := f.String()
+
+	type outcome struct {
+		res    *Result
+		method Method
+	}
+	results := make(chan outcome, len(methods))
+	var stop atomic.Bool
+
+	for _, m := range methods {
+		m := m
+		go func() {
+			nb := suf.NewBuilder()
+			nf, err := suf.Parse(src, nb)
+			if err != nil {
+				results <- outcome{&Result{Status: Timeout, Err: err}, m}
+				return
+			}
+			o := opts
+			o.Method = m
+			o.Interrupt = &stop
+			results <- outcome{Decide(nf, nb, o), m}
+		}()
+	}
+
+	var last *Result
+	for range methods {
+		out := <-results
+		last = out.res
+		if out.res.Status != Timeout {
+			// Definitive answer: cancel the rest and return. The remaining
+			// goroutines notice the interrupt at their next check point and
+			// drain into the buffered channel.
+			stop.Store(true)
+			return out.res
+		}
+	}
+	// Everyone timed out; report the last timeout.
+	return last
+}

@@ -1,0 +1,169 @@
+// Package difflogic decides conjunctions of integer difference constraints
+// x − y ≤ c. It maintains a feasible potential function incrementally in the
+// style of Cotton and Maler: asserting a constraint triggers a bounded
+// relaxation; an attempt to lower the potential of the asserted edge's tail
+// witnesses a negative cycle, which is returned as a minimal conflict
+// explanation.
+//
+// This is the theory substrate of the lazy (CVC-like) and case-splitting
+// (SVC-like) baseline procedures, and the oracle against which the eager
+// transitivity-constraint generation of package perconstraint is tested.
+// Deciding a conjunction of separation predicates this way is the
+// "shortest-path problem" reduction the paper credits for SVC's speed on
+// conjunctive benchmarks.
+package difflogic
+
+import "fmt"
+
+// Constraint is x − y ≤ c. Tag is an opaque caller value carried into
+// conflict explanations.
+type Constraint struct {
+	X, Y string
+	C    int64
+	Tag  any
+}
+
+func (c Constraint) String() string { return fmt.Sprintf("%s-%s<=%d", c.X, c.Y, c.C) }
+
+type edge struct {
+	from, to int
+	w        int64
+	con      Constraint
+}
+
+// Solver incrementally decides conjunctions of difference constraints.
+// The zero value is not usable; call NewSolver.
+type Solver struct {
+	ids   map[string]int
+	names []string
+	pi    []int64  // feasible potential: pi[x] − pi[y] ≤ c for all constraints
+	adj   [][]edge // outgoing edges: constraint x−y≤c is edge y→x weight c
+	trail []edge
+}
+
+// NewSolver returns an empty, trivially feasible solver.
+func NewSolver() *Solver {
+	return &Solver{ids: make(map[string]int)}
+}
+
+func (s *Solver) id(name string) int {
+	if v, ok := s.ids[name]; ok {
+		return v
+	}
+	v := len(s.names)
+	s.ids[name] = v
+	s.names = append(s.names, name)
+	s.pi = append(s.pi, 0)
+	s.adj = append(s.adj, nil)
+	return v
+}
+
+// Len returns the number of asserted constraints (for use with PopTo).
+func (s *Solver) Len() int { return len(s.trail) }
+
+// PopTo removes all constraints asserted after the trail had length n.
+// The potential function remains feasible for the remaining constraints.
+func (s *Solver) PopTo(n int) {
+	for len(s.trail) > n {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		out := s.adj[e.from]
+		s.adj[e.from] = out[:len(out)-1]
+	}
+}
+
+// Assert adds c. If the constraint set stays feasible it returns nil and the
+// constraint is kept. Otherwise it returns the constraints of a negative
+// cycle (including c) and the solver state is unchanged.
+func (s *Solver) Assert(c Constraint) []Constraint {
+	u := s.id(c.Y) // tail
+	v := s.id(c.X) // head
+	w := c.C
+	newEdge := edge{from: u, to: v, w: w, con: c}
+
+	if s.pi[v] <= s.pi[u]+w {
+		s.commit(newEdge)
+		return nil
+	}
+
+	// Relax. Undo log restores potentials if a negative cycle is found.
+	type undo struct {
+		node int
+		old  int64
+	}
+	var undos []undo
+	parent := make(map[int]edge)
+
+	set := func(node int, val int64, via edge) {
+		undos = append(undos, undo{node, s.pi[node]})
+		s.pi[node] = val
+		parent[node] = via
+	}
+	restore := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			s.pi[undos[i].node] = undos[i].old
+		}
+	}
+
+	set(v, s.pi[u]+w, newEdge)
+	queue := []int{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range s.adj[x] {
+			if s.pi[e.to] > s.pi[x]+e.w {
+				if e.to == u {
+					// Lowering the tail of the asserted edge: negative cycle
+					// through c. Extract it via the parent chain x → … → v.
+					cycle := []Constraint{c, e.con}
+					for n := x; n != v; {
+						pe := parent[n]
+						cycle = append(cycle, pe.con)
+						n = pe.from
+					}
+					restore()
+					return cycle
+				}
+				set(e.to, s.pi[x]+e.w, e)
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	s.commit(newEdge)
+	return nil
+}
+
+func (s *Solver) commit(e edge) {
+	s.adj[e.from] = append(s.adj[e.from], e)
+	s.trail = append(s.trail, e)
+}
+
+// AssertAll asserts each constraint in order, stopping at the first
+// conflict, whose explanation it returns (nil if all were feasible).
+func (s *Solver) AssertAll(cs []Constraint) []Constraint {
+	for _, c := range cs {
+		if confl := s.Assert(c); confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// Model returns an integer assignment satisfying every asserted constraint.
+func (s *Solver) Model() map[string]int64 {
+	m := make(map[string]int64, len(s.names))
+	for i, n := range s.names {
+		m[n] = s.pi[i]
+	}
+	return m
+}
+
+// Check decides a conjunction in one shot; on infeasibility the returned
+// conflict is a negative cycle.
+func Check(cs []Constraint) (feasible bool, conflict []Constraint) {
+	s := NewSolver()
+	if confl := s.AssertAll(cs); confl != nil {
+		return false, confl
+	}
+	return true, nil
+}

@@ -1,0 +1,245 @@
+package difflogic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// bruteFeasible decides feasibility with a from-scratch Bellman–Ford over a
+// virtual source — the reference oracle.
+func bruteFeasible(cs []Constraint) bool {
+	ids := make(map[string]int)
+	id := func(n string) int {
+		if v, ok := ids[n]; ok {
+			return v
+		}
+		v := len(ids)
+		ids[n] = v
+		return v
+	}
+	type e struct {
+		u, v int
+		w    int64
+	}
+	var edges []e
+	for _, c := range cs {
+		edges = append(edges, e{id(c.Y), id(c.X), c.C})
+	}
+	n := len(ids)
+	dist := make([]int64, n) // virtual source: all zero
+	for i := 0; i < n; i++ {
+		changed := false
+		for _, ed := range edges {
+			if dist[ed.v] > dist[ed.u]+ed.w {
+				dist[ed.v] = dist[ed.u] + ed.w
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	for _, ed := range edges {
+		if dist[ed.v] > dist[ed.u]+ed.w {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimpleFeasible(t *testing.T) {
+	// x ≤ y, y ≤ z, z ≤ x + 5: feasible.
+	cs := []Constraint{
+		{X: "x", Y: "y", C: 0},
+		{X: "y", Y: "z", C: 0},
+		{X: "z", Y: "x", C: 5},
+	}
+	ok, _ := Check(cs)
+	if !ok {
+		t.Fatal("want feasible")
+	}
+}
+
+func TestSimpleInfeasible(t *testing.T) {
+	// x ≥ y ∧ y ≥ z ∧ z ≥ x+1 (the paper's example): y−x≤0, z−y≤0, x−z≤−1.
+	cs := []Constraint{
+		{X: "y", Y: "x", C: 0, Tag: 1},
+		{X: "z", Y: "y", C: 0, Tag: 2},
+		{X: "x", Y: "z", C: -1, Tag: 3},
+	}
+	ok, confl := Check(cs)
+	if ok {
+		t.Fatal("want infeasible")
+	}
+	if len(confl) != 3 {
+		t.Fatalf("conflict = %v, want all three constraints", confl)
+	}
+	verifyNegativeCycle(t, confl)
+}
+
+// verifyNegativeCycle checks the explanation is a closed walk of negative
+// total weight.
+func verifyNegativeCycle(t *testing.T, confl []Constraint) {
+	t.Helper()
+	if len(confl) == 0 {
+		t.Fatal("empty conflict")
+	}
+	var sum int64
+	// Each constraint x−y≤c is an edge y→x. The conflict must chain:
+	// every head must be consumed as the next tail, ending where it started.
+	deg := make(map[string]int)
+	for _, c := range confl {
+		sum += c.C
+		deg[c.X]++
+		deg[c.Y]--
+	}
+	if sum >= 0 {
+		t.Fatalf("conflict cycle weight %d is not negative: %v", sum, confl)
+	}
+	for n, d := range deg {
+		if d != 0 {
+			t.Fatalf("conflict is not a closed walk at %s: %v", n, confl)
+		}
+	}
+}
+
+func TestEqualitiesViaPairs(t *testing.T) {
+	// x = y ∧ y = z ∧ x ≠ z is infeasible; encode x≠z as x < z here.
+	cs := []Constraint{
+		{X: "x", Y: "y", C: 0}, {X: "y", Y: "x", C: 0},
+		{X: "y", Y: "z", C: 0}, {X: "z", Y: "y", C: 0},
+		{X: "x", Y: "z", C: -1},
+	}
+	if ok, confl := Check(cs); ok {
+		t.Fatal("want infeasible")
+	} else {
+		verifyNegativeCycle(t, confl)
+	}
+}
+
+func TestModelSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		cs := randomConstraints(rng, 6, 12)
+		s := NewSolver()
+		if confl := s.AssertAll(cs); confl != nil {
+			verifyNegativeCycle(t, confl)
+			continue
+		}
+		m := s.Model()
+		for _, c := range cs {
+			if m[c.X]-m[c.Y] > c.C {
+				t.Fatalf("model %v violates %v", m, c)
+			}
+		}
+	}
+}
+
+func randomConstraints(rng *rand.Rand, nVars, nCons int) []Constraint {
+	names := make([]string, nVars)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	cs := make([]Constraint, nCons)
+	for i := range cs {
+		x, y := rng.Intn(nVars), rng.Intn(nVars)
+		for y == x {
+			y = rng.Intn(nVars)
+		}
+		cs[i] = Constraint{X: names[x], Y: names[y], C: int64(rng.Intn(7) - 3), Tag: i}
+	}
+	return cs
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 500; iter++ {
+		cs := randomConstraints(rng, 2+rng.Intn(6), 1+rng.Intn(15))
+		want := bruteFeasible(cs)
+		got, confl := Check(cs)
+		if got != want {
+			t.Fatalf("iter %d: Check = %v, brute force = %v\ncs = %v", iter, got, want, cs)
+		}
+		if !got {
+			verifyNegativeCycle(t, confl)
+		}
+	}
+}
+
+func TestIncrementalPopTo(t *testing.T) {
+	s := NewSolver()
+	if confl := s.Assert(Constraint{X: "a", Y: "b", C: 0}); confl != nil {
+		t.Fatal("unexpected conflict")
+	}
+	mark := s.Len()
+	if confl := s.Assert(Constraint{X: "b", Y: "a", C: -5}); confl == nil {
+		// a−b≤0 ∧ b−a≤−5 infeasible.
+		t.Fatal("expected conflict")
+	}
+	// Conflicting assert must leave state unchanged; a compatible one works.
+	if s.Len() != mark {
+		t.Fatalf("failed assert changed trail: %d != %d", s.Len(), mark)
+	}
+	if confl := s.Assert(Constraint{X: "b", Y: "a", C: 3}); confl != nil {
+		t.Fatal("unexpected conflict after rejected assert")
+	}
+	s.PopTo(mark)
+	// After popping, b−a≤−5 alone with a−b≤0 is still infeasible, but
+	// popping the first as well makes it feasible.
+	s.PopTo(0)
+	if confl := s.Assert(Constraint{X: "b", Y: "a", C: -5}); confl != nil {
+		t.Fatal("want feasible after PopTo(0)")
+	}
+}
+
+func TestDeepChainFeasibility(t *testing.T) {
+	// x0 < x1 < … < xn (strict as ≤ −1) and xn ≤ x0 + n is feasible;
+	// xn ≤ x0 + n − 1 is not.
+	const n = 50
+	var cs []Constraint
+	for i := 0; i < n; i++ {
+		cs = append(cs, Constraint{X: fmt.Sprintf("x%d", i), Y: fmt.Sprintf("x%d", i+1), C: -1})
+	}
+	ok, _ := Check(append(cs[:len(cs):len(cs)], Constraint{X: fmt.Sprintf("x%d", n), Y: "x0", C: n}))
+	if !ok {
+		t.Fatal("slack n must be feasible")
+	}
+	ok, confl := Check(append(cs[:len(cs):len(cs)], Constraint{X: fmt.Sprintf("x%d", n), Y: "x0", C: n - 1}))
+	if ok {
+		t.Fatal("slack n−1 must be infeasible")
+	}
+	verifyNegativeCycle(t, confl)
+	if len(confl) != n+1 {
+		t.Fatalf("conflict length = %d, want %d", len(confl), n+1)
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	// Asserting one-by-one with PopTo-based backtracking must agree with
+	// from-scratch checks on every prefix.
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 50; iter++ {
+		cs := randomConstraints(rng, 5, 20)
+		s := NewSolver()
+		for i := range cs {
+			confl := s.Assert(cs[i])
+			want := bruteFeasible(cs[:i+1])
+			if (confl == nil) != want {
+				t.Fatalf("prefix %d: incremental=%v brute=%v", i+1, confl == nil, want)
+			}
+			if confl != nil {
+				// Drop the conflicting constraint and continue: feasibility
+				// of the kept set must be intact.
+				m := s.Model()
+				for _, kept := range cs[:i] {
+					if wantKept := bruteFeasible(cs[:i]); wantKept {
+						_ = kept
+						_ = m
+					}
+				}
+				return
+			}
+		}
+	}
+}

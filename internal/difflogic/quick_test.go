@@ -1,0 +1,95 @@
+package difflogic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickOrderInvariance: feasibility of a constraint set does not depend
+// on assertion order (Assert keeps only feasible prefixes, so compare full
+// batch feasibility through permutations via from-scratch checks).
+func TestQuickOrderInvariance(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := randomConstraints(rng, 4, int(n%12)+1)
+		want, _ := Check(cs)
+		perm := rng.Perm(len(cs))
+		shuffled := make([]Constraint, len(cs))
+		for i, j := range perm {
+			shuffled[i] = cs[j]
+		}
+		got, _ := Check(shuffled)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelInvariant: whenever the set is feasible, the model satisfies
+// every constraint (the solver's central invariant: π is a feasible
+// potential at all times).
+func TestQuickModelInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := randomConstraints(rng, 5, int(n%15)+1)
+		s := NewSolver()
+		for _, c := range cs {
+			s.Assert(c) // keep going past conflicts: state must stay feasible
+			m := s.Model()
+			// Every kept constraint holds under the current model.
+			for _, kept := range keptConstraints(s) {
+				if m[kept.X]-m[kept.Y] > kept.C {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// keptConstraints reads back the asserted constraints from the trail.
+func keptConstraints(s *Solver) []Constraint {
+	out := make([]Constraint, 0, len(s.trail))
+	for _, e := range s.trail {
+		out = append(out, e.con)
+	}
+	return out
+}
+
+// TestQuickPopRestores: PopTo leaves exactly the prefix asserted, and
+// feasibility of a later re-assert matches a fresh solver.
+func TestQuickPopRestores(t *testing.T) {
+	f := func(seed int64, n uint8, cut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := randomConstraints(rng, 4, int(n%10)+2)
+		s := NewSolver()
+		var accepted []Constraint
+		for _, c := range cs {
+			if s.Assert(c) == nil {
+				accepted = append(accepted, c)
+			}
+		}
+		if len(accepted) == 0 {
+			return true
+		}
+		k := int(cut) % len(accepted)
+		s.PopTo(k)
+		if s.Len() != k {
+			return false
+		}
+		// The remaining prefix must match a fresh solver's behaviour on the
+		// next assert.
+		probe := Constraint{X: "v0", Y: "v1", C: -3}
+		fresh := NewSolver()
+		fresh.AssertAll(accepted[:k])
+		return (s.Assert(probe) == nil) == (fresh.Assert(probe) == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package enc provides the generic Boolean-skeleton walker shared by the
+// small-domain, per-constraint and hybrid encoders: it maps the propositional
+// structure of a separation logic formula onto a boolexpr DAG and delegates
+// the encoding of atoms (equalities and inequalities) to a caller-supplied
+// function. Atom encoders recurse back through the walker to encode the ITE
+// guard conditions inside their terms, so the walker memoizes per node.
+package enc
+
+import (
+	"fmt"
+
+	"sufsat/internal/boolexpr"
+	"sufsat/internal/suf"
+)
+
+// Walker encodes the Boolean structure of separation formulas.
+type Walker struct {
+	bb   *boolexpr.Builder
+	atom func(*suf.BoolExpr) (*boolexpr.Node, error)
+	memo map[*suf.BoolExpr]*boolexpr.Node
+}
+
+// NewWalker builds a walker over bb delegating atoms to atom.
+func NewWalker(bb *boolexpr.Builder, atom func(*suf.BoolExpr) (*boolexpr.Node, error)) *Walker {
+	return &Walker{bb: bb, atom: atom, memo: make(map[*suf.BoolExpr]*boolexpr.Node)}
+}
+
+// Builder returns the underlying boolexpr builder.
+func (w *Walker) Builder() *boolexpr.Builder { return w.bb }
+
+// BoolSymVar returns the boolexpr variable standing for the symbolic Boolean
+// constant name. All encoders share this mapping.
+func BoolSymVar(bb *boolexpr.Builder, name string) *boolexpr.Node {
+	return bb.Var("sb!" + name)
+}
+
+// Encode translates the Boolean structure of f.
+func (w *Walker) Encode(f *suf.BoolExpr) (*boolexpr.Node, error) {
+	if n, ok := w.memo[f]; ok {
+		return n, nil
+	}
+	var n *boolexpr.Node
+	var err error
+	switch f.Kind() {
+	case suf.BTrue:
+		n = w.bb.True()
+	case suf.BFalse:
+		n = w.bb.False()
+	case suf.BNot:
+		l, _ := f.BoolChildren()
+		var x *boolexpr.Node
+		if x, err = w.Encode(l); err == nil {
+			n = w.bb.Not(x)
+		}
+	case suf.BAnd, suf.BOr:
+		l, r := f.BoolChildren()
+		var x, y *boolexpr.Node
+		if x, err = w.Encode(l); err == nil {
+			if y, err = w.Encode(r); err == nil {
+				if f.Kind() == suf.BAnd {
+					n = w.bb.And(x, y)
+				} else {
+					n = w.bb.Or(x, y)
+				}
+			}
+		}
+	case suf.BEq, suf.BLt:
+		n, err = w.atom(f)
+	case suf.BPred:
+		if len(f.Args()) != 0 {
+			err = fmt.Errorf("enc: predicate application %q survives function elimination", f.PredName())
+		} else {
+			n = BoolSymVar(w.bb, f.PredName())
+		}
+	default:
+		err = fmt.Errorf("enc: unknown node kind %d", f.Kind())
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.memo[f] = n
+	return n, nil
+}

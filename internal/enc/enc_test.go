@@ -1,0 +1,97 @@
+package enc
+
+import (
+	"errors"
+	"testing"
+
+	"sufsat/internal/boolexpr"
+	"sufsat/internal/suf"
+)
+
+// constAtom encodes every atom as a fixed variable, for testing the walker's
+// structural translation.
+func constAtom(bb *boolexpr.Builder) func(*suf.BoolExpr) (*boolexpr.Node, error) {
+	return func(a *suf.BoolExpr) (*boolexpr.Node, error) {
+		return bb.Var("atom"), nil
+	}
+}
+
+func TestWalkerStructure(t *testing.T) {
+	sb := suf.NewBuilder()
+	bb := boolexpr.NewBuilder()
+	w := NewWalker(bb, constAtom(bb))
+
+	x, y := sb.Sym("x"), sb.Sym("y")
+	f := sb.And(sb.Or(sb.Eq(x, y), sb.BoolSym("b")), sb.Not(sb.Lt(x, y)))
+	n, err := w.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under atom=true, b=anything: (true ∨ b) ∧ ¬true = false.
+	if got := boolexpr.Eval(n, map[string]bool{"atom": true, "sb!b": true}); got {
+		t.Error("structure broken under atom=true")
+	}
+	if got := boolexpr.Eval(n, map[string]bool{"atom": false, "sb!b": true}); !got {
+		t.Error("structure broken under atom=false, b=true")
+	}
+}
+
+func TestWalkerConstants(t *testing.T) {
+	sb := suf.NewBuilder()
+	bb := boolexpr.NewBuilder()
+	w := NewWalker(bb, constAtom(bb))
+	n, err := w.Encode(sb.True())
+	if err != nil || n != bb.True() {
+		t.Fatalf("true: %v %v", n, err)
+	}
+	n, err = w.Encode(sb.False())
+	if err != nil || n != bb.False() {
+		t.Fatalf("false: %v %v", n, err)
+	}
+}
+
+func TestWalkerMemoizes(t *testing.T) {
+	sb := suf.NewBuilder()
+	bb := boolexpr.NewBuilder()
+	calls := 0
+	w := NewWalker(bb, func(a *suf.BoolExpr) (*boolexpr.Node, error) {
+		calls++
+		return bb.Var("atom"), nil
+	})
+	eq := sb.Eq(sb.Sym("x"), sb.Sym("y"))
+	f := sb.Or(sb.And(eq, sb.BoolSym("b")), eq) // eq shared
+	if _, err := w.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("atom encoder called %d times for a shared atom, want 1", calls)
+	}
+}
+
+func TestWalkerPropagatesAtomErrors(t *testing.T) {
+	sb := suf.NewBuilder()
+	bb := boolexpr.NewBuilder()
+	boom := errors.New("boom")
+	w := NewWalker(bb, func(a *suf.BoolExpr) (*boolexpr.Node, error) { return nil, boom })
+	f := sb.And(sb.BoolSym("b"), sb.Eq(sb.Sym("x"), sb.Sym("y")))
+	if _, err := w.Encode(f); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestWalkerRejectsPredicateApplications(t *testing.T) {
+	sb := suf.NewBuilder()
+	bb := boolexpr.NewBuilder()
+	w := NewWalker(bb, constAtom(bb))
+	f := sb.PredApp("p", sb.Sym("x"))
+	if _, err := w.Encode(f); err == nil {
+		t.Fatal("predicate application must be rejected (function elimination missing)")
+	}
+}
+
+func TestBoolSymVarShared(t *testing.T) {
+	bb := boolexpr.NewBuilder()
+	if BoolSymVar(bb, "b") != BoolSymVar(bb, "b") {
+		t.Fatal("BoolSymVar must be stable")
+	}
+}

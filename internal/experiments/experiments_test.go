@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastCfg() Config {
+	return Config{Timeout: 10 * time.Second, MaxTrans: 500_000}
+}
+
+func TestFig2ShapesAndRendering(t *testing.T) {
+	rows := Fig2(fastCfg())
+	if len(rows) != 5 {
+		t.Fatalf("Fig2 rows = %d, want 5", len(rows))
+	}
+	// The paper's headline: EIJ needs far fewer conflict clauses than SD on
+	// the large benchmarks. Require it for the majority of rows.
+	fewer := 0
+	for _, r := range rows {
+		if r.EIJConflict < r.SDConflict {
+			fewer++
+		}
+	}
+	if fewer < 3 {
+		t.Errorf("EIJ had fewer conflict clauses on only %d/5 rows: %+v", fewer, rows)
+	}
+	var sb strings.Builder
+	PrintFig2(&sb, rows)
+	for _, want := range []string{"Figure 2", "Conflict Clauses", rows[0].Bench} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pairs := []Pair{
+		{Bench: "a", Hybrid: 1, Other: 2},
+		{Bench: "b", Hybrid: 3, Other: 1},
+		{Bench: "c", Hybrid: 1, Other: 10},
+		{Bench: "d", Hybrid: 1, Other: 20, OtherTimeout: true},
+		{Bench: "e", Hybrid: 20, Other: 1, HybridTimeout: true},
+	}
+	s := Summarize(pairs)
+	if s.Wins != 2 || s.Losses != 1 {
+		t.Errorf("wins/losses = %d/%d, want 2/1", s.Wins, s.Losses)
+	}
+	if s.HybridTimeouts != 1 || s.OtherTimeouts != 1 {
+		t.Errorf("timeouts = %d/%d, want 1/1", s.HybridTimeouts, s.OtherTimeouts)
+	}
+	if s.MaxSpeedup != 10 {
+		t.Errorf("max speedup = %v, want 10", s.MaxSpeedup)
+	}
+}
+
+func TestPrintPairsRendersTimeouts(t *testing.T) {
+	var sb strings.Builder
+	PrintPairs(&sb, "title", "SD", []Pair{
+		{Bench: "x", Hybrid: 0.5, Other: 1.0},
+		{Bench: "y", Hybrid: 0.1, Other: 30, OtherTimeout: true},
+	})
+	out := sb.String()
+	for _, want := range []string{"title", "timeout", "summary:", "x", "y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSecondsChargesTimeouts(t *testing.T) {
+	cfg := Config{Timeout: 7 * time.Second}
+	r := Run{Status: 2 /* core.Timeout */, Total: time.Second}
+	if got := r.Seconds(cfg); got != 7 {
+		t.Errorf("timed-out run charged %v, want 7", got)
+	}
+	r2 := Run{Total: 2 * time.Second}
+	if got := r2.Seconds(cfg); got != 2 {
+		t.Errorf("completed run charged %v, want 2", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Timeout == 0 || c.MaxTrans == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestThresholdIsMultipleOf100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 16-benchmark sample")
+	}
+	th, pts := Threshold(fastCfg())
+	if th <= 0 || th%100 != 0 {
+		t.Fatalf("threshold = %d, want a positive multiple of 100", th)
+	}
+	if len(pts) != 16 {
+		t.Fatalf("sample points = %d, want 16", len(pts))
+	}
+	// §3's finding: EIJ correlates with the predicate count; with timeouts
+	// charged at the limit the association must be clearly positive.
+	eij, _ := Fig3Correlations(pts)
+	if eij < 0.3 {
+		t.Errorf("EIJ log-log correlation = %.2f, expected clearly positive", eij)
+	}
+}

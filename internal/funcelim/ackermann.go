@@ -1,0 +1,176 @@
+package funcelim
+
+import (
+	"strconv"
+
+	"sufsat/internal/suf"
+)
+
+// EliminateAckermann removes function and predicate applications with
+// Ackermann's method: the i-th application of f becomes a fresh constant
+// vf_i, and functional consistency is imposed by explicit constraints
+//
+//	⋀_{i<j} (args_i = args_j  ⟹  vf_i = vf_j)
+//
+// conjoined as an antecedent of the whole formula: the result is
+// FC ⟹ F′, valid iff the input is valid.
+//
+// Ackermann's scheme is the classical alternative to the nested-ITE scheme
+// of Eliminate, and the textbook ablation for positive equality: the
+// consistency constraints place the fresh constants' equalities under both
+// polarities (FC is an antecedent), so almost every symbol is classified
+// general and the maximal-diversity optimization is lost. The positive
+// equality classification is recomputed on the *output* formula, which keeps
+// the classification sound for whatever structure remains.
+func EliminateAckermann(f *suf.BoolExpr, b *suf.Builder) *Result {
+	res := &Result{
+		PConsts:       make(map[string]bool),
+		FreshIntDefs:  make(map[string]AppDef),
+		FreshBoolDefs: make(map[string]AppDef),
+	}
+
+	used := make(map[string]bool)
+	for name := range suf.FuncApps(f, 0) {
+		used[name] = true
+	}
+	for name := range suf.PredApps(f, 0) {
+		used[name] = true
+	}
+	fresh := func(base string, i int) string {
+		name := base + "#" + strconv.Itoa(i)
+		for used[name] {
+			name += "'"
+		}
+		used[name] = true
+		return name
+	}
+
+	type fapp struct {
+		args []*suf.IntExpr
+		v    *suf.IntExpr
+	}
+	fseen := make(map[string][]fapp)
+	type papp struct {
+		args []*suf.IntExpr
+		v    *suf.BoolExpr
+	}
+	pseen := make(map[string][]papp)
+	arityKey := func(name string, n int) string { return name + "/" + strconv.Itoa(n) }
+
+	memoI := make(map[*suf.IntExpr]*suf.IntExpr)
+	memoB := make(map[*suf.BoolExpr]*suf.BoolExpr)
+	fc := b.True()
+
+	argsEqual := func(a1, a2 []*suf.IntExpr) *suf.BoolExpr {
+		eq := b.True()
+		for i := range a1 {
+			eq = b.And(eq, b.Eq(a1[i], a2[i]))
+		}
+		return eq
+	}
+
+	var elimB func(*suf.BoolExpr) *suf.BoolExpr
+	var elimI func(*suf.IntExpr) *suf.IntExpr
+
+	elimI = func(t *suf.IntExpr) *suf.IntExpr {
+		if r, ok := memoI[t]; ok {
+			return r
+		}
+		var r *suf.IntExpr
+		switch t.Kind() {
+		case suf.IFunc:
+			if len(t.Args()) == 0 {
+				r = t
+				break
+			}
+			args := make([]*suf.IntExpr, len(t.Args()))
+			for i, a := range t.Args() {
+				args[i] = elimI(a)
+			}
+			key := arityKey(t.FuncName(), len(t.Args()))
+			name := fresh("av"+t.FuncName(), len(fseen[key])+1)
+			v := b.Sym(name)
+			res.NumFresh++
+			res.FreshIntDefs[name] = AppDef{Sym: t.FuncName(), Args: args}
+			res.FreshIntOrder = append(res.FreshIntOrder, name)
+			for _, prev := range fseen[key] {
+				fc = b.And(fc, b.Implies(argsEqual(args, prev.args), b.Eq(v, prev.v)))
+			}
+			fseen[key] = append(fseen[key], fapp{args, v})
+			r = v
+		case suf.ISucc:
+			a, _ := t.Branches()
+			r = b.Succ(elimI(a))
+		case suf.IPred:
+			a, _ := t.Branches()
+			r = b.Pred(elimI(a))
+		case suf.IIte:
+			a, e := t.Branches()
+			r = b.Ite(elimB(t.Cond()), elimI(a), elimI(e))
+		}
+		memoI[t] = r
+		return r
+	}
+
+	elimB = func(e *suf.BoolExpr) *suf.BoolExpr {
+		if r, ok := memoB[e]; ok {
+			return r
+		}
+		var r *suf.BoolExpr
+		switch e.Kind() {
+		case suf.BTrue, suf.BFalse:
+			r = e
+		case suf.BNot:
+			l, _ := e.BoolChildren()
+			r = b.Not(elimB(l))
+		case suf.BAnd:
+			l, rr := e.BoolChildren()
+			r = b.And(elimB(l), elimB(rr))
+		case suf.BOr:
+			l, rr := e.BoolChildren()
+			r = b.Or(elimB(l), elimB(rr))
+		case suf.BEq:
+			t1, t2 := e.Terms()
+			r = b.Eq(elimI(t1), elimI(t2))
+		case suf.BLt:
+			t1, t2 := e.Terms()
+			r = b.Lt(elimI(t1), elimI(t2))
+		case suf.BPred:
+			if len(e.Args()) == 0 {
+				r = e
+				break
+			}
+			args := make([]*suf.IntExpr, len(e.Args()))
+			for i, a := range e.Args() {
+				args[i] = elimI(a)
+			}
+			key := arityKey(e.PredName(), len(e.Args()))
+			name := fresh("ab"+e.PredName(), len(pseen[key])+1)
+			v := b.BoolSym(name)
+			res.NumFresh++
+			res.FreshBoolDefs[name] = AppDef{Sym: e.PredName(), Args: args}
+			res.FreshBoolOrder = append(res.FreshBoolOrder, name)
+			for _, prev := range pseen[key] {
+				fc = b.And(fc, b.Implies(argsEqual(args, prev.args), b.Iff(v, prev.v)))
+			}
+			pseen[key] = append(pseen[key], papp{args, v})
+			r = v
+		}
+		memoB[e] = r
+		return r
+	}
+
+	body := elimB(f)
+	res.Formula = b.Implies(fc, body)
+
+	// Positive-equality classification on the output: sound because the
+	// maximal-diversity theorem applies to any separation formula.
+	cl := suf.Classify(res.Formula)
+	res.Class = cl
+	for name := range suf.FuncApps(res.Formula, 0) {
+		if cl.IsP(name) {
+			res.PConsts[name] = true
+		}
+	}
+	return res
+}

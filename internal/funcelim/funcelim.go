@@ -1,0 +1,233 @@
+// Package funcelim eliminates applications of uninterpreted function and
+// predicate symbols of positive arity from SUF formulas, producing a
+// separation logic formula over symbolic constants only (§2.1.1 of the
+// paper).
+//
+// The scheme is the one of Bryant, German and Velev: the i-th application of
+// f is replaced by a nested ITE chain over fresh symbolic constants
+// vf_1..vf_i that returns vf_j when the argument tuple equals the j-th
+// earlier tuple, guaranteeing functional consistency:
+//
+//	f(a1)        →  vf1
+//	f(a2)        →  ITE(a2 = a1, vf1, vf2)
+//	f(a3)        →  ITE(a3 = a1, vf1, ITE(a3 = a2, vf2, vf3))
+//
+// Predicate applications are eliminated identically with fresh symbolic
+// Boolean constants and Boolean selection.
+//
+// Alongside elimination the package tracks positive equality: fresh
+// constants introduced for p-function symbols, together with p-classified
+// symbolic constants of the input, form the V_p set that downstream encoders
+// may interpret with maximal diversity.
+package funcelim
+
+import (
+	"strconv"
+
+	"sufsat/internal/suf"
+)
+
+// AppDef records the uninterpreted application a fresh constant stands for.
+// Args are already-eliminated terms (they mention only symbolic constants
+// introduced earlier), which makes model reconstruction well founded.
+type AppDef struct {
+	Sym  string
+	Args []*suf.IntExpr
+}
+
+// Result is the outcome of elimination.
+type Result struct {
+	// Formula is the separation logic formula (no applications of arity ≥ 1).
+	Formula *suf.BoolExpr
+	// PConsts is V_p: symbolic constants that only flow into positive
+	// equalities (original p-constants and vf constants of p-functions).
+	PConsts map[string]bool
+	// Class is the positive-equality classification of the input formula.
+	Class *suf.Classification
+	// FreshIntDefs maps each fresh integer constant (vf_i) to the function
+	// application it replaced; FreshBoolDefs likewise for predicates.
+	// FreshIntOrder and FreshBoolOrder list the names in introduction order,
+	// which model reconstruction needs: when two applications of a symbol
+	// have equal argument values, the ITE selection chain returns the
+	// earlier fresh constant, so the earlier definition wins the table slot.
+	FreshIntDefs   map[string]AppDef
+	FreshBoolDefs  map[string]AppDef
+	FreshIntOrder  []string
+	FreshBoolOrder []string
+	// NumFresh counts the fresh symbolic constants introduced.
+	NumFresh int
+	// PFuncFraction is the fraction of function applications (arity ≥ 1)
+	// that were p-function applications — one of the candidate formula
+	// features studied in §3 of the paper.
+	PFuncFraction float64
+}
+
+// Eliminate removes all function and predicate applications of arity ≥ 1
+// from f, which is built in b.
+func Eliminate(f *suf.BoolExpr, b *suf.Builder) *Result {
+	cl := suf.Classify(f)
+	res := &Result{
+		PConsts:       make(map[string]bool),
+		Class:         cl,
+		FreshIntDefs:  make(map[string]AppDef),
+		FreshBoolDefs: make(map[string]AppDef),
+	}
+
+	// Names already in use; fresh names must avoid them.
+	used := make(map[string]bool)
+	for name := range suf.FuncApps(f, 0) {
+		used[name] = true
+	}
+	for name := range suf.PredApps(f, 0) {
+		used[name] = true
+	}
+	fresh := func(base string, i int) string {
+		name := base + "#" + strconv.Itoa(i)
+		for used[name] {
+			name += "'"
+		}
+		used[name] = true
+		return name
+	}
+
+	// Per function symbol and arity: the transformed argument tuples seen so
+	// far and their fresh constants. Keying by arity makes applications of a
+	// symbol at different arities distinct overloads (functional consistency
+	// only relates tuples of equal length).
+	type fapp struct {
+		args []*suf.IntExpr
+		v    *suf.IntExpr
+	}
+	fseen := make(map[string][]fapp)
+	type papp struct {
+		args []*suf.IntExpr
+		v    *suf.BoolExpr
+	}
+	pseen := make(map[string][]papp)
+	arityKey := func(name string, n int) string { return name + "/" + strconv.Itoa(n) }
+
+	memoI := make(map[*suf.IntExpr]*suf.IntExpr)
+	memoB := make(map[*suf.BoolExpr]*suf.BoolExpr)
+
+	var elimB func(*suf.BoolExpr) *suf.BoolExpr
+	var elimI func(*suf.IntExpr) *suf.IntExpr
+
+	argsEqual := func(a1, a2 []*suf.IntExpr) *suf.BoolExpr {
+		eq := b.True()
+		for i := range a1 {
+			eq = b.And(eq, b.Eq(a1[i], a2[i]))
+		}
+		return eq
+	}
+
+	nApps, nPApps := 0, 0
+
+	elimI = func(t *suf.IntExpr) *suf.IntExpr {
+		if r, ok := memoI[t]; ok {
+			return r
+		}
+		var r *suf.IntExpr
+		switch t.Kind() {
+		case suf.IFunc:
+			if len(t.Args()) == 0 {
+				r = t
+				if cl.IsP(t.FuncName()) {
+					res.PConsts[t.FuncName()] = true
+				}
+				break
+			}
+			nApps++
+			if cl.IsP(t.FuncName()) {
+				nPApps++
+			}
+			args := make([]*suf.IntExpr, len(t.Args()))
+			for i, a := range t.Args() {
+				args[i] = elimI(a)
+			}
+			key := arityKey(t.FuncName(), len(t.Args()))
+			name := fresh("v"+t.FuncName(), len(fseen[key])+1)
+			v := b.Sym(name)
+			res.NumFresh++
+			res.FreshIntDefs[name] = AppDef{Sym: t.FuncName(), Args: args}
+			res.FreshIntOrder = append(res.FreshIntOrder, name)
+			if cl.IsP(t.FuncName()) {
+				res.PConsts[name] = true
+			}
+			// Build the selection chain: later applications test earlier
+			// tuples innermost-first so the earliest match wins.
+			r = v
+			prev := fseen[key]
+			for i := len(prev) - 1; i >= 0; i-- {
+				r = b.Ite(argsEqual(args, prev[i].args), prev[i].v, r)
+			}
+			fseen[key] = append(prev, fapp{args, v})
+		case suf.ISucc:
+			a, _ := t.Branches()
+			r = b.Succ(elimI(a))
+		case suf.IPred:
+			a, _ := t.Branches()
+			r = b.Pred(elimI(a))
+		case suf.IIte:
+			a, e := t.Branches()
+			r = b.Ite(elimB(t.Cond()), elimI(a), elimI(e))
+		}
+		memoI[t] = r
+		return r
+	}
+
+	elimB = func(e *suf.BoolExpr) *suf.BoolExpr {
+		if r, ok := memoB[e]; ok {
+			return r
+		}
+		var r *suf.BoolExpr
+		switch e.Kind() {
+		case suf.BTrue, suf.BFalse:
+			r = e
+		case suf.BNot:
+			l, _ := e.BoolChildren()
+			r = b.Not(elimB(l))
+		case suf.BAnd:
+			l, rr := e.BoolChildren()
+			r = b.And(elimB(l), elimB(rr))
+		case suf.BOr:
+			l, rr := e.BoolChildren()
+			r = b.Or(elimB(l), elimB(rr))
+		case suf.BEq:
+			t1, t2 := e.Terms()
+			r = b.Eq(elimI(t1), elimI(t2))
+		case suf.BLt:
+			t1, t2 := e.Terms()
+			r = b.Lt(elimI(t1), elimI(t2))
+		case suf.BPred:
+			if len(e.Args()) == 0 {
+				r = e
+				break
+			}
+			args := make([]*suf.IntExpr, len(e.Args()))
+			for i, a := range e.Args() {
+				args[i] = elimI(a)
+			}
+			key := arityKey(e.PredName(), len(e.Args()))
+			name := fresh("b"+e.PredName(), len(pseen[key])+1)
+			v := b.BoolSym(name)
+			res.NumFresh++
+			res.FreshBoolDefs[name] = AppDef{Sym: e.PredName(), Args: args}
+			res.FreshBoolOrder = append(res.FreshBoolOrder, name)
+			r = v
+			prev := pseen[key]
+			for i := len(prev) - 1; i >= 0; i-- {
+				c := argsEqual(args, prev[i].args)
+				r = b.Or(b.And(c, prev[i].v), b.And(b.Not(c), r))
+			}
+			pseen[key] = append(prev, papp{args, v})
+		}
+		memoB[e] = r
+		return r
+	}
+
+	res.Formula = elimB(f)
+	if nApps > 0 {
+		res.PFuncFraction = float64(nPApps) / float64(nApps)
+	}
+	return res
+}

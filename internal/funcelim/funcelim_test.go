@@ -1,0 +1,264 @@
+package funcelim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sufsat/internal/sep"
+	"sufsat/internal/suf"
+)
+
+func TestEliminateProducesSeparationFormula(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	f := b.And(
+		b.Eq(b.Fn("f", x), b.Fn("f", y)),
+		b.PredApp("p", b.Fn("g", x, y)),
+	)
+	res := Eliminate(f, b)
+	if err := sep.CheckSeparation(res.Formula); err != nil {
+		t.Fatalf("output is not separation logic: %v", err)
+	}
+	if res.NumFresh != 4 { // vf#1 vf#2 vg#1 bp#1
+		t.Fatalf("NumFresh = %d, want 4", res.NumFresh)
+	}
+}
+
+func TestSingleApplicationBecomesConstant(t *testing.T) {
+	b := suf.NewBuilder()
+	x := b.Sym("x")
+	f := b.Eq(b.Fn("f", x), b.Sym("y"))
+	res := Eliminate(f, b)
+	// f(x) → vf#1, no ITE chain.
+	t1, _ := res.Formula.Terms()
+	if t1.Kind() != suf.IFunc || len(t1.Args()) != 0 {
+		t.Fatalf("single application not replaced by constant: %v", res.Formula)
+	}
+	if !strings.HasPrefix(t1.FuncName(), "vf#") {
+		t.Fatalf("fresh name = %q", t1.FuncName())
+	}
+}
+
+func TestTwoApplicationsBuildIteChain(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	f := b.Eq(b.Fn("f", x), b.Fn("f", y))
+	res := Eliminate(f, b)
+	// Second application must be ITE(y=x, vf1, vf2).
+	_, t2 := res.Formula.Terms()
+	if t2.Kind() != suf.IIte {
+		t.Fatalf("second application is not an ITE chain: %v", res.Formula)
+	}
+	cond := t2.Cond()
+	if cond.Kind() != suf.BEq {
+		t.Fatalf("chain condition is not an equality: %v", cond)
+	}
+}
+
+func TestPConstsTracked(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	// f only under positive equality → p; g under negation → general.
+	f := b.And(
+		b.Eq(b.Fn("f", x), b.Fn("f", y)),
+		b.Not(b.Eq(b.Fn("g", x), b.Sym("z"))),
+	)
+	res := Eliminate(f, b)
+	nP, nG := 0, 0
+	for name := range res.PConsts {
+		if strings.HasPrefix(name, "vf#") {
+			nP++
+		}
+		if strings.HasPrefix(name, "vg#") {
+			nG++
+		}
+	}
+	if nP != 2 {
+		t.Errorf("expected both vf constants in V_p, got %d", nP)
+	}
+	if nG != 0 {
+		t.Errorf("vg constants must not be in V_p, got %d", nG)
+	}
+	if res.PFuncFraction != 2.0/3.0 {
+		t.Errorf("PFuncFraction = %v, want 2/3", res.PFuncFraction)
+	}
+}
+
+func TestFreshNamesAvoidCollisions(t *testing.T) {
+	b := suf.NewBuilder()
+	x := b.Sym("x")
+	clash := b.Sym("vf#1") // already taken
+	f := b.And(b.Eq(b.Fn("f", x), clash), b.Lt(clash, x))
+	res := Eliminate(f, b)
+	consts := suf.FuncApps(res.Formula, 0)
+	if len(consts["vf#1'"]) == 0 {
+		t.Fatalf("fresh name did not avoid collision: %v", res.Formula)
+	}
+}
+
+// extendInterp derives values for the fresh constants of an elimination from
+// an interpretation of the original formula, by simulating functional
+// consistency: vf_i gets the value of f applied to the i-th argument tuple.
+// This checks the model-preservation direction of the elimination theorem.
+func TestEliminationPreservesModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 150; iter++ {
+		b := suf.NewBuilder()
+		f := randomSUF(rng, b, 3)
+		res := Eliminate(f, b)
+		for trial := 0; trial < 8; trial++ {
+			base := suf.RandomInterp(rng, 5)
+			ext := extendFor(res, b, base)
+			if got, want := suf.EvalBool(res.Formula, ext), suf.EvalBool(f, base); got != want {
+				t.Fatalf("iter %d: eliminated formula evaluates to %v, original to %v\nF = %v\nE = %v",
+					iter, got, want, f, res.Formula)
+			}
+		}
+	}
+}
+
+// extendFor builds an interpretation for the eliminated formula: each fresh
+// constant takes the value functional consistency dictates, by evaluating
+// its defining application under base. The recursion is well founded because
+// a fresh constant's argument terms only mention earlier fresh constants.
+func extendFor(res *Result, b *suf.Builder, base *suf.Interp) *suf.Interp {
+	var ext *suf.Interp
+	evalArgs := func(args []*suf.IntExpr) []int64 {
+		vals := make([]int64, len(args))
+		for i, a := range args {
+			vals[i] = suf.EvalInt(a, ext)
+		}
+		return vals
+	}
+	ext = &suf.Interp{
+		Fn: func(name string, args []int64) int64 {
+			if def, ok := res.FreshIntDefs[name]; ok {
+				return base.Fn(def.Sym, evalArgs(def.Args))
+			}
+			return base.Fn(name, args)
+		},
+		Pred: func(name string, args []int64) bool {
+			if def, ok := res.FreshBoolDefs[name]; ok {
+				return base.Pred(def.Sym, evalArgs(def.Args))
+			}
+			return base.Pred(name, args)
+		},
+	}
+	return ext
+}
+
+// randomSUF generates a small random SUF formula with nested applications.
+func randomSUF(rng *rand.Rand, b *suf.Builder, depth int) *suf.BoolExpr {
+	var boolE func(d int) *suf.BoolExpr
+	var intE func(d int) *suf.IntExpr
+	syms := []string{"x", "y", "z"}
+	fns := []string{"f", "g"}
+	preds := []string{"p"}
+	intE = func(d int) *suf.IntExpr {
+		if d == 0 || rng.Intn(3) == 0 {
+			return b.Sym(syms[rng.Intn(len(syms))])
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return b.Succ(intE(d - 1))
+		case 1:
+			return b.Pred(intE(d - 1))
+		case 2:
+			return b.Ite(boolE(d-1), intE(d-1), intE(d-1))
+		default:
+			fn := fns[rng.Intn(len(fns))]
+			if rng.Intn(2) == 0 {
+				return b.Fn(fn, intE(d-1))
+			}
+			return b.Fn(fn, intE(d-1), intE(d-1))
+		}
+	}
+	boolE = func(d int) *suf.BoolExpr {
+		if d == 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return b.Eq(intE(d), intE(d))
+			case 1:
+				return b.Lt(intE(d), intE(d))
+			default:
+				return b.PredApp(preds[rng.Intn(len(preds))], intE(d))
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return b.Not(boolE(d - 1))
+		case 1:
+			return b.And(boolE(d-1), boolE(d-1))
+		default:
+			return b.Or(boolE(d-1), boolE(d-1))
+		}
+	}
+	return boolE(depth)
+}
+
+func TestAckermannProducesSeparationFormula(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	f := b.And(
+		b.Eq(b.Fn("f", x), b.Fn("f", y)),
+		b.PredApp("p", b.Fn("g", x, y)),
+	)
+	res := EliminateAckermann(f, b)
+	if err := sep.CheckSeparation(res.Formula); err != nil {
+		t.Fatalf("output is not separation logic: %v", err)
+	}
+	if res.NumFresh != 4 {
+		t.Fatalf("NumFresh = %d, want 4", res.NumFresh)
+	}
+}
+
+func TestAckermannPreservesModels(t *testing.T) {
+	// Same model-preservation direction as the ITE scheme: interpretations
+	// of the original formula extend to the eliminated one.
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 150; iter++ {
+		b := suf.NewBuilder()
+		f := randomSUF(rng, b, 3)
+		res := EliminateAckermann(f, b)
+		for trial := 0; trial < 8; trial++ {
+			base := suf.RandomInterp(rng, 5)
+			ext := extendFor(res, b, base)
+			got := suf.EvalBool(res.Formula, ext)
+			want := suf.EvalBool(f, base)
+			// FC holds under the extension (it encodes genuine functional
+			// consistency), so FC ⟹ F′ evaluates like F′, which evaluates
+			// like F.
+			if got != want {
+				t.Fatalf("iter %d: ackermann formula %v, original %v\nF = %v", iter, got, want, f)
+			}
+		}
+	}
+}
+
+func TestAckermannLosesPositiveEquality(t *testing.T) {
+	// The classic ablation: under positive equality the ITE scheme keeps f's
+	// fresh constants in V_p, Ackermann's consistency antecedent makes them
+	// general.
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	f := b.Eq(b.Fn("f", x), b.Fn("f", y))
+	ite := Eliminate(f, b)
+	nPIte := 0
+	for name := range ite.PConsts {
+		if strings.HasPrefix(name, "vf#") {
+			nPIte++
+		}
+	}
+	if nPIte != 2 {
+		t.Fatalf("ITE scheme: %d p fresh constants, want 2", nPIte)
+	}
+	b2 := suf.NewBuilder()
+	f2 := b2.Eq(b2.Fn("f", b2.Sym("x")), b2.Fn("f", b2.Sym("y")))
+	ack := EliminateAckermann(f2, b2)
+	for name := range ack.PConsts {
+		if strings.HasPrefix(name, "avf#") {
+			t.Fatalf("Ackermann fresh constant %s classified p; FC must force general", name)
+		}
+	}
+}

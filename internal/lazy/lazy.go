@@ -1,0 +1,153 @@
+// Package lazy implements a CVC-style lazy SAT-based decision procedure for
+// SUF — the comparison baseline of the paper's Figure 6.
+//
+// Like EIJ it replaces every separation predicate with a fresh Boolean
+// variable, but instead of eagerly conjoining transitivity constraints it
+// iterates: the CDCL solver proposes a full assignment, the difference-logic
+// theory solver checks it, and if the assignment is spurious the negative
+// cycle found becomes a conflict clause over the smallest involved literal
+// set. Each iteration costs a theory call — the overhead the paper measures
+// against the eager HYBRID method.
+package lazy
+
+import (
+	"fmt"
+	"time"
+
+	"sufsat/internal/boolexpr"
+	"sufsat/internal/core"
+	"sufsat/internal/difflogic"
+	"sufsat/internal/funcelim"
+	"sufsat/internal/perconstraint"
+	"sufsat/internal/sat"
+	"sufsat/internal/sep"
+	"sufsat/internal/suf"
+)
+
+// Stats reports lazy-loop measurements.
+type Stats struct {
+	// Iterations is the number of SAT↔theory round trips.
+	Iterations int
+	// TheoryConflicts is the number of conflict clauses added from negative
+	// cycles.
+	TheoryConflicts int
+	// PredVars is the size of the Boolean abstraction.
+	PredVars int
+	SAT      sat.Stats
+	Total    time.Duration
+}
+
+// Result is the outcome of Decide.
+type Result struct {
+	Status core.Status
+	Err    error
+	Stats  Stats
+}
+
+// Decide checks validity of the SUF formula f with the lazy procedure.
+// timeout 0 means no deadline.
+func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
+	start := time.Now()
+	res := &Result{}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+
+	elim := funcelim.Eliminate(f, b)
+	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
+	if err != nil {
+		return fail(res, err, start)
+	}
+
+	// Boolean abstraction: per-constraint atom encoding without F_trans.
+	bb := boolexpr.NewBuilder()
+	abs := perconstraint.NewEncoder(info, b, bb)
+	bvar, err := abs.Walker().Encode(info.Formula)
+	if err != nil {
+		return fail(res, err, start)
+	}
+
+	solver := sat.New()
+	solver.Deadline = deadline
+	cnf := boolexpr.AssertTrue(bb.Not(bvar), solver) // refute ¬F
+
+	// Map each predicate variable to its SAT literal.
+	preds := abs.Predicates()
+	res.Stats.PredVars = len(preds)
+	type absPred struct {
+		perconstraint.PredVar
+		lit sat.Lit
+	}
+	var tracked []absPred
+	for _, p := range preds {
+		if l, ok := cnf.VarLits[p.Var.Name()]; ok {
+			tracked = append(tracked, absPred{p, l})
+		}
+		// Predicates folded away by simplification never reach the CNF; they
+		// cannot constrain the theory, so they are safely untracked.
+	}
+
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fail(res, fmt.Errorf("lazy: deadline exceeded"), start)
+		}
+		res.Stats.Iterations++
+		switch solver.Solve() {
+		case sat.Unsat:
+			res.Status = core.Valid
+			return finish(res, solver, start)
+		case sat.Unknown:
+			return fail(res, sat.ErrBudget, start)
+		}
+		model := solver.Model()
+
+		// Theory check of the full assignment.
+		th := difflogic.NewSolver()
+		var conflict []difflogic.Constraint
+		for _, p := range tracked {
+			val := model[p.lit.Var()]
+			if p.lit.Neg() {
+				val = !val
+			}
+			var c difflogic.Constraint
+			if val {
+				c = difflogic.Constraint{X: p.X, Y: p.Y, C: int64(p.C), Tag: p.lit}
+			} else {
+				// ¬(x−y≤c) ⟺ y−x ≤ −c−1
+				c = difflogic.Constraint{X: p.Y, Y: p.X, C: int64(-p.C - 1), Tag: p.lit.Not()}
+			}
+			if conflict = th.Assert(c); conflict != nil {
+				break
+			}
+		}
+		if conflict == nil {
+			// Consistent: genuine falsifying interpretation.
+			res.Status = core.Invalid
+			return finish(res, solver, start)
+		}
+		// Spurious: block the negative cycle.
+		clause := make([]sat.Lit, len(conflict))
+		for i, c := range conflict {
+			clause[i] = c.Tag.(sat.Lit).Not()
+		}
+		res.Stats.TheoryConflicts++
+		if !solver.AddClause(clause...) {
+			res.Status = core.Valid
+			return finish(res, solver, start)
+		}
+	}
+}
+
+func finish(res *Result, solver *sat.Solver, start time.Time) *Result {
+	res.Stats.SAT = solver.Stats()
+	res.Stats.Total = time.Since(start)
+	return res
+}
+
+func fail(res *Result, err error, start time.Time) *Result {
+	res.Status = core.Timeout
+	res.Err = err
+	res.Stats.Total = time.Since(start)
+	return res
+}

@@ -1,0 +1,614 @@
+// Package perconstraint implements the EIJ (per-constraint) Boolean encoding
+// of separation logic (§2.1.2 method 2 and §4 step 5 of the paper):
+//
+//   - ITEs are eliminated by enumerating each term's guarded ground leaves;
+//   - every separation predicate g_i ⋈ g_j between ground terms becomes a
+//     single fresh Boolean variable e^{≤,c}_{x,y} for the canonical
+//     difference constraint x − y ≤ c (equalities become conjunctions of two
+//     such variables, strict inequalities re-use the negation of the
+//     opposite variable);
+//   - transitivity constraints F_trans are generated eagerly by
+//     Fourier–Motzkin vertex elimination over the literal-labelled
+//     difference graph, which is sound and complete for difference
+//     constraints: a Boolean assignment corresponds to an integer assignment
+//     iff the labelled edge graph it induces has no negative cycle, and
+//     vertex elimination preserves negative cycles as derived negative
+//     self-loops.
+//
+// The final Boolean formula is F_trans ⟹ F_bvar. The potentially
+// exponential growth of F_trans is the EIJ weakness the paper's hybrid
+// method works around; Encoder supports a constraint cap so harnesses can
+// observe the blow-up as a translation timeout, like the paper's 1-hour
+// limit.
+package perconstraint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sufsat/internal/boolexpr"
+	"sufsat/internal/difflogic"
+	"sufsat/internal/enc"
+	"sufsat/internal/sep"
+	"sufsat/internal/suf"
+)
+
+// ErrTranslationLimit reports that transitivity-constraint generation
+// exceeded the configured cap (the EIJ blow-up).
+var ErrTranslationLimit = errors.New("perconstraint: transitivity constraint limit exceeded")
+
+// ErrDeadline reports that transitivity-constraint generation ran past the
+// configured deadline — the paper's "fails to go beyond the formula
+// translation stage".
+var ErrDeadline = errors.New("perconstraint: translation deadline exceeded")
+
+// Stats reports encoding-size counters.
+type Stats struct {
+	// PredVars is the number of source separation-predicate variables.
+	PredVars int
+	// DerivedVars is the number of fresh variables introduced for derived
+	// constraints during transitivity generation.
+	DerivedVars int
+	// TransConstraints is the number of transitivity constraints in F_trans.
+	TransConstraints int
+}
+
+type predKey struct {
+	x, y string
+	c    int
+}
+
+// Encoder encodes separation atoms per-constraint. Atom encodings are
+// collected; TransConstraints must be called afterwards to obtain F_trans
+// for every predicate variable handed out.
+type Encoder struct {
+	bb   *boolexpr.Builder
+	sb   *suf.Builder
+	info *sep.Info
+	// MaxTrans caps the number of generated transitivity constraints
+	// (0 = unlimited).
+	MaxTrans int
+	// Deadline bounds the wall-clock time of transitivity generation
+	// (zero = none).
+	Deadline time.Time
+	// Interrupt, when non-nil and set, aborts transitivity generation with
+	// ErrDeadline at the next check point.
+	Interrupt *atomic.Bool
+	// Order selects the vertex-elimination heuristic (default MinDegree).
+	Order OrderHeuristic
+
+	walker  *enc.Walker
+	vars    map[predKey]*boolexpr.Node // canonical source predicate variables
+	order   []predKey                  // deterministic iteration order
+	derived map[predKey]bool           // derived variables allocated so far
+	stats   Stats
+}
+
+func sortEdges(es []*edge) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.c < b.c
+	})
+}
+
+// NewEncoder builds a per-constraint encoder for the analyzed formula info.
+func NewEncoder(info *sep.Info, sb *suf.Builder, bb *boolexpr.Builder) *Encoder {
+	e := &Encoder{bb: bb, sb: sb, info: info, vars: make(map[predKey]*boolexpr.Node)}
+	e.walker = enc.NewWalker(bb, e.EncodeAtom)
+	return e
+}
+
+// Walker returns the formula walker bound to this encoder (for standalone
+// EIJ encoding). Hybrid encoders install their own dispatching walker via
+// SetWalker.
+func (e *Encoder) Walker() *enc.Walker { return e.walker }
+
+// SetWalker replaces the walker used to encode ITE guard conditions, so a
+// hybrid encoder can route guard atoms through its own dispatcher.
+func (e *Encoder) SetWalker(w *enc.Walker) { e.walker = w }
+
+// Stats returns the current counters (TransConstraints is populated by
+// TransConstraints).
+func (e *Encoder) Stats() Stats { return e.stats }
+
+// Lit returns the literal encoding the difference constraint x − y ≤ c,
+// allocating the canonical predicate variable on first use. x and y must be
+// distinct general constants of the same class.
+func (e *Encoder) Lit(x, y string, c int) *boolexpr.Node {
+	if x > y {
+		// x−y ≤ c  ⟺  ¬(y−x ≤ −c−1)
+		return e.bb.Not(e.Lit(y, x, -c-1))
+	}
+	k := predKey{x, y, c}
+	if v, ok := e.vars[k]; ok {
+		return v
+	}
+	v := e.bb.Var("eij!" + x + "!" + y + "!" + strconv.Itoa(c))
+	e.vars[k] = v
+	e.order = append(e.order, k)
+	e.stats.PredVars++
+	return v
+}
+
+// PredVar describes one canonical separation-predicate variable: Var is
+// true iff X − Y ≤ C.
+type PredVar struct {
+	X, Y string
+	C    int
+	Var  *boolexpr.Node
+}
+
+// Predicates returns the canonical predicate variables allocated so far, in
+// allocation order. The lazy baseline uses this as its Boolean abstraction.
+func (e *Encoder) Predicates() []PredVar {
+	out := make([]PredVar, len(e.order))
+	for i, k := range e.order {
+		out[i] = PredVar{X: k.x, Y: k.y, C: k.c, Var: e.vars[k]}
+	}
+	return out
+}
+
+// EncodeAtom encodes an equality or inequality atom: the guarded ground
+// leaves of both terms are enumerated and each ground pair contributes a
+// guarded predicate literal (§4 step 5).
+func (e *Encoder) EncodeAtom(a *suf.BoolExpr) (*boolexpr.Node, error) {
+	t1, t2 := a.Terms()
+	g1 := sep.GuardedLeaves(t1, e.sb)
+	g2 := sep.GuardedLeaves(t2, e.sb)
+	out := e.bb.False()
+	for _, l1 := range g1 {
+		c1, err := e.walker.Encode(l1.Cond)
+		if err != nil {
+			return nil, err
+		}
+		for _, l2 := range g2 {
+			c2, err := e.walker.Encode(l2.Cond)
+			if err != nil {
+				return nil, err
+			}
+			var p *boolexpr.Node
+			if a.Kind() == suf.BEq {
+				p, err = e.groundEq(l1.G, l2.G)
+			} else {
+				p, err = e.groundLt(l1.G, l2.G)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = e.bb.Or(out, e.bb.AndN(c1, c2, p))
+		}
+	}
+	return out, nil
+}
+
+func (e *Encoder) groundEq(g1, g2 sep.Ground) (*boolexpr.Node, error) {
+	if g1.Var == g2.Var {
+		return e.bb.Const(g1.Off == g2.Off), nil
+	}
+	// Maximal diversity: a predicate touching a V_p constant is false unless
+	// syntactically identical (§4 step 5).
+	if e.info.PConsts[g1.Var] || e.info.PConsts[g2.Var] {
+		return e.bb.False(), nil
+	}
+	// g1.Var + g1.Off = g2.Var + g2.Off
+	//   ⟺ x − y ≤ (o2−o1)  ∧  y − x ≤ (o1−o2)
+	d := g2.Off - g1.Off
+	return e.bb.And(e.Lit(g1.Var, g2.Var, d), e.Lit(g2.Var, g1.Var, -d)), nil
+}
+
+func (e *Encoder) groundLt(g1, g2 sep.Ground) (*boolexpr.Node, error) {
+	if g1.Var == g2.Var {
+		return e.bb.Const(g1.Off < g2.Off), nil
+	}
+	if e.info.PConsts[g1.Var] || e.info.PConsts[g2.Var] {
+		// Positive-equality classification keeps V_p constants out of
+		// inequalities; reaching this would be an analysis bug upstream.
+		return nil, fmt.Errorf("perconstraint: V_p constant under < (%v < %v)", g1, g2)
+	}
+	// x + o1 < y + o2 ⟺ x − y ≤ o2 − o1 − 1
+	return e.Lit(g1.Var, g2.Var, g2.Off-g1.Off-1), nil
+}
+
+// TransLit is a literal over a predicate variable node (source or derived).
+type TransLit struct {
+	Var *boolexpr.Node
+	Neg bool
+}
+
+// Node renders the literal as a boolexpr node.
+func (l TransLit) Node(bb *boolexpr.Builder) *boolexpr.Node {
+	if l.Neg {
+		return bb.Not(l.Var)
+	}
+	return l.Var
+}
+
+// Not returns the complement literal.
+func (l TransLit) Not() TransLit { return TransLit{l.Var, !l.Neg} }
+
+// TransClause is one transitivity constraint in clausal form — a disjunction
+// of predicate-variable literals (2 literals for a negative self-loop
+// ¬l1 ∨ ¬l2, 3 for an implication ¬l1 ∨ ¬l2 ∨ l3). Emitting these directly
+// as CNF clauses avoids the ~6× Tseitin overhead a formula-level F_trans
+// would pay, which matters: F_trans dominates the per-constraint encoding's
+// CNF size.
+type TransClause []TransLit
+
+// OrderHeuristic selects the Fourier–Motzkin vertex-elimination order,
+// which determines the fill-in and hence the size of F_trans.
+type OrderHeuristic int
+
+// Elimination-order heuristics.
+const (
+	// MinDegree eliminates the vertex with the fewest incident edges first
+	// (recomputed dynamically) — the default, and the classical low-fill
+	// heuristic.
+	MinDegree OrderHeuristic = iota
+	// MinFill estimates the number of new edges each elimination would
+	// create (in·out products over distinct neighbours) and picks the
+	// smallest — more expensive per step, often less fill on dense graphs.
+	MinFill
+	// Lexicographic eliminates vertices in name order — the ablation
+	// baseline showing how much the ordering heuristics buy.
+	Lexicographic
+)
+
+func (o OrderHeuristic) String() string {
+	switch o {
+	case MinDegree:
+		return "min-degree"
+	case MinFill:
+		return "min-fill"
+	case Lexicographic:
+		return "lexicographic"
+	}
+	return "unknown"
+}
+
+// edge is a labelled difference edge x − y ≤ c under literal lit.
+type edge struct {
+	x, y string
+	c    int
+	lit  TransLit
+}
+
+// TransConstraints generates F_trans as a single Boolean formula. Prefer
+// TransClauseList plus direct clause assertion for large encodings.
+func (e *Encoder) TransConstraints() (*boolexpr.Node, error) {
+	clauses, err := e.TransClauseList()
+	if err != nil {
+		return nil, err
+	}
+	out := e.bb.True()
+	for _, cl := range clauses {
+		d := e.bb.False()
+		for _, l := range cl {
+			d = e.bb.Or(d, l.Node(e.bb))
+		}
+		out = e.bb.And(out, d)
+	}
+	return out, nil
+}
+
+// TransClauseList generates the transitivity constraints for every predicate
+// variable handed out so far, by per-class Fourier–Motzkin vertex
+// elimination, in clausal form.
+func (e *Encoder) TransClauseList() ([]TransClause, error) {
+	// Group canonical predicates by class.
+	byClass := make(map[*sep.Class][]predKey)
+	for _, k := range e.order {
+		cl := e.info.ClassOf[k.x]
+		if cl == nil || e.info.ClassOf[k.y] != cl {
+			return nil, fmt.Errorf("perconstraint: predicate %v crosses classes", k)
+		}
+		byClass[cl] = append(byClass[cl], k)
+	}
+	classes := make([]*sep.Class, 0, len(byClass))
+	for cl := range byClass {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].ID < classes[j].ID })
+
+	var out []TransClause
+	budget := e.MaxTrans
+	for _, cl := range classes {
+		cs, err := e.transForClass(byClass[cl], &budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}
+
+func (e *Encoder) transForClass(preds []predKey, budget *int) ([]TransClause, error) {
+	bb := e.bb
+	// Weight bound for derived edges: every edge of a *simple* negative
+	// cycle is a contiguous subpath of it, and with n vertices and initial
+	// weights in [−W, W] a subpath of a simple negative cycle has weight in
+	// (−2nW, nW). Vertex elimination composes exactly contiguous subpaths,
+	// so derived edges outside that window can never witness a negative
+	// cycle and are dropped. This keeps the (still potentially exponential)
+	// growth tied to genuine weight diversity.
+	verts := make(map[string]bool)
+	maxW := 1
+	maxPos := 0
+	for _, k := range preds {
+		verts[k.x] = true
+		verts[k.y] = true
+		for _, w := range [2]int{k.c, -k.c - 1} {
+			if abs(w) > maxW {
+				maxW = abs(w)
+			}
+			if w > maxPos {
+				maxPos = w
+			}
+		}
+	}
+	hiBound := len(verts) * maxW
+	// Weight floor: in a simple cycle the other edges contribute at most
+	// n·maxPos, so once a subpath's weight reaches F = −n·maxPos − 1 the
+	// completed cycle is negative no matter what — all weights below F are
+	// equivalent and are clamped to it. For equality/strict-order classes
+	// (no positive weights) this collapses the per-pair weights to {0, −1},
+	// which is why the per-constraint method is cheap exactly on the
+	// formulas the paper observes it winning on.
+	floor := -len(verts)*maxPos - 1
+
+	// Labelled edges keyed by (x, y, c); both polarities of each source
+	// predicate are present from the start.
+	edges := make(map[predKey]*edge)
+	adj := make(map[string]map[predKey]bool) // vertex → incident edge keys
+	addEdge := func(x, y string, c int, lit TransLit) *edge {
+		k := predKey{x, y, c}
+		if ed, ok := edges[k]; ok {
+			return ed
+		}
+		ed := &edge{x, y, c, lit}
+		edges[k] = ed
+		for _, v := range [2]string{x, y} {
+			if adj[v] == nil {
+				adj[v] = make(map[predKey]bool)
+			}
+			adj[v][k] = true
+		}
+		return ed
+	}
+	for _, k := range preds {
+		v := e.vars[k]
+		addEdge(k.x, k.y, k.c, TransLit{v, false})
+		addEdge(k.y, k.x, -k.c-1, TransLit{v, true})
+	}
+
+	// litFor returns the consequent literal for a derived constraint
+	// x − y ≤ c, reusing source variables (possibly negated) when they match
+	// exactly, and fresh derived variables otherwise.
+	litFor := func(x, y string, c int) TransLit {
+		cx, cy, cc := x, y, c
+		neg := false
+		if cx > cy {
+			cx, cy, cc = y, x, -c-1
+			neg = true
+		}
+		if v, ok := e.vars[predKey{cx, cy, cc}]; ok {
+			return TransLit{v, neg}
+		}
+		v := bb.Var("eijD!" + cx + "!" + cy + "!" + strconv.Itoa(cc))
+		if _, seen := e.derivedSeen(cx, cy, cc); !seen {
+			e.stats.DerivedVars++
+		}
+		return TransLit{v, neg}
+	}
+
+	var constraints []TransClause
+	nCons := 0
+	emit := func(cl TransClause) error {
+		constraints = append(constraints, cl)
+		nCons++
+		e.stats.TransConstraints++
+		if e.MaxTrans > 0 {
+			*budget--
+			if *budget < 0 {
+				return ErrTranslationLimit
+			}
+		}
+		if nCons%256 == 0 {
+			if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
+				return ErrDeadline
+			}
+			if e.Interrupt != nil && e.Interrupt.Load() {
+				return ErrDeadline
+			}
+		}
+		return nil
+	}
+
+	// Vertex elimination in the configured order.
+	for len(adj) > 0 {
+		var names []string
+		for name := range adj {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		v := names[0]
+		switch e.Order {
+		case Lexicographic:
+			// v is already the lexicographically smallest.
+		case MinFill:
+			best := -1
+			for _, name := range names {
+				in, out := 0, 0
+				for k := range adj[name] {
+					ed := edges[k]
+					if ed.y == name {
+						in++
+					}
+					if ed.x == name {
+						out++
+					}
+				}
+				fill := in * out
+				if best == -1 || fill < best {
+					best = fill
+					v = name
+				}
+			}
+		default: // MinDegree
+			best := -1
+			for _, name := range names {
+				d := len(adj[name])
+				if best == -1 || d < best {
+					best = d
+					v = name
+				}
+			}
+		}
+
+		// Partition incident edges.
+		var in, out []*edge // in: (x→v), out: (v→y)
+		for k := range adj[v] {
+			ed := edges[k]
+			if ed.y == v && ed.x != v {
+				in = append(in, ed)
+			}
+			if ed.x == v && ed.y != v {
+				out = append(out, ed)
+			}
+		}
+		sortEdges(in)
+		sortEdges(out)
+		// Remove v and its edges before adding compositions.
+		for k := range adj[v] {
+			ed := edges[k]
+			delete(edges, k)
+			other := ed.x
+			if other == v {
+				other = ed.y
+			}
+			if adj[other] != nil {
+				delete(adj[other], k)
+			}
+		}
+		delete(adj, v)
+
+		for _, e1 := range in { // e1: x − v ≤ c1
+			for _, e2 := range out { // e2: v − y ≤ c2
+				x, y := e1.x, e2.y
+				c := e1.c + e2.c
+				if c < floor {
+					c = floor
+				}
+				if e1.lit.Var == e2.lit.Var && e1.lit.Neg != e2.lit.Neg {
+					continue // composing a literal with its own negation
+				}
+				ant := TransClause{e1.lit.Not()}
+				if e1.lit != e2.lit {
+					ant = append(ant, e2.lit.Not())
+				}
+				if x == y {
+					if c < 0 {
+						// Negative self-loop: the antecedent is contradictory.
+						if err := emit(ant); err != nil {
+							return nil, err
+						}
+					}
+					continue
+				}
+				if c > hiBound {
+					continue // cannot be part of a simple negative cycle
+				}
+				k := predKey{x, y, c}
+				if ed, ok := edges[k]; ok {
+					// Edge already present: just link the new derivation.
+					if err := emit(append(ant[:len(ant):len(ant)], ed.lit)); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				l3 := litFor(x, y, c)
+				addEdge(x, y, c, l3)
+				if err := emit(append(ant[:len(ant):len(ant)], l3)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return constraints, nil
+}
+
+// derivedSeen tracks distinct derived variables for stats.
+func (e *Encoder) derivedSeen(x, y string, c int) (struct{}, bool) {
+	if e.derived == nil {
+		e.derived = make(map[predKey]bool)
+	}
+	k := predKey{x, y, c}
+	if e.derived[k] {
+		return struct{}{}, true
+	}
+	e.derived[k] = true
+	return struct{}{}, false
+}
+
+// Result is a standalone EIJ encoding. The encoded formula is
+// Trans ⟹ Bvar; its satisfiability-preserving form is Trans ∧ Bvar, and a
+// validity check refutes Trans ∧ ¬Bvar.
+type Result struct {
+	Bvar  *boolexpr.Node
+	Trans *boolexpr.Node
+	Stats Stats
+}
+
+// Encode runs the full standalone EIJ encoding of the analyzed formula.
+// maxTrans caps transitivity generation (0 = unlimited).
+func Encode(info *sep.Info, sb *suf.Builder, bb *boolexpr.Builder, maxTrans int) (*Result, error) {
+	e := NewEncoder(info, sb, bb)
+	e.MaxTrans = maxTrans
+	fbvar, err := e.walker.Encode(info.Formula)
+	if err != nil {
+		return nil, err
+	}
+	ftrans, err := e.TransConstraints()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Bvar: fbvar, Trans: ftrans, Stats: e.stats}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ModelConstraints converts a Boolean assignment of the source predicate
+// variables into the difference constraints it asserts: variable true means
+// X − Y ≤ C, false means Y − X ≤ −C−1. Variables val reports unknown are
+// skipped (they were folded out of the CNF and are unconstrained).
+// F_trans guarantees the returned set is feasible for any model of the
+// encoding, so a difflogic run over it reconstructs integer values.
+func (e *Encoder) ModelConstraints(val func(n *boolexpr.Node) (value, known bool)) []difflogic.Constraint {
+	var out []difflogic.Constraint
+	for _, k := range e.order {
+		v, known := val(e.vars[k])
+		if !known {
+			continue
+		}
+		if v {
+			out = append(out, difflogic.Constraint{X: k.x, Y: k.y, C: int64(k.c)})
+		} else {
+			out = append(out, difflogic.Constraint{X: k.y, Y: k.x, C: int64(-k.c - 1)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 100; iter++ {
+		nVars := 3 + rng.Intn(8)
+		clauses := randomClauses(rng, nVars, 1+rng.Intn(20), 3)
+
+		s1 := newSolverWithVars(nVars)
+		for _, c := range clauses {
+			s1.AddClause(c...)
+		}
+		var buf bytes.Buffer
+		if err := s1.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ReadDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, buf.String())
+		}
+		if got, want := s2.Solve(), s1.Solve(); got != want {
+			t.Fatalf("iter %d: reparsed=%v original=%v\n%s", iter, got, want, buf.String())
+		}
+	}
+}
+
+func TestDIMACSPreservesUnits(t *testing.T) {
+	s := newSolverWithVars(3)
+	s.AddClause(PosLit(0))                       // unit, absorbed at level 0
+	s.AddClause(NegLit(0), PosLit(1))            // propagates unit 1
+	s.AddClause(NegLit(1), PosLit(2), PosLit(0)) // satisfied after propagation? no: kept or absorbed
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Sat {
+		t.Fatal("want Sat")
+	}
+	m := s2.Model()
+	if !m[0] || !m[1] {
+		t.Fatalf("units lost: %v", m)
+	}
+}
+
+func TestDIMACSUnsatExport(t *testing.T) {
+	s := newSolverWithVars(1)
+	s.AddClause(PosLit(0))
+	s.AddClause(NegLit(0))
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Unsat {
+		t.Fatalf("exported UNSAT instance must stay UNSAT\n%s", buf.String())
+	}
+}
+
+func TestReadDIMACSFormat(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+c another comment
+2 3 0
+`
+	s, err := ReadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 || s.Stats().Clauses != 2 {
+		t.Fatalf("vars=%d clauses=%d", s.NumVars(), s.Stats().Clauses)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want Sat")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 2 1\n1 0\n",
+		"p cnf 1 1\n2 0\n",   // literal exceeds declared count
+		"p cnf 2 1\n1 2\n",   // unterminated clause
+		"p cnf 2 1\n1 a 0\n", // junk literal
+	}
+	for _, src := range bad {
+		if _, err := ReadDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}

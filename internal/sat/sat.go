@@ -1,0 +1,737 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver in the style of zChaff/MiniSat: two-literal watching,
+// first-UIP conflict analysis with clause minimization, VSIDS variable
+// activities, phase saving, Luby restarts and activity-based learnt-clause
+// database reduction.
+//
+// It is the substrate standing in for the zChaff solver used in the paper's
+// experiments. The solver exposes the statistics the paper reports
+// (CNF clause counts, conflict-clause counts, decisions, propagations).
+package sat
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Var is a 0-based variable index.
+type Var = int
+
+// Lit is a literal: variable v with sign. The encoding is v<<1 for the
+// positive literal and v<<1|1 for the negation, following MiniSat.
+type Lit int32
+
+// LitUndef is the distinguished undefined literal.
+const LitUndef Lit = -1
+
+// MkLit builds a literal from a variable and a sign (neg=true means ¬v).
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1 | 1) }
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether l is a negative literal.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// lbool is a lifted Boolean: true, false or undefined.
+type lbool int8
+
+const (
+	lTrue  lbool = 1
+	lFalse lbool = -1
+	lUndef lbool = 0
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver gave up (budget or deadline exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats collects solver counters. ConflictClauses is the number of learnt
+// (conflict) clauses ever added — the quantity reported in the paper's
+// Figure 2 — and Clauses is the number of problem (CNF) clauses.
+type Stats struct {
+	Vars            int
+	Clauses         int
+	ConflictClauses int64
+	Decisions       int64
+	Propagations    int64
+	Conflicts       int64
+	Restarts        int64
+}
+
+// ErrBudget is returned by Solve via Unknown when the conflict budget or the
+// deadline was exhausted.
+var ErrBudget = errors.New("sat: budget exhausted")
+
+type clause struct {
+	lits   []Lit
+	act    float32
+	learnt bool
+}
+
+type watcher struct {
+	cl      *clause
+	blocker Lit
+}
+
+// reason records why a variable was assigned.
+type varData struct {
+	reason *clause
+	level  int32
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// Clauses may be added between Solve calls (incremental use); learnt clauses
+// are retained across calls.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by Lit
+
+	assigns  []lbool // indexed by Var
+	vardata  []varData
+	polarity []bool // saved phase, true = last value was false (MiniSat style: sign to pick)
+	activity []float64
+	seen     []byte
+
+	order heap // decision order, max-activity
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	varInc    float64
+	varDecay  float64
+	claInc    float64
+	claDecay  float64
+	unsatFlag bool
+
+	maxLearnts       float64
+	learntAdjustCnt  int64
+	learntAdjustIncr float64
+
+	stats Stats
+
+	// Budget controls.
+	ConflictBudget int64     // ≤0 means unlimited
+	Deadline       time.Time // zero means none
+	// Interrupt, when non-nil and set, makes Solve return Unknown at the
+	// next conflict boundary (used by portfolio solving).
+	Interrupt *atomic.Bool
+
+	model []bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:   1,
+		varDecay: 0.95,
+		claInc:   1,
+		claDecay: 0.999,
+	}
+	s.order.act = &s.activity
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.vardata = append(s.vardata, varData{})
+	s.polarity = append(s.polarity, true)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	s.stats.Vars = len(s.assigns)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) level(v Var) int { return int(s.vardata[v].level) }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause. It returns false if the solver is already
+// known to be unsatisfiable (e.g. an empty clause was added).
+// AddClause must be called at decision level 0; Solve backtracks to level 0
+// on return, so interleaving AddClause and Solve is safe.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsatFlag {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	// Sort-free simplification: drop duplicate and false literals, detect
+	// tautologies and satisfied clauses.
+	out := make([]Lit, 0, len(lits))
+outer:
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		for _, m := range out {
+			if m == l {
+				continue outer
+			}
+			if m == l.Not() {
+				return true // tautology
+			}
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.unsatFlag = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsatFlag = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.stats.Clauses = len(s.clauses)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].cl == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Neg())
+	s.vardata[v] = varData{reason: from, level: int32(s.decisionLevel())}
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.cl
+			lits := c.lits
+			// Make sure the false literal (¬p) is at position 1.
+			np := p.Not()
+			if lits[0] == np {
+				lits[0], lits[1] = lits[1], np
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nl := lits[1].Not()
+					s.watches[nl] = append(s.watches[nl], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.value(first) == lFalse {
+				// Conflict: copy remaining watchers back and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.polarity[v] = s.trail[i].Neg()
+		if !s.order.inHeap(v) {
+			s.order.insert(v)
+		}
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.order.inHeap(v) {
+		s.order.decrease(v)
+	}
+}
+
+func (s *Solver) claBump(c *clause) {
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis and returns the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := make([]Lit, 1, 8) // learnt[0] reserved for the asserting literal
+	toClear := make([]Var, 0, 16)
+	pathC := 0
+	var p Lit = LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		s.claBump(confl)
+		start := 0
+		if p != LitUndef {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level(v) > 0 {
+				s.varBump(v)
+				s.seen[v] = 1
+				toClear = append(toClear, v)
+				if s.level(v) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to look at.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.vardata[p.Var()].reason
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Conflict-clause minimization (basic self-subsumption): a literal is
+	// redundant if it was implied by literals already in the clause.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.vardata[v].reason
+		if r == nil {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q.Var() == v {
+				continue
+			}
+			if s.seen[q.Var()] == 0 && s.level(q.Var()) > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Find backtrack level: the maximum level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level(learnt[i].Var()) > s.level(learnt[maxI].Var()) {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level(learnt[1].Var())
+	}
+
+	for _, v := range toClear {
+		s.seen[v] = 0
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.removeMin()
+		if s.assigns[v] == lUndef {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts by activity ascending (simple insertion into buckets is
+	// overkill; use an O(n log n) sort inline).
+	ls := s.learnts
+	sortClausesByAct(ls)
+	half := len(ls) / 2
+	kept := ls[:0]
+	for i, c := range ls {
+		locked := false
+		if r := s.vardata[c.lits[0].Var()].reason; r == c && s.value(c.lits[0]) == lTrue {
+			locked = true
+		}
+		if len(c.lits) > 2 && !locked && (i < half || float64(c.act) < s.claInc/float64(len(ls))) {
+			s.detach(c)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+func sortClausesByAct(cs []*clause) {
+	// Shell sort keeps us dependency-free and is fine for this size.
+	for gap := len(cs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(cs); i++ {
+			c := cs[i]
+			j := i
+			for ; j >= gap && cs[j-gap].act > c.act; j -= gap {
+				cs[j] = cs[j-gap]
+			}
+			cs[j] = c
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based), with
+// base factor y.
+func luby(y float64, i int) float64 {
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	p := 1.0
+	for ; seq > 0; seq-- {
+		p *= y
+	}
+	return p
+}
+
+// search runs CDCL until a result or until nConflicts conflicts occurred.
+func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.stats.ConflictClauses++
+			s.varInc /= s.varDecay
+			s.claInc /= s.claDecay
+
+			s.learntAdjustCnt--
+			if s.learntAdjustCnt <= 0 {
+				s.learntAdjustIncr *= 1.5
+				s.learntAdjustCnt = int64(s.learntAdjustIncr)
+				s.maxLearnts *= 1.1
+			}
+			continue
+		}
+		// No conflict.
+		if conflicts >= nConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.stats.Conflicts%1024 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.Interrupt != nil && s.Interrupt.Load() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(len(s.learnts))-float64(len(s.trail)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+		next := s.pickBranchLit()
+		if next == LitUndef {
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Solve runs the solver to completion (or budget exhaustion) and returns the
+// status. On Sat the model is available via Model.
+func (s *Solver) Solve() Status {
+	if s.unsatFlag {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	s.model = nil
+
+	s.maxLearnts = float64(len(s.clauses)) * 0.3
+	if s.maxLearnts < 1000 {
+		s.maxLearnts = 1000
+	}
+	s.learntAdjustIncr = 100
+	s.learntAdjustCnt = 100
+
+	budget := s.ConflictBudget
+	spent := int64(0)
+	for restart := 0; ; restart++ {
+		n := int64(luby(2, restart) * 100)
+		if budget > 0 && spent+n > budget {
+			n = budget - spent
+			if n <= 0 {
+				return Unknown
+			}
+		}
+		st := s.search(n, s.Deadline)
+		spent += n
+		switch st {
+		case Sat:
+			s.model = make([]bool, len(s.assigns))
+			for v := range s.assigns {
+				s.model[v] = s.assigns[v] == lTrue
+			}
+			s.cancelUntil(0)
+			return Sat
+		case Unsat:
+			s.unsatFlag = true
+			return Unsat
+		}
+		if budget > 0 && spent >= budget {
+			return Unknown
+		}
+		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			return Unknown
+		}
+		if s.Interrupt != nil && s.Interrupt.Load() {
+			return Unknown
+		}
+		s.stats.Restarts++
+	}
+}
+
+// Model returns the satisfying assignment found by the last successful Solve.
+// Index i holds the value of variable i. The slice is owned by the solver.
+func (s *Solver) Model() []bool { return s.model }
+
+// Stats returns a snapshot of the solver counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// indexed max-heap over variable activities.
+type heap struct {
+	heap    []Var
+	indices []int // var -> position+1 (0 = absent)
+	act     *[]float64
+}
+
+func (h *heap) less(a, b Var) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *heap) empty() bool { return len(h.heap) == 0 }
+
+func (h *heap) inHeap(v Var) bool { return v < len(h.indices) && h.indices[v] != 0 }
+
+func (h *heap) insert(v Var) {
+	for v >= len(h.indices) {
+		h.indices = append(h.indices, 0)
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap)
+	h.percolateUp(len(h.heap) - 1)
+}
+
+func (h *heap) decrease(v Var) { h.percolateUp(h.indices[v] - 1) }
+
+func (h *heap) removeMin() Var {
+	x := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[x] = 0
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 1
+		h.percolateDown(0)
+	}
+	return x
+}
+
+func (h *heap) percolateUp(i int) {
+	x := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(x, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = i + 1
+		i = p
+	}
+	h.heap[i] = x
+	h.indices[x] = i + 1
+}
+
+func (h *heap) percolateDown(i int) {
+	x := h.heap[i]
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.heap) {
+			break
+		}
+		child := l
+		if r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			child = r
+		}
+		if !h.less(h.heap[child], x) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[child]] = i + 1
+		i = child
+	}
+	h.heap[i] = x
+	h.indices[x] = i + 1
+}

@@ -1,0 +1,156 @@
+package sep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sufsat/internal/suf"
+)
+
+// TestQuickNormalizeIdempotent: Normalize is a fixed-point transformation.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := suf.NewBuilder()
+		g := randomSepFormula(rng, b, 4, 4)
+		n1 := Normalize(g, b)
+		n2 := Normalize(n1, b)
+		return n1 == n2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNormalFormShape: every atom operand of a normalized formula is an
+// ITE tree whose leaves decompose into ground terms.
+func TestQuickNormalFormShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := suf.NewBuilder()
+		g := Normalize(randomSepFormula(rng, b, 4, 4), b)
+		ok := true
+		seen := make(map[*suf.BoolExpr]bool)
+		var walk func(*suf.BoolExpr)
+		var checkTerm func(*suf.IntExpr)
+		checkTerm = func(tm *suf.IntExpr) {
+			if tm.Kind() == suf.IIte {
+				walk(tm.Cond())
+				a, e := tm.Branches()
+				checkTerm(a)
+				checkTerm(e)
+				return
+			}
+			// DecomposeGround panics if the chain is malformed.
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			DecomposeGround(tm)
+		}
+		walk = func(e *suf.BoolExpr) {
+			if e == nil || seen[e] {
+				return
+			}
+			seen[e] = true
+			switch e.Kind() {
+			case suf.BEq, suf.BLt:
+				t1, t2 := e.Terms()
+				checkTerm(t1)
+				checkTerm(t2)
+			default:
+				l, r := e.BoolChildren()
+				walk(l)
+				walk(r)
+			}
+		}
+		walk(g)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGuardedLeavesPartition: under any interpretation, exactly one
+// guard condition of a normalized term holds, and the guarded ground leaf
+// equals the term's value.
+func TestQuickGuardedLeavesPartition(t *testing.T) {
+	f := func(seed, iseed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := suf.NewBuilder()
+		g := Normalize(randomSepFormula(rng, b, 4, 3), b)
+		// Pick the first atom's left term.
+		var term *suf.IntExpr
+		seen := make(map[*suf.BoolExpr]bool)
+		var find func(*suf.BoolExpr)
+		find = func(e *suf.BoolExpr) {
+			if e == nil || seen[e] || term != nil {
+				return
+			}
+			seen[e] = true
+			switch e.Kind() {
+			case suf.BEq, suf.BLt:
+				term, _ = e.Terms()
+			default:
+				l, r := e.BoolChildren()
+				find(l)
+				find(r)
+			}
+		}
+		find(g)
+		if term == nil {
+			return true // vacuous sample
+		}
+		it := suf.RandomInterp(rand.New(rand.NewSource(iseed)), 7)
+		want := suf.EvalInt(term, it)
+		holds := 0
+		for _, gl := range GuardedLeaves(term, b) {
+			if suf.EvalBool(gl.Cond, it) {
+				holds++
+				got := it.Fn(gl.G.Var, nil) + int64(gl.G.Off)
+				if got != want {
+					return false
+				}
+			}
+		}
+		return holds == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickClassesArePartition: ClassOf is consistent with Classes, classes
+// are disjoint and cover exactly the general constants.
+func TestQuickClassesPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := suf.NewBuilder()
+		g := randomSepFormula(rng, b, 5, 4)
+		info, err := Analyze(g, b, nil)
+		if err != nil {
+			return false
+		}
+		covered := make(map[string]int)
+		for _, cl := range info.Classes {
+			for _, v := range cl.Consts {
+				covered[v]++
+				if info.ClassOf[v] != cl {
+					return false
+				}
+			}
+		}
+		for v := range info.GConsts {
+			if covered[v] != 1 {
+				return false
+			}
+		}
+		return len(covered) == len(info.GConsts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+package sep
+
+import (
+	"math/rand"
+	"testing"
+
+	"sufsat/internal/suf"
+)
+
+func TestCheckSeparation(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	if err := CheckSeparation(b.Lt(x, y)); err != nil {
+		t.Fatalf("pure separation formula rejected: %v", err)
+	}
+	if err := CheckSeparation(b.Eq(b.Fn("f", x), y)); err == nil {
+		t.Fatal("function application accepted")
+	}
+	if err := CheckSeparation(b.PredApp("p", x)); err == nil {
+		t.Fatal("predicate application accepted")
+	}
+	if err := CheckSeparation(b.BoolSym("b0")); err != nil {
+		t.Fatalf("symbolic Boolean constant rejected: %v", err)
+	}
+}
+
+func TestNormalizePushesOffsetsThroughIte(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	c := b.BoolSym("c")
+	// succ(ITE(c, x, pred(y))) → ITE(c, x+1, y)
+	tm := b.Succ(b.Ite(c, x, b.Pred(y)))
+	f := b.Eq(tm, b.Sym("z"))
+	nf := Normalize(f, b)
+	t1, _ := nf.Terms()
+	if t1.Kind() != suf.IIte {
+		t.Fatalf("normalized term is not an ITE: %v", t1)
+	}
+	a, e := t1.Branches()
+	if g := DecomposeGround(a); g != (Ground{"x", 1}) {
+		t.Errorf("then-branch = %v, want x+1", g)
+	}
+	if g := DecomposeGround(e); g != (Ground{"y", 0}) {
+		t.Errorf("else-branch = %v, want y", g)
+	}
+}
+
+func TestNormalizePreservesSemantics(t *testing.T) {
+	// Random separation formulas: Normalize must not change the value under
+	// random interpretations.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		b := suf.NewBuilder()
+		f := randomSepFormula(rng, b, 4, 4)
+		nf := Normalize(f, b)
+		for trial := 0; trial < 10; trial++ {
+			it := suf.RandomInterp(rng, 6)
+			if suf.EvalBool(f, it) != suf.EvalBool(nf, it) {
+				t.Fatalf("iter %d: Normalize changed semantics\nf  = %v\nnf = %v", iter, f, nf)
+			}
+		}
+	}
+}
+
+// randomSepFormula builds a random separation formula over nVars constants.
+func randomSepFormula(rng *rand.Rand, b *suf.Builder, nVars, depth int) *suf.BoolExpr {
+	var boolExpr func(d int) *suf.BoolExpr
+	var intExpr func(d int) *suf.IntExpr
+	sym := func() *suf.IntExpr { return b.Sym(string(rune('u' + rng.Intn(nVars)))) }
+	intExpr = func(d int) *suf.IntExpr {
+		if d == 0 || rng.Intn(3) == 0 {
+			return b.Offset(sym(), rng.Intn(5)-2)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return b.Succ(intExpr(d - 1))
+		case 1:
+			return b.Pred(intExpr(d - 1))
+		default:
+			return b.Ite(boolExpr(d-1), intExpr(d-1), intExpr(d-1))
+		}
+	}
+	boolExpr = func(d int) *suf.BoolExpr {
+		if d == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return b.Eq(intExpr(d), intExpr(d))
+			}
+			return b.Lt(intExpr(d), intExpr(d))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return b.Not(boolExpr(d - 1))
+		case 1:
+			return b.And(boolExpr(d-1), boolExpr(d-1))
+		default:
+			return b.Or(boolExpr(d-1), boolExpr(d-1))
+		}
+	}
+	return boolExpr(depth)
+}
+
+func TestLeavesAndGuardedLeaves(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y, z := b.Sym("x"), b.Sym("y"), b.Sym("z")
+	c1, c2 := b.BoolSym("c1"), b.BoolSym("c2")
+	tm := b.Ite(c1, b.Offset(x, 2), b.Ite(c2, y, b.Offset(z, -1)))
+	ls := Leaves(tm)
+	if len(ls) != 3 {
+		t.Fatalf("Leaves = %v, want 3 entries", ls)
+	}
+	want := []Ground{{"x", 2}, {"y", 0}, {"z", -1}}
+	for i, g := range ls {
+		if g != want[i] {
+			t.Errorf("leaf %d = %v, want %v", i, g, want[i])
+		}
+	}
+	gls := GuardedLeaves(tm, b)
+	if len(gls) != 3 {
+		t.Fatalf("GuardedLeaves: got %d, want 3", len(gls))
+	}
+	// Under c1=true, condition of leaf 0 must hold and others must not.
+	it := suf.MapInterp(map[string]int64{"x": 0, "y": 0, "z": 0},
+		map[string]bool{"c1": true, "c2": true})
+	if !suf.EvalBool(gls[0].Cond, it) || suf.EvalBool(gls[1].Cond, it) || suf.EvalBool(gls[2].Cond, it) {
+		t.Error("guard conditions wrong under c1=true")
+	}
+	it2 := suf.MapInterp(map[string]int64{"x": 0, "y": 0, "z": 0},
+		map[string]bool{"c1": false, "c2": false})
+	if suf.EvalBool(gls[0].Cond, it2) || suf.EvalBool(gls[1].Cond, it2) || !suf.EvalBool(gls[2].Cond, it2) {
+		t.Error("guard conditions wrong under c1=c2=false")
+	}
+}
+
+func TestAnalyzeClasses(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y, z, w := b.Sym("x"), b.Sym("y"), b.Sym("z"), b.Sym("w")
+	// {x,y} compared; {z,w} compared; the two pairs never compared together.
+	f := b.And(b.Lt(x, y), b.Eq(z, b.Succ(w)))
+	info, err := Analyze(f, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(info.Classes))
+	}
+	if info.ClassOf["x"] != info.ClassOf["y"] || info.ClassOf["z"] != info.ClassOf["w"] {
+		t.Error("compared constants must share a class")
+	}
+	if info.ClassOf["x"] == info.ClassOf["z"] {
+		t.Error("unrelated constants must not share a class")
+	}
+}
+
+func TestAnalyzeIteMergesClasses(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y, z := b.Sym("x"), b.Sym("y"), b.Sym("z")
+	// ITE merges the classes of its branch dependency sets.
+	f := b.Eq(b.Ite(b.BoolSym("c"), x, y), z)
+	info, err := Analyze(f, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1 (ITE branches merge)", len(info.Classes))
+	}
+}
+
+func TestAnalyzeDomainSizes(t *testing.T) {
+	b := suf.NewBuilder()
+	v := b.Sym("v")
+	w := b.Sym("w")
+	// Ground terms of v: v−4, v−2, v, v+3, v+7 (the paper's example:
+	// u(v)=7, l(v)=−4, contribution 12).
+	f := b.AndN(
+		b.Lt(b.Offset(v, -4), w),
+		b.Eq(b.Offset(v, -2), w),
+		b.Lt(v, w),
+		b.Lt(b.Offset(v, 3), w),
+		b.Eq(b.Offset(v, 7), w),
+	)
+	info, err := Analyze(f, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := info.ClassOf["v"]
+	if c.U["v"] != 7 || c.L["v"] != -4 {
+		t.Fatalf("u(v)=%d l(v)=%d, want 7 and -4", c.U["v"], c.L["v"])
+	}
+	// range = (7−(−4)+1) + (0−0+1) = 13.
+	if c.Range != 13 {
+		t.Fatalf("range = %d, want 13", c.Range)
+	}
+	if info.MaxPosOff != 7 || info.MaxNegOff != -4 {
+		t.Fatalf("global offsets = [%d, %d], want [-4, 7]", info.MaxNegOff, info.MaxPosOff)
+	}
+}
+
+func TestAnalyzeSepCnt(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y, z := b.Sym("x"), b.Sym("y"), b.Sym("z")
+	// x≥y ∧ y≥z ∧ z≥succ(x): three distinct inequality predicates.
+	f := b.AndN(b.Ge(x, y), b.Ge(y, z), b.Ge(z, b.Succ(x)))
+	info, err := Analyze(f, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1", len(info.Classes))
+	}
+	if got := info.Classes[0].SepCnt; got != 3 {
+		t.Fatalf("SepCnt = %d, want 3", got)
+	}
+	// An equality costs two predicate variables; x<y shares its variable
+	// with ¬(y−x ≤ 0) after canonicalization, and repeated atoms are free.
+	g := b.AndN(b.Eq(x, y), b.Eq(x, y), b.Lt(x, y))
+	info2, err := Analyze(g, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical predicates: x−y≤0 and x−y≤−1 (y−x≤0 ⟺ ¬(x−y≤−1)).
+	if got := info2.Classes[0].SepCnt; got != 2 {
+		t.Fatalf("SepCnt = %d, want 2", got)
+	}
+}
+
+func TestAnalyzePConstsExcluded(t *testing.T) {
+	b := suf.NewBuilder()
+	x, y, p := b.Sym("x"), b.Sym("y"), b.Sym("vp")
+	f := b.And(b.Lt(x, y), b.Eq(p, x))
+	info, err := Analyze(f, b, map[string]bool{"vp": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ClassOf["vp"] != nil {
+		t.Error("V_p constant must not belong to a class")
+	}
+	if !info.GConsts["x"] || !info.GConsts["y"] {
+		t.Error("x,y must be general")
+	}
+	if len(info.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1", len(info.Classes))
+	}
+	// Predicates involving V_p constants do not count toward SepCnt.
+	if info.Classes[0].SepCnt != 1 {
+		t.Fatalf("SepCnt = %d, want 1 (only x<y)", info.Classes[0].SepCnt)
+	}
+}
+
+func TestAnalyzeRejectsNonSeparation(t *testing.T) {
+	b := suf.NewBuilder()
+	f := b.Eq(b.Fn("f", b.Sym("x")), b.Sym("y"))
+	if _, err := Analyze(f, b, nil); err == nil {
+		t.Fatal("expected error on function application")
+	}
+}
+
+func TestGroundString(t *testing.T) {
+	cases := []struct {
+		g    Ground
+		want string
+	}{
+		{Ground{"x", 0}, "x"},
+		{Ground{"x", 3}, "x+3"},
+		{Ground{"x", -2}, "x-2"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.g, got, c.want)
+		}
+	}
+}
+
+func TestDecomposeGroundPanicsOnIte(t *testing.T) {
+	b := suf.NewBuilder()
+	tm := b.Ite(b.BoolSym("c"), b.Sym("x"), b.Sym("y"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecomposeGround(tm)
+}

@@ -1,0 +1,109 @@
+// Package stats provides the small statistical toolkit the paper's
+// methodology relies on: one-dimensional minimum-variance clustering (used
+// in §4.1 to pick the default SEP_THOLD from normalized EIJ run-times) and
+// log-log correlation (used in §3 to identify the number of separation
+// predicates as the feature that predicts EIJ's run-time).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for the empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SumSquaredDev returns Σ (x − mean)² — the "variance" objective used by
+// 1-D minimum-variance clustering.
+func SumSquaredDev(xs []float64) float64 {
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s
+}
+
+// Variance returns the population variance of xs (0 for the empty slice).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return SumSquaredDev(xs) / float64(len(xs))
+}
+
+// MinVarianceSplit partitions the sorted sequence xs into a prefix xs[:k]
+// and suffix xs[k:] minimizing the sum of the variances of the two parts —
+// exactly the paper's §4.1 clustering — and returns k (1 ≤ k ≤ len(xs)−1).
+// It panics if len(xs) < 2 or xs is not sorted ascending.
+func MinVarianceSplit(xs []float64) int {
+	if len(xs) < 2 {
+		panic("stats: MinVarianceSplit needs at least two points")
+	}
+	if !sort.Float64sAreSorted(xs) {
+		panic("stats: MinVarianceSplit requires sorted input")
+	}
+	bestK, bestObj := 1, math.Inf(1)
+	for k := 1; k < len(xs); k++ {
+		obj := Variance(xs[:k]) + Variance(xs[k:])
+		if obj < bestObj {
+			bestObj = obj
+			bestK = k
+		}
+	}
+	return bestK
+}
+
+// RoundUpToMultiple returns the smallest multiple of m strictly greater
+// than x (the paper: "the smallest multiple of 100 greater than n_k").
+func RoundUpToMultiple(x, m int) int {
+	if m <= 0 {
+		panic("stats: non-positive multiple")
+	}
+	q := x/m + 1
+	return q * m
+}
+
+// Pearson returns the Pearson correlation coefficient of the two samples
+// (0 if degenerate).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// PearsonLogLog is Pearson on log10-transformed samples; non-positive
+// entries are dropped pairwise. It measures power-law association, matching
+// the log-log axes of the paper's Figure 3.
+func PearsonLogLog(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log10(xs[i]))
+			ly = append(ly, math.Log10(ys[i]))
+		}
+	}
+	return Pearson(lx, ly)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestSumSquaredDevAndVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("variance = %v, want 4", got)
+	}
+	if got := SumSquaredDev(xs); got != 32 {
+		t.Errorf("ssd = %v, want 32", got)
+	}
+	if Variance(nil) != 0 {
+		t.Error("variance of empty must be 0")
+	}
+}
+
+func TestMinVarianceSplitTwoClusters(t *testing.T) {
+	xs := []float64{1, 1.1, 1.2, 0.9, 10, 10.5, 9.8}
+	sort.Float64s(xs)
+	if got := MinVarianceSplit(xs); got != 4 {
+		t.Errorf("split = %d, want 4 (four small values)", got)
+	}
+}
+
+func TestMinVarianceSplitPanics(t *testing.T) {
+	for _, xs := range [][]float64{{1}, {3, 1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", xs)
+				}
+			}()
+			MinVarianceSplit(xs)
+		}()
+	}
+}
+
+func TestMinVarianceSplitProperty(t *testing.T) {
+	// Property: the returned split minimizes the objective over all splits.
+	f := func(seed int64, n uint8) bool {
+		m := int(n%14) + 2
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		sort.Float64s(xs)
+		k := MinVarianceSplit(xs)
+		best := Variance(xs[:k]) + Variance(xs[k:])
+		for j := 1; j < m; j++ {
+			if obj := Variance(xs[:j]) + Variance(xs[j:]); obj < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundUpToMultiple(t *testing.T) {
+	cases := []struct{ x, m, want int }{
+		{676, 100, 700}, {700, 100, 800}, {0, 100, 100}, {1, 50, 50}, {99, 100, 100},
+	}
+	for _, c := range cases {
+		if got := RoundUpToMultiple(c.x, c.m); got != c.want {
+			t.Errorf("RoundUpToMultiple(%d,%d) = %d, want %d", c.x, c.m, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-positive multiple")
+		}
+	}()
+	RoundUpToMultiple(5, 0)
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v, want 1", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %v, want -1", got)
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("degenerate correlation must be 0")
+	}
+	if Pearson(xs, xs[:2]) != 0 {
+		t.Error("length mismatch must give 0")
+	}
+}
+
+func TestPearsonLogLog(t *testing.T) {
+	// Perfect power law: y = x^2 → log-log correlation 1.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := []float64{1, 4, 16, 64, 256}
+	if got := PearsonLogLog(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("power-law correlation = %v, want 1", got)
+	}
+	// Non-positive entries are dropped pairwise.
+	if got := PearsonLogLog([]float64{0, 1, 2, 4}, []float64{5, 1, 2, 4}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("drop-nonpositive correlation = %v, want 1", got)
+	}
+}

@@ -1,0 +1,158 @@
+package suf
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Interp is an interpretation of the uninterpreted function and predicate
+// symbols over the integers. Functions and predicates must be total on the
+// argument tuples that occur during evaluation.
+type Interp struct {
+	Fn   func(name string, args []int64) int64
+	Pred func(name string, args []int64) bool
+}
+
+// EvalInt evaluates e under it.
+func EvalInt(e *IntExpr, it *Interp) int64 {
+	memoI := make(map[*IntExpr]int64)
+	memoB := make(map[*BoolExpr]bool)
+	return evalInt(e, it, memoI, memoB)
+}
+
+// EvalBool evaluates e under it.
+func EvalBool(e *BoolExpr, it *Interp) bool {
+	memoI := make(map[*IntExpr]int64)
+	memoB := make(map[*BoolExpr]bool)
+	return evalBool(e, it, memoI, memoB)
+}
+
+func evalInt(e *IntExpr, it *Interp, mi map[*IntExpr]int64, mb map[*BoolExpr]bool) int64 {
+	if v, ok := mi[e]; ok {
+		return v
+	}
+	var v int64
+	switch e.kind {
+	case IFunc:
+		args := make([]int64, len(e.args))
+		for i, a := range e.args {
+			args[i] = evalInt(a, it, mi, mb)
+		}
+		v = it.Fn(e.fn, args)
+	case ISucc:
+		v = evalInt(e.a, it, mi, mb) + 1
+	case IPred:
+		v = evalInt(e.a, it, mi, mb) - 1
+	case IIte:
+		if evalBool(e.cond, it, mi, mb) {
+			v = evalInt(e.a, it, mi, mb)
+		} else {
+			v = evalInt(e.b, it, mi, mb)
+		}
+	}
+	mi[e] = v
+	return v
+}
+
+func evalBool(e *BoolExpr, it *Interp, mi map[*IntExpr]int64, mb map[*BoolExpr]bool) bool {
+	if v, ok := mb[e]; ok {
+		return v
+	}
+	var v bool
+	switch e.kind {
+	case BTrue:
+		v = true
+	case BFalse:
+		v = false
+	case BNot:
+		v = !evalBool(e.l, it, mi, mb)
+	case BAnd:
+		v = evalBool(e.l, it, mi, mb) && evalBool(e.r, it, mi, mb)
+	case BOr:
+		v = evalBool(e.l, it, mi, mb) || evalBool(e.r, it, mi, mb)
+	case BEq:
+		v = evalInt(e.t1, it, mi, mb) == evalInt(e.t2, it, mi, mb)
+	case BLt:
+		v = evalInt(e.t1, it, mi, mb) < evalInt(e.t2, it, mi, mb)
+	case BPred:
+		args := make([]int64, len(e.args))
+		for i, a := range e.args {
+			args[i] = evalInt(a, it, mi, mb)
+		}
+		v = it.Pred(e.pn, args)
+	}
+	mb[e] = v
+	return v
+}
+
+// RandomInterp builds a random tabulated interpretation: each (symbol,
+// argument-tuple) pair gets a random value in [0, valueRange), memoized so
+// that functional consistency holds. Suitable as a falsification oracle in
+// tests: if a formula evaluates to false under any RandomInterp it is
+// invalid.
+func RandomInterp(rng *rand.Rand, valueRange int64) *Interp {
+	fvals := make(map[string]int64)
+	pvals := make(map[string]bool)
+	key := func(name string, args []int64) string {
+		var sb strings.Builder
+		sb.WriteString(name)
+		for _, a := range args {
+			sb.WriteByte('/')
+			sb.WriteString(strconv.FormatInt(a, 10))
+		}
+		return sb.String()
+	}
+	return &Interp{
+		Fn: func(name string, args []int64) int64 {
+			k := key(name, args)
+			if v, ok := fvals[k]; ok {
+				return v
+			}
+			v := rng.Int63n(valueRange)
+			fvals[k] = v
+			return v
+		},
+		Pred: func(name string, args []int64) bool {
+			k := key(name, args)
+			if v, ok := pvals[k]; ok {
+				return v
+			}
+			v := rng.Intn(2) == 0
+			pvals[k] = v
+			return v
+		},
+	}
+}
+
+// MapInterp builds an interpretation from explicit tables. Lookup of a
+// missing entry panics, which keeps tests honest about their coverage.
+func MapInterp(fns map[string]int64, preds map[string]bool) *Interp {
+	return &Interp{
+		Fn: func(name string, args []int64) int64 {
+			if len(args) == 0 {
+				if v, ok := fns[name]; ok {
+					return v
+				}
+			}
+			k := name + fmt.Sprint(args)
+			if v, ok := fns[k]; ok {
+				return v
+			}
+			panic("suf: MapInterp missing function entry " + k)
+		},
+		Pred: func(name string, args []int64) bool {
+			if len(args) == 0 {
+				if v, ok := preds[name]; ok {
+					return v
+				}
+			}
+			k := name + fmt.Sprint(args)
+			if v, ok := preds[k]; ok {
+				return v
+			}
+			panic("suf: MapInterp missing predicate entry " + k)
+		},
+	}
+}

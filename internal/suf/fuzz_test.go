@@ -1,0 +1,46 @@
+package suf
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser never panics on arbitrary input and that
+// every accepted formula prints back to an equivalent (identical) node.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(and (= (f x) (f y)) (< x (+ y 3)))",
+		"(=> (p x) (or q (= x y)))",
+		"(iff b1 (not b2))",
+		"(= (ite (< x y) x y) (g x y))",
+		"(>= (succ x) (pred y))",
+		"true",
+		"(not false)",
+		"((((",
+		"))))",
+		"(= x 5)",
+		"(+ x y)",
+		"; only a comment",
+		"(and)",
+		"(or)",
+		"(an\x00d x y)",
+		"(≠ x y)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b := NewBuilder()
+		formula, err := Parse(src, b)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the printer.
+		again, err := Parse(formula.String(), b)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %q from %q: %v", formula, src, err)
+		}
+		if again != formula {
+			t.Fatalf("round trip changed node: %q vs %q", formula, again)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package suf
+
+// This file implements the positive-equality analysis of Bryant, German and
+// Velev (§2.1.1 of the paper): determine the polarity of every equation and
+// classify each uninterpreted function symbol as a p-function symbol (all of
+// its applications' values flow only into positive equalities) or a
+// g-function symbol (general). p-function applications can later be encoded
+// with far fewer Boolean variables, because validity is preserved under
+// "maximally diverse" interpretations that assign their results distinct
+// values.
+
+// Polarity bit flags.
+const (
+	PolPos uint8 = 1 << iota // occurs under an even number of negations
+	PolNeg                   // occurs under an odd number of negations
+)
+
+// Classification is the result of the positive-equality analysis.
+type Classification struct {
+	// PFuncs holds the p-function symbols: every occurrence of every
+	// application's value flows only into positive equalities.
+	PFuncs map[string]bool
+	// GFuncs holds the g-function (general) symbols.
+	GFuncs map[string]bool
+	// EqPol maps each equation node to the polarity set under which it occurs.
+	EqPol map[*BoolExpr]uint8
+}
+
+// IsP reports whether fn was classified as a p-function symbol. Symbols that
+// never contribute a value to the output formula default to p.
+func (c *Classification) IsP(fn string) bool { return !c.GFuncs[fn] }
+
+// Classify runs the positive-equality analysis on f, which is interpreted as
+// a validity target (initial polarity positive).
+func Classify(f *BoolExpr) *Classification {
+	c := &Classification{
+		PFuncs: make(map[string]bool),
+		GFuncs: make(map[string]bool),
+		EqPol:  make(map[*BoolExpr]uint8),
+	}
+	fcount := make(map[string]int)
+	for fn, apps := range FuncApps(f, 0) {
+		fcount[fn] = len(apps)
+	}
+	pcount := make(map[string]int)
+	for pn, apps := range PredApps(f, 0) {
+		pcount[pn] = len(apps)
+	}
+
+	// visitedB[e] is the polarity set already propagated through e; bit
+	// vanB marks a traversal in vanished mode.
+	const (
+		posP uint8 = 1
+		posG uint8 = 2
+		vanB uint8 = 4
+	)
+	visitedB := make(map[*BoolExpr]uint8)
+	visitedI := make(map[*IntExpr]uint8)
+
+	var walkB func(e *BoolExpr, pol uint8, vanished bool)
+	var walkI func(e *IntExpr, gpos, vanished bool)
+
+	// walkArgs handles the arguments of an application during elimination:
+	// a symbol with ≥2 applications gets argument-comparison equalities
+	// inside ITE selection conditions — both-polarity positions — and those
+	// comparisons RESURRECT the argument terms even when the application
+	// itself sits inside a region that vanishes (a single-application
+	// argument). A single application's arguments genuinely vanish, but must
+	// still be traversed in vanished mode to find resurrectable
+	// multi-application symbols nested inside them.
+	walkArgs := func(args []*IntExpr, multi bool) {
+		for _, a := range args {
+			if multi {
+				walkI(a, true, false)
+			} else {
+				walkI(a, false, true)
+			}
+		}
+	}
+
+	walkI = func(e *IntExpr, gpos, vanished bool) {
+		var bit uint8
+		switch {
+		case vanished:
+			bit = vanB
+		case gpos:
+			bit = posG
+		default:
+			bit = posP
+		}
+		if visitedI[e]&bit != 0 {
+			return
+		}
+		visitedI[e] |= bit
+		switch e.kind {
+		case IFunc:
+			if !vanished {
+				if gpos {
+					c.GFuncs[e.fn] = true
+				} else {
+					c.PFuncs[e.fn] = true
+				}
+			}
+			walkArgs(e.args, fcount[e.fn] >= 2)
+		case ISucc, IPred:
+			walkI(e.a, gpos, vanished)
+		case IIte:
+			if vanished {
+				walkB(e.cond, 0, true)
+			} else {
+				walkB(e.cond, PolPos|PolNeg, false)
+			}
+			walkI(e.a, gpos, vanished)
+			walkI(e.b, gpos, vanished)
+		}
+	}
+
+	walkB = func(e *BoolExpr, pol uint8, vanished bool) {
+		bits := pol
+		if vanished {
+			bits = vanB
+		}
+		if visitedB[e]&bits == bits {
+			return
+		}
+		visitedB[e] |= bits
+		switch e.kind {
+		case BTrue, BFalse:
+		case BNot:
+			walkB(e.l, flipPol(pol), vanished)
+		case BAnd, BOr:
+			walkB(e.l, pol, vanished)
+			walkB(e.r, pol, vanished)
+		case BEq:
+			if vanished {
+				walkI(e.t1, false, true)
+				walkI(e.t2, false, true)
+				break
+			}
+			c.EqPol[e] |= pol
+			g := pol != PolPos // anything but pure-positive is a general position
+			walkI(e.t1, g, false)
+			walkI(e.t2, g, false)
+		case BLt:
+			walkI(e.t1, !vanished, vanished)
+			walkI(e.t2, !vanished, vanished)
+		case BPred:
+			walkArgs(e.args, pcount[e.pn] >= 2)
+		}
+	}
+
+	walkB(f, PolPos, false)
+
+	// A symbol marked general anywhere is general everywhere.
+	for fn := range c.GFuncs {
+		delete(c.PFuncs, fn)
+	}
+	return c
+}
+
+func flipPol(pol uint8) uint8 {
+	var out uint8
+	if pol&PolPos != 0 {
+		out |= PolNeg
+	}
+	if pol&PolNeg != 0 {
+		out |= PolPos
+	}
+	return out
+}

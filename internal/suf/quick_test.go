@@ -1,0 +1,207 @@
+package suf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// interpFromSeed builds a deterministic random interpretation.
+func interpFromSeed(seed int64) *Interp {
+	return RandomInterp(rand.New(rand.NewSource(seed)), 9)
+}
+
+// TestQuickRelationalDualities checks the derived relational builders
+// semantically: Le/Gt/Ge are definitional rewrites of Lt.
+func TestQuickRelationalDualities(t *testing.T) {
+	f := func(seed, iseed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		t1 := randomTermQ(rng, b, 3)
+		t2 := randomTermQ(rng, b, 3)
+		it := interpFromSeed(iseed)
+		v1, v2 := EvalInt(t1, it), EvalInt(t2, it)
+		return EvalBool(b.Le(t1, t2), it) == (v1 <= v2) &&
+			EvalBool(b.Gt(t1, t2), it) == (v1 > v2) &&
+			EvalBool(b.Ge(t1, t2), it) == (v1 >= v2) &&
+			EvalBool(b.Lt(t1, t2), it) == (v1 < v2) &&
+			EvalBool(b.Eq(t1, t2), it) == (v1 == v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOffsetAdditivity: Offset composes additively and matches
+// arithmetic under evaluation.
+func TestQuickOffsetAdditivity(t *testing.T) {
+	f := func(seed, iseed int64, a, c int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		tm := randomTermQ(rng, b, 2)
+		ka, kc := int(a%16), int(c%16)
+		it := interpFromSeed(iseed)
+		lhs := b.Offset(b.Offset(tm, ka), kc)
+		rhs := b.Offset(tm, ka+kc)
+		if lhs != rhs {
+			return false // hash-consed additivity
+		}
+		return EvalInt(lhs, it) == EvalInt(tm, it)+int64(ka)+int64(kc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConnectiveSemantics: the Boolean builders agree with Go's
+// operators under random interpretations.
+func TestQuickConnectiveSemantics(t *testing.T) {
+	f := func(seed, iseed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		p := randomFormulaQ(rng, b, 3)
+		q := randomFormulaQ(rng, b, 3)
+		it := interpFromSeed(iseed)
+		vp, vq := EvalBool(p, it), EvalBool(q, it)
+		return EvalBool(b.And(p, q), it) == (vp && vq) &&
+			EvalBool(b.Or(p, q), it) == (vp || vq) &&
+			EvalBool(b.Not(p), it) == !vp &&
+			EvalBool(b.Implies(p, q), it) == (!vp || vq) &&
+			EvalBool(b.Iff(p, q), it) == (vp == vq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrintParseRoundTrip: printing and reparsing any generated formula
+// yields the identical hash-consed node.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		p := randomFormulaQ(rng, b, 4)
+		q, err := Parse(p.String(), b)
+		return err == nil && p == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickClassifyConservative: removing a symbol from V_p is always safe,
+// so the classification must never mark a symbol p when it occurs under an
+// inequality — the easiest-to-state necessary condition.
+func TestQuickClassifyNoPUnderLt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		p := randomFormulaQ(rng, b, 4)
+		cl := Classify(p)
+		// Find every function symbol syntactically under an Lt and check it
+		// is classified general (if it also has value occurrences; vanished
+		// occurrences are exempt, so restrict to direct Lt operands).
+		bad := false
+		seen := make(map[*BoolExpr]bool)
+		var walk func(*BoolExpr)
+		var mark func(*IntExpr)
+		mark = func(tm *IntExpr) {
+			switch tm.Kind() {
+			case IFunc:
+				if cl.IsP(tm.FuncName()) {
+					bad = true
+				}
+			case ISucc, IPred:
+				a, _ := tm.Branches()
+				mark(a)
+			case IIte:
+				a, e := tm.Branches()
+				mark(a)
+				mark(e)
+			}
+		}
+		walk = func(e *BoolExpr) {
+			if e == nil || seen[e] {
+				return
+			}
+			seen[e] = true
+			switch e.Kind() {
+			case BLt:
+				t1, t2 := e.Terms()
+				mark(t1)
+				mark(t2)
+				// Lt operands' ITE conditions contain further formulas.
+				var conds func(*IntExpr)
+				conds = func(tm *IntExpr) {
+					if tm.Kind() == IIte {
+						walk(tm.Cond())
+						a, el := tm.Branches()
+						conds(a)
+						conds(el)
+					}
+				}
+				conds(t1)
+				conds(t2)
+			case BEq:
+				t1, t2 := e.Terms()
+				var conds func(*IntExpr)
+				conds = func(tm *IntExpr) {
+					if tm.Kind() == IIte {
+						walk(tm.Cond())
+						a, el := tm.Branches()
+						conds(a)
+						conds(el)
+					}
+				}
+				conds(t1)
+				conds(t2)
+			default:
+				l, r := e.BoolChildren()
+				walk(l)
+				walk(r)
+			}
+		}
+		walk(p)
+		return !bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTermQ(rng *rand.Rand, b *Builder, d int) *IntExpr {
+	if d == 0 || rng.Intn(3) == 0 {
+		return b.Offset(b.Sym(string(rune('u'+rng.Intn(4)))), rng.Intn(5)-2)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return b.Fn(string(rune('f'+rng.Intn(2))), randomTermQ(rng, b, d-1))
+	case 1:
+		return b.Ite(randomFormulaQ(rng, b, d-1), randomTermQ(rng, b, d-1), randomTermQ(rng, b, d-1))
+	default:
+		return b.Offset(randomTermQ(rng, b, d-1), rng.Intn(3)-1)
+	}
+}
+
+func randomFormulaQ(rng *rand.Rand, b *Builder, d int) *BoolExpr {
+	if d == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return b.Eq(randomTermQ(rng, b, d), randomTermQ(rng, b, d))
+		case 1:
+			return b.Lt(randomTermQ(rng, b, d), randomTermQ(rng, b, d))
+		case 2:
+			return b.PredApp("q", randomTermQ(rng, b, d))
+		default:
+			return b.BoolSym("s")
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return b.Not(randomFormulaQ(rng, b, d-1))
+	case 1:
+		return b.And(randomFormulaQ(rng, b, d-1), randomFormulaQ(rng, b, d-1))
+	default:
+		return b.Or(randomFormulaQ(rng, b, d-1), randomFormulaQ(rng, b, d-1))
+	}
+}

@@ -1,0 +1,92 @@
+package suf
+
+// Subst maps symbolic constants to integer terms and symbolic Boolean
+// constants to formulas. Symbols absent from the maps are left unchanged.
+// Applications of positive arity are rebuilt with substituted arguments (the
+// function symbols themselves are not substitutable).
+type Subst struct {
+	Int  map[string]*IntExpr
+	Bool map[string]*BoolExpr
+}
+
+// ApplyBool substitutes through f, rebuilding in b.
+func (s *Subst) ApplyBool(f *BoolExpr, b *Builder) *BoolExpr {
+	memoB := make(map[*BoolExpr]*BoolExpr)
+	memoI := make(map[*IntExpr]*IntExpr)
+	return s.applyB(f, b, memoB, memoI)
+}
+
+// ApplyInt substitutes through t, rebuilding in b.
+func (s *Subst) ApplyInt(t *IntExpr, b *Builder) *IntExpr {
+	memoB := make(map[*BoolExpr]*BoolExpr)
+	memoI := make(map[*IntExpr]*IntExpr)
+	return s.applyI(t, b, memoB, memoI)
+}
+
+func (s *Subst) applyI(t *IntExpr, b *Builder, mb map[*BoolExpr]*BoolExpr, mi map[*IntExpr]*IntExpr) *IntExpr {
+	if r, ok := mi[t]; ok {
+		return r
+	}
+	var r *IntExpr
+	switch t.kind {
+	case IFunc:
+		if len(t.args) == 0 {
+			if rep, ok := s.Int[t.fn]; ok {
+				r = rep
+			} else {
+				r = t
+			}
+			break
+		}
+		args := make([]*IntExpr, len(t.args))
+		for i, a := range t.args {
+			args[i] = s.applyI(a, b, mb, mi)
+		}
+		r = b.Fn(t.fn, args...)
+	case ISucc:
+		r = b.Succ(s.applyI(t.a, b, mb, mi))
+	case IPred:
+		r = b.Pred(s.applyI(t.a, b, mb, mi))
+	case IIte:
+		r = b.Ite(s.applyB(t.cond, b, mb, mi), s.applyI(t.a, b, mb, mi), s.applyI(t.b, b, mb, mi))
+	}
+	mi[t] = r
+	return r
+}
+
+func (s *Subst) applyB(f *BoolExpr, b *Builder, mb map[*BoolExpr]*BoolExpr, mi map[*IntExpr]*IntExpr) *BoolExpr {
+	if r, ok := mb[f]; ok {
+		return r
+	}
+	var r *BoolExpr
+	switch f.kind {
+	case BTrue, BFalse:
+		r = f
+	case BNot:
+		r = b.Not(s.applyB(f.l, b, mb, mi))
+	case BAnd:
+		r = b.And(s.applyB(f.l, b, mb, mi), s.applyB(f.r, b, mb, mi))
+	case BOr:
+		r = b.Or(s.applyB(f.l, b, mb, mi), s.applyB(f.r, b, mb, mi))
+	case BEq:
+		r = b.Eq(s.applyI(f.t1, b, mb, mi), s.applyI(f.t2, b, mb, mi))
+	case BLt:
+		r = b.Lt(s.applyI(f.t1, b, mb, mi), s.applyI(f.t2, b, mb, mi))
+	case BPred:
+		if len(f.args) == 0 {
+			if rep, ok := s.Bool[f.pn]; ok {
+				r = rep
+			} else {
+				r = f
+			}
+			break
+		}
+		args := make([]*IntExpr, len(f.args))
+		for i, a := range f.args {
+			args[i] = s.applyI(a, b, mb, mi)
+		}
+		r = b.PredApp(f.pn, args...)
+	}
+	mb[f] = r
+	return r
+}

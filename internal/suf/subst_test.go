@@ -1,0 +1,75 @@
+package suf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubstBasics(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Sym("x"), b.Sym("y")
+	f := b.And(b.Lt(x, y), b.BoolSym("p"))
+	s := &Subst{
+		Int:  map[string]*IntExpr{"x": b.Succ(y)},
+		Bool: map[string]*BoolExpr{"p": b.Eq(y, y)},
+	}
+	got := s.ApplyBool(f, b)
+	// x ↦ y+1, p ↦ true: (y+1 < y) ∧ true = (y+1 < y)
+	want := b.Lt(b.Succ(y), y)
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSubstThroughApplications(t *testing.T) {
+	b := NewBuilder()
+	x, z := b.Sym("x"), b.Sym("z")
+	f := b.Eq(b.Fn("f", x, b.Ite(b.BoolSym("c"), x, z)), z)
+	s := &Subst{Int: map[string]*IntExpr{"x": b.Offset(z, 2)}}
+	got := s.ApplyBool(f, b)
+	want := b.Eq(b.Fn("f", b.Offset(z, 2), b.Ite(b.BoolSym("c"), b.Offset(z, 2), z)), z)
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSubstIdentityIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	empty := &Subst{Int: map[string]*IntExpr{}, Bool: map[string]*BoolExpr{}}
+	for i := 0; i < 50; i++ {
+		b := NewBuilder()
+		f := randomFormulaQ(rng, b, 4)
+		if empty.ApplyBool(f, b) != f {
+			t.Fatalf("identity substitution changed %v", f)
+		}
+	}
+}
+
+// TestQuickSubstSemantics: substitution commutes with evaluation —
+// eval(f[x := t], I) == eval(f, I[x := eval(t, I)]).
+func TestQuickSubstSemantics(t *testing.T) {
+	prop := func(seed, iseed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		f := randomFormulaQ(rng, b, 4)
+		repl := randomTermQ(rng, b, 2)
+		s := &Subst{Int: map[string]*IntExpr{"u": repl}}
+
+		base := interpFromSeed(iseed)
+		replVal := EvalInt(repl, base)
+		patched := &Interp{
+			Fn: func(name string, args []int64) int64 {
+				if name == "u" && len(args) == 0 {
+					return replVal
+				}
+				return base.Fn(name, args)
+			},
+			Pred: base.Pred,
+		}
+		return EvalBool(s.ApplyBool(f, b), base) == EvalBool(f, patched)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

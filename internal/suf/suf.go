@@ -1,0 +1,511 @@
+// Package suf implements the logic of Separation predicates and
+// Uninterpreted Functions (SUF) from the paper: Boolean expressions built
+// from equalities, inequalities and applications of uninterpreted predicates
+// over integer expressions built from uninterpreted functions, succ ("+1"),
+// pred ("−1") and ITE.
+//
+// Expressions are immutable, hash-consed DAG nodes created through a Builder:
+// structurally identical expressions from the same Builder are pointer-equal,
+// and DAG node counts (the paper's formula-size measure) are well defined.
+package suf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IntKind enumerates integer expression kinds.
+type IntKind uint8
+
+// Integer expression kinds.
+const (
+	IFunc IntKind = iota // function application; zero arity = symbolic constant
+	ISucc                // +1
+	IPred                // −1
+	IIte                 // if-then-else
+)
+
+// BoolKind enumerates Boolean expression kinds.
+type BoolKind uint8
+
+// Boolean expression kinds.
+const (
+	BTrue BoolKind = iota
+	BFalse
+	BNot
+	BAnd
+	BOr
+	BEq   // int = int
+	BLt   // int < int
+	BPred // predicate application; zero arity = symbolic Boolean constant
+)
+
+// IntExpr is an integer-valued SUF expression.
+type IntExpr struct {
+	kind IntKind
+	id   int32
+	fn   string     // IFunc
+	args []*IntExpr // IFunc
+	cond *BoolExpr  // IIte
+	a, b *IntExpr   // ISucc/IPred use a; IIte uses a (then) and b (else)
+}
+
+// Kind returns the node kind.
+func (e *IntExpr) Kind() IntKind { return e.kind }
+
+// ID returns a builder-unique identifier.
+func (e *IntExpr) ID() int32 { return e.id }
+
+// FuncName returns the applied function symbol (IFunc only).
+func (e *IntExpr) FuncName() string { return e.fn }
+
+// Args returns the argument list (IFunc only). Callers must not modify it.
+func (e *IntExpr) Args() []*IntExpr { return e.args }
+
+// Cond returns the ITE condition (IIte only).
+func (e *IntExpr) Cond() *BoolExpr { return e.cond }
+
+// Branches returns the then/else branches (IIte) or the single operand in a
+// (ISucc/IPred).
+func (e *IntExpr) Branches() (a, b *IntExpr) { return e.a, e.b }
+
+// BoolExpr is a Boolean-valued SUF expression.
+type BoolExpr struct {
+	kind   BoolKind
+	id     int32
+	pn     string     // BPred
+	args   []*IntExpr // BPred
+	l, r   *BoolExpr  // BNot uses l; BAnd/BOr use l and r
+	t1, t2 *IntExpr   // BEq/BLt
+}
+
+// Kind returns the node kind.
+func (e *BoolExpr) Kind() BoolKind { return e.kind }
+
+// ID returns a builder-unique identifier.
+func (e *BoolExpr) ID() int32 { return e.id }
+
+// PredName returns the applied predicate symbol (BPred only).
+func (e *BoolExpr) PredName() string { return e.pn }
+
+// Args returns the argument list (BPred only). Callers must not modify it.
+func (e *BoolExpr) Args() []*IntExpr { return e.args }
+
+// BoolChildren returns the Boolean operands (BNot uses only l).
+func (e *BoolExpr) BoolChildren() (l, r *BoolExpr) { return e.l, e.r }
+
+// Terms returns the compared integer operands (BEq/BLt only).
+func (e *BoolExpr) Terms() (t1, t2 *IntExpr) { return e.t1, e.t2 }
+
+// Builder hash-conses SUF expressions.
+type Builder struct {
+	t, f   *BoolExpr
+	ints   map[string]*IntExpr
+	bools  map[string]*BoolExpr
+	nextID int32
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	b := &Builder{
+		ints:  make(map[string]*IntExpr),
+		bools: make(map[string]*BoolExpr),
+	}
+	b.t = b.consBool("T", &BoolExpr{kind: BTrue})
+	b.f = b.consBool("F", &BoolExpr{kind: BFalse})
+	return b
+}
+
+func (b *Builder) consInt(key string, e *IntExpr) *IntExpr {
+	if n, ok := b.ints[key]; ok {
+		return n
+	}
+	e.id = b.nextID
+	b.nextID++
+	b.ints[key] = e
+	return e
+}
+
+func (b *Builder) consBool(key string, e *BoolExpr) *BoolExpr {
+	if n, ok := b.bools[key]; ok {
+		return n
+	}
+	e.id = b.nextID
+	b.nextID++
+	b.bools[key] = e
+	return e
+}
+
+// NumNodes returns the number of distinct nodes created so far.
+func (b *Builder) NumNodes() int { return int(b.nextID) }
+
+// Sym returns the symbolic constant (zero-arity function) named name.
+func (b *Builder) Sym(name string) *IntExpr { return b.Fn(name) }
+
+// Fn returns the application of function symbol name to args.
+func (b *Builder) Fn(name string, args ...*IntExpr) *IntExpr {
+	cp := make([]*IntExpr, len(args))
+	copy(cp, args)
+	return b.consInt(appKey("f", name, args), &IntExpr{kind: IFunc, fn: name, args: cp})
+}
+
+// appKey builds a collision-free hash-consing key for an application: the
+// name is length-prefixed so adversarial symbol names (containing ':' or
+// digits) cannot alias a different (name, argument) split.
+func appKey(tag, name string, args []*IntExpr) string {
+	var sb strings.Builder
+	sb.WriteString(tag)
+	sb.WriteString(strconv.Itoa(len(name)))
+	sb.WriteByte('!')
+	sb.WriteString(name)
+	for _, a := range args {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(int(a.id)))
+	}
+	return sb.String()
+}
+
+// Succ returns t+1.
+func (b *Builder) Succ(t *IntExpr) *IntExpr {
+	// succ(pred(T)) → T
+	if t.kind == IPred {
+		return t.a
+	}
+	return b.consInt("s:"+strconv.Itoa(int(t.id)), &IntExpr{kind: ISucc, a: t})
+}
+
+// Pred returns t−1.
+func (b *Builder) Pred(t *IntExpr) *IntExpr {
+	// pred(succ(T)) → T
+	if t.kind == ISucc {
+		return t.a
+	}
+	return b.consInt("p:"+strconv.Itoa(int(t.id)), &IntExpr{kind: IPred, a: t})
+}
+
+// Offset returns t+k (k may be negative), as a succ/pred chain.
+func (b *Builder) Offset(t *IntExpr, k int) *IntExpr {
+	for ; k > 0; k-- {
+		t = b.Succ(t)
+	}
+	for ; k < 0; k++ {
+		t = b.Pred(t)
+	}
+	return t
+}
+
+// Ite returns ITE(c, t, e).
+func (b *Builder) Ite(c *BoolExpr, t, e *IntExpr) *IntExpr {
+	if c.kind == BTrue {
+		return t
+	}
+	if c.kind == BFalse {
+		return e
+	}
+	if t == e {
+		return t
+	}
+	key := "i:" + strconv.Itoa(int(c.id)) + ":" + strconv.Itoa(int(t.id)) + ":" + strconv.Itoa(int(e.id))
+	return b.consInt(key, &IntExpr{kind: IIte, cond: c, a: t, b: e})
+}
+
+// True returns the Boolean constant true.
+func (b *Builder) True() *BoolExpr { return b.t }
+
+// False returns the Boolean constant false.
+func (b *Builder) False() *BoolExpr { return b.f }
+
+// Const returns the Boolean constant for v.
+func (b *Builder) Const(v bool) *BoolExpr {
+	if v {
+		return b.t
+	}
+	return b.f
+}
+
+// Not returns ¬x.
+func (b *Builder) Not(x *BoolExpr) *BoolExpr {
+	switch x.kind {
+	case BTrue:
+		return b.f
+	case BFalse:
+		return b.t
+	case BNot:
+		return x.l
+	}
+	return b.consBool("n:"+strconv.Itoa(int(x.id)), &BoolExpr{kind: BNot, l: x})
+}
+
+// And returns x ∧ y.
+func (b *Builder) And(x, y *BoolExpr) *BoolExpr {
+	switch {
+	case x.kind == BFalse || y.kind == BFalse:
+		return b.f
+	case x.kind == BTrue:
+		return y
+	case y.kind == BTrue:
+		return x
+	case x == y:
+		return x
+	}
+	if x.id > y.id {
+		x, y = y, x
+	}
+	key := "a:" + strconv.Itoa(int(x.id)) + ":" + strconv.Itoa(int(y.id))
+	return b.consBool(key, &BoolExpr{kind: BAnd, l: x, r: y})
+}
+
+// Or returns x ∨ y.
+func (b *Builder) Or(x, y *BoolExpr) *BoolExpr {
+	switch {
+	case x.kind == BTrue || y.kind == BTrue:
+		return b.t
+	case x.kind == BFalse:
+		return y
+	case y.kind == BFalse:
+		return x
+	case x == y:
+		return x
+	}
+	if x.id > y.id {
+		x, y = y, x
+	}
+	key := "o:" + strconv.Itoa(int(x.id)) + ":" + strconv.Itoa(int(y.id))
+	return b.consBool(key, &BoolExpr{kind: BOr, l: x, r: y})
+}
+
+// AndN folds And over xs (true for the empty list).
+func (b *Builder) AndN(xs ...*BoolExpr) *BoolExpr {
+	r := b.t
+	for _, x := range xs {
+		r = b.And(r, x)
+	}
+	return r
+}
+
+// OrN folds Or over xs (false for the empty list).
+func (b *Builder) OrN(xs ...*BoolExpr) *BoolExpr {
+	r := b.f
+	for _, x := range xs {
+		r = b.Or(r, x)
+	}
+	return r
+}
+
+// Implies returns x → y.
+func (b *Builder) Implies(x, y *BoolExpr) *BoolExpr { return b.Or(b.Not(x), y) }
+
+// Iff returns x ↔ y.
+func (b *Builder) Iff(x, y *BoolExpr) *BoolExpr {
+	return b.And(b.Implies(x, y), b.Implies(y, x))
+}
+
+// Eq returns t1 = t2.
+func (b *Builder) Eq(t1, t2 *IntExpr) *BoolExpr {
+	if t1 == t2 {
+		return b.t
+	}
+	key := "e:" + strconv.Itoa(int(t1.id)) + ":" + strconv.Itoa(int(t2.id))
+	return b.consBool(key, &BoolExpr{kind: BEq, t1: t1, t2: t2})
+}
+
+// Lt returns t1 < t2.
+func (b *Builder) Lt(t1, t2 *IntExpr) *BoolExpr {
+	if t1 == t2 {
+		return b.f
+	}
+	key := "l:" + strconv.Itoa(int(t1.id)) + ":" + strconv.Itoa(int(t2.id))
+	return b.consBool(key, &BoolExpr{kind: BLt, t1: t1, t2: t2})
+}
+
+// Le returns t1 ≤ t2, i.e. ¬(t2 < t1).
+func (b *Builder) Le(t1, t2 *IntExpr) *BoolExpr { return b.Not(b.Lt(t2, t1)) }
+
+// Gt returns t1 > t2.
+func (b *Builder) Gt(t1, t2 *IntExpr) *BoolExpr { return b.Lt(t2, t1) }
+
+// Ge returns t1 ≥ t2.
+func (b *Builder) Ge(t1, t2 *IntExpr) *BoolExpr { return b.Le(t2, t1) }
+
+// PredApp returns the application of predicate symbol name to args.
+func (b *Builder) PredApp(name string, args ...*IntExpr) *BoolExpr {
+	cp := make([]*IntExpr, len(args))
+	copy(cp, args)
+	return b.consBool(appKey("P", name, args), &BoolExpr{kind: BPred, pn: name, args: cp})
+}
+
+// BoolSym returns the symbolic Boolean constant (zero-arity predicate) name.
+func (b *Builder) BoolSym(name string) *BoolExpr { return b.PredApp(name) }
+
+// CountNodes returns the number of DAG nodes (integer and Boolean) reachable
+// from f — the paper's formula-size measure.
+func CountNodes(f *BoolExpr) int {
+	seenB := make(map[*BoolExpr]bool)
+	seenI := make(map[*IntExpr]bool)
+	var recB func(*BoolExpr)
+	var recI func(*IntExpr)
+	recI = func(e *IntExpr) {
+		if e == nil || seenI[e] {
+			return
+		}
+		seenI[e] = true
+		for _, a := range e.args {
+			recI(a)
+		}
+		recB(e.cond)
+		recI(e.a)
+		recI(e.b)
+	}
+	recB = func(e *BoolExpr) {
+		if e == nil || seenB[e] {
+			return
+		}
+		seenB[e] = true
+		for _, a := range e.args {
+			recI(a)
+		}
+		recB(e.l)
+		recB(e.r)
+		recI(e.t1)
+		recI(e.t2)
+	}
+	recB(f)
+	return len(seenB) + len(seenI)
+}
+
+// App is one occurrence of an uninterpreted function or predicate symbol.
+type App struct {
+	IntApp  *IntExpr  // non-nil for function applications
+	BoolApp *BoolExpr // non-nil for predicate applications
+}
+
+// FuncApps returns, for each function symbol with arity ≥ minArity, its
+// distinct applications in first-encountered DFS order.
+func FuncApps(f *BoolExpr, minArity int) map[string][]*IntExpr {
+	out := make(map[string][]*IntExpr)
+	seenB := make(map[*BoolExpr]bool)
+	seenI := make(map[*IntExpr]bool)
+	var recB func(*BoolExpr)
+	var recI func(*IntExpr)
+	recI = func(e *IntExpr) {
+		if e == nil || seenI[e] {
+			return
+		}
+		seenI[e] = true
+		if e.kind == IFunc && len(e.args) >= minArity {
+			out[e.fn] = append(out[e.fn], e)
+		}
+		for _, a := range e.args {
+			recI(a)
+		}
+		recB(e.cond)
+		recI(e.a)
+		recI(e.b)
+	}
+	recB = func(e *BoolExpr) {
+		if e == nil || seenB[e] {
+			return
+		}
+		seenB[e] = true
+		for _, a := range e.args {
+			recI(a)
+		}
+		recB(e.l)
+		recB(e.r)
+		recI(e.t1)
+		recI(e.t2)
+	}
+	recB(f)
+	return out
+}
+
+// PredApps returns, for each predicate symbol with arity ≥ minArity, its
+// distinct applications in first-encountered DFS order.
+func PredApps(f *BoolExpr, minArity int) map[string][]*BoolExpr {
+	out := make(map[string][]*BoolExpr)
+	seenB := make(map[*BoolExpr]bool)
+	seenI := make(map[*IntExpr]bool)
+	var recB func(*BoolExpr)
+	var recI func(*IntExpr)
+	recI = func(e *IntExpr) {
+		if e == nil || seenI[e] {
+			return
+		}
+		seenI[e] = true
+		for _, a := range e.args {
+			recI(a)
+		}
+		recB(e.cond)
+		recI(e.a)
+		recI(e.b)
+	}
+	recB = func(e *BoolExpr) {
+		if e == nil || seenB[e] {
+			return
+		}
+		seenB[e] = true
+		if e.kind == BPred && len(e.args) >= minArity {
+			out[e.pn] = append(out[e.pn], e)
+		}
+		for _, a := range e.args {
+			recI(a)
+		}
+		recB(e.l)
+		recB(e.r)
+		recI(e.t1)
+		recI(e.t2)
+	}
+	recB(f)
+	return out
+}
+
+func (e *IntExpr) String() string {
+	switch e.kind {
+	case IFunc:
+		if len(e.args) == 0 {
+			return e.fn
+		}
+		parts := make([]string, len(e.args))
+		for i, a := range e.args {
+			parts[i] = a.String()
+		}
+		return fmt.Sprintf("(%s %s)", e.fn, strings.Join(parts, " "))
+	case ISucc:
+		return fmt.Sprintf("(succ %s)", e.a)
+	case IPred:
+		return fmt.Sprintf("(pred %s)", e.a)
+	case IIte:
+		return fmt.Sprintf("(ite %s %s %s)", e.cond, e.a, e.b)
+	}
+	return "?"
+}
+
+func (e *BoolExpr) String() string {
+	switch e.kind {
+	case BTrue:
+		return "true"
+	case BFalse:
+		return "false"
+	case BNot:
+		return fmt.Sprintf("(not %s)", e.l)
+	case BAnd:
+		return fmt.Sprintf("(and %s %s)", e.l, e.r)
+	case BOr:
+		return fmt.Sprintf("(or %s %s)", e.l, e.r)
+	case BEq:
+		return fmt.Sprintf("(= %s %s)", e.t1, e.t2)
+	case BLt:
+		return fmt.Sprintf("(< %s %s)", e.t1, e.t2)
+	case BPred:
+		if len(e.args) == 0 {
+			return e.pn
+		}
+		parts := make([]string, len(e.args))
+		for i, a := range e.args {
+			parts[i] = a.String()
+		}
+		return fmt.Sprintf("(%s %s)", e.pn, strings.Join(parts, " "))
+	}
+	return "?"
+}

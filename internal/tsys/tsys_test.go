@@ -1,0 +1,201 @@
+package tsys
+
+import (
+	"testing"
+	"time"
+
+	"sufsat/internal/core"
+	"sufsat/internal/suf"
+)
+
+func opts() core.Options { return DefaultOptions(30 * time.Second) }
+
+// ticketLock builds the ticket-lock system: acquire draws a ticket
+// (next_ticket++), release advances service (now_serving++) but only while
+// tickets are outstanding. guardedRelease=false models the classic bug of
+// releasing unconditionally.
+func ticketLock(guardedRelease bool) (*System, *suf.BoolExpr) {
+	b := suf.NewBuilder()
+	s := NewSystem(b)
+	nt := s.IntVar("next_ticket")
+	ns := s.IntVar("now_serving")
+	acq := s.BoolInput("acquire")
+	rel := s.BoolInput("release")
+
+	s.SetNext("next_ticket", b.Ite(acq, b.Succ(nt), nt))
+	relOK := rel
+	if guardedRelease {
+		relOK = b.And(rel, b.Lt(ns, nt))
+	}
+	s.SetNext("now_serving", b.Ite(relOK, b.Succ(ns), ns))
+	s.SetInit(b.Eq(nt, ns))
+
+	inv := b.Le(ns, nt) // safety: service never passes the ticket counter
+	return s, inv
+}
+
+func TestTicketLockInductive(t *testing.T) {
+	s, inv := ticketLock(true)
+	res, err := s.CheckInductive(inv, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("guarded ticket lock invariant must be inductive: %+v", res)
+	}
+}
+
+func TestTicketLockBuggyNotInductive(t *testing.T) {
+	s, inv := ticketLock(false)
+	res, err := s.CheckInductive(inv, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("unguarded release must break inductiveness")
+	}
+	if res.Model == nil {
+		t.Fatal("failed check must carry a model")
+	}
+}
+
+func TestTicketLockBMC(t *testing.T) {
+	good, inv := ticketLock(true)
+	res, err := good.BMC(inv, 4, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("guarded lock violated at step %d", res.Step)
+	}
+
+	bad, badInv := ticketLock(false)
+	res, err = bad.BMC(badInv, 4, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("BMC must find the unguarded-release violation")
+	}
+	if res.Step != 1 {
+		t.Fatalf("violation at step %d, want 1 (one release from the empty state)", res.Step)
+	}
+	if res.Model == nil {
+		t.Fatal("violation must carry a model")
+	}
+}
+
+func TestBMCDepthZeroChecksInit(t *testing.T) {
+	b := suf.NewBuilder()
+	s := NewSystem(b)
+	x := s.IntVar("x")
+	s.SetNext("x", x)
+	s.SetInit(b.Lt(x, b.Sym("bound")))
+	// Property x < bound holds at step 0 by init…
+	res, err := s.BMC(b.Lt(x, b.Sym("bound")), 0, opts())
+	if err != nil || !res.Holds {
+		t.Fatalf("init-implied property must hold at depth 0: %+v %v", res, err)
+	}
+	// …but x < bound − 1 does not.
+	res, err = s.BMC(b.Lt(x, b.Offset(b.Sym("bound"), -1)), 0, opts())
+	if err != nil || res.Holds {
+		t.Fatalf("too-strong property must fail at depth 0: %+v %v", res, err)
+	}
+}
+
+func TestMissingNextIsAnError(t *testing.T) {
+	b := suf.NewBuilder()
+	s := NewSystem(b)
+	x := s.IntVar("x")
+	s.SetInit(b.Eq(x, x))
+	if _, err := s.BMC(b.True(), 1, opts()); err == nil {
+		t.Fatal("expected error for missing next-state expression")
+	}
+}
+
+// TestUFDatapathSystem exercises uninterpreted functions in updates: an
+// accumulator register folding an uninterpreted operation never equals a
+// value it provably differs from.
+func TestUFDatapathSystem(t *testing.T) {
+	b := suf.NewBuilder()
+	s := NewSystem(b)
+	acc := s.IntVar("acc")
+	in := s.IntInput("in")
+	s.SetNext("acc", b.Fn("op", acc, in))
+	s.SetInit(b.Eq(acc, b.Sym("seed")))
+
+	// Property: the accumulator equals itself — trivially valid at any depth
+	// but exercises the UF unrolling (op(op(seed, in@0), in@1) …).
+	res, err := s.BMC(b.Eq(acc, acc), 3, opts())
+	if err != nil || !res.Holds {
+		t.Fatalf("trivial property failed: %+v %v", res, err)
+	}
+	// Property: acc = seed — holds at step 0, fails at step 1 (op is
+	// uninterpreted, so nothing forces op(seed, i) = seed).
+	res, err = s.BMC(b.Eq(acc, b.Sym("seed")), 3, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || res.Step != 1 {
+		t.Fatalf("expected violation at step 1, got %+v", res)
+	}
+}
+
+// TestBoolStateVariable drives a Boolean mode flag through the unrolling.
+func TestBoolStateVariable(t *testing.T) {
+	b := suf.NewBuilder()
+	s := NewSystem(b)
+	busy := s.BoolVar("busy")
+	start := s.BoolInput("start")
+	// Once busy, always busy (latch).
+	s.SetNextBool("busy", b.Or(busy, start))
+	s.SetInit(busy)
+
+	res, err := s.BMC(busy, 3, opts())
+	if err != nil || !res.Holds {
+		t.Fatalf("latched flag must stay set: %+v %v", res, err)
+	}
+	inv, err := s.CheckInductive(busy, opts())
+	if err != nil || !inv.Holds {
+		t.Fatalf("busy latch must be inductive: %+v %v", inv, err)
+	}
+}
+
+func TestBMCTrace(t *testing.T) {
+	s, inv := ticketLock(false)
+	res, err := s.BMC(inv, 4, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("buggy lock must fail")
+	}
+	if len(res.Trace) != res.Step+1 {
+		t.Fatalf("trace length = %d, want %d", len(res.Trace), res.Step+1)
+	}
+	// Step 0 starts balanced (init), the input is a release, and the final
+	// state violates now_serving ≤ next_ticket.
+	first := res.Trace[0]
+	if first.Ints["now_serving"] != first.Ints["next_ticket"] {
+		t.Fatalf("initial state must satisfy init: %+v", first)
+	}
+	if !first.InBool["release"] {
+		t.Fatalf("the violating trace must release at step 0: %+v", first)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Ints["now_serving"] <= last.Ints["next_ticket"] {
+		t.Fatalf("final state must violate the invariant: %+v", last)
+	}
+	// Consecutive states obey the transition relation for this system.
+	for j := 0; j+1 < len(res.Trace); j++ {
+		cur, next := res.Trace[j], res.Trace[j+1]
+		wantNS := cur.Ints["now_serving"]
+		if cur.InBool["release"] {
+			wantNS++
+		}
+		if next.Ints["now_serving"] != wantNS {
+			t.Fatalf("step %d: now_serving %d → %d, want %d",
+				j, cur.Ints["now_serving"], next.Ints["now_serving"], wantNS)
+		}
+	}
+}

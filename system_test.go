@@ -1,0 +1,85 @@
+package sufsat
+
+import "testing"
+
+func TestSystemTicketLock(t *testing.T) {
+	b := NewBuilder()
+	sys := NewSystem(b)
+	nt := sys.IntVar("next_ticket")
+	ns := sys.IntVar("now_serving")
+	acq := sys.BoolInput("acquire")
+	rel := sys.BoolInput("release")
+	sys.SetNext("next_ticket", b.Ite(acq, nt.Succ(), nt))
+	sys.SetNext("now_serving", b.Ite(rel.And(b.Lt(ns, nt)), ns.Succ(), ns))
+	sys.SetInit(b.Eq(nt, ns))
+
+	inv := b.Le(ns, nt)
+	res, err := sys.CheckInductive(inv, Options{})
+	if err != nil || !res.Holds {
+		t.Fatalf("invariant must be inductive: %+v %v", res, err)
+	}
+	bmc, err := sys.BMC(inv, 3, Options{})
+	if err != nil || !bmc.Holds {
+		t.Fatalf("BMC must pass: %+v %v", bmc, err)
+	}
+}
+
+func TestSystemBuggyFindsCounterexample(t *testing.T) {
+	b := NewBuilder()
+	sys := NewSystem(b)
+	nt := sys.IntVar("next_ticket")
+	ns := sys.IntVar("now_serving")
+	rel := sys.BoolInput("release")
+	sys.SetNext("next_ticket", nt)
+	sys.SetNext("now_serving", b.Ite(rel, ns.Succ(), ns)) // unguarded release
+	sys.SetInit(b.Eq(nt, ns))
+
+	inv := b.Le(ns, nt)
+	res, err := sys.BMC(inv, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || res.Step != 1 {
+		t.Fatalf("expected violation at step 1: %+v", res)
+	}
+	if res.Counterexample == nil {
+		t.Fatal("violation must carry a counterexample")
+	}
+	// The trace input at step 0 must be a release.
+	if !res.Counterexample.BoolConst("release@0") {
+		t.Fatalf("counterexample should release at step 0")
+	}
+}
+
+func TestSystemMissingNextErrors(t *testing.T) {
+	b := NewBuilder()
+	sys := NewSystem(b)
+	sys.IntVar("x")
+	if _, err := sys.BMC(b.True(), 1, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSystemTrace(t *testing.T) {
+	b := NewBuilder()
+	sys := NewSystem(b)
+	x := sys.IntVar("x")
+	bump := sys.BoolInput("bump")
+	sys.SetNext("x", b.Ite(bump, x.Succ(), x))
+	sys.SetInit(b.Eq(x, b.Int("zero")))
+
+	// x stays equal to zero only while no bump happens: BMC finds the bump.
+	res, err := sys.BMC(b.Eq(x, b.Int("zero")), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || res.Step != 1 {
+		t.Fatalf("expected violation at step 1: %+v", res)
+	}
+	if len(res.Trace) != 2 || !res.Trace[0].InBool["bump"] {
+		t.Fatalf("trace must show the bump: %+v", res.Trace)
+	}
+	if res.Trace[1].Ints["x"] != res.Trace[0].Ints["x"]+1 {
+		t.Fatalf("trace states inconsistent: %+v", res.Trace)
+	}
+}
