@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: ci vet build test race
+
+# ci is the full verification gate: static analysis, build, the whole test
+# suite, then a race-detector pass over the concurrency-bearing packages
+# (the portfolio racer and the SAT solver's cancellation plumbing).
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/sat

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sufsat/internal/experiments"
@@ -26,7 +29,12 @@ func main() {
 	thold := flag.Int("thold", 0, "SEP_THOLD override for HYBRID (0 = library default)")
 	flag.Parse()
 
-	cfg := experiments.Config{Timeout: *timeout, MaxTrans: *maxTrans, Threshold: *thold}
+	// SIGINT/SIGTERM cancels in-flight decision runs so the harness winds
+	// down quickly instead of finishing the suite.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := experiments.Config{Timeout: *timeout, MaxTrans: *maxTrans, Threshold: *thold, Ctx: ctx}
 	w := os.Stdout
 
 	runFig2 := func() {

@@ -3,31 +3,60 @@
 //
 // Usage:
 //
-//	sufdecide [-method hybrid|sd|eij|lazy|svc] [-timeout 30s]
-//	          [-thold N] [-maxtrans N] [-stats] [file.suf]
+//	sufdecide [-method hybrid|sd|eij|lazy|svc|portfolio] [-timeout 30s]
+//	          [-thold N] [-maxtrans N] [-maxconflicts N] [-maxcnf N]
+//	          [-maxmem BYTES] [-nodegrade] [-stats] [file.suf]
 //
 // The input is one formula in s-expression syntax, for example:
 //
 //	; functional congruence
 //	(=> (= x y) (= (f x) (f y)))
 //
-// Exit status: 0 valid, 1 invalid, 2 timeout or error.
+// SIGINT or SIGTERM cancels the in-flight decision; the run reports
+// "canceled" with whatever statistics it gathered and exits accordingly.
+//
+// Exit status: 0 valid, 1 invalid, 2 error (including usage), 3 timeout,
+// 4 canceled, 5 resource budget exhausted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sufsat"
 )
+
+// exitCode maps a decision status to the documented process exit code.
+func exitCode(s sufsat.Status) int {
+	switch s {
+	case sufsat.Valid:
+		return 0
+	case sufsat.Invalid:
+		return 1
+	case sufsat.Timeout:
+		return 3
+	case sufsat.Canceled:
+		return 4
+	case sufsat.ResourceOut:
+		return 5
+	}
+	return 2
+}
 
 func main() {
 	method := flag.String("method", "hybrid", "decision method: hybrid, sd, eij, lazy, svc or portfolio")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
 	thold := flag.Int("thold", 0, "SEP_THOLD for the hybrid method (0 = default)")
-	maxTrans := flag.Int("maxtrans", 0, "transitivity-constraint cap (0 = none)")
+	maxTrans := flag.Int("maxtrans", 0, "transitivity-constraint cap (0 = none); hybrid degrades the blown class to SD")
+	maxConflicts := flag.Int64("maxconflicts", 0, "SAT conflict cap (0 = none)")
+	maxCNF := flag.Int("maxcnf", 0, "CNF problem-clause cap (0 = none)")
+	maxMem := flag.Int64("maxmem", 0, "estimated encoding+solver memory cap in bytes (0 = none)")
+	noDegrade := flag.Bool("nodegrade", false, "fail on a blown transitivity cap instead of degrading the class to SD")
 	showStats := flag.Bool("stats", false, "print pipeline statistics")
 	showModel := flag.Bool("model", false, "print the counterexample when the formula is invalid")
 	ackermann := flag.Bool("ackermann", false, "use Ackermann's function elimination (ablation)")
@@ -83,11 +112,15 @@ func main() {
 	}
 
 	opts := sufsat.Options{
-		Method:       m,
-		Timeout:      *timeout,
-		SepThreshold: *thold,
-		MaxTrans:     *maxTrans,
-		Ackermann:    *ackermann,
+		Method:            m,
+		Timeout:           *timeout,
+		SepThreshold:      *thold,
+		MaxTransClauses:   *maxTrans,
+		MaxConflicts:      *maxConflicts,
+		MaxCNFClauses:     *maxCNF,
+		MaxMemoryEstimate: *maxMem,
+		NoDegrade:         *noDegrade,
+		Ackermann:         *ackermann,
 	}
 	if *dimacs != "" {
 		out, err := os.Create(*dimacs)
@@ -98,8 +131,15 @@ func main() {
 		defer out.Close()
 		opts.DumpCNF = out
 	}
+
+	// A first SIGINT/SIGTERM cancels the in-flight decision, which then
+	// reports Canceled with partial statistics; a second signal kills the
+	// process via the restored default disposition.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *smt2 {
-		sat, model, err := sufsat.CheckSat(f, opts)
+		sat, model, err := sufsat.CheckSatContext(ctx, f, opts)
 		if err != nil {
 			fmt.Println("unknown")
 			fmt.Fprintln(os.Stderr, "sufdecide:", err)
@@ -115,27 +155,20 @@ func main() {
 		fmt.Println("unsat")
 		os.Exit(0)
 	}
-	res := sufsat.Decide(f, opts)
+	res := sufsat.DecideContext(ctx, f, opts)
 	fmt.Println(res.Status)
 	if *showModel && res.Counterexample != nil {
 		fmt.Println(res.Counterexample)
 	}
 	if *showStats {
 		st := res.Stats
-		fmt.Printf("nodes=%d sep-preds=%d classes=%d (sd=%d) p-fraction=%.2f\n",
-			st.Nodes, st.SepPreds, st.Classes, st.SDClasses, st.PFuncFraction)
+		fmt.Printf("nodes=%d sep-preds=%d classes=%d (sd=%d demoted=%d) p-fraction=%.2f\n",
+			st.Nodes, st.SepPreds, st.Classes, st.SDClasses, st.DemotedClasses, st.PFuncFraction)
 		fmt.Printf("cnf-clauses=%d conflict-clauses=%d\n", st.CNFClauses, st.ConflictClauses)
 		fmt.Printf("encode=%v sat=%v total=%v\n", st.EncodeTime, st.SATTime, st.TotalTime)
 	}
-	switch res.Status {
-	case sufsat.Valid:
-		os.Exit(0)
-	case sufsat.Invalid:
-		os.Exit(1)
-	default:
-		if res.Err != nil {
-			fmt.Fprintln(os.Stderr, "sufdecide:", res.Err)
-		}
-		os.Exit(2)
+	if !res.Status.Definitive() && res.Err != nil {
+		fmt.Fprintln(os.Stderr, "sufdecide:", res.Err)
 	}
+	os.Exit(exitCode(res.Status))
 }

@@ -14,9 +14,20 @@
 //     formula (packages smalldomain, perconstraint);
 //  4. hand F_trans ∧ ¬F_bvar to the CDCL SAT solver (package sat):
 //     unsatisfiable ⟺ F is valid.
+//
+// The pipeline is a cancellable, budgeted service core: DecideCtx threads a
+// context through every stage (both encoders, transitivity generation and
+// the SAT search poll it), explicit resource budgets bound translation and
+// search, and every failure mode is classified into the Status taxonomy of
+// status.go. When a class's EIJ transitivity generation exhausts its budget
+// under the Hybrid method, the class is re-routed to the SD encoder and
+// encoding retried — a robustness-driven extension of SEP_THOLD routing —
+// instead of failing the call.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -74,9 +85,29 @@ type Options struct {
 	Method Method
 	// SepThreshold is SEP_THOLD; 0 means DefaultSepThreshold.
 	SepThreshold int
-	// MaxTrans caps EIJ transitivity constraints (0 = unlimited); exceeding
-	// it aborts translation like the paper's translation-stage timeout.
+	// MaxTrans caps EIJ transitivity constraints (0 = unlimited).
+	// Deprecated: alias for MaxTransClauses, which wins when both are set.
 	MaxTrans int
+	// MaxTransClauses caps EIJ transitivity-constraint generation
+	// (0 = unlimited). Under the Hybrid method the cap degrades gracefully:
+	// the class whose generation exhausts it is re-routed to the SD encoder
+	// and encoding retried (see NoDegrade); pure EIJ fails with ResourceOut.
+	MaxTransClauses int
+	// MaxCNFClauses caps the problem clauses handed to the SAT solver
+	// (0 = unlimited); exceeding it returns ResourceOut with ErrClauseBudget.
+	MaxCNFClauses int
+	// MaxConflicts caps SAT conflicts (0 = unlimited); exhausting it returns
+	// ResourceOut with ErrConflictBudget.
+	MaxConflicts int64
+	// MaxMemoryEstimate caps the estimated resident size in bytes of the
+	// Boolean encoding plus solver state (0 = unlimited); exceeding it
+	// returns ResourceOut with ErrMemoryBudget.
+	MaxMemoryEstimate int64
+	// NoDegrade disables the Hybrid per-class EIJ→SD fallback on
+	// transitivity-budget exhaustion, so the budget aborts the call like the
+	// paper's translation-stage timeout (the experiment harness sets this to
+	// preserve the measured protocol).
+	NoDegrade bool
 	// Ackermann selects Ackermann's function elimination instead of the
 	// nested-ITE scheme — the positive-equality ablation.
 	Ackermann bool
@@ -84,36 +115,26 @@ type Options struct {
 	// in DIMACS format before the SAT search starts, for use with external
 	// solvers.
 	DumpCNF io.Writer
-	// Interrupt, when non-nil and set, aborts the run with a Timeout status
-	// at the next check point (used by DecidePortfolio).
+	// Interrupt, when non-nil and set, cancels the run with a Canceled
+	// status at the next check point. Legacy shim: it is wrapped into the
+	// run's context by a poller; prefer cancelling the DecideCtx context.
 	Interrupt *atomic.Bool
-	// Timeout bounds the total wall-clock time (0 = none).
+	// Timeout bounds the total wall-clock time (0 = none). Legacy shim:
+	// applied as a context deadline on the DecideCtx context.
 	Timeout time.Duration
+	// Hook, when non-nil, is called at entry to each named pipeline stage
+	// (see Stages); a non-nil return aborts the run with the error's
+	// classified status. Used by the fault-injection harness and service
+	// instrumentation.
+	Hook StageHook
 }
 
-// Status is the outcome of a Decide call.
-type Status int
-
-// Decide outcomes.
-const (
-	// Valid: the formula holds under every interpretation.
-	Valid Status = iota
-	// Invalid: some interpretation falsifies the formula.
-	Invalid
-	// Timeout: the deadline or a translation limit was hit.
-	Timeout
-)
-
-func (s Status) String() string {
-	switch s {
-	case Valid:
-		return "valid"
-	case Invalid:
-		return "invalid"
-	case Timeout:
-		return "timeout"
+// transBudget returns the effective transitivity-clause cap.
+func (o *Options) transBudget() int {
+	if o.MaxTransClauses > 0 {
+		return o.MaxTransClauses
 	}
-	return fmt.Sprintf("Status(%d)", int(s))
+	return o.MaxTrans
 }
 
 // Stats aggregates pipeline measurements — the quantities the paper's
@@ -123,7 +144,10 @@ type Stats struct {
 	SepPreds  int // total distinct separation predicates (Fig. 3 x-axis)
 	Classes   int // number of symbolic-constant classes
 	SDClasses int // classes encoded with SD
-	PFraction float64
+	// DemotedClasses counts classes re-routed from EIJ to SD because their
+	// transitivity generation exhausted the budget (included in SDClasses).
+	DemotedClasses int
+	PFraction      float64
 
 	BoolNodes  int // Boolean DAG size
 	CNFClauses int // problem clauses given to the SAT solver (Fig. 2)
@@ -141,7 +165,10 @@ type Stats struct {
 // Result is the outcome of Decide.
 type Result struct {
 	Status Status
-	// Err carries the translation-abort cause when Status == Timeout.
+	// Err classifies any non-definitive Status with a typed sentinel
+	// (ErrCanceled, ErrDeadline, ErrTransBudget, ErrClauseBudget,
+	// ErrConflictBudget, ErrMemoryBudget, a *PanicError, …); wrapping errors
+	// may add detail, so test with errors.Is.
 	Err   error
 	Stats Stats
 	// Model is the reconstructed falsifying interpretation when Status ==
@@ -149,21 +176,89 @@ type Result struct {
 	Model *Model
 }
 
-// Decide checks validity of the SUF formula f (built in b).
+// Decide checks validity of the SUF formula f (built in b) under a
+// background context. Cancellation is still available through the legacy
+// Options.Interrupt and Options.Timeout fields.
 func Decide(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
+	return DecideCtx(context.Background(), f, b, opts)
+}
+
+// wrapLegacy derives the effective run context from the legacy Options
+// fields: Timeout becomes a context deadline and Interrupt a cancellation
+// poller. The returned cancel must be called to release the poller.
+func wrapLegacy(ctx context.Context, opts *Options) (context.Context, context.CancelFunc) {
+	cancel := func() {}
+	if opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	}
+	if opts.Interrupt != nil {
+		ictx, icancel := context.WithCancel(ctx)
+		interrupt := opts.Interrupt
+		go func() {
+			t := time.NewTicker(time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-ictx.Done():
+					return
+				case <-t.C:
+					if interrupt.Load() {
+						icancel()
+						return
+					}
+				}
+			}
+		}()
+		outer := cancel
+		ctx, cancel = ictx, func() { icancel(); outer() }
+	}
+	return ctx, cancel
+}
+
+// DecideCtx checks validity of the SUF formula f (built in b). Cancelling
+// ctx aborts the run with a Canceled status within a bounded number of
+// pipeline steps; a ctx deadline (or Options.Timeout) yields Timeout.
+func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 	start := time.Now()
 	res := &Result{}
 	res.Stats.SUFNodes = suf.CountNodes(f)
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = start.Add(opts.Timeout)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	ctx, cancel := wrapLegacy(ctx, &opts)
+	defer cancel()
+	deadline, _ := ctx.Deadline()
 	threshold := opts.SepThreshold
 	if threshold == 0 {
 		threshold = DefaultSepThreshold
 	}
 
+	// fail classifies err, stamps the timings and returns res. encodeTime
+	// marks failures during (or before the end of) the encoding phase.
+	fail := func(err error, encoding bool) *Result {
+		res.Status = StatusOf(err)
+		res.Err = err
+		if encoding {
+			res.Stats.EncodeTime = time.Since(start)
+		}
+		res.Stats.TotalTime = time.Since(start)
+		return res
+	}
+	// checkpoint runs the stage hook, then polls the context, so a hook that
+	// cancels the context aborts the run right here.
+	checkpoint := func(stage string) error {
+		if opts.Hook != nil {
+			if err := opts.Hook(stage); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+
 	// 1. Function and predicate elimination.
+	if err := checkpoint(StageFuncElim); err != nil {
+		return fail(err, true)
+	}
 	var elim *funcelim.Result
 	if opts.Ackermann {
 		elim = funcelim.EliminateAckermann(f, b)
@@ -173,42 +268,69 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 	res.Stats.PFraction = elim.PFuncFraction
 
 	// 2. Separation analysis.
+	if err := checkpoint(StageAnalyze); err != nil {
+		return fail(err, true)
+	}
 	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
 	if err != nil {
-		res.Status = Timeout
-		res.Err = err
-		return res
+		return fail(err, true)
 	}
 	res.Stats.SepPreds = info.NumSepPreds
 	res.Stats.Classes = len(info.Classes)
 
-	// 3. Boolean encoding.
-	bb := boolexpr.NewBuilder()
-	bvar, sdEnc, eijEnc, err := encode(info, b, bb, opts, threshold, deadline, &res.Stats)
-	if err != nil {
-		res.Status = Timeout
-		res.Err = err
-		res.Stats.EncodeTime = time.Since(start)
-		res.Stats.TotalTime = res.Stats.EncodeTime
-		return res
+	// 3. Boolean encoding, with graceful degradation: a class whose EIJ
+	// transitivity generation exhausts the budget is re-routed to SD and the
+	// encoding retried (Hybrid only; each class is demoted at most once, so
+	// the loop terminates).
+	var (
+		bb      *boolexpr.Builder
+		bvar    *boolexpr.Node
+		sdEnc   *smalldomain.Encoder
+		eijEnc  *perconstraint.Encoder
+		clauses []perconstraint.TransClause
+		demoted map[*sep.Class]bool
+	)
+	for {
+		if err := checkpoint(StageEncode); err != nil {
+			return fail(err, true)
+		}
+		bb = boolexpr.NewBuilder()
+		res.Stats.SDClasses = 0
+		res.Stats.SDStats = smalldomain.Stats{}
+		bvar, sdEnc, eijEnc, err = encode(ctx, info, b, bb, opts, threshold, deadline, demoted, &res.Stats)
+		if err != nil {
+			return fail(err, true)
+		}
+		if err := checkpoint(StageTrans); err != nil {
+			return fail(err, true)
+		}
+		clauses, err = eijEnc.TransClauseList()
+		if err == nil {
+			break
+		}
+		var be *perconstraint.BudgetError
+		if opts.Method == Hybrid && !opts.NoDegrade &&
+			errors.As(err, &be) && be.Class != nil && !demoted[be.Class] {
+			if demoted == nil {
+				demoted = make(map[*sep.Class]bool)
+			}
+			demoted[be.Class] = true
+			res.Stats.DemotedClasses++
+			continue
+		}
+		return fail(err, true)
 	}
 	// Validity of F ⟺ unsatisfiability of F_trans ∧ ¬F_bvar. ¬F_bvar goes
 	// through Tseitin; F_trans is asserted directly in clausal form.
 	res.Stats.BoolNodes = bb.NumNodes()
+	res.Stats.EIJStats = eijEnc.Stats()
 
 	solver := sat.New()
 	solver.Deadline = deadline
 	solver.Interrupt = opts.Interrupt
+	solver.Ctx = ctx
+	solver.ConflictBudget = opts.MaxConflicts
 	cnf := boolexpr.AssertTrue(bb.Not(bvar), solver)
-	clauses, err := eijEnc.TransClauseList()
-	if err != nil {
-		res.Status = Timeout
-		res.Err = err
-		res.Stats.EncodeTime = time.Since(start)
-		res.Stats.TotalTime = res.Stats.EncodeTime
-		return res
-	}
-	res.Stats.EIJStats = eijEnc.Stats()
 	varLit := func(n *boolexpr.Node) sat.Lit {
 		if l, ok := cnf.VarLits[n.Name()]; ok {
 			return l
@@ -230,18 +352,34 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 		solver.AddClause(lits...)
 	}
 	res.Stats.EncodeTime = time.Since(start)
+	res.Stats.CNFClauses = solver.Stats().Clauses
+
+	// Post-encoding resource budgets.
+	if opts.MaxCNFClauses > 0 && solver.Stats().Clauses > opts.MaxCNFClauses {
+		return fail(fmt.Errorf("%w: %d clauses > limit %d",
+			ErrClauseBudget, solver.Stats().Clauses, opts.MaxCNFClauses), false)
+	}
+	if opts.MaxMemoryEstimate > 0 {
+		if est := estimateMemory(res.Stats.BoolNodes, solver.Stats()); est > opts.MaxMemoryEstimate {
+			return fail(fmt.Errorf("%w: ~%d bytes > limit %d",
+				ErrMemoryBudget, est, opts.MaxMemoryEstimate), false)
+		}
+	}
 
 	if opts.DumpCNF != nil {
+		if err := checkpoint(StageDump); err != nil {
+			return fail(err, false)
+		}
 		if err := solver.WriteDIMACS(opts.DumpCNF); err != nil {
-			res.Status = Timeout
-			res.Err = err
-			return res
+			return fail(fmt.Errorf("core: DIMACS dump: %w", err), false)
 		}
 	}
 
 	// 4. SAT.
+	if err := checkpoint(StageSAT); err != nil {
+		return fail(err, false)
+	}
 	satStart := time.Now()
-	res.Stats.CNFClauses = solver.Stats().Clauses
 	switch solver.Solve() {
 	case sat.Unsat:
 		res.Status = Valid
@@ -249,8 +387,8 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 		res.Status = Invalid
 		res.Model = extractModel(solver, cnf, info, sdEnc, eijEnc, elim)
 	default:
-		res.Status = Timeout
-		res.Err = sat.ErrBudget
+		res.Err = SATStopError(solver.StopReason())
+		res.Status = StatusOf(res.Err)
 	}
 	res.Stats.SAT = solver.Stats()
 	res.Stats.SATTime = time.Since(satStart)
@@ -258,20 +396,31 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 	return res
 }
 
+// estimateMemory is a coarse resident-size estimate in bytes of the encoded
+// problem: boolexpr DAG nodes, solver clauses (headers plus literals) and
+// per-variable solver state. It deliberately over-approximates per-item cost
+// so the budget errs on the safe side.
+func estimateMemory(boolNodes int, st sat.Stats) int64 {
+	return int64(boolNodes)*96 + int64(st.Clauses)*112 + int64(st.Vars)*160
+}
+
 // encode builds F_bvar with the selected method and returns the EIJ encoder
 // whose pending transitivity constraints the caller must assert. For Hybrid,
 // atoms are routed per class: SepCnt(V_i) > SEP_THOLD → SD, otherwise EIJ
 // (§4 step 5); class-less atoms (only V_p or single-constant comparisons)
-// go to EIJ, which folds them to constants.
-func encode(info *sep.Info, b *suf.Builder, bb *boolexpr.Builder, opts Options,
-	threshold int, deadline time.Time, st *Stats) (bvar *boolexpr.Node, sdEnc *smalldomain.Encoder, eij *perconstraint.Encoder, err error) {
+// go to EIJ, which folds them to constants. Classes in demoted are forced to
+// SD regardless of SepCnt (the transitivity-budget degradation path).
+func encode(ctx context.Context, info *sep.Info, b *suf.Builder, bb *boolexpr.Builder, opts Options,
+	threshold int, deadline time.Time, demoted map[*sep.Class]bool, st *Stats) (bvar *boolexpr.Node, sdEnc *smalldomain.Encoder, eij *perconstraint.Encoder, err error) {
 
 	method := opts.Method
 	sdEnc = smalldomain.NewEncoder(info, b, bb)
+	sdEnc.Ctx = ctx
 	eijEnc := perconstraint.NewEncoder(info, b, bb)
-	eijEnc.MaxTrans = opts.MaxTrans
+	eijEnc.MaxTrans = opts.transBudget()
 	eijEnc.Deadline = deadline
 	eijEnc.Interrupt = opts.Interrupt
+	eijEnc.Ctx = ctx
 
 	var atom func(a *suf.BoolExpr) (*boolexpr.Node, error)
 	switch method {
@@ -281,7 +430,7 @@ func encode(info *sep.Info, b *suf.Builder, bb *boolexpr.Builder, opts Options,
 		atom = eijEnc.EncodeAtom
 	default:
 		atom = func(a *suf.BoolExpr) (*boolexpr.Node, error) {
-			if cl := atomClass(info, a); cl != nil && cl.SepCnt > threshold {
+			if cl := atomClass(info, a); cl != nil && (cl.SepCnt > threshold || demoted[cl]) {
 				return sdEnc.EncodeAtom(a)
 			}
 			return eijEnc.EncodeAtom(a)
@@ -298,7 +447,7 @@ func encode(info *sep.Info, b *suf.Builder, bb *boolexpr.Builder, opts Options,
 	st.SDStats = sdEnc.Stats()
 	if method != EIJ {
 		for _, cl := range info.Classes {
-			if method == SD || cl.SepCnt > threshold {
+			if method == SD || cl.SepCnt > threshold || demoted[cl] {
 				st.SDClasses++
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -209,7 +210,7 @@ func TestHybridMixedThreshold(t *testing.T) {
 	}
 }
 
-func TestTranslationLimitSurfacesAsTimeout(t *testing.T) {
+func TestTranslationLimitSurfacesAsResourceOut(t *testing.T) {
 	b := suf.NewBuilder()
 	f := b.True()
 	for i := 0; i < 10; i++ {
@@ -220,8 +221,8 @@ func TestTranslationLimitSurfacesAsTimeout(t *testing.T) {
 		}
 	}
 	res := Decide(f, b, Options{Method: EIJ, MaxTrans: 5})
-	if res.Status != Timeout || res.Err != perconstraint.ErrTranslationLimit {
-		t.Fatalf("got (%v, %v), want translation-limit timeout", res.Status, res.Err)
+	if res.Status != ResourceOut || !errors.Is(res.Err, perconstraint.ErrTranslationLimit) {
+		t.Fatalf("got (%v, %v), want translation-limit ResourceOut", res.Status, res.Err)
 	}
 }
 

@@ -1,60 +1,70 @@
 package core
 
 import (
-	"sync/atomic"
+	"context"
+	"runtime/debug"
 
 	"sufsat/internal/suf"
 )
 
-// DecidePortfolio runs the SD, EIJ and HYBRID encodings concurrently on
+// DecidePortfolio races the SD, EIJ and HYBRID encodings under a background
+// context. See DecidePortfolioCtx.
+func DecidePortfolio(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
+	return DecidePortfolioCtx(context.Background(), f, b, opts)
+}
+
+// DecidePortfolioCtx runs the SD, EIJ and HYBRID encodings concurrently on
 // copies of the formula and returns the first definitive answer, cancelling
-// the others. A portfolio is the classic alternative to the paper's hybrid
-// routing: instead of predicting which encoding will win (SEP_THOLD), run
-// them all and keep the winner. It costs up to 3× the work and memory but is
-// robust even when the predictor misroutes; the ablation benchmarks compare
-// the two approaches.
+// the others through a derived context. A portfolio is the classic
+// alternative to the paper's hybrid routing: instead of predicting which
+// encoding will win (SEP_THOLD), run them all and keep the winner. It costs
+// up to 3× the work and memory but is robust even when the predictor
+// misroutes; the ablation benchmarks compare the two approaches.
 //
 // Each method runs on its own Builder (re-parsed from the printed formula),
-// because Builders are not safe for concurrent use.
-func DecidePortfolio(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
+// because Builders are not safe for concurrent use. Worker panics are
+// contained into an Error result, and every worker drains into a buffered
+// channel and exits shortly after cancellation, so no goroutines leak past
+// the losers' next poll point.
+func DecidePortfolioCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 	methods := []Method{Hybrid, SD, EIJ}
 	src := f.String()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
-	type outcome struct {
-		res    *Result
-		method Method
-	}
-	results := make(chan outcome, len(methods))
-	var stop atomic.Bool
-
+	results := make(chan *Result, len(methods))
 	for _, m := range methods {
 		m := m
 		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					results <- &Result{Status: Error, Err: &PanicError{Value: v, Stack: debug.Stack()}}
+				}
+			}()
 			nb := suf.NewBuilder()
 			nf, err := suf.Parse(src, nb)
 			if err != nil {
-				results <- outcome{&Result{Status: Timeout, Err: err}, m}
+				results <- &Result{Status: Error, Err: err}
 				return
 			}
 			o := opts
 			o.Method = m
-			o.Interrupt = &stop
-			results <- outcome{Decide(nf, nb, o), m}
+			o.Interrupt = nil // cancellation flows through ctx
+			results <- DecideCtx(ctx, nf, nb, o)
 		}()
 	}
 
 	var last *Result
 	for range methods {
 		out := <-results
-		last = out.res
-		if out.res.Status != Timeout {
+		last = out
+		if out.Status.Definitive() {
 			// Definitive answer: cancel the rest and return. The remaining
-			// goroutines notice the interrupt at their next check point and
+			// goroutines notice the cancellation at their next poll point and
 			// drain into the buffered channel.
-			stop.Store(true)
-			return out.res
+			return out
 		}
 	}
-	// Everyone timed out; report the last timeout.
+	// No member produced a verdict; report the last failure.
 	return last
 }

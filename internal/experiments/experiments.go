@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,6 +42,17 @@ type Config struct {
 	MaxTrans int
 	// Threshold overrides SEP_THOLD for HYBRID (0 = library default).
 	Threshold int
+	// Ctx, when non-nil, cancels in-flight decision runs when done; figure
+	// generators then return with the completed prefix of their rows.
+	Ctx context.Context
+}
+
+// ctx returns the run context (Background when unset).
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +82,9 @@ type Run struct {
 	PFraction float64 // fraction of p-function applications
 }
 
-// TimedOut reports whether the run hit a limit.
-func (r Run) TimedOut() bool { return r.Status == core.Timeout }
+// TimedOut reports whether the run hit a limit (timeout, cancellation or a
+// resource budget) instead of reaching a verdict.
+func (r Run) TimedOut() bool { return !r.Status.Definitive() }
 
 // Seconds returns the total time, with timeouts charged the full limit, like
 // the paper's scatter plots place timed-out runs on the "timeout" line.
@@ -86,13 +99,17 @@ func (r Run) Seconds(cfg Config) float64 {
 func decide(bm bench.Benchmark, m core.Method, cfg Config) Run {
 	f, b := bm.Build()
 	nodes := suf.CountNodes(f)
-	res := core.Decide(f, b, core.Options{
+	res := core.DecideCtx(cfg.ctx(), f, b, core.Options{
 		Method:       m,
 		SepThreshold: cfg.Threshold,
 		MaxTrans:     cfg.MaxTrans,
 		Timeout:      cfg.Timeout,
+		// The paper's protocol: a blown translation budget aborts the run like
+		// its translation-stage timeout; degradation would quietly rescue
+		// HYBRID and change the figures.
+		NoDegrade: true,
 	})
-	if res.Status == core.Valid != bm.Valid && res.Status != core.Timeout {
+	if res.Status == core.Valid != bm.Valid && res.Status.Definitive() {
 		panic(fmt.Sprintf("experiments: %s decided %v by %v — suite is broken", bm.Name, res.Status, m))
 	}
 	return Run{
@@ -380,25 +397,25 @@ func Fig6(cfg Config) (vsSVC, vsCVC []Pair) {
 		hy := decide(bm, core.Hybrid, cfg)
 
 		f, b := bm.Build()
-		sv := svc.Decide(f, b, cfg.Timeout)
+		sv := svc.DecideCtx(cfg.ctx(), f, b, cfg.Timeout)
 		svSec := sv.Stats.Total.Seconds()
-		if sv.Status == core.Timeout {
+		if !sv.Status.Definitive() {
 			svSec = cfg.Timeout.Seconds()
 		} else if (sv.Status == core.Valid) != bm.Valid {
 			panic(fmt.Sprintf("experiments: %s decided %v by SVC", bm.Name, sv.Status))
 		}
 
 		f2, b2 := bm.Build()
-		lz := lazy.Decide(f2, b2, cfg.Timeout)
+		lz := lazy.DecideCtx(cfg.ctx(), f2, b2, cfg.Timeout)
 		lzSec := lz.Stats.Total.Seconds()
-		if lz.Status == core.Timeout {
+		if !lz.Status.Definitive() {
 			lzSec = cfg.Timeout.Seconds()
 		} else if (lz.Status == core.Valid) != bm.Valid {
 			panic(fmt.Sprintf("experiments: %s decided %v by lazy", bm.Name, lz.Status))
 		}
 
-		vsSVC = append(vsSVC, Pair{bm.Name, hy.Seconds(cfg), svSec, hy.TimedOut(), sv.Status == core.Timeout})
-		vsCVC = append(vsCVC, Pair{bm.Name, hy.Seconds(cfg), lzSec, hy.TimedOut(), lz.Status == core.Timeout})
+		vsSVC = append(vsSVC, Pair{bm.Name, hy.Seconds(cfg), svSec, hy.TimedOut(), !sv.Status.Definitive()})
+		vsCVC = append(vsCVC, Pair{bm.Name, hy.Seconds(cfg), lzSec, hy.TimedOut(), !lz.Status.Definitive()})
 	}
 	return vsSVC, vsCVC
 }

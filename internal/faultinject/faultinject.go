@@ -1,0 +1,141 @@
+// Package faultinject is a fault-injection harness for the Decide pipeline.
+// An Injector matches the core.StageHook signature and, when a configured
+// pipeline stage is reached, cancels a context, returns an error, or panics —
+// exercising the cancellation, budget and panic-containment paths at each
+// stage boundary without contriving formulas that fail there naturally. It
+// also provides a goroutine-leak checker used to verify that the portfolio
+// racer leaves no live workers behind.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Action is what an Injector does when its target stage is reached.
+type Action int
+
+// Injection actions.
+const (
+	// Observe records stage entries without interfering.
+	Observe Action = iota
+	// CancelContext invokes the CancelFunc installed with OnCancel; the
+	// pipeline then notices the dead context at its own next poll point,
+	// exactly like an external caller cancelling mid-run.
+	CancelContext
+	// ReturnError aborts the stage with the error installed with OnError (a
+	// generic injected error when none was installed).
+	ReturnError
+	// Panic panics with a descriptive value, for exercising the facade's
+	// panic containment.
+	Panic
+)
+
+// Injector fires a configured Action the first time a target pipeline stage
+// is entered, and records every stage it observes. It is safe for concurrent
+// use (the portfolio racer calls hooks from several goroutines).
+type Injector struct {
+	mu      sync.Mutex
+	target  string
+	action  Action
+	cancel  context.CancelFunc
+	err     error
+	visited []string
+	fired   int
+}
+
+// New returns an Injector firing action at the named pipeline stage (one of
+// core.Stages; an unknown name simply never fires).
+func New(target string, action Action) *Injector {
+	return &Injector{target: target, action: action}
+}
+
+// OnCancel installs the CancelFunc invoked by CancelContext and returns i.
+func (i *Injector) OnCancel(cancel context.CancelFunc) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cancel = cancel
+	return i
+}
+
+// OnError installs the error returned by ReturnError and returns i.
+func (i *Injector) OnError(err error) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.err = err
+	return i
+}
+
+// Stage implements the core.StageHook signature; install it as
+// Options.Hook (the method value i.Stage).
+func (i *Injector) Stage(name string) error {
+	i.mu.Lock()
+	i.visited = append(i.visited, name)
+	match := name == i.target
+	if match {
+		i.fired++
+	}
+	action, cancel, err := i.action, i.cancel, i.err
+	i.mu.Unlock()
+	if !match {
+		return nil
+	}
+	switch action {
+	case CancelContext:
+		if cancel != nil {
+			cancel()
+		}
+	case ReturnError:
+		if err == nil {
+			err = fmt.Errorf("faultinject: injected error at stage %q", name)
+		}
+		return err
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic at stage %q", name))
+	}
+	return nil
+}
+
+// Visited returns a copy of the stage names observed so far, in order.
+func (i *Injector) Visited() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.visited...)
+}
+
+// Fired reports how many times the target stage was reached.
+func (i *Injector) Fired() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// LeakCheck runs f and verifies the process goroutine count returns to its
+// pre-call level within grace (a zero grace means 3s). Workers that outlive
+// their run — portfolio losers after the winner returns, pollers after
+// cancellation — are given that long to notice and exit; if they do not, the
+// returned error carries a full goroutine dump.
+func LeakCheck(f func(), grace time.Duration) error {
+	if grace <= 0 {
+		grace = 3 * time.Second
+	}
+	before := runtime.NumGoroutine()
+	f()
+	deadline := time.Now().Add(grace)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			return fmt.Errorf("faultinject: goroutine leak: %d before, %d after %v grace\n%s",
+				before, n, grace, buf[:m])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -11,6 +11,7 @@
 package lazy
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,15 +45,27 @@ type Result struct {
 	Stats  Stats
 }
 
-// Decide checks validity of the SUF formula f with the lazy procedure.
-// timeout 0 means no deadline.
+// Decide checks validity of the SUF formula f with the lazy procedure under
+// a background context. timeout 0 means no deadline.
 func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
+	return DecideCtx(context.Background(), f, b, timeout)
+}
+
+// DecideCtx checks validity of the SUF formula f with the lazy procedure.
+// Cancelling ctx aborts the run with a Canceled status at the next SAT poll
+// point or refinement-loop boundary; timeout 0 means no extra deadline.
+func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 	start := time.Now()
 	res := &Result{}
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = start.Add(timeout)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	deadline, _ := ctx.Deadline()
 
 	elim := funcelim.Eliminate(f, b)
 	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
@@ -63,6 +76,7 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 	// Boolean abstraction: per-constraint atom encoding without F_trans.
 	bb := boolexpr.NewBuilder()
 	abs := perconstraint.NewEncoder(info, b, bb)
+	abs.Ctx = ctx
 	bvar, err := abs.Walker().Encode(info.Formula)
 	if err != nil {
 		return fail(res, err, start)
@@ -70,6 +84,7 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 
 	solver := sat.New()
 	solver.Deadline = deadline
+	solver.Ctx = ctx
 	cnf := boolexpr.AssertTrue(bb.Not(bvar), solver) // refute ¬F
 
 	// Map each predicate variable to its SAT literal.
@@ -89,8 +104,11 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return fail(res, fmt.Errorf("lazy: %w", err), start)
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			return fail(res, fmt.Errorf("lazy: deadline exceeded"), start)
+			return fail(res, fmt.Errorf("lazy: %w", core.ErrDeadline), start)
 		}
 		res.Stats.Iterations++
 		switch solver.Solve() {
@@ -98,7 +116,7 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 			res.Status = core.Valid
 			return finish(res, solver, start)
 		case sat.Unknown:
-			return fail(res, sat.ErrBudget, start)
+			return fail(res, core.SATStopError(solver.StopReason()), start)
 		}
 		model := solver.Model()
 
@@ -146,7 +164,7 @@ func finish(res *Result, solver *sat.Solver, start time.Time) *Result {
 }
 
 func fail(res *Result, err error, start time.Time) *Result {
-	res.Status = core.Timeout
+	res.Status = core.StatusOf(err)
 	res.Err = err
 	res.Stats.Total = time.Since(start)
 	return res

@@ -23,6 +23,7 @@
 package perconstraint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -45,6 +46,28 @@ var ErrTranslationLimit = errors.New("perconstraint: transitivity constraint lim
 // configured deadline — the paper's "fails to go beyond the formula
 // translation stage".
 var ErrDeadline = errors.New("perconstraint: translation deadline exceeded")
+
+// BudgetError reports which class's transitivity generation exhausted the
+// MaxTrans cap, so a hybrid caller can degrade that class to the SD encoder
+// and retry instead of failing the whole call. It unwraps to
+// ErrTranslationLimit.
+type BudgetError struct {
+	// Class is the symbolic-constant class being eliminated when the shared
+	// budget ran out.
+	Class *sep.Class
+	// Limit is the configured MaxTrans cap.
+	Limit int
+}
+
+func (e *BudgetError) Error() string {
+	id := -1
+	if e.Class != nil {
+		id = e.Class.ID
+	}
+	return fmt.Sprintf("perconstraint: transitivity budget (%d) exhausted eliminating class %d", e.Limit, id)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrTranslationLimit }
 
 // Stats reports encoding-size counters.
 type Stats struct {
@@ -76,16 +99,20 @@ type Encoder struct {
 	// (zero = none).
 	Deadline time.Time
 	// Interrupt, when non-nil and set, aborts transitivity generation with
-	// ErrDeadline at the next check point.
+	// ErrDeadline at the next check point (legacy cancellation; prefer Ctx).
 	Interrupt *atomic.Bool
+	// Ctx, when non-nil, is polled during atom encoding and transitivity
+	// generation; once done, both abort with the context's error.
+	Ctx context.Context
 	// Order selects the vertex-elimination heuristic (default MinDegree).
 	Order OrderHeuristic
 
-	walker  *enc.Walker
-	vars    map[predKey]*boolexpr.Node // canonical source predicate variables
-	order   []predKey                  // deterministic iteration order
-	derived map[predKey]bool           // derived variables allocated so far
-	stats   Stats
+	walker    *enc.Walker
+	vars      map[predKey]*boolexpr.Node // canonical source predicate variables
+	order     []predKey                  // deterministic iteration order
+	derived   map[predKey]bool           // derived variables allocated so far
+	stats     Stats
+	atomCalls int // EncodeAtom invocations, gating context polls
 }
 
 func sortEdges(es []*edge) {
@@ -162,6 +189,12 @@ func (e *Encoder) Predicates() []PredVar {
 // leaves of both terms are enumerated and each ground pair contributes a
 // guarded predicate literal (§4 step 5).
 func (e *Encoder) EncodeAtom(a *suf.BoolExpr) (*boolexpr.Node, error) {
+	e.atomCalls++
+	if e.Ctx != nil && e.atomCalls&63 == 0 {
+		if err := e.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	t1, t2 := a.Terms()
 	g1 := sep.GuardedLeaves(t1, e.sb)
 	g2 := sep.GuardedLeaves(t2, e.sb)
@@ -322,7 +355,7 @@ func (e *Encoder) TransClauseList() ([]TransClause, error) {
 	var out []TransClause
 	budget := e.MaxTrans
 	for _, cl := range classes {
-		cs, err := e.transForClass(byClass[cl], &budget)
+		cs, err := e.transForClass(cl, byClass[cl], &budget)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +364,7 @@ func (e *Encoder) TransClauseList() ([]TransClause, error) {
 	return out, nil
 }
 
-func (e *Encoder) transForClass(preds []predKey, budget *int) ([]TransClause, error) {
+func (e *Encoder) transForClass(cl *sep.Class, preds []predKey, budget *int) ([]TransClause, error) {
 	bb := e.bb
 	// Weight bound for derived edges: every edge of a *simple* negative
 	// cycle is a contiguous subpath of it, and with n vertices and initial
@@ -412,17 +445,22 @@ func (e *Encoder) transForClass(preds []predKey, budget *int) ([]TransClause, er
 
 	var constraints []TransClause
 	nCons := 0
-	emit := func(cl TransClause) error {
-		constraints = append(constraints, cl)
+	emit := func(tc TransClause) error {
+		constraints = append(constraints, tc)
 		nCons++
 		e.stats.TransConstraints++
 		if e.MaxTrans > 0 {
 			*budget--
 			if *budget < 0 {
-				return ErrTranslationLimit
+				return &BudgetError{Class: cl, Limit: e.MaxTrans}
 			}
 		}
 		if nCons%256 == 0 {
+			if e.Ctx != nil {
+				if err := e.Ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if !e.Deadline.IsZero() && time.Now().After(e.Deadline) {
 				return ErrDeadline
 			}

@@ -1,6 +1,7 @@
 package perconstraint
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -181,8 +182,13 @@ func TestTranslationLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	bb := boolexpr.NewBuilder()
-	if _, err := Encode(info, b, bb, 3); err != ErrTranslationLimit {
+	_, err = Encode(info, b, bb, 3)
+	if !errors.Is(err, ErrTranslationLimit) {
 		t.Fatalf("got %v, want ErrTranslationLimit", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != 3 || be.Class == nil {
+		t.Fatalf("got %v, want *BudgetError naming the class and limit 3", err)
 	}
 }
 

@@ -10,6 +10,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -105,6 +106,39 @@ type Stats struct {
 // deadline was exhausted.
 var ErrBudget = errors.New("sat: budget exhausted")
 
+// StopCause explains why the last Solve call returned Unknown.
+type StopCause int
+
+// Stop causes.
+const (
+	// StopNone: the last Solve returned a definitive Sat/Unsat.
+	StopNone StopCause = iota
+	// StopConflictBudget: ConflictBudget was exhausted.
+	StopConflictBudget
+	// StopDeadline: the Deadline (or a context deadline) passed.
+	StopDeadline
+	// StopInterrupt: the legacy Interrupt flag was set.
+	StopInterrupt
+	// StopCanceled: the context was canceled.
+	StopCanceled
+)
+
+func (c StopCause) String() string {
+	switch c {
+	case StopNone:
+		return "none"
+	case StopConflictBudget:
+		return "conflict-budget"
+	case StopDeadline:
+		return "deadline"
+	case StopInterrupt:
+		return "interrupt"
+	case StopCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
 type clause struct {
 	lits   []Lit
 	act    float32
@@ -158,9 +192,14 @@ type Solver struct {
 	ConflictBudget int64     // ≤0 means unlimited
 	Deadline       time.Time // zero means none
 	// Interrupt, when non-nil and set, makes Solve return Unknown at the
-	// next conflict boundary (used by portfolio solving).
+	// next conflict boundary (legacy cancellation; prefer Ctx).
 	Interrupt *atomic.Bool
+	// Ctx, when non-nil, is polled during search; once done, Solve returns
+	// Unknown with StopCanceled or StopDeadline within a bounded number of
+	// search steps.
+	Ctx context.Context
 
+	stop  StopCause
 	model []bool
 }
 
@@ -542,10 +581,37 @@ func luby(y float64, i int) float64 {
 	return p
 }
 
+// checkLimits polls the deadline, context and interrupt flag, recording the
+// stop cause. It returns true when the search must stop.
+func (s *Solver) checkLimits(deadline time.Time) bool {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		s.stop = StopDeadline
+		return true
+	}
+	if s.Ctx != nil {
+		switch s.Ctx.Err() {
+		case nil:
+		case context.DeadlineExceeded:
+			s.stop = StopDeadline
+			return true
+		default:
+			s.stop = StopCanceled
+			return true
+		}
+	}
+	if s.Interrupt != nil && s.Interrupt.Load() {
+		s.stop = StopInterrupt
+		return true
+	}
+	return false
+}
+
 // search runs CDCL until a result or until nConflicts conflicts occurred.
 func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 	conflicts := int64(0)
+	steps := int64(0)
 	for {
+		steps++
 		confl := s.propagate()
 		if confl != nil {
 			s.stats.Conflicts++
@@ -581,11 +647,7 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if s.stats.Conflicts%1024 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-			s.cancelUntil(0)
-			return Unknown
-		}
-		if s.Interrupt != nil && s.Interrupt.Load() {
+		if (s.stats.Conflicts%1024 == 0 || steps&255 == 0) && s.checkLimits(deadline) {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -605,6 +667,7 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 // Solve runs the solver to completion (or budget exhaustion) and returns the
 // status. On Sat the model is available via Model.
 func (s *Solver) Solve() Status {
+	s.stop = StopNone
 	if s.unsatFlag {
 		return Unsat
 	}
@@ -625,6 +688,7 @@ func (s *Solver) Solve() Status {
 		if budget > 0 && spent+n > budget {
 			n = budget - spent
 			if n <= 0 {
+				s.stop = StopConflictBudget
 				return Unknown
 			}
 		}
@@ -642,18 +706,23 @@ func (s *Solver) Solve() Status {
 			s.unsatFlag = true
 			return Unsat
 		}
+		if s.stop != StopNone {
+			return Unknown // search stopped on a limit, not a restart
+		}
 		if budget > 0 && spent >= budget {
+			s.stop = StopConflictBudget
 			return Unknown
 		}
-		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
-			return Unknown
-		}
-		if s.Interrupt != nil && s.Interrupt.Load() {
+		if s.checkLimits(s.Deadline) {
 			return Unknown
 		}
 		s.stats.Restarts++
 	}
 }
+
+// StopReason reports why the last Solve call returned Unknown (StopNone when
+// it returned a definitive answer).
+func (s *Solver) StopReason() StopCause { return s.stop }
 
 // Model returns the satisfying assignment found by the last successful Solve.
 // Index i holds the value of variable i. The slice is owned by the solver.

@@ -29,6 +29,7 @@
 package smalldomain
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -57,6 +58,10 @@ type Encoder struct {
 	bb   *boolexpr.Builder
 	sb   *suf.Builder
 	info *sep.Info
+	// Ctx, when non-nil, is polled during atom encoding; once done, encoding
+	// aborts with the context's error.
+	Ctx       context.Context
+	atomCalls int // EncodeAtom invocations, gating context polls
 
 	walker *enc.Walker
 	vecs   map[string][]*boolexpr.Node // g-constant → bit-vector (class width)
@@ -171,6 +176,12 @@ func (e *Encoder) termMax(t *suf.IntExpr) int64 {
 // EncodeAtom encodes an equality or inequality atom with bit-vector
 // comparison at a width wide enough for both sides.
 func (e *Encoder) EncodeAtom(a *suf.BoolExpr) (*boolexpr.Node, error) {
+	e.atomCalls++
+	if e.Ctx != nil && e.atomCalls&63 == 0 {
+		if err := e.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	t1, t2 := a.Terms()
 	m := e.termMax(t1)
 	if m2 := e.termMax(t2); m2 > m {

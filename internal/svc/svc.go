@@ -18,6 +18,7 @@
 package svc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,32 +49,55 @@ type prover struct {
 	b        *suf.Builder
 	info     *sep.Info
 	th       *difflogic.Solver
+	ctx      context.Context
 	deadline time.Time
+	checks   int64 // satisfiable() calls, gating context polls
 	stats    Stats
 }
 
-var errDeadline = fmt.Errorf("svc: deadline exceeded")
+var errDeadline = fmt.Errorf("svc: %w", core.ErrDeadline)
 
-// Decide checks validity of the SUF formula f by case splitting.
-// timeout 0 means no deadline.
+// Decide checks validity of the SUF formula f by case splitting under a
+// background context. timeout 0 means no deadline.
 func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
+	return DecideCtx(context.Background(), f, b, timeout)
+}
+
+// DecideCtx checks validity of the SUF formula f by case splitting.
+// Cancelling ctx aborts the run with a Canceled status within a bounded
+// number of case splits; timeout 0 means no extra deadline.
+func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 	start := time.Now()
 	res := &Result{}
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = start.Add(timeout)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-
-	elim := funcelim.Eliminate(f, b)
-	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
-	if err != nil {
-		res.Status = core.Timeout
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	deadline, _ := ctx.Deadline()
+	// The split loop polls only every 256 checks; catch an already-dead
+	// context before doing any work at all.
+	if err := ctx.Err(); err != nil {
+		err = fmt.Errorf("svc: %w", err)
+		res.Status = core.StatusOf(err)
 		res.Err = err
 		res.Stats.Total = time.Since(start)
 		return res
 	}
 
-	p := &prover{b: b, info: info, th: difflogic.NewSolver(), deadline: deadline}
+	elim := funcelim.Eliminate(f, b)
+	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
+	if err != nil {
+		res.Status = core.StatusOf(err)
+		res.Err = err
+		res.Stats.Total = time.Since(start)
+		return res
+	}
+
+	p := &prover{b: b, info: info, th: difflogic.NewSolver(), ctx: ctx, deadline: deadline}
 	// Refute ¬F: flatten its atoms to ground predicates first.
 	query, err := p.flatten(b.Not(info.Formula))
 	if err == nil {
@@ -88,7 +112,7 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 		}
 	}
 	if err != nil {
-		res.Status = core.Timeout
+		res.Status = core.StatusOf(err)
 		res.Err = err
 	}
 	res.Stats = p.stats
@@ -183,6 +207,12 @@ func (p *prover) groundAtom(kind suf.BoolKind, g1, g2 sep.Ground) (*suf.BoolExpr
 // satisfiable decides whether f has a model extending the constraints
 // currently asserted in the theory solver.
 func (p *prover) satisfiable(f *suf.BoolExpr) (bool, error) {
+	p.checks++
+	if p.checks&255 == 0 {
+		if err := p.ctx.Err(); err != nil {
+			return false, fmt.Errorf("svc: %w", err)
+		}
+	}
 	if !p.deadline.IsZero() && time.Now().After(p.deadline) {
 		return false, errDeadline
 	}

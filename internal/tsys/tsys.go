@@ -134,7 +134,8 @@ type CheckResult struct {
 	// Step is the counterexample depth for a failed BMC (0-based; -1 for
 	// inductive checks and successes).
 	Step int
-	// Status carries the raw decision outcome (Timeout possible).
+	// Status carries the raw decision outcome (any non-definitive status —
+	// Timeout, Canceled, ResourceOut, Error — aborts the check).
 	Status core.Status
 	// Model is the falsifying interpretation when the check fails.
 	Model *core.Model
@@ -150,7 +151,7 @@ func (s *System) CheckInductive(prop *suf.BoolExpr, opts core.Options) (*CheckRe
 	b := s.b
 	if s.init != nil {
 		res := core.Decide(b.Implies(s.init, prop), b, opts)
-		if res.Status == core.Timeout {
+		if !res.Status.Definitive() {
 			return &CheckResult{Status: res.Status}, res.Err
 		}
 		if res.Status == core.Invalid {
@@ -163,7 +164,7 @@ func (s *System) CheckInductive(prop *suf.BoolExpr, opts core.Options) (*CheckRe
 	}
 	propNext := next.ApplyBool(prop, b)
 	res := core.Decide(b.Implies(prop, propNext), b, opts)
-	if res.Status == core.Timeout {
+	if !res.Status.Definitive() {
 		return &CheckResult{Status: res.Status}, res.Err
 	}
 	return &CheckResult{
@@ -188,10 +189,10 @@ func (s *System) BMC(prop *suf.BoolExpr, depth int, opts core.Options) (*CheckRe
 			query = b.Implies(s.init, propK)
 		}
 		res := core.Decide(query, b, opts)
-		switch res.Status {
-		case core.Timeout:
+		switch {
+		case !res.Status.Definitive():
 			return &CheckResult{Status: res.Status, Step: k}, res.Err
-		case core.Invalid:
+		case res.Status == core.Invalid:
 			out := &CheckResult{Holds: false, Step: k, Status: res.Status, Model: res.Model}
 			out.Trace = s.trace(subs, res.Model)
 			return out, nil

@@ -24,8 +24,10 @@
 package sufsat
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -231,7 +233,13 @@ func (b *Builder) ParseSMTLIB(src string) (Formula, error) {
 // CheckSat decides satisfiability of f: sat(f) ⟺ ¬ valid(¬f). The returned
 // counterexample, when satisfiable, is a model of f.
 func CheckSat(f Formula, opts Options) (sat bool, model *Counterexample, err error) {
-	res := Decide(f.Not(), opts)
+	return CheckSatContext(context.Background(), f, opts)
+}
+
+// CheckSatContext is CheckSat under a caller-supplied context; cancelling ctx
+// aborts the check with ErrCanceled.
+func CheckSatContext(ctx context.Context, f Formula, opts Options) (sat bool, model *Counterexample, err error) {
+	res := DecideContext(ctx, f.Not(), opts)
 	switch res.Status {
 	case Invalid:
 		return true, res.Counterexample, nil
@@ -283,14 +291,52 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
-// Status is a decision outcome.
+// Status is a decision outcome. Valid and Invalid are definitive verdicts
+// (Status.Definitive reports true); the others classify why no verdict was
+// reached, with Result.Err carrying the matching typed sentinel.
 type Status = core.Status
 
 // Decision outcomes.
 const (
 	Valid   = core.Valid
 	Invalid = core.Invalid
+	// Timeout: a wall-clock deadline expired (Options.Timeout or a context
+	// deadline).
 	Timeout = core.Timeout
+	// Canceled: the caller's context was cancelled mid-run.
+	Canceled = core.Canceled
+	// ResourceOut: an explicit resource budget was exhausted (transitivity,
+	// CNF clauses, conflicts or memory estimate).
+	ResourceOut = core.ResourceOut
+	// Error: an internal failure — a contained panic, an I/O error from
+	// DumpCNF, an analysis error, or an unknown method.
+	Error = core.Error
+)
+
+// Typed sentinels carried in Result.Err for non-definitive statuses; wrapping
+// errors may add detail, so test with errors.Is.
+var (
+	ErrCanceled       = core.ErrCanceled
+	ErrDeadline       = core.ErrDeadline
+	ErrTransBudget    = core.ErrTransBudget
+	ErrClauseBudget   = core.ErrClauseBudget
+	ErrConflictBudget = core.ErrConflictBudget
+	ErrMemoryBudget   = core.ErrMemoryBudget
+)
+
+// PanicError is the Result.Err of an Error status produced by the facade's
+// panic containment: a panic anywhere in the pipeline is recovered and
+// returned with its captured stack instead of crashing the caller.
+type PanicError = core.PanicError
+
+// Pipeline stage names passed to Options.Hook, in execution order.
+const (
+	StageFuncElim = core.StageFuncElim
+	StageAnalyze  = core.StageAnalyze
+	StageEncode   = core.StageEncode
+	StageTrans    = core.StageTrans
+	StageDump     = core.StageDump
+	StageSAT      = core.StageSAT
 )
 
 // Options configures Decide. The zero value uses the hybrid method with the
@@ -300,18 +346,41 @@ type Options struct {
 	// SepThreshold is SEP_THOLD for the hybrid method (0 = calibrated
 	// default).
 	SepThreshold int
-	// Timeout bounds total wall-clock time (0 = none).
+	// Timeout bounds total wall-clock time (0 = none); exceeding it reports
+	// Timeout. Equivalent to a context deadline on DecideContext.
 	Timeout time.Duration
-	// MaxTrans caps eager transitivity-constraint generation (0 = none);
-	// exceeding it reports Timeout, mirroring the paper's translation-stage
-	// limit.
+	// MaxTrans caps eager transitivity-constraint generation (0 = none).
+	// Deprecated: alias for MaxTransClauses, which wins when both are set.
 	MaxTrans int
+	// MaxTransClauses caps eager transitivity-constraint generation
+	// (0 = none). Under the hybrid method the cap degrades gracefully: a class
+	// whose generation exhausts it is re-routed to the SD encoder and the
+	// encoding retried (see NoDegrade); pure EIJ reports ResourceOut.
+	MaxTransClauses int
+	// MaxCNFClauses caps the problem clauses handed to the SAT solver
+	// (0 = none); exceeding it reports ResourceOut with ErrClauseBudget.
+	MaxCNFClauses int
+	// MaxConflicts caps SAT conflicts (0 = none); exhausting it reports
+	// ResourceOut with ErrConflictBudget.
+	MaxConflicts int64
+	// MaxMemoryEstimate caps the estimated resident size in bytes of the
+	// Boolean encoding plus solver state (0 = none); exceeding it reports
+	// ResourceOut with ErrMemoryBudget.
+	MaxMemoryEstimate int64
+	// NoDegrade disables the hybrid per-class EIJ→SD fallback on
+	// transitivity-budget exhaustion, so the budget aborts the call instead.
+	NoDegrade bool
 	// Ackermann selects Ackermann's function elimination instead of the
 	// nested-ITE scheme (the positive-equality ablation); eager methods only.
 	Ackermann bool
 	// DumpCNF, when non-nil, receives the encoded SAT query in DIMACS format
 	// before solving (eager methods only).
 	DumpCNF io.Writer
+	// Hook, when non-nil, is called at entry to each pipeline stage (the
+	// Stage… constants) of the eager methods; a non-nil return aborts the run
+	// with the error's classified status. Used by fault injection and service
+	// instrumentation.
+	Hook func(stage string) error
 }
 
 // Stats reports pipeline measurements of a Decide call.
@@ -324,6 +393,10 @@ type Stats struct {
 	// Classes is the number of symbolic-constant equivalence classes;
 	// SDClasses of them were encoded with the small-domain method.
 	Classes, SDClasses int
+	// DemotedClasses counts classes re-routed from EIJ to SD because their
+	// transitivity generation exhausted MaxTransClauses (included in
+	// SDClasses).
+	DemotedClasses int
 	// PFuncFraction is the fraction of function applications classified as
 	// p-function applications.
 	PFuncFraction float64
@@ -378,7 +451,9 @@ func (c *Counterexample) String() string {
 // Result is the outcome of Decide.
 type Result struct {
 	Status Status
-	// Err explains a Timeout (deadline, translation limit, …).
+	// Err classifies a non-definitive Status with a typed sentinel
+	// (ErrCanceled, ErrDeadline, the budget sentinels, a *PanicError, …);
+	// wrapping errors may add detail, so test with errors.Is.
 	Err   error
 	Stats Stats
 	// Counterexample is non-nil when Status == Invalid and the method is one
@@ -386,11 +461,26 @@ type Result struct {
 	Counterexample *Counterexample
 }
 
-// Decide checks validity of f.
+// Decide checks validity of f under a background context; cancellation is
+// still available through Options.Timeout. See DecideContext.
 func Decide(f Formula, opts Options) *Result {
+	return DecideContext(context.Background(), f, opts)
+}
+
+// DecideContext checks validity of f. Cancelling ctx aborts the run with a
+// Canceled status within a bounded number of pipeline steps; a ctx deadline
+// (or Options.Timeout) yields Timeout. A panic anywhere in the pipeline is
+// contained into an Error result carrying a *PanicError; DecideContext never
+// panics from pipeline failures.
+func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = &Result{Status: Error, Err: &core.PanicError{Value: v, Stack: debug.Stack()}}
+		}
+	}()
 	switch opts.Method {
 	case MethodLazy:
-		r := lazy.Decide(f.f, f.b.sb, opts.Timeout)
+		r := lazy.DecideCtx(ctx, f.f, f.b.sb, opts.Timeout)
 		return &Result{Status: r.Status, Err: r.Err, Stats: Stats{
 			Nodes:           suf.CountNodes(f.f),
 			CNFClauses:      r.Stats.SAT.Clauses,
@@ -398,7 +488,7 @@ func Decide(f Formula, opts Options) *Result {
 			TotalTime:       r.Stats.Total,
 		}}
 	case MethodSVC:
-		r := svc.Decide(f.f, f.b.sb, opts.Timeout)
+		r := svc.DecideCtx(ctx, f.f, f.b.sb, opts.Timeout)
 		return &Result{Status: r.Status, Err: r.Err, Stats: Stats{
 			Nodes:     suf.CountNodes(f.f),
 			TotalTime: r.Stats.Total,
@@ -415,27 +505,34 @@ func Decide(f Formula, opts Options) *Result {
 	case MethodPortfolio:
 		// handled below
 	default:
-		return &Result{Status: core.Timeout, Err: fmt.Errorf("sufsat: unknown method %v", opts.Method)}
+		return &Result{Status: Error, Err: fmt.Errorf("sufsat: unknown method %v", opts.Method)}
 	}
 	copts := core.Options{
-		Method:       m,
-		SepThreshold: opts.SepThreshold,
-		MaxTrans:     opts.MaxTrans,
-		Timeout:      opts.Timeout,
-		Ackermann:    opts.Ackermann,
-		DumpCNF:      opts.DumpCNF,
+		Method:            m,
+		SepThreshold:      opts.SepThreshold,
+		MaxTrans:          opts.MaxTrans,
+		MaxTransClauses:   opts.MaxTransClauses,
+		MaxCNFClauses:     opts.MaxCNFClauses,
+		MaxConflicts:      opts.MaxConflicts,
+		MaxMemoryEstimate: opts.MaxMemoryEstimate,
+		NoDegrade:         opts.NoDegrade,
+		Timeout:           opts.Timeout,
+		Ackermann:         opts.Ackermann,
+		DumpCNF:           opts.DumpCNF,
+		Hook:              opts.Hook,
 	}
 	var r *core.Result
 	if opts.Method == MethodPortfolio {
-		r = core.DecidePortfolio(f.f, f.b.sb, copts)
+		r = core.DecidePortfolioCtx(ctx, f.f, f.b.sb, copts)
 	} else {
-		r = core.Decide(f.f, f.b.sb, copts)
+		r = core.DecideCtx(ctx, f.f, f.b.sb, copts)
 	}
 	out := &Result{Status: r.Status, Err: r.Err, Stats: Stats{
 		Nodes:           r.Stats.SUFNodes,
 		SepPreds:        r.Stats.SepPreds,
 		Classes:         r.Stats.Classes,
 		SDClasses:       r.Stats.SDClasses,
+		DemotedClasses:  r.Stats.DemotedClasses,
 		PFuncFraction:   r.Stats.PFraction,
 		CNFClauses:      r.Stats.CNFClauses,
 		ConflictClauses: r.Stats.SAT.ConflictClauses,

@@ -88,7 +88,7 @@ type CheckOutcome struct {
 }
 
 func outcome(r *tsys.CheckResult) *CheckOutcome {
-	out := &CheckOutcome{Holds: r.Holds, Step: r.Step, Timeout: r.Status == core.Timeout}
+	out := &CheckOutcome{Holds: r.Holds, Step: r.Step, Timeout: !r.Status.Definitive()}
 	if r.Model != nil {
 		out.Counterexample = &Counterexample{m: r.Model}
 	}
