@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race
+.PHONY: ci vet build test race bench bench-smoke
 
 # ci is the full verification gate: static analysis, build, the whole test
-# suite, then a race-detector pass over the concurrency-bearing packages
-# (the portfolio racer and the SAT solver's cancellation plumbing).
-ci: vet build test race
+# suite, a race-detector pass over the concurrency-bearing packages (the
+# portfolio racer and the parallel clause-sharing SAT core), and a one-shot
+# benchmark smoke run that keeps the bench harness compiling and solving.
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,4 +18,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/sat
+	$(GO) test -race -short ./internal/core ./internal/sat
+
+# bench regenerates the perf-trajectory report at the repo root: Sample16
+# encoded once per benchmark, then solved sequentially vs with the parallel
+# clause-sharing portfolio. Schema documented in EXPERIMENTS.md.
+bench:
+	$(GO) run ./cmd/sufbench -out BENCH_PR2.json
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkSolve -benchtime=1x ./internal/sat

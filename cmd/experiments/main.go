@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-fig 2|3|4|5|6|threshold|features|all] [-timeout 20s] [-maxtrans N] [-thold N]
+//	experiments [-fig 2|3|4|5|6|threshold|features|all] [-timeout 20s] [-maxtrans N] [-thold N] [-j WORKERS]
 //
 // Figure 5 follows the paper's protocol of re-running HYBRID with
 // SEP_THOLD=100 on the invariant-checking benchmarks; every other figure
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -27,14 +28,18 @@ func main() {
 	timeout := flag.Duration("timeout", 20*time.Second, "per-run timeout (the paper used 30 minutes)")
 	maxTrans := flag.Int("maxtrans", 1_000_000, "translation cap on transitivity constraints")
 	thold := flag.Int("thold", 0, "SEP_THOLD override for HYBRID (0 = library default)")
+	workers := flag.Int("j", 1, "parallel SAT workers per run (0 = NumCPU; 1 = the paper's sequential protocol)")
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	// SIGINT/SIGTERM cancels in-flight decision runs so the harness winds
 	// down quickly instead of finishing the suite.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := experiments.Config{Timeout: *timeout, MaxTrans: *maxTrans, Threshold: *thold, Ctx: ctx}
+	cfg := experiments.Config{Timeout: *timeout, MaxTrans: *maxTrans, Threshold: *thold, Workers: *workers, Ctx: ctx}
 	w := os.Stdout
 
 	runFig2 := func() {

@@ -1,0 +1,69 @@
+// Command sufbench measures the SAT core on the paper's Sample16 benchmark
+// sample and writes a perf-trajectory report (BENCH_PR<n>.json): per-family
+// wall-clock, conflicts and propagations for the sequential solver vs the
+// parallel clause-sharing portfolio, with geometric-mean speedups over the
+// whole sample and its harder half. The JSON schema is documented in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sufbench [-out BENCH_PR2.json] [-j N] [-solve-timeout 60s]
+//
+// Each benchmark is encoded once (the full Decide pipeline up to the SAT
+// stage); the resulting CNF is then solved twice from a cold start, so the
+// comparison isolates the solver core from the encoder.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sufsat/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path (- for stdout)")
+	workers := flag.Int("j", 0, "parallel workers (0 = NumCPU, floored at 4)")
+	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-SAT-run wall-clock cap")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "sufbench: Sample16, %d CPU(s), GOMAXPROCS=%d\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	rep, err := bench.RunPerf(ctx, bench.Sample16(), bench.PerfConfig{
+		ParWorkers:   *workers,
+		SolveTimeout: *solveTimeout,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sufbench: geomean wall speedup ×%.2f overall, ×%.2f hard half (workers=%d, %d CPU)\n",
+		rep.GeoMeanSpeedupAll, rep.GeoMeanSpeedupHard, rep.ParWorkers, rep.NumCPU)
+	fmt.Fprintf(os.Stderr, "sufbench: geomean work speedup ×%.2f overall, ×%.2f hard half (winner conflicts vs sequential)\n",
+		rep.GeoMeanWorkSpeedupAll, rep.GeoMeanWorkSpeedupHard)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+}

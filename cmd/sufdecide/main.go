@@ -5,7 +5,7 @@
 //
 //	sufdecide [-method hybrid|sd|eij|lazy|svc|portfolio] [-timeout 30s]
 //	          [-thold N] [-maxtrans N] [-maxconflicts N] [-maxcnf N]
-//	          [-maxmem BYTES] [-nodegrade] [-stats] [file.suf]
+//	          [-maxmem BYTES] [-j WORKERS] [-nodegrade] [-stats] [file.suf]
 //
 // The input is one formula in s-expression syntax, for example:
 //
@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"sufsat"
@@ -56,6 +57,7 @@ func main() {
 	maxConflicts := flag.Int64("maxconflicts", 0, "SAT conflict cap (0 = none)")
 	maxCNF := flag.Int("maxcnf", 0, "CNF problem-clause cap (0 = none)")
 	maxMem := flag.Int64("maxmem", 0, "estimated encoding+solver memory cap in bytes (0 = none)")
+	workers := flag.Int("j", 1, "parallel SAT workers racing with clause sharing (0 = NumCPU)")
 	noDegrade := flag.Bool("nodegrade", false, "fail on a blown transitivity cap instead of degrading the class to SD")
 	showStats := flag.Bool("stats", false, "print pipeline statistics")
 	showModel := flag.Bool("model", false, "print the counterexample when the formula is invalid")
@@ -119,8 +121,12 @@ func main() {
 		MaxConflicts:      *maxConflicts,
 		MaxCNFClauses:     *maxCNF,
 		MaxMemoryEstimate: *maxMem,
+		SolverWorkers:     *workers,
 		NoDegrade:         *noDegrade,
 		Ackermann:         *ackermann,
+	}
+	if opts.SolverWorkers == 0 {
+		opts.SolverWorkers = runtime.NumCPU()
 	}
 	if *dimacs != "" {
 		out, err := os.Create(*dimacs)

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"sufsat/internal/core"
+	"sufsat/internal/sat"
+)
+
+// This file is the perf-trajectory harness: it measures the SAT core
+// (sequential vs parallel) on the encoded Sample16 queries and emits the
+// BENCH_PR<n>.json reports that successive PRs are judged against.
+
+// PerfEntry is one benchmark's sequential-vs-parallel measurement. Both runs
+// solve the identical CNF (encoded once); wall-clock covers the SAT search
+// only, so the comparison isolates the solver core from the encoder.
+type PerfEntry struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	// Vars and Clauses describe the encoded CNF.
+	Vars    int `json:"vars"`
+	Clauses int `json:"clauses"`
+
+	// Seq* is the workers=1 run, Par* the workers=N run. Conflicts and
+	// Propagations for the parallel run are summed across workers (total
+	// work); ParWinner identifies the worker whose answer was adopted.
+	SeqStatus       string  `json:"seq_status"`
+	SeqWallMS       float64 `json:"seq_wall_ms"`
+	SeqConflicts    int64   `json:"seq_conflicts"`
+	SeqPropagations int64   `json:"seq_propagations"`
+
+	ParStatus          string  `json:"par_status"`
+	ParWallMS          float64 `json:"par_wall_ms"`
+	ParConflicts       int64   `json:"par_conflicts"`
+	ParPropagations    int64   `json:"par_propagations"`
+	ParWinner          int     `json:"par_winner"`
+	ParWinnerConflicts int64   `json:"par_winner_conflicts"`
+	SharedImported     int64   `json:"shared_imported"`
+
+	// Speedup is SeqWallMS/ParWallMS — the wall-clock ratio, which on a host
+	// with fewer cores than workers mostly measures time-slicing overhead.
+	// WorkSpeedup is SeqConflicts/ParWinnerConflicts — how much less search
+	// the winning worker needed thanks to diversification and clause sharing;
+	// it is the core-count-independent signal and predicts the wall-clock
+	// ratio when every worker has its own core. Hard marks membership in the
+	// harder half of the sample (by sequential wall-clock).
+	Speedup     float64 `json:"speedup"`
+	WorkSpeedup float64 `json:"work_speedup"`
+	Hard        bool    `json:"hard"`
+}
+
+// PerfReport is the schema of BENCH_PR<n>.json (documented in
+// EXPERIMENTS.md). Geometric means summarize the per-entry speedups.
+type PerfReport struct {
+	Suite       string      `json:"suite"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	SeqWorkers  int         `json:"seq_workers"`
+	ParWorkers  int         `json:"par_workers"`
+	GeneratedAt string      `json:"generated_at"`
+	Entries     []PerfEntry `json:"entries"`
+
+	GeoMeanSpeedupAll      float64 `json:"geomean_speedup_all"`
+	GeoMeanSpeedupHard     float64 `json:"geomean_speedup_hard"`
+	GeoMeanWorkSpeedupAll  float64 `json:"geomean_work_speedup_all"`
+	GeoMeanWorkSpeedupHard float64 `json:"geomean_work_speedup_hard"`
+}
+
+// PerfConfig controls RunPerf.
+type PerfConfig struct {
+	// ParWorkers is the parallel worker count. 0 means NumCPU floored at 4
+	// (ManySAT's classic portfolio size), so diversification and clause
+	// sharing are exercised even on hosts with few cores; on such hosts the
+	// wall-clock ratio measures time-slicing overhead and WorkSpeedup is the
+	// meaningful signal.
+	ParWorkers int
+	// SolveTimeout bounds each individual SAT run (0 = 60s).
+	SolveTimeout time.Duration
+	// Log, when non-nil, receives one progress line per benchmark.
+	Log io.Writer
+}
+
+// encodeCNF runs the Decide pipeline on bm up to (but not including) the SAT
+// stage and returns the DIMACS text of the encoded query F_trans ∧ ¬F_bvar.
+func encodeCNF(ctx context.Context, bm Benchmark) ([]byte, error) {
+	f, b := bm.Build()
+	var buf bytes.Buffer
+	stopAtSAT := errors.New("bench: encoded")
+	res := core.DecideCtx(ctx, f, b, core.Options{
+		DumpCNF: &buf,
+		Hook: func(stage string) error {
+			if stage == core.StageSAT {
+				return stopAtSAT
+			}
+			return nil
+		},
+	})
+	if !errors.Is(res.Err, stopAtSAT) {
+		if res.Err != nil {
+			return nil, fmt.Errorf("bench: encoding %s: %w", bm.Name, res.Err)
+		}
+		return nil, fmt.Errorf("bench: encoding %s: pipeline finished without reaching the SAT stage", bm.Name)
+	}
+	return buf.Bytes(), nil
+}
+
+// RunPerf encodes each benchmark once and solves the resulting CNF twice —
+// sequentially and with cfg.ParWorkers clause-sharing workers — timing the
+// SAT search wall-clock. The harder half of the sample (by sequential time)
+// drives GeoMeanSpeedupHard, the headline trajectory number.
+func RunPerf(ctx context.Context, bms []Benchmark, cfg PerfConfig) (*PerfReport, error) {
+	par := cfg.ParWorkers
+	if par == 0 {
+		par = runtime.NumCPU()
+	}
+	if cfg.ParWorkers == 0 && par < 4 {
+		par = 4
+	}
+	solveTimeout := cfg.SolveTimeout
+	if solveTimeout == 0 {
+		solveTimeout = 60 * time.Second
+	}
+	rep := &PerfReport{
+		Suite:       "Sample16",
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		SeqWorkers:  1,
+		ParWorkers:  par,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, bm := range bms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dimacs, err := encodeCNF(ctx, bm)
+		if err != nil {
+			return nil, err
+		}
+		load := func() (*sat.Solver, error) {
+			s, err := sat.ReadDIMACS(bytes.NewReader(dimacs))
+			if err != nil {
+				return nil, fmt.Errorf("bench: reloading %s: %w", bm.Name, err)
+			}
+			s.Deadline = time.Now().Add(solveTimeout)
+			return s, nil
+		}
+
+		seq, err := load()
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		seqStatus := seq.SolveParallel(ctx, 1)
+		seqWall := time.Since(t0)
+
+		ps, err := load()
+		if err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+		parStatus := ps.SolveParallel(ctx, par)
+		parWall := time.Since(t1)
+		pstats := ps.ParallelStats()
+
+		e := PerfEntry{
+			Name:            bm.Name,
+			Family:          bm.Family,
+			Vars:            seq.Stats().Vars,
+			Clauses:         seq.Stats().Clauses,
+			SeqStatus:       seqStatus.String(),
+			SeqWallMS:       float64(seqWall.Microseconds()) / 1e3,
+			SeqConflicts:    seq.Stats().Conflicts,
+			SeqPropagations: seq.Stats().Propagations,
+			ParStatus:       parStatus.String(),
+			ParWallMS:       float64(parWall.Microseconds()) / 1e3,
+			ParWinner:       pstats.WinnerID,
+			Speedup:         seqWall.Seconds() / math.Max(parWall.Seconds(), 1e-9),
+		}
+		for _, w := range pstats.PerWorker {
+			e.ParConflicts += w.Conflicts
+			e.ParPropagations += w.Propagations
+			e.SharedImported += w.Imported
+		}
+		if w := pstats.WinnerID; w >= 0 && w < len(pstats.PerWorker) {
+			e.ParWinnerConflicts = pstats.PerWorker[w].Conflicts
+			if e.SeqConflicts > 0 {
+				e.WorkSpeedup = float64(e.SeqConflicts) / math.Max(float64(e.ParWinnerConflicts), 1)
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "%-10s %7d clauses  seq %8.1fms (%s)  par×%d %8.1fms (%s)  speedup %.2f  work ×%.2f\n",
+				bm.Name, e.Clauses, e.SeqWallMS, e.SeqStatus, par, e.ParWallMS, e.ParStatus, e.Speedup, e.WorkSpeedup)
+		}
+	}
+
+	markHard(rep.Entries)
+	rep.GeoMeanSpeedupAll = geoMean(rep.Entries, false, func(e PerfEntry) float64 { return e.Speedup })
+	rep.GeoMeanSpeedupHard = geoMean(rep.Entries, true, func(e PerfEntry) float64 { return e.Speedup })
+	rep.GeoMeanWorkSpeedupAll = geoMean(rep.Entries, false, func(e PerfEntry) float64 { return e.WorkSpeedup })
+	rep.GeoMeanWorkSpeedupHard = geoMean(rep.Entries, true, func(e PerfEntry) float64 { return e.WorkSpeedup })
+	return rep, nil
+}
+
+// markHard flags the harder half of the entries by sequential wall-clock.
+func markHard(es []PerfEntry) {
+	idx := make([]int, len(es))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return es[idx[a]].SeqWallMS > es[idx[b]].SeqWallMS })
+	for _, i := range idx[:len(idx)/2] {
+		es[i].Hard = true
+	}
+}
+
+// geoMean returns the geometric mean of metric over the entries (hard-only
+// when hardOnly), skipping non-positive values; 0 when no entry qualifies.
+func geoMean(es []PerfEntry, hardOnly bool, metric func(PerfEntry) float64) float64 {
+	sum, n := 0.0, 0
+	for _, e := range es {
+		if hardOnly && !e.Hard {
+			continue
+		}
+		if v := metric(e); v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -103,6 +103,12 @@ type Options struct {
 	// Boolean encoding plus solver state (0 = unlimited); exceeding it
 	// returns ResourceOut with ErrMemoryBudget.
 	MaxMemoryEstimate int64
+	// SolverWorkers selects the number of diversified CDCL workers racing on
+	// the encoded SAT query with clause sharing (sat.SolveParallel); 0 or 1
+	// means the sequential solver. With more than one worker the SAT search
+	// is generally not deterministic run to run (which worker wins depends on
+	// scheduling), though the verdict itself never varies.
+	SolverWorkers int
 	// NoDegrade disables the Hybrid per-class EIJ→SD fallback on
 	// transitivity-budget exhaustion, so the budget aborts the call like the
 	// paper's translation-stage timeout (the experiment harness sets this to
@@ -157,6 +163,9 @@ type Stats struct {
 	TotalTime  time.Duration
 
 	SAT sat.Stats // conflict clauses, decisions, propagations (Fig. 2)
+	// SATParallel is the per-worker breakdown when Options.SolverWorkers > 1
+	// (zero value otherwise).
+	SATParallel sat.ParallelStats
 
 	SDStats  smalldomain.Stats
 	EIJStats perconstraint.Stats
@@ -380,7 +389,14 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		return fail(err, false)
 	}
 	satStart := time.Now()
-	switch solver.Solve() {
+	var satStatus sat.Status
+	if opts.SolverWorkers > 1 {
+		satStatus = solver.SolveParallel(ctx, opts.SolverWorkers)
+		res.Stats.SATParallel = solver.ParallelStats()
+	} else {
+		satStatus = solver.Solve()
+	}
+	switch satStatus {
 	case sat.Unsat:
 		res.Status = Valid
 	case sat.Sat:

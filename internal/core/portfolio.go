@@ -21,14 +21,14 @@ func DecidePortfolio(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 // up to 3× the work and memory but is robust even when the predictor
 // misroutes; the ablation benchmarks compare the two approaches.
 //
-// Each method runs on its own Builder (re-parsed from the printed formula),
-// because Builders are not safe for concurrent use. Worker panics are
-// contained into an Error result, and every worker drains into a buffered
-// channel and exits shortly after cancellation, so no goroutines leak past
-// the losers' next poll point.
+// Each method runs on a suf.Clone of the formula into its own Builder
+// (Builders are not safe for concurrent use; cloning is linear in the DAG
+// and preserves sharing, where the old print/re-parse round trip was
+// quadratic-ish on deep terms). Worker panics are contained into an Error
+// result, and every worker drains into a buffered channel and exits shortly
+// after cancellation, so no goroutines leak past the losers' next poll point.
 func DecidePortfolioCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 	methods := []Method{Hybrid, SD, EIJ}
-	src := f.String()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -42,11 +42,7 @@ func DecidePortfolioCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, op
 				}
 			}()
 			nb := suf.NewBuilder()
-			nf, err := suf.Parse(src, nb)
-			if err != nil {
-				results <- &Result{Status: Error, Err: err}
-				return
-			}
+			nf := suf.Clone(f, nb)
 			o := opts
 			o.Method = m
 			o.Interrupt = nil // cancellation flows through ctx

@@ -42,6 +42,9 @@ type Config struct {
 	MaxTrans int
 	// Threshold overrides SEP_THOLD for HYBRID (0 = library default).
 	Threshold int
+	// Workers selects the number of parallel SAT workers per decision run
+	// (0 or 1 = sequential, the paper's protocol).
+	Workers int
 	// Ctx, when non-nil, cancels in-flight decision runs when done; figure
 	// generators then return with the completed prefix of their rows.
 	Ctx context.Context
@@ -100,10 +103,11 @@ func decide(bm bench.Benchmark, m core.Method, cfg Config) Run {
 	f, b := bm.Build()
 	nodes := suf.CountNodes(f)
 	res := core.DecideCtx(cfg.ctx(), f, b, core.Options{
-		Method:       m,
-		SepThreshold: cfg.Threshold,
-		MaxTrans:     cfg.MaxTrans,
-		Timeout:      cfg.Timeout,
+		Method:        m,
+		SepThreshold:  cfg.Threshold,
+		MaxTrans:      cfg.MaxTrans,
+		Timeout:       cfg.Timeout,
+		SolverWorkers: cfg.Workers,
 		// The paper's protocol: a blown translation budget aborts the run like
 		// its translation-stage timeout; degradation would quietly rescue
 		// HYBRID and change the figures.
@@ -406,7 +410,7 @@ func Fig6(cfg Config) (vsSVC, vsCVC []Pair) {
 		}
 
 		f2, b2 := bm.Build()
-		lz := lazy.DecideCtx(cfg.ctx(), f2, b2, cfg.Timeout)
+		lz := lazy.DecideCtxWorkers(cfg.ctx(), f2, b2, cfg.Timeout, cfg.Workers)
 		lzSec := lz.Stats.Total.Seconds()
 		if !lz.Status.Definitive() {
 			lzSec = cfg.Timeout.Seconds()

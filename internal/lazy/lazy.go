@@ -55,6 +55,15 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 // Cancelling ctx aborts the run with a Canceled status at the next SAT poll
 // point or refinement-loop boundary; timeout 0 means no extra deadline.
 func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
+	return DecideCtxWorkers(ctx, f, b, timeout, 1)
+}
+
+// DecideCtxWorkers is DecideCtx with each SAT query of the refinement loop
+// solved by a parallel clause-sharing portfolio of the given number of
+// workers (≤ 1 = sequential). The master solver keeps the theory conflict
+// clauses and absorbs unit facts derived by the workers, so learning
+// accumulates across iterations either way.
+func DecideCtxWorkers(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration, workers int) *Result {
 	start := time.Now()
 	res := &Result{}
 	if ctx == nil {
@@ -111,7 +120,13 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout tim
 			return fail(res, fmt.Errorf("lazy: %w", core.ErrDeadline), start)
 		}
 		res.Stats.Iterations++
-		switch solver.Solve() {
+		var st sat.Status
+		if workers > 1 {
+			st = solver.SolveParallel(ctx, workers)
+		} else {
+			st = solver.Solve()
+		}
+		switch st {
 		case sat.Unsat:
 			res.Status = core.Valid
 			return finish(res, solver, start)

@@ -1,0 +1,88 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// hard3SAT builds a random 3-SAT instance near the satisfiability threshold
+// (clause/variable ratio 4.26), deterministic in seed.
+func hard3SAT(nVars int, seed int64) [][]Lit {
+	rng := rand.New(rand.NewSource(seed))
+	nClauses := int(float64(nVars) * 4.26)
+	clauses := make([][]Lit, 0, nClauses)
+	for i := 0; i < nClauses; i++ {
+		c := make([]Lit, 0, 3)
+		for len(c) < 3 {
+			l := MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			fresh := true
+			for _, m := range c {
+				if m.Var() == l.Var() {
+					fresh = false
+					break
+				}
+			}
+			if fresh {
+				c = append(c, l)
+			}
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses
+}
+
+// BenchmarkSolve measures the sequential hot path (propagation + conflict
+// analysis over the arena clause store) on threshold random 3-SAT.
+func BenchmarkSolve(b *testing.B) {
+	clauses := hard3SAT(150, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := solverFor(150, clauses)
+		s.Solve()
+		b.ReportMetric(float64(s.Stats().Propagations), "props/op")
+	}
+}
+
+// BenchmarkSolvePigeonhole measures UNSAT search (heavy learning, reduceDB
+// and arena GC) on PHP(9,8).
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 9, 8)
+		if s.Solve() != Unsat {
+			b.Fatal("pigeonhole must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkSolveParallel measures the clause-sharing portfolio on the same
+// instance with NumCPU workers.
+func BenchmarkSolveParallel(b *testing.B) {
+	clauses := hard3SAT(150, 42)
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := solverFor(150, clauses)
+		s.SolveParallel(context.Background(), workers)
+	}
+}
+
+// BenchmarkClone measures worker setup cost: the flat-arena copy that
+// SolveParallel performs once per worker.
+func BenchmarkClone(b *testing.B) {
+	clauses := hard3SAT(400, 7)
+	s := solverFor(400, clauses)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.clone() == nil {
+			b.Fatal("clone returned nil")
+		}
+	}
+}

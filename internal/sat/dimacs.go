@@ -39,7 +39,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 	}
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			x := l.Var() + 1
 			if l.Neg() {
 				x = -x

@@ -4,6 +4,12 @@
 // activities, phase saving, Luby restarts and activity-based learnt-clause
 // database reduction.
 //
+// Clauses live in a flat arena ([]Lit) addressed by ClauseRef offsets rather
+// than individual heap allocations: watchers, reasons and the learnt database
+// are int32 references, so propagation walks contiguous memory and cloning a
+// solver for the parallel portfolio (SolveParallel) is a handful of copy
+// calls.
+//
 // It is the substrate standing in for the zChaff solver used in the paper's
 // experiments. The solver exposes the statistics the paper reports
 // (CNF clause counts, conflict-clause counts, decisions, propagations).
@@ -139,29 +145,27 @@ func (c StopCause) String() string {
 	return "unknown"
 }
 
-type clause struct {
-	lits   []Lit
-	act    float32
-	learnt bool
-}
-
+// watcher is one entry of a literal's watch list. Satisfied blockers skip the
+// clause without touching its literals; cref addresses the clause arena.
 type watcher struct {
-	cl      *clause
+	cref    ClauseRef
 	blocker Lit
 }
 
-// reason records why a variable was assigned.
+// varData records why and where a variable was assigned.
 type varData struct {
-	reason *clause
+	reason ClauseRef
 	level  int32
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 // Clauses may be added between Solve calls (incremental use); learnt clauses
-// are retained across calls.
+// are retained across calls. A Solver is not safe for concurrent use; for
+// parallel solving see SolveParallel, which runs diversified copies.
 type Solver struct {
-	clauses []*clause
-	learnts []*clause
+	ca      clauseArena
+	clauses []ClauseRef
+	learnts []ClauseRef
 	watches [][]watcher // indexed by Lit
 
 	assigns  []lbool // indexed by Var
@@ -182,11 +186,27 @@ type Solver struct {
 	claDecay  float64
 	unsatFlag bool
 
+	// Diversification knobs (see diversify): restart geometry and an
+	// occasional-random-decision rate. Zero rndFreq means fully deterministic
+	// VSIDS decisions.
+	restartBase float64 // Luby base factor (default 2)
+	restartUnit int     // conflicts per Luby unit (default 100)
+	rndFreq     float64 // probability of a random branch decision
+	rndState    uint64  // xorshift64* state; 0 disables random decisions
+
 	maxLearnts       float64
 	learntAdjustCnt  int64
 	learntAdjustIncr float64
 
 	stats Stats
+
+	// Clause exchange (parallel workers only; nil otherwise).
+	ex       *exchange
+	exID     int32
+	exCursor uint64
+	exOut    [][]Lit
+	exported int64
+	imported int64
 
 	// Budget controls.
 	ConflictBudget int64     // ≤0 means unlimited
@@ -199,17 +219,20 @@ type Solver struct {
 	// search steps.
 	Ctx context.Context
 
-	stop  StopCause
-	model []bool
+	stop     StopCause
+	model    []bool
+	parStats ParallelStats
 }
 
 // New returns an empty solver.
 func New() *Solver {
 	s := &Solver{
-		varInc:   1,
-		varDecay: 0.95,
-		claInc:   1,
-		claDecay: 0.999,
+		varInc:      1,
+		varDecay:    0.95,
+		claInc:      1,
+		claDecay:    0.999,
+		restartBase: 2,
+		restartUnit: 100,
 	}
 	s.order.act = &s.activity
 	return s
@@ -219,7 +242,7 @@ func New() *Solver {
 func (s *Solver) NewVar() Var {
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, lUndef)
-	s.vardata = append(s.vardata, varData{})
+	s.vardata = append(s.vardata, varData{reason: CRefUndef})
 	s.polarity = append(s.polarity, true)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -284,35 +307,37 @@ outer:
 		s.unsatFlag = true
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], CRefUndef)
+		if s.propagate() != CRefUndef {
 			s.unsatFlag = true
 			return false
 		}
 		return true
 	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
+	r := s.ca.alloc(out, false)
+	s.clauses = append(s.clauses, r)
 	s.stats.Clauses = len(s.clauses)
-	s.attach(c)
+	s.attach(r)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+func (s *Solver) attach(r ClauseRef) {
+	lits := s.ca.lits(r)
+	l0, l1 := lits[0], lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{r, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{r, l0})
 }
 
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].Not(), c)
-	s.removeWatch(c.lits[1].Not(), c)
+func (s *Solver) detach(r ClauseRef) {
+	lits := s.ca.lits(r)
+	s.removeWatch(lits[0].Not(), r)
+	s.removeWatch(lits[1].Not(), r)
 }
 
-func (s *Solver) removeWatch(l Lit, c *clause) {
+func (s *Solver) removeWatch(l Lit, r ClauseRef) {
 	ws := s.watches[l]
 	for i := range ws {
-		if ws[i].cl == c {
+		if ws[i].cref == r {
 			ws[i] = ws[len(ws)-1]
 			s.watches[l] = ws[:len(ws)-1]
 			return
@@ -320,15 +345,16 @@ func (s *Solver) removeWatch(l Lit, c *clause) {
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from ClauseRef) {
 	v := l.Var()
 	s.assigns[v] = boolToLbool(!l.Neg())
 	s.vardata[v] = varData{reason: from, level: int32(s.decisionLevel())}
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation; it returns a conflicting clause or nil.
-func (s *Solver) propagate() *clause {
+// propagate performs unit propagation; it returns a conflicting clause or
+// CRefUndef.
+func (s *Solver) propagate() ClauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -343,8 +369,8 @@ func (s *Solver) propagate() *clause {
 				n++
 				continue
 			}
-			c := w.cl
-			lits := c.lits
+			r := w.cref
+			lits := s.ca.lits(r)
 			// Make sure the false literal (¬p) is at position 1.
 			np := p.Not()
 			if lits[0] == np {
@@ -352,7 +378,7 @@ func (s *Solver) propagate() *clause {
 			}
 			first := lits[0]
 			if first != w.blocker && s.value(first) == lTrue {
-				ws[n] = watcher{c, first}
+				ws[n] = watcher{r, first}
 				n++
 				continue
 			}
@@ -361,12 +387,12 @@ func (s *Solver) propagate() *clause {
 				if s.value(lits[k]) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
 					nl := lits[1].Not()
-					s.watches[nl] = append(s.watches[nl], watcher{c, first})
+					s.watches[nl] = append(s.watches[nl], watcher{r, first})
 					continue nextWatcher
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[n] = watcher{c, first}
+			ws[n] = watcher{r, first}
 			n++
 			if s.value(first) == lFalse {
 				// Conflict: copy remaining watchers back and bail.
@@ -376,13 +402,13 @@ func (s *Solver) propagate() *clause {
 				}
 				s.watches[p] = ws[:n]
 				s.qhead = len(s.trail)
-				return c
+				return r
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, r)
 		}
 		s.watches[p] = ws[:n]
 	}
-	return nil
+	return CRefUndef
 }
 
 func (s *Solver) cancelUntil(level int) {
@@ -416,11 +442,12 @@ func (s *Solver) varBump(v Var) {
 	}
 }
 
-func (s *Solver) claBump(c *clause) {
-	c.act += float32(s.claInc)
-	if c.act > 1e20 {
-		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+func (s *Solver) claBump(r ClauseRef) {
+	a := s.ca.act(r) + float32(s.claInc)
+	s.ca.setAct(r, a)
+	if a > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setAct(lr, s.ca.act(lr)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -428,7 +455,7 @@ func (s *Solver) claBump(c *clause) {
 
 // analyze performs first-UIP conflict analysis and returns the learnt clause
 // (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+func (s *Solver) analyze(confl ClauseRef) ([]Lit, int) {
 	learnt := make([]Lit, 1, 8) // learnt[0] reserved for the asserting literal
 	toClear := make([]Var, 0, 16)
 	pathC := 0
@@ -437,11 +464,12 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 
 	for {
 		s.claBump(confl)
+		clits := s.ca.lits(confl)
 		start := 0
 		if p != LitUndef {
 			start = 1
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range clits[start:] {
 			v := q.Var()
 			if s.seen[v] == 0 && s.level(v) > 0 {
 				s.varBump(v)
@@ -475,13 +503,13 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
 		r := s.vardata[v].reason
-		if r == nil {
+		if r == CRefUndef {
 			learnt[j] = learnt[i]
 			j++
 			continue
 		}
 		redundant := true
-		for _, q := range r.lits {
+		for _, q := range s.ca.lits(r) {
 			if q.Var() == v {
 				continue
 			}
@@ -516,7 +544,26 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	return learnt, btLevel
 }
 
+// nextRand steps the xorshift64* generator.
+func (s *Solver) nextRand() uint64 {
+	x := s.rndState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rndState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
 func (s *Solver) pickBranchLit() Lit {
+	// Occasional random decisions (diversified parallel workers only): pick a
+	// random heap entry, which is biased toward high activity but explores.
+	if s.rndFreq > 0 && s.rndState != 0 &&
+		float64(s.nextRand()>>11)/(1<<53) < s.rndFreq && !s.order.empty() {
+		v := s.order.heap[int(s.nextRand()%uint64(len(s.order.heap)))]
+		if s.assigns[v] == lUndef {
+			return MkLit(v, s.polarity[v])
+		}
+	}
 	for !s.order.empty() {
 		v := s.order.removeMin()
 		if s.assigns[v] == lUndef {
@@ -530,33 +577,33 @@ func (s *Solver) reduceDB() {
 	// Sort learnts by activity ascending (simple insertion into buckets is
 	// overkill; use an O(n log n) sort inline).
 	ls := s.learnts
-	sortClausesByAct(ls)
+	s.sortLearntsByAct(ls)
 	half := len(ls) / 2
 	kept := ls[:0]
-	for i, c := range ls {
-		locked := false
-		if r := s.vardata[c.lits[0].Var()].reason; r == c && s.value(c.lits[0]) == lTrue {
-			locked = true
-		}
-		if len(c.lits) > 2 && !locked && (i < half || float64(c.act) < s.claInc/float64(len(ls))) {
-			s.detach(c)
+	for i, r := range ls {
+		lits := s.ca.lits(r)
+		locked := s.vardata[lits[0].Var()].reason == r && s.value(lits[0]) == lTrue
+		if len(lits) > 2 && !locked && (i < half || float64(s.ca.act(r)) < s.claInc/float64(len(ls))) {
+			s.detach(r)
+			s.ca.free(r)
 			continue
 		}
-		kept = append(kept, c)
+		kept = append(kept, r)
 	}
 	s.learnts = kept
 }
 
-func sortClausesByAct(cs []*clause) {
+func (s *Solver) sortLearntsByAct(cs []ClauseRef) {
 	// Shell sort keeps us dependency-free and is fine for this size.
 	for gap := len(cs) / 2; gap > 0; gap /= 2 {
 		for i := gap; i < len(cs); i++ {
-			c := cs[i]
+			r := cs[i]
+			a := s.ca.act(r)
 			j := i
-			for ; j >= gap && cs[j-gap].act > c.act; j -= gap {
+			for ; j >= gap && s.ca.act(cs[j-gap]) > a; j -= gap {
 				cs[j] = cs[j-gap]
 			}
-			cs[j] = c
+			cs[j] = r
 		}
 	}
 }
@@ -606,6 +653,30 @@ func (s *Solver) checkLimits(deadline time.Time) bool {
 	return false
 }
 
+// learn records the clause produced by conflict analysis: enqueue the
+// asserting literal, attach multi-literal clauses, and offer short clauses to
+// the exchange when running as a parallel worker.
+func (s *Solver) learn(learnt []Lit) {
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], CRefUndef)
+	} else {
+		r := s.ca.alloc(learnt, true)
+		s.learnts = append(s.learnts, r)
+		s.attach(r)
+		s.claBump(r)
+		s.uncheckedEnqueue(learnt[0], r)
+	}
+	s.stats.ConflictClauses++
+	if s.ex != nil && len(learnt) <= shareMaxLen {
+		s.exOut = append(s.exOut, append([]Lit(nil), learnt...))
+		// Units prune every peer's search immediately; publish them without
+		// waiting for the batch to fill. Longer clauses amortize the lock.
+		if len(learnt) == 1 || len(s.exOut) >= shareFlushBatch {
+			s.flushShared()
+		}
+	}
+}
+
 // search runs CDCL until a result or until nConflicts conflicts occurred.
 func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 	conflicts := int64(0)
@@ -613,7 +684,7 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 	for {
 		steps++
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			s.stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
@@ -621,16 +692,15 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
-			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
-			} else {
-				c := &clause{lits: learnt, learnt: true}
-				s.learnts = append(s.learnts, c)
-				s.attach(c)
-				s.claBump(c)
-				s.uncheckedEnqueue(learnt[0], c)
+			s.learn(learnt)
+			if btLevel == 0 && s.ex != nil {
+				// Already back at the root: trade clauses with the other
+				// portfolio workers now instead of waiting for the next
+				// scheduled restart (units travel fastest this way).
+				if st := s.exchangeSync(); st == Unsat {
+					return Unsat
+				}
 			}
-			s.stats.ConflictClauses++
 			s.varInc /= s.varDecay
 			s.claInc /= s.claDecay
 
@@ -660,7 +730,7 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, CRefUndef)
 	}
 }
 
@@ -684,7 +754,18 @@ func (s *Solver) Solve() Status {
 	budget := s.ConflictBudget
 	spent := int64(0)
 	for restart := 0; ; restart++ {
-		n := int64(luby(2, restart) * 100)
+		// Restart boundary: decision level 0. Reclaim arena space freed by
+		// reduceDB and trade clauses with the other portfolio workers.
+		if s.ca.shouldGC() {
+			s.garbageCollect()
+		}
+		if s.ex != nil {
+			if st := s.exchangeSync(); st == Unsat {
+				s.unsatFlag = true
+				return Unsat
+			}
+		}
+		n := int64(luby(s.restartBase, restart) * float64(s.restartUnit))
 		if budget > 0 && spent+n > budget {
 			n = budget - spent
 			if n <= 0 {
@@ -728,7 +809,8 @@ func (s *Solver) StopReason() StopCause { return s.stop }
 // Index i holds the value of variable i. The slice is owned by the solver.
 func (s *Solver) Model() []bool { return s.model }
 
-// Stats returns a snapshot of the solver counters.
+// Stats returns a snapshot of the solver counters. After SolveParallel it
+// reflects the winning worker (see ParallelStats for the full breakdown).
 func (s *Solver) Stats() Stats { return s.stats }
 
 // indexed max-heap over variable activities.

@@ -1,0 +1,21 @@
+package suf
+
+// Clone deep-copies f into dst, preserving DAG sharing: each distinct node of
+// f maps to exactly one node of dst, so the copy has the same node count as
+// the original. It is the cheap way to hand a formula to a worker with its
+// own Builder (Builders are not safe for concurrent use) — linear in the DAG
+// size, unlike printing and re-parsing, which is quadratic-ish on deep terms
+// and re-derives sharing from scratch.
+//
+// Clone only reads the source expression and Builder, so several goroutines
+// may clone from the same source concurrently, each into its own dst.
+func Clone(f *BoolExpr, dst *Builder) *BoolExpr {
+	s := &Subst{}
+	return s.ApplyBool(f, dst)
+}
+
+// CloneInt is Clone for integer expressions.
+func CloneInt(t *IntExpr, dst *Builder) *IntExpr {
+	s := &Subst{}
+	return s.ApplyInt(t, dst)
+}

@@ -1,0 +1,66 @@
+package suf
+
+import "testing"
+
+// TestCloneCrossBuilder checks the property the portfolio relies on: a clone
+// into a fresh Builder is self-contained and interns with nodes the
+// destination builds later (a leaked source node would make x ≠ x).
+func TestCloneCrossBuilder(t *testing.T) {
+	src := NewBuilder()
+	x := src.Sym("x")
+	shared := src.Succ(x)
+	f := src.And(
+		src.Eq(shared, src.Fn("g", x)),
+		src.Or(src.Lt(shared, src.Ite(src.BoolSym("p"), x, src.Pred(x))), src.False()),
+	)
+
+	dst := NewBuilder()
+	g := Clone(f, dst)
+
+	if g.String() != f.String() {
+		t.Fatalf("clone prints differently:\n src %s\n dst %s", f, g)
+	}
+	// Nullary symbols must be interned in dst, not borrowed from src.
+	if dst.Sym("x") == src.Sym("x") {
+		t.Fatal("test is vacuous: builders share the node")
+	}
+	cx := dst.Sym("x")
+	if Clone(src.Eq(x, x), dst) != dst.Eq(cx, cx) {
+		t.Fatal("cloned leaf does not intern with dst-built nodes")
+	}
+	if Clone(src.True(), dst) != dst.True() || Clone(src.BoolSym("p"), dst) != dst.BoolSym("p") {
+		t.Fatal("cloned constants/predicates do not intern with dst")
+	}
+}
+
+// TestClonePreservesSharing checks the clone is linear in the DAG, not the
+// tree: node counts in the destination match the source.
+func TestClonePreservesSharing(t *testing.T) {
+	src := NewBuilder()
+	e := src.Sym("a")
+	for i := 0; i < 20; i++ {
+		e = src.Ite(src.Eq(e, e), src.Succ(e), src.Pred(e)) // tree size ~3^20
+	}
+	f := src.Lt(e, e)
+	before := src.NumNodes()
+
+	dst := NewBuilder()
+	Clone(f, dst)
+	if dst.NumNodes() > before {
+		t.Fatalf("clone lost sharing: src has %d nodes, dst %d", before, dst.NumNodes())
+	}
+}
+
+// TestCloneInt mirrors TestCloneCrossBuilder for bare integer terms.
+func TestCloneInt(t *testing.T) {
+	src := NewBuilder()
+	tm := src.Offset(src.Fn("h", src.Sym("y")), 3)
+	dst := NewBuilder()
+	c := CloneInt(tm, dst)
+	if c.String() != tm.String() {
+		t.Fatalf("CloneInt prints differently: %s vs %s", tm, c)
+	}
+	if CloneInt(src.Sym("y"), dst) != dst.Sym("y") {
+		t.Fatal("CloneInt leaf does not intern with dst")
+	}
+}

@@ -34,7 +34,10 @@ func (s *Subst) applyI(t *IntExpr, b *Builder, mb map[*BoolExpr]*BoolExpr, mi ma
 			if rep, ok := s.Int[t.fn]; ok {
 				r = rep
 			} else {
-				r = t
+				// Rebuild through b rather than reusing t: hash-consing makes
+				// this the identity when b owns t, and it keeps cross-builder
+				// clones self-contained (no foreign nodes leaking into b).
+				r = b.Fn(t.fn)
 			}
 			break
 		}
@@ -61,7 +64,7 @@ func (s *Subst) applyB(f *BoolExpr, b *Builder, mb map[*BoolExpr]*BoolExpr, mi m
 	var r *BoolExpr
 	switch f.kind {
 	case BTrue, BFalse:
-		r = f
+		r = b.Const(f.kind == BTrue)
 	case BNot:
 		r = b.Not(s.applyB(f.l, b, mb, mi))
 	case BAnd:
@@ -77,7 +80,7 @@ func (s *Subst) applyB(f *BoolExpr, b *Builder, mb map[*BoolExpr]*BoolExpr, mi m
 			if rep, ok := s.Bool[f.pn]; ok {
 				r = rep
 			} else {
-				r = f
+				r = b.PredApp(f.pn)
 			}
 			break
 		}

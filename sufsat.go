@@ -367,6 +367,14 @@ type Options struct {
 	// Boolean encoding plus solver state (0 = none); exceeding it reports
 	// ResourceOut with ErrMemoryBudget.
 	MaxMemoryEstimate int64
+	// SolverWorkers selects the number of diversified CDCL workers racing on
+	// each SAT query with clause sharing (0 or 1 = sequential). All methods
+	// honor it: the eager encodings and the portfolio solve their encoded
+	// query in parallel, and the lazy method parallelizes every refinement
+	// iteration. With more than one worker the run is generally not
+	// deterministic (which worker wins depends on scheduling), though the
+	// verdict never varies.
+	SolverWorkers int
 	// NoDegrade disables the hybrid per-class EIJ→SD fallback on
 	// transitivity-budget exhaustion, so the budget aborts the call instead.
 	NoDegrade bool
@@ -480,7 +488,7 @@ func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
 	}()
 	switch opts.Method {
 	case MethodLazy:
-		r := lazy.DecideCtx(ctx, f.f, f.b.sb, opts.Timeout)
+		r := lazy.DecideCtxWorkers(ctx, f.f, f.b.sb, opts.Timeout, opts.SolverWorkers)
 		return &Result{Status: r.Status, Err: r.Err, Stats: Stats{
 			Nodes:           suf.CountNodes(f.f),
 			CNFClauses:      r.Stats.SAT.Clauses,
@@ -515,6 +523,7 @@ func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
 		MaxCNFClauses:     opts.MaxCNFClauses,
 		MaxConflicts:      opts.MaxConflicts,
 		MaxMemoryEstimate: opts.MaxMemoryEstimate,
+		SolverWorkers:     opts.SolverWorkers,
 		NoDegrade:         opts.NoDegrade,
 		Timeout:           opts.Timeout,
 		Ackermann:         opts.Ackermann,
