@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke
+.PHONY: ci vet build test race bench bench-smoke trace-smoke
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
-# portfolio racer and the parallel clause-sharing SAT core), and a one-shot
-# benchmark smoke run that keeps the bench harness compiling and solving.
-ci: vet build test race bench-smoke
+# portfolio racer, the parallel clause-sharing SAT core and the telemetry
+# recorder), a one-shot benchmark smoke run that keeps the bench harness
+# compiling and solving, and a telemetry smoke run that validates the trace
+# and JSON-stats artifacts against their documented schemas.
+ci: vet build test race bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,13 +20,28 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core ./internal/sat
+	$(GO) test -race -short ./internal/core ./internal/sat ./internal/obs
 
 # bench regenerates the perf-trajectory report at the repo root: Sample16
 # encoded once per benchmark, then solved sequentially vs with the parallel
-# clause-sharing portfolio. Schema documented in EXPERIMENTS.md.
+# clause-sharing portfolio, each entry embedding its telemetry snapshot.
+# Schema documented in EXPERIMENTS.md.
 bench:
-	$(GO) run ./cmd/sufbench -out BENCH_PR2.json
+	$(GO) run ./cmd/sufbench -out BENCH_PR3.json
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkSolve -benchtime=1x ./internal/sat
+
+# trace-smoke drives sufdecide with every telemetry sink on an example and
+# validates the artifacts: the Chrome trace must contain the hybrid pipeline
+# phases in order and the JSON snapshot must match the schema in
+# docs/FORMATS.md (strict decode, no unknown fields).
+trace-smoke:
+	$(GO) run ./cmd/sufdecide -method hybrid -j 2 \
+		-trace /tmp/sufsat-trace-smoke.json \
+		-stats=json -stats-out /tmp/sufsat-stats-smoke.json \
+		examples/formulas/congruence.suf
+	$(GO) run ./cmd/tracecheck \
+		-trace /tmp/sufsat-trace-smoke.json \
+		-stats /tmp/sufsat-stats-smoke.json \
+		-want-spans funcelim,analyze,encode,trans,cnf,sat

@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-fig 2|3|4|5|6|threshold|features|all] [-timeout 20s] [-maxtrans N] [-thold N] [-j WORKERS]
+//	experiments [-fig 2|3|4|5|6|threshold|features|all] [-timeout 20s]
+//	            [-maxtrans N] [-thold N] [-j WORKERS] [-debug-addr ADDR]
 //
 // Figure 5 follows the paper's protocol of re-running HYBRID with
 // SEP_THOLD=100 on the invariant-checking benchmarks; every other figure
 // uses the library default (or -thold).
+//
+// -debug-addr serves expvar and pprof live during the suite, with the
+// telemetry recorder threaded through every decision run, so a long
+// regeneration can be observed from outside (span count, worker samples,
+// goroutine/heap profiles).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"sufsat/internal/experiments"
+	"sufsat/internal/obs"
 )
 
 func main() {
@@ -29,6 +36,7 @@ func main() {
 	maxTrans := flag.Int("maxtrans", 1_000_000, "translation cap on transitivity constraints")
 	thold := flag.Int("thold", 0, "SEP_THOLD override for HYBRID (0 = library default)")
 	workers := flag.Int("j", 1, "parallel SAT workers per run (0 = NumCPU; 1 = the paper's sequential protocol)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :6060) during the suite")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
@@ -40,6 +48,18 @@ func main() {
 	defer stop()
 
 	cfg := experiments.Config{Timeout: *timeout, MaxTrans: *maxTrans, Threshold: *thold, Workers: *workers, Ctx: ctx}
+	if *debugAddr != "" {
+		rec := obs.NewRecorder()
+		obs.PublishRecorder(rec)
+		srv, addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug endpoint on http://%s/debug/vars\n", addr)
+		cfg.Telemetry = rec
+	}
 	w := os.Stdout
 
 	runFig2 := func() {

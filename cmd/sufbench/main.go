@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	sufbench [-out BENCH_PR2.json] [-j N] [-solve-timeout 60s]
+//	sufbench [-out BENCH_PR3.json] [-j N] [-solve-timeout 60s]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
-// comparison isolates the solver core from the encoder.
+// comparison isolates the solver core from the encoder. Every entry embeds
+// the unified telemetry snapshot of its runs (spans, solver counters,
+// per-worker breakdown, progress samples) under "telemetry"; see
+// docs/FORMATS.md for that schema.
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout)")
 	workers := flag.Int("j", 0, "parallel workers (0 = NumCPU, floored at 4)")
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-SAT-run wall-clock cap")
 	flag.Parse()

@@ -5,12 +5,23 @@
 //
 //	sufdecide [-method hybrid|sd|eij|lazy|svc|portfolio] [-timeout 30s]
 //	          [-thold N] [-maxtrans N] [-maxconflicts N] [-maxcnf N]
-//	          [-maxmem BYTES] [-j WORKERS] [-nodegrade] [-stats] [file.suf]
+//	          [-maxmem BYTES] [-j WORKERS] [-nodegrade]
+//	          [-stats | -stats=json] [-stats-out FILE] [-trace FILE]
+//	          [-debug-addr ADDR] [file.suf]
 //
 // The input is one formula in s-expression syntax, for example:
 //
 //	; functional congruence
 //	(=> (= x y) (= (f x) (f y)))
+//
+// Telemetry: -stats prints the unified run report in human-readable text,
+// -stats=json as indented JSON (to -stats-out when given, else stdout);
+// -trace writes a Chrome trace-event file of the pipeline spans and
+// per-worker progress samples, loadable in chrome://tracing or Perfetto;
+// -debug-addr serves expvar and pprof live during the run. All four sinks
+// share one recorder, and the report is emitted on every exit path —
+// timeouts, budget exhaustion and cancellation included. See docs/FORMATS.md
+// for the schemas.
 //
 // SIGINT or SIGTERM cancels the in-flight decision; the run reports
 // "canceled" with whatever statistics it gathered and exits accordingly.
@@ -30,6 +41,7 @@ import (
 	"syscall"
 
 	"sufsat"
+	"sufsat/internal/obs"
 )
 
 // exitCode maps a decision status to the documented process exit code.
@@ -49,6 +61,26 @@ func exitCode(s sufsat.Status) int {
 	return 2
 }
 
+// statsFlag makes -stats an optional-value flag: bare -stats selects the
+// human text sink, -stats=json the JSON sink.
+type statsFlag struct{ mode string }
+
+func (s *statsFlag) String() string   { return s.mode }
+func (s *statsFlag) IsBoolFlag() bool { return true }
+func (s *statsFlag) Set(v string) error {
+	switch v {
+	case "true", "text", "":
+		s.mode = "text"
+	case "json":
+		s.mode = "json"
+	case "false":
+		s.mode = ""
+	default:
+		return fmt.Errorf("want -stats, -stats=text or -stats=json, got -stats=%s", v)
+	}
+	return nil
+}
+
 func main() {
 	method := flag.String("method", "hybrid", "decision method: hybrid, sd, eij, lazy, svc or portfolio")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
@@ -59,7 +91,11 @@ func main() {
 	maxMem := flag.Int64("maxmem", 0, "estimated encoding+solver memory cap in bytes (0 = none)")
 	workers := flag.Int("j", 1, "parallel SAT workers racing with clause sharing (0 = NumCPU)")
 	noDegrade := flag.Bool("nodegrade", false, "fail on a blown transitivity cap instead of degrading the class to SD")
-	showStats := flag.Bool("stats", false, "print pipeline statistics")
+	var stats statsFlag
+	flag.Var(&stats, "stats", "print the run report: -stats for text, -stats=json for JSON")
+	statsOut := flag.String("stats-out", "", "write the -stats report to this file instead of stdout")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file of spans and worker samples")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :6060) during the run")
 	showModel := flag.Bool("model", false, "print the counterexample when the formula is invalid")
 	ackermann := flag.Bool("ackermann", false, "use Ackermann's function elimination (ablation)")
 	smt2 := flag.Bool("smt2", false, "input is an SMT-LIB v2 script (QF_IDL/QF_UFIDL); reports sat/unsat")
@@ -138,6 +174,64 @@ func main() {
 		opts.DumpCNF = out
 	}
 
+	// One recorder feeds every telemetry sink.
+	var rec *sufsat.Telemetry
+	if stats.mode != "" || *traceFile != "" || *debugAddr != "" {
+		rec = sufsat.NewTelemetry()
+		opts.Telemetry = rec
+	}
+	if *debugAddr != "" {
+		obs.PublishRecorder(rec)
+		srv, addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufdecide:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sufdecide: debug endpoint on http://%s/debug/vars\n", addr)
+	}
+
+	// emit flushes the unified snapshot to the configured sinks. It runs on
+	// every exit path that got as far as calling Decide, so failed runs
+	// still report whatever they measured.
+	emit := func(snap *sufsat.TelemetrySnapshot) {
+		if snap != nil {
+			obs.PublishSnapshot(snap)
+		}
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err == nil {
+				err = rec.WriteChromeTrace(tf)
+				if cerr := tf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sufdecide: trace:", err)
+			}
+		}
+		if stats.mode == "" || snap == nil {
+			return
+		}
+		out := os.Stdout
+		if *statsOut != "" {
+			var err error
+			out, err = os.Create(*statsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sufdecide: stats:", err)
+				return
+			}
+			defer out.Close()
+		}
+		if stats.mode == "json" {
+			if err := snap.WriteJSON(out); err != nil {
+				fmt.Fprintln(os.Stderr, "sufdecide: stats:", err)
+			}
+		} else {
+			snap.RenderText(out)
+		}
+	}
+
 	// A first SIGINT/SIGTERM cancels the in-flight decision, which then
 	// reports Canceled with partial statistics; a second signal kills the
 	// process via the restored default disposition.
@@ -145,34 +239,35 @@ func main() {
 	defer stop()
 
 	if *smt2 {
-		sat, model, err := sufsat.CheckSatContext(ctx, f, opts)
-		if err != nil {
-			fmt.Println("unknown")
-			fmt.Fprintln(os.Stderr, "sufdecide:", err)
-			os.Exit(2)
-		}
-		if sat {
+		// sat(F) ⟺ ¬valid(¬F), decided directly so the telemetry report
+		// covers this path too (the snapshot describes the validity check of
+		// the negation).
+		res := sufsat.DecideContext(ctx, f.Not(), opts)
+		emit(res.Telemetry)
+		switch res.Status {
+		case sufsat.Invalid:
 			fmt.Println("sat")
-			if *showModel && model != nil {
-				fmt.Println(model)
+			if *showModel && res.Counterexample != nil {
+				fmt.Println(res.Counterexample)
 			}
 			os.Exit(0)
+		case sufsat.Valid:
+			fmt.Println("unsat")
+			os.Exit(0)
 		}
-		fmt.Println("unsat")
-		os.Exit(0)
+		fmt.Println("unknown")
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "sufdecide:", res.Err)
+		}
+		os.Exit(exitCode(res.Status))
 	}
+
 	res := sufsat.DecideContext(ctx, f, opts)
 	fmt.Println(res.Status)
 	if *showModel && res.Counterexample != nil {
 		fmt.Println(res.Counterexample)
 	}
-	if *showStats {
-		st := res.Stats
-		fmt.Printf("nodes=%d sep-preds=%d classes=%d (sd=%d demoted=%d) p-fraction=%.2f\n",
-			st.Nodes, st.SepPreds, st.Classes, st.SDClasses, st.DemotedClasses, st.PFuncFraction)
-		fmt.Printf("cnf-clauses=%d conflict-clauses=%d\n", st.CNFClauses, st.ConflictClauses)
-		fmt.Printf("encode=%v sat=%v total=%v\n", st.EncodeTime, st.SATTime, st.TotalTime)
-	}
+	emit(res.Telemetry)
 	if !res.Status.Definitive() && res.Err != nil {
 		fmt.Fprintln(os.Stderr, "sufdecide:", res.Err)
 	}

@@ -1,0 +1,168 @@
+// Command tracecheck validates the telemetry artifacts sufdecide emits —
+// a Chrome trace-event file (-trace) and a JSON stats snapshot (-stats) —
+// against the schemas documented in docs/FORMATS.md. It is the checker
+// behind `make trace-smoke`.
+//
+// Usage:
+//
+//	tracecheck [-trace t.json] [-stats s.json] [-want-spans funcelim,analyze,...]
+//
+// The trace file must be a JSON object with a traceEvents array of events in
+// the trace-event format ("ph" one of M, X, C; microsecond timestamps;
+// complete events carry a duration). When -want-spans is given, the named
+// spans must appear as "X" events on the pipeline thread (tid 0) as a
+// subsequence in timestamp order — the phase-ordering contract of the Decide
+// pipeline. The stats file must decode into the unified snapshot schema with
+// a method, a status and at least one span.
+//
+// Exit status: 0 when every requested check passes, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sufsat/internal/obs"
+)
+
+// traceEvent mirrors the trace-event fields tracecheck validates. Args stays
+// raw: the schema constrains the envelope, not the per-span attributes.
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func checkTrace(path, wantSpans string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: not valid trace-event JSON: %v", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: empty traceEvents array", path)
+	}
+	type span struct {
+		name string
+		ts   float64
+	}
+	var pipeline []span
+	counters := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			fail("%s: event %d has no name", path, i)
+		}
+		switch ev.Ph {
+		case "M": // metadata carries no timing
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil || *ev.Ts < 0 || *ev.Dur < 0 {
+				fail("%s: complete event %q needs ts and dur ≥ 0", path, ev.Name)
+			}
+			if ev.Tid != nil && *ev.Tid == 0 {
+				pipeline = append(pipeline, span{ev.Name, *ev.Ts})
+			}
+		case "C":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				fail("%s: counter event %q needs ts ≥ 0", path, ev.Name)
+			}
+			if len(ev.Args) == 0 {
+				fail("%s: counter event %q has no args", path, ev.Name)
+			}
+			counters++
+		default:
+			fail("%s: event %q has unexpected phase %q (want M, X or C)", path, ev.Name, ev.Ph)
+		}
+		if ev.Pid == nil {
+			fail("%s: event %q has no pid", path, ev.Name)
+		}
+	}
+	sort.SliceStable(pipeline, func(a, b int) bool { return pipeline[a].ts < pipeline[b].ts })
+	if wantSpans != "" {
+		want := strings.Split(wantSpans, ",")
+		i := 0
+		for _, sp := range pipeline {
+			if i < len(want) && sp.name == strings.TrimSpace(want[i]) {
+				i++
+			}
+		}
+		if i < len(want) {
+			var got []string
+			for _, sp := range pipeline {
+				got = append(got, sp.name)
+			}
+			fail("%s: pipeline spans %v do not contain %q in order (missing from %q)",
+				path, got, wantSpans, strings.TrimSpace(want[i]))
+		}
+	}
+	fmt.Printf("tracecheck: %s ok (%d events, %d pipeline spans, %d counter samples)\n",
+		path, len(tf.TraceEvents), len(pipeline), counters)
+}
+
+func checkStats(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var snap obs.Snapshot
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		fail("%s: not a valid stats snapshot: %v", path, err)
+	}
+	if snap.Method == "" {
+		fail("%s: snapshot has no method", path)
+	}
+	if snap.Status == "" {
+		fail("%s: snapshot has no status", path)
+	}
+	if len(snap.Spans) == 0 {
+		fail("%s: snapshot has no spans", path)
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "" || sp.DurMS < 0 || sp.StartMS < 0 {
+			fail("%s: malformed span record %+v", path, sp)
+		}
+	}
+	if snap.Timings.TotalMS < 0 {
+		fail("%s: negative total_ms", path)
+	}
+	fmt.Printf("tracecheck: %s ok (method=%s status=%s, %d spans, %d samples)\n",
+		path, snap.Method, snap.Status, len(snap.Spans), len(snap.Samples))
+}
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	statsPath := flag.String("stats", "", "JSON stats snapshot to validate")
+	wantSpans := flag.String("want-spans", "", "comma-separated span names that must appear in order on the pipeline thread")
+	flag.Parse()
+	if *tracePath == "" && *statsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c]")
+		os.Exit(1)
+	}
+	if *tracePath != "" {
+		checkTrace(*tracePath, *wantSpans)
+	}
+	if *statsPath != "" {
+		checkStats(*statsPath)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sufsat/internal/core"
+	"sufsat/internal/obs"
 	"sufsat/internal/sat"
 )
 
@@ -56,6 +57,12 @@ type PerfEntry struct {
 	Speedup     float64 `json:"speedup"`
 	WorkSpeedup float64 `json:"work_speedup"`
 	Hard        bool    `json:"hard"`
+
+	// Telemetry is the unified observability snapshot of this entry's runs:
+	// encode/seq_solve/par_solve spans, the sequential solver's full counter
+	// set, the per-worker parallel breakdown and the progress samples taken
+	// during the parallel search. Schema in docs/FORMATS.md.
+	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
 }
 
 // PerfReport is the schema of BENCH_PR<n>.json (documented in
@@ -142,7 +149,12 @@ func RunPerf(ctx context.Context, bms []Benchmark, cfg PerfConfig) (*PerfReport,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		rec := obs.NewRecorder()
+		encSpan := rec.StartSpan("encode")
+		encStart := time.Now()
 		dimacs, err := encodeCNF(ctx, bm)
+		encWall := time.Since(encStart)
+		encSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -159,17 +171,25 @@ func RunPerf(ctx context.Context, bms []Benchmark, cfg PerfConfig) (*PerfReport,
 		if err != nil {
 			return nil, err
 		}
+		seqSpan := rec.StartSpan("seq_solve")
 		t0 := time.Now()
 		seqStatus := seq.SolveParallel(ctx, 1)
 		seqWall := time.Since(t0)
+		seqSpan.AttrInt64("conflicts", seq.Stats().Conflicts).
+			AttrStr("status", seqStatus.String()).End()
 
 		ps, err := load()
 		if err != nil {
 			return nil, err
 		}
+		ps.Probes = rec.Probes()
+		stopSampling := rec.StartSampling()
+		parSpan := rec.StartSpan("par_solve")
 		t1 := time.Now()
 		parStatus := ps.SolveParallel(ctx, par)
 		parWall := time.Since(t1)
+		parSpan.AttrInt("workers", par).AttrStr("status", parStatus.String()).End()
+		stopSampling()
 		pstats := ps.ParallelStats()
 
 		e := PerfEntry{
@@ -197,6 +217,14 @@ func RunPerf(ctx context.Context, bms []Benchmark, cfg PerfConfig) (*PerfReport,
 				e.WorkSpeedup = float64(e.SeqConflicts) / math.Max(float64(e.ParWinnerConflicts), 1)
 			}
 		}
+		snap := &obs.Snapshot{
+			Method:   "SATCORE",
+			Status:   parStatus.String(),
+			SAT:      core.SolverSnapshot(seq.Stats()),
+			Parallel: core.ParallelSnapshot(pstats),
+			Timings:  obs.DurationsToTimings(encWall, seqWall+parWall, encWall+seqWall+parWall),
+		}
+		e.Telemetry = snap.Finish(rec)
 		rep.Entries = append(rep.Entries, e)
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "%-10s %7d clauses  seq %8.1fms (%s)  par×%d %8.1fms (%s)  speedup %.2f  work ×%.2f\n",

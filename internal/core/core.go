@@ -37,6 +37,7 @@ import (
 	"sufsat/internal/boolexpr"
 	"sufsat/internal/enc"
 	"sufsat/internal/funcelim"
+	"sufsat/internal/obs"
 	"sufsat/internal/perconstraint"
 	"sufsat/internal/sat"
 	"sufsat/internal/sep"
@@ -133,6 +134,12 @@ type Options struct {
 	// classified status. Used by the fault-injection harness and service
 	// instrumentation.
 	Hook StageHook
+	// Telemetry, when non-nil, records phase-scoped spans for every pipeline
+	// stage, samples per-worker solver progress during the SAT search, and
+	// makes DecideCtx attach a unified obs.Snapshot to the Result on every
+	// exit path. nil disables all of it at the cost of an untaken branch per
+	// stage (the nil-sink fast path).
+	Telemetry *obs.Recorder
 }
 
 // transBudget returns the effective transitivity-clause cap.
@@ -183,6 +190,9 @@ type Result struct {
 	// Model is the reconstructed falsifying interpretation when Status ==
 	// Invalid (nil otherwise).
 	Model *Model
+	// Telemetry is the unified snapshot of the run, present (on every exit
+	// path, failures included) iff Options.Telemetry was set.
+	Telemetry *obs.Snapshot
 }
 
 // Decide checks validity of the SUF formula f (built in b) under a
@@ -242,8 +252,12 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		threshold = DefaultSepThreshold
 	}
 
+	rec := opts.Telemetry
+
 	// fail classifies err, stamps the timings and returns res. encodeTime
-	// marks failures during (or before the end of) the encoding phase.
+	// marks failures during (or before the end of) the encoding phase. Every
+	// exit path — this one included — carries the telemetry snapshot, so
+	// failed runs are diagnosable from whatever was measured before the stop.
 	fail := func(err error, encoding bool) *Result {
 		res.Status = StatusOf(err)
 		res.Err = err
@@ -251,6 +265,7 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 			res.Stats.EncodeTime = time.Since(start)
 		}
 		res.Stats.TotalTime = time.Since(start)
+		res.Telemetry = res.snapshot(rec, opts.Method)
 		return res
 	}
 	// checkpoint runs the stage hook, then polls the context, so a hook that
@@ -268,6 +283,7 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 	if err := checkpoint(StageFuncElim); err != nil {
 		return fail(err, true)
 	}
+	feSpan := rec.StartSpan(StageFuncElim).AttrBool("ackermann", opts.Ackermann)
 	var elim *funcelim.Result
 	if opts.Ackermann {
 		elim = funcelim.EliminateAckermann(f, b)
@@ -275,17 +291,24 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		elim = funcelim.Eliminate(f, b)
 	}
 	res.Stats.PFraction = elim.PFuncFraction
+	feSpan.AttrFloat("p_func_fraction", elim.PFuncFraction).
+		AttrInt("func_apps", elim.NumApps).AttrInt("p_func_apps", elim.NumPApps)
+	feSpan.End()
 
 	// 2. Separation analysis.
 	if err := checkpoint(StageAnalyze); err != nil {
 		return fail(err, true)
 	}
+	anSpan := rec.StartSpan(StageAnalyze)
 	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
 	if err != nil {
 		return fail(err, true)
 	}
 	res.Stats.SepPreds = info.NumSepPreds
 	res.Stats.Classes = len(info.Classes)
+	anSpan.AttrInt("sep_preds", info.NumSepPreds).AttrInt("classes", len(info.Classes)).
+		AttrInt("sep_thold", threshold)
+	anSpan.End()
 
 	// 3. Boolean encoding, with graceful degradation: a class whose EIJ
 	// transitivity generation exhausts the budget is re-routed to SD and the
@@ -303,6 +326,7 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		if err := checkpoint(StageEncode); err != nil {
 			return fail(err, true)
 		}
+		encSpan := rec.StartSpan(StageEncode)
 		bb = boolexpr.NewBuilder()
 		res.Stats.SDClasses = 0
 		res.Stats.SDStats = smalldomain.Stats{}
@@ -310,13 +334,23 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		if err != nil {
 			return fail(err, true)
 		}
+		encSpan.AttrInt("sd_classes", res.Stats.SDClasses).
+			AttrInt("eij_classes", res.Stats.Classes-res.Stats.SDClasses).
+			AttrInt("demoted_classes", res.Stats.DemotedClasses).
+			AttrInt("bool_nodes", bb.NumNodes())
+		encSpan.End()
 		if err := checkpoint(StageTrans); err != nil {
 			return fail(err, true)
 		}
+		transSpan := rec.StartSpan(StageTrans)
 		clauses, err = eijEnc.TransClauseList()
 		if err == nil {
+			transSpan.AttrInt("trans_clauses", len(clauses)).
+				AttrInt("trans_constraints", eijEnc.Stats().TransConstraints)
+			transSpan.End()
 			break
 		}
+		transSpan.AttrBool("budget_exhausted", true).End()
 		var be *perconstraint.BudgetError
 		if opts.Method == Hybrid && !opts.NoDegrade &&
 			errors.As(err, &be) && be.Class != nil && !demoted[be.Class] {
@@ -334,11 +368,13 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 	res.Stats.BoolNodes = bb.NumNodes()
 	res.Stats.EIJStats = eijEnc.Stats()
 
+	cnfSpan := rec.StartSpan("cnf")
 	solver := sat.New()
 	solver.Deadline = deadline
 	solver.Interrupt = opts.Interrupt
 	solver.Ctx = ctx
 	solver.ConflictBudget = opts.MaxConflicts
+	solver.Probes = rec.Probes()
 	cnf := boolexpr.AssertTrue(bb.Not(bvar), solver)
 	varLit := func(n *boolexpr.Node) sat.Lit {
 		if l, ok := cnf.VarLits[n.Name()]; ok {
@@ -362,6 +398,8 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 	}
 	res.Stats.EncodeTime = time.Since(start)
 	res.Stats.CNFClauses = solver.Stats().Clauses
+	cnfSpan.AttrInt("vars", solver.Stats().Vars).AttrInt("cnf_clauses", solver.Stats().Clauses)
+	cnfSpan.End()
 
 	// Post-encoding resource budgets.
 	if opts.MaxCNFClauses > 0 && solver.Stats().Clauses > opts.MaxCNFClauses {
@@ -379,15 +417,21 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		if err := checkpoint(StageDump); err != nil {
 			return fail(err, false)
 		}
+		dumpSpan := rec.StartSpan(StageDump)
 		if err := solver.WriteDIMACS(opts.DumpCNF); err != nil {
 			return fail(fmt.Errorf("core: DIMACS dump: %w", err), false)
 		}
+		dumpSpan.End()
 	}
 
-	// 4. SAT.
+	// 4. SAT. While the search runs, the telemetry collector goroutine
+	// samples every worker's lock-free progress slot at the recorder's
+	// sampling interval.
 	if err := checkpoint(StageSAT); err != nil {
 		return fail(err, false)
 	}
+	satSpan := rec.StartSpan(StageSAT).AttrInt("workers", max(opts.SolverWorkers, 1))
+	stopSampling := rec.StartSampling()
 	satStart := time.Now()
 	var satStatus sat.Status
 	if opts.SolverWorkers > 1 {
@@ -396,6 +440,7 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 	} else {
 		satStatus = solver.Solve()
 	}
+	stopSampling()
 	switch satStatus {
 	case sat.Unsat:
 		res.Status = Valid
@@ -409,6 +454,11 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 	res.Stats.SAT = solver.Stats()
 	res.Stats.SATTime = time.Since(satStart)
 	res.Stats.TotalTime = time.Since(start)
+	satSpan.AttrStr("verdict", satStatus.String()).
+		AttrInt64("conflicts", res.Stats.SAT.Conflicts).
+		AttrInt64("conflict_clauses", res.Stats.SAT.ConflictClauses)
+	satSpan.End()
+	res.Telemetry = res.snapshot(rec, opts.Method)
 	return res
 }
 

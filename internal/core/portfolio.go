@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime/debug"
 
+	"sufsat/internal/obs"
 	"sufsat/internal/suf"
 )
 
@@ -27,18 +28,36 @@ func DecidePortfolio(f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 // quadratic-ish on deep terms). Worker panics are contained into an Error
 // result, and every worker drains into a buffered channel and exits shortly
 // after cancellation, so no goroutines leak past the losers' next poll point.
+//
+// With telemetry enabled each racer records into a private child recorder
+// (a shared one would interleave three pipelines' spans); the recorder of
+// the racer whose result is returned is merged back into the caller's, under
+// a "portfolio" span whose attributes name the winning method.
 func DecidePortfolioCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Options) *Result {
 	methods := []Method{Hybrid, SD, EIJ}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make(chan *Result, len(methods))
+	rec := opts.Telemetry
+	pfSpan := rec.StartSpan("portfolio")
+
+	type outcome struct {
+		method Method
+		rec    *obs.Recorder
+		res    *Result
+	}
+	results := make(chan outcome, len(methods))
 	for _, m := range methods {
 		m := m
+		var childRec *obs.Recorder
+		if rec != nil {
+			childRec = obs.NewRecorder()
+			childRec.SampleInterval = rec.SampleInterval
+		}
 		go func() {
 			defer func() {
 				if v := recover(); v != nil {
-					results <- &Result{Status: Error, Err: &PanicError{Value: v, Stack: debug.Stack()}}
+					results <- outcome{m, childRec, &Result{Status: Error, Err: &PanicError{Value: v, Stack: debug.Stack()}}}
 				}
 			}()
 			nb := suf.NewBuilder()
@@ -46,21 +65,36 @@ func DecidePortfolioCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, op
 			o := opts
 			o.Method = m
 			o.Interrupt = nil // cancellation flows through ctx
-			results <- DecideCtx(ctx, nf, nb, o)
+			o.Telemetry = childRec
+			results <- outcome{m, childRec, DecideCtx(ctx, nf, nb, o)}
 		}()
 	}
 
-	var last *Result
+	// finish merges the adopted racer's telemetry into the caller's recorder
+	// and restamps the result's snapshot so its spans and samples cover the
+	// whole portfolio (the child snapshot only saw its own pipeline).
+	finish := func(o outcome, definitive bool) *Result {
+		rec.Adopt(o.rec)
+		pfSpan.AttrStr("adopted", o.method.String()).AttrBool("definitive", definitive)
+		pfSpan.End()
+		if o.res.Telemetry != nil {
+			o.res.Telemetry.Method = "PORTFOLIO(" + o.method.String() + ")"
+			o.res.Telemetry.Finish(rec)
+		}
+		return o.res
+	}
+
+	var last outcome
 	for range methods {
 		out := <-results
 		last = out
-		if out.Status.Definitive() {
+		if out.res.Status.Definitive() {
 			// Definitive answer: cancel the rest and return. The remaining
 			// goroutines notice the cancellation at their next poll point and
 			// drain into the buffered channel.
-			return out
+			return finish(out, true)
 		}
 	}
 	// No member produced a verdict; report the last failure.
-	return last
+	return finish(last, false)
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sufsat/internal/obs"
+	"sufsat/internal/perconstraint"
+	"sufsat/internal/sat"
+	"sufsat/internal/smalldomain"
+)
+
+// This file adapts the per-package Stats structs into the unified telemetry
+// snapshot (internal/obs). obs stays import-free; the conversion lives here
+// because core already depends on every measured package.
+
+// SolverSnapshot converts sat.Stats into the unified telemetry shape.
+func SolverSnapshot(st sat.Stats) obs.SolverStats {
+	return obs.SolverStats{
+		Vars:            st.Vars,
+		Clauses:         st.Clauses,
+		ConflictClauses: st.ConflictClauses,
+		Decisions:       st.Decisions,
+		Propagations:    st.Propagations,
+		Conflicts:       st.Conflicts,
+		Restarts:        st.Restarts,
+		ReduceDBs:       st.ReduceDBs,
+		ArenaGCs:        st.ArenaGCs,
+	}
+}
+
+// ParallelSnapshot converts the per-worker breakdown of a SolveParallel run
+// (nil when the run never went parallel).
+func ParallelSnapshot(ps sat.ParallelStats) *obs.ParallelSnap {
+	if ps.Workers == 0 {
+		return nil
+	}
+	out := &obs.ParallelSnap{Workers: ps.Workers, WinnerID: ps.WinnerID}
+	for _, w := range ps.PerWorker {
+		out.PerWorker = append(out.PerWorker, obs.WorkerSnap{
+			ID:          w.ID,
+			SolverStats: SolverSnapshot(w.Stats),
+			Imported:    w.Imported,
+			Exported:    w.Exported,
+			Result:      w.Result.String(),
+			Winner:      w.Winner,
+		})
+	}
+	return out
+}
+
+func sdSnapshot(st smalldomain.Stats) obs.SDStats {
+	return obs.SDStats{
+		BitVars:  st.BitVars,
+		MaxWidth: st.MaxWidth,
+		MaxRange: st.MaxRange,
+		SumRange: st.SumRange,
+	}
+}
+
+func eijSnapshot(st perconstraint.Stats) obs.EIJStats {
+	return obs.EIJStats{
+		PredVars:         st.PredVars,
+		DerivedVars:      st.DerivedVars,
+		TransConstraints: st.TransConstraints,
+	}
+}
+
+// snapshot builds the unified telemetry report for res as measured so far,
+// stamping rec's spans and worker samples. Called on every DecideCtx exit
+// path (nil when telemetry is disabled), so failed runs — timeouts, budget
+// exhaustion, contained panics — carry whatever the pipeline measured
+// before stopping.
+func (res *Result) snapshot(rec *obs.Recorder, m Method) *obs.Snapshot {
+	if rec == nil {
+		return nil
+	}
+	st := res.Stats
+	snap := &obs.Snapshot{
+		Method: m.String(),
+		Status: res.Status.String(),
+		Pipeline: obs.PipelineStats{
+			SUFNodes:       st.SUFNodes,
+			SepPreds:       st.SepPreds,
+			Classes:        st.Classes,
+			SDClasses:      st.SDClasses,
+			EIJClasses:     st.Classes - st.SDClasses,
+			DemotedClasses: st.DemotedClasses,
+			PFuncFraction:  st.PFraction,
+			BoolNodes:      st.BoolNodes,
+			CNFClauses:     st.CNFClauses,
+		},
+		Encoding: obs.EncodingStats{
+			SD:  sdSnapshot(st.SDStats),
+			EIJ: eijSnapshot(st.EIJStats),
+		},
+		SAT:      SolverSnapshot(st.SAT),
+		Parallel: ParallelSnapshot(st.SATParallel),
+		Timings:  obs.DurationsToTimings(st.EncodeTime, st.SATTime, st.TotalTime),
+	}
+	if res.Err != nil {
+		snap.Error = res.Err.Error()
+	}
+	return snap.Finish(rec)
+}

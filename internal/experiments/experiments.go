@@ -27,6 +27,7 @@ import (
 	"sufsat/internal/bench"
 	"sufsat/internal/core"
 	"sufsat/internal/lazy"
+	"sufsat/internal/obs"
 	"sufsat/internal/stats"
 	"sufsat/internal/suf"
 	"sufsat/internal/svc"
@@ -48,6 +49,11 @@ type Config struct {
 	// Ctx, when non-nil, cancels in-flight decision runs when done; figure
 	// generators then return with the completed prefix of their rows.
 	Ctx context.Context
+	// Telemetry, when non-nil, is threaded into every decision run so a live
+	// debug endpoint (see internal/obs) can observe figure generation as it
+	// happens; spans and samples of successive runs accumulate in the one
+	// recorder. Not meant for per-run reports — use the facade for those.
+	Telemetry *obs.Recorder
 }
 
 // ctx returns the run context (Background when unset).
@@ -108,6 +114,7 @@ func decide(bm bench.Benchmark, m core.Method, cfg Config) Run {
 		MaxTrans:      cfg.MaxTrans,
 		Timeout:       cfg.Timeout,
 		SolverWorkers: cfg.Workers,
+		Telemetry:     cfg.Telemetry,
 		// The paper's protocol: a blown translation budget aborts the run like
 		// its translation-stage timeout; degradation would quietly rescue
 		// HYBRID and change the figures.
@@ -401,7 +408,7 @@ func Fig6(cfg Config) (vsSVC, vsCVC []Pair) {
 		hy := decide(bm, core.Hybrid, cfg)
 
 		f, b := bm.Build()
-		sv := svc.DecideCtx(cfg.ctx(), f, b, cfg.Timeout)
+		sv := svc.DecideOpts(cfg.ctx(), f, b, svc.Options{Timeout: cfg.Timeout, Telemetry: cfg.Telemetry})
 		svSec := sv.Stats.Total.Seconds()
 		if !sv.Status.Definitive() {
 			svSec = cfg.Timeout.Seconds()
@@ -410,7 +417,7 @@ func Fig6(cfg Config) (vsSVC, vsCVC []Pair) {
 		}
 
 		f2, b2 := bm.Build()
-		lz := lazy.DecideCtxWorkers(cfg.ctx(), f2, b2, cfg.Timeout, cfg.Workers)
+		lz := lazy.DecideOpts(cfg.ctx(), f2, b2, lazy.Options{Timeout: cfg.Timeout, Workers: cfg.Workers, Telemetry: cfg.Telemetry})
 		lzSec := lz.Stats.Total.Seconds()
 		if !lz.Status.Definitive() {
 			lzSec = cfg.Timeout.Seconds()

@@ -58,8 +58,11 @@ type Result struct {
 	NumFresh int
 	// PFuncFraction is the fraction of function applications (arity ≥ 1)
 	// that were p-function applications — one of the candidate formula
-	// features studied in §3 of the paper.
+	// features studied in §3 of the paper. NumApps and NumPApps are the
+	// underlying counts (telemetry reports them alongside the fraction).
 	PFuncFraction float64
+	NumApps       int
+	NumPApps      int
 }
 
 // Eliminate removes all function and predicate applications of arity ≥ 1
@@ -226,6 +229,7 @@ func Eliminate(f *suf.BoolExpr, b *suf.Builder) *Result {
 	}
 
 	res.Formula = elimB(f)
+	res.NumApps, res.NumPApps = nApps, nPApps
 	if nApps > 0 {
 		res.PFuncFraction = float64(nPApps) / float64(nApps)
 	}

@@ -19,6 +19,7 @@ import (
 	"sufsat/internal/core"
 	"sufsat/internal/difflogic"
 	"sufsat/internal/funcelim"
+	"sufsat/internal/obs"
 	"sufsat/internal/perconstraint"
 	"sufsat/internal/sat"
 	"sufsat/internal/sep"
@@ -43,6 +44,23 @@ type Result struct {
 	Status core.Status
 	Err    error
 	Stats  Stats
+	// Telemetry is the unified snapshot of the run, present (on every exit
+	// path) iff Options.Telemetry was set.
+	Telemetry *obs.Snapshot
+}
+
+// Options configures DecideOpts.
+type Options struct {
+	// Timeout bounds total wall-clock time (0 = none).
+	Timeout time.Duration
+	// Workers is the parallel clause-sharing portfolio size for each SAT
+	// query of the refinement loop (≤ 1 = sequential).
+	Workers int
+	// Telemetry, when non-nil, records phase spans (funcelim, analyze,
+	// abstract, refine), samples worker progress during the refinement
+	// loop's SAT searches, and attaches a unified snapshot to the Result on
+	// every exit path.
+	Telemetry *obs.Recorder
 }
 
 // Decide checks validity of the SUF formula f with the lazy procedure under
@@ -55,7 +73,7 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 // Cancelling ctx aborts the run with a Canceled status at the next SAT poll
 // point or refinement-loop boundary; timeout 0 means no extra deadline.
 func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
-	return DecideCtxWorkers(ctx, f, b, timeout, 1)
+	return DecideOpts(ctx, f, b, Options{Timeout: timeout})
 }
 
 // DecideCtxWorkers is DecideCtx with each SAT query of the refinement loop
@@ -64,37 +82,61 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout tim
 // clauses and absorbs unit facts derived by the workers, so learning
 // accumulates across iterations either way.
 func DecideCtxWorkers(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration, workers int) *Result {
+	return DecideOpts(ctx, f, b, Options{Timeout: timeout, Workers: workers})
+}
+
+// DecideOpts is the full-option entry point of the lazy procedure.
+func DecideOpts(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, o Options) *Result {
 	start := time.Now()
+	rec := o.Telemetry
+	workers := o.Workers
 	res := &Result{}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if timeout > 0 {
+	if o.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
 	deadline, _ := ctx.Deadline()
 
-	elim := funcelim.Eliminate(f, b)
-	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
-	if err != nil {
-		return fail(res, err, start)
+	// emit stamps the unified snapshot onto a result on its way out; every
+	// exit path of this function goes through it.
+	emit := func(r *Result) *Result {
+		r.Telemetry = snapshot(r, rec)
+		return r
 	}
 
+	feSpan := rec.StartSpan("funcelim")
+	elim := funcelim.Eliminate(f, b)
+	feSpan.AttrFloat("p_func_fraction", elim.PFuncFraction).End()
+	anSpan := rec.StartSpan("analyze")
+	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
+	if err != nil {
+		return emit(fail(res, err, start))
+	}
+	anSpan.AttrInt("sep_preds", info.NumSepPreds).End()
+
 	// Boolean abstraction: per-constraint atom encoding without F_trans.
+	absSpan := rec.StartSpan("abstract")
 	bb := boolexpr.NewBuilder()
 	abs := perconstraint.NewEncoder(info, b, bb)
 	abs.Ctx = ctx
 	bvar, err := abs.Walker().Encode(info.Formula)
 	if err != nil {
-		return fail(res, err, start)
+		absSpan.End()
+		return emit(fail(res, err, start))
 	}
 
 	solver := sat.New()
 	solver.Deadline = deadline
 	solver.Ctx = ctx
+	solver.Probes = rec.Probes()
 	cnf := boolexpr.AssertTrue(bb.Not(bvar), solver) // refute ¬F
+	absSpan.AttrInt("pred_vars", len(abs.Predicates())).
+		AttrInt("cnf_clauses", solver.Stats().Clauses)
+	absSpan.End()
 
 	// Map each predicate variable to its SAT literal.
 	preds := abs.Predicates()
@@ -112,12 +154,24 @@ func DecideCtxWorkers(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, time
 		// cannot constrain the theory, so they are safely untracked.
 	}
 
+	// The refinement loop is one span; per-iteration spans would swamp the
+	// trace on conflict-heavy runs. Worker progress sampling covers the SAT
+	// searches inside it.
+	refSpan := rec.StartSpan("refine")
+	stopSampling := rec.StartSampling()
+	done := func(r *Result) *Result {
+		stopSampling()
+		refSpan.AttrInt("iterations", r.Stats.Iterations).
+			AttrInt("theory_conflicts", r.Stats.TheoryConflicts).End()
+		return emit(r)
+	}
+
 	for {
 		if err := ctx.Err(); err != nil {
-			return fail(res, fmt.Errorf("lazy: %w", err), start)
+			return done(fail(res, fmt.Errorf("lazy: %w", err), start))
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			return fail(res, fmt.Errorf("lazy: %w", core.ErrDeadline), start)
+			return done(fail(res, fmt.Errorf("lazy: %w", core.ErrDeadline), start))
 		}
 		res.Stats.Iterations++
 		var st sat.Status
@@ -129,9 +183,9 @@ func DecideCtxWorkers(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, time
 		switch st {
 		case sat.Unsat:
 			res.Status = core.Valid
-			return finish(res, solver, start)
+			return done(finish(res, solver, start))
 		case sat.Unknown:
-			return fail(res, core.SATStopError(solver.StopReason()), start)
+			return done(fail(res, core.SATStopError(solver.StopReason()), start))
 		}
 		model := solver.Model()
 
@@ -157,7 +211,7 @@ func DecideCtxWorkers(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, time
 		if conflict == nil {
 			// Consistent: genuine falsifying interpretation.
 			res.Status = core.Invalid
-			return finish(res, solver, start)
+			return done(finish(res, solver, start))
 		}
 		// Spurious: block the negative cycle.
 		clause := make([]sat.Lit, len(conflict))
@@ -167,7 +221,7 @@ func DecideCtxWorkers(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, time
 		res.Stats.TheoryConflicts++
 		if !solver.AddClause(clause...) {
 			res.Status = core.Valid
-			return finish(res, solver, start)
+			return done(finish(res, solver, start))
 		}
 	}
 }
@@ -183,4 +237,27 @@ func fail(res *Result, err error, start time.Time) *Result {
 	res.Err = err
 	res.Stats.Total = time.Since(start)
 	return res
+}
+
+// snapshot builds the unified telemetry report for a lazy run (nil when
+// telemetry is disabled).
+func snapshot(res *Result, rec *obs.Recorder) *obs.Snapshot {
+	if rec == nil {
+		return nil
+	}
+	snap := &obs.Snapshot{
+		Method: "LAZY",
+		Status: res.Status.String(),
+		SAT:    core.SolverSnapshot(res.Stats.SAT),
+		Lazy: &obs.LazySnap{
+			Iterations:      res.Stats.Iterations,
+			TheoryConflicts: res.Stats.TheoryConflicts,
+			PredVars:        res.Stats.PredVars,
+		},
+		Timings: obs.DurationsToTimings(0, 0, res.Stats.Total),
+	}
+	if res.Err != nil {
+		snap.Error = res.Err.Error()
+	}
+	return snap.Finish(rec)
 }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Live debug endpoint: an HTTP mux serving
+//
+//	/debug/vars         — expvar, including the "sufsat" var: the published
+//	                      recorder's spans and worker samples (live, while
+//	                      the run is still in flight) and the final snapshot
+//	                      once one is published;
+//	/debug/pprof/...    — the standard pprof handlers. Solver worker
+//	                      goroutines carry pprof labels (worker=N,
+//	                      phase=sat), so goroutine and CPU profiles
+//	                      attribute samples per worker.
+//
+// The handlers are registered on a private mux (not http.DefaultServeMux),
+// so embedding programs keep control of their own default mux.
+
+var (
+	publishOnce sync.Once
+	liveRec     atomic.Pointer[Recorder]
+	finalSnap   atomic.Pointer[Snapshot]
+)
+
+// PublishRecorder makes r the recorder exposed by the debug endpoint's
+// "sufsat" expvar (replacing any previous one). Safe with a nil r.
+func PublishRecorder(r *Recorder) {
+	registerVar()
+	if r == nil {
+		liveRec.Store(nil)
+		return
+	}
+	liveRec.Store(r)
+}
+
+// PublishSnapshot makes s the final snapshot exposed by the debug
+// endpoint's "sufsat" expvar. Safe with a nil s.
+func PublishSnapshot(s *Snapshot) {
+	registerVar()
+	if s == nil {
+		finalSnap.Store(nil)
+		return
+	}
+	finalSnap.Store(s)
+}
+
+// registerVar publishes the "sufsat" expvar exactly once per process
+// (expvar.Publish panics on duplicates).
+func registerVar() {
+	publishOnce.Do(func() {
+		expvar.Publish("sufsat", expvar.Func(func() any {
+			out := map[string]any{}
+			if r := liveRec.Load(); r != nil {
+				out["spans"] = r.SpanRecords()
+				out["worker_samples"] = r.Samples()
+			}
+			if s := finalSnap.Load(); s != nil {
+				out["snapshot"] = s
+			}
+			return out
+		}))
+	})
+}
+
+// DebugMux returns a fresh mux with the expvar and pprof handlers.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the live debug endpoint on addr (e.g. ":6060"; an
+// addr with port 0 picks a free port). It returns the server — shut it
+// down with Close — and the bound address.
+func ServeDebug(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,270 @@
+// Package obs is the unified, zero-dependency observability layer of the
+// Decide pipeline: phase-scoped spans, periodic per-worker solver progress
+// sampling, a unified telemetry snapshot absorbing the per-package Stats
+// structs, and pluggable sinks (human text, JSON, Chrome trace-event files,
+// and a live expvar/pprof debug endpoint).
+//
+// The layer is built around two invariants:
+//
+//  1. Disabled is free. Every method is safe — and a near-no-op with zero
+//     allocations — on a nil *Recorder, nil *Span and nil *ProbeSet, so the
+//     pipeline threads telemetry unconditionally and pays only an untaken
+//     branch when no sink is attached (guarded by a testing.AllocsPerRun
+//     test).
+//  2. Enabled is concurrent. A Recorder may be read (SpanRecords, Samples,
+//     the debug endpoint's expvar func) while the pipeline and the solver
+//     workers are still writing; all mutable state is behind a mutex except
+//     the per-worker progress slots, which are written lock-free with
+//     atomics by the workers and read by the sampler goroutine.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span. Attributes keep their
+// attachment order when exported.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one phase-scoped measurement: a named interval with monotonic
+// start/duration (relative to the Recorder's epoch) and attributes recorded
+// along the way. Spans are created with Recorder.StartSpan and closed with
+// End; a nil *Span ignores every call.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Duration
+	dur   time.Duration
+	attrs []Attr
+	ended bool
+}
+
+// Recorder collects the telemetry of one Decide run: spans, worker progress
+// samples and the probe slots the samples are drawn from. A nil *Recorder is
+// a valid "telemetry disabled" sink: every method no-ops. A non-nil Recorder
+// is safe for concurrent use.
+type Recorder struct {
+	// SampleInterval is the worker-progress sampling period used by
+	// StartSampling (0 = 10ms). Set before StartSampling.
+	SampleInterval time.Duration
+
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []*Span
+	samples []Sample
+	probes  ProbeSet
+
+	sampling bool
+}
+
+// maxSamples bounds the worker-sample buffer so a very long run cannot grow
+// the recorder without bound (at the default 10ms period this is ~16 minutes
+// of single-worker samples).
+const maxSamples = 100_000
+
+// NewRecorder returns an empty Recorder whose epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Epoch returns the recorder's time origin (zero time for nil).
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// StartSpan opens a named span at the current offset from the recorder
+// epoch. Spans are exported in start order. On a nil Recorder it returns a
+// nil Span, whose methods all no-op.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := &Span{rec: r, name: name}
+	r.mu.Lock()
+	sp.start = time.Since(r.epoch)
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+	return sp
+}
+
+// End closes the span at the current offset. Redundant End calls keep the
+// first duration.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	r := sp.rec
+	r.mu.Lock()
+	if !sp.ended {
+		sp.ended = true
+		sp.dur = time.Since(r.epoch) - sp.start
+	}
+	r.mu.Unlock()
+}
+
+// attr appends a key/value pair under the recorder lock.
+func (sp *Span) attr(key string, v any) *Span {
+	r := sp.rec
+	r.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: v})
+	r.mu.Unlock()
+	return sp
+}
+
+// AttrInt attaches an integer attribute. The typed Attr* variants exist so
+// the disabled path never boxes the value into an interface (boxing at the
+// call site would allocate even when sp is nil).
+func (sp *Span) AttrInt(key string, v int) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.attr(key, v)
+}
+
+// AttrInt64 attaches a 64-bit integer attribute.
+func (sp *Span) AttrInt64(key string, v int64) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.attr(key, v)
+}
+
+// AttrFloat attaches a float attribute.
+func (sp *Span) AttrFloat(key string, v float64) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.attr(key, v)
+}
+
+// AttrStr attaches a string attribute.
+func (sp *Span) AttrStr(key, v string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.attr(key, v)
+}
+
+// AttrBool attaches a boolean attribute.
+func (sp *Span) AttrBool(key string, v bool) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.attr(key, v)
+}
+
+// SpanRecord is the exported form of a span (milliseconds relative to the
+// recorder epoch), used by the JSON snapshot and the Chrome trace writer.
+type SpanRecord struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurMS      float64        `json:"dur_ms"`
+	Unfinished bool           `json:"unfinished,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	attrOrder  []string
+}
+
+// AttrKeys returns the attribute keys in attachment order.
+func (s SpanRecord) AttrKeys() []string { return s.attrOrder }
+
+// SpanRecords returns the spans recorded so far, in start order. A span not
+// yet ended is exported with its running duration and Unfinished set.
+func (r *Recorder) SpanRecords() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Since(r.epoch)
+	out := make([]SpanRecord, 0, len(r.spans))
+	for _, sp := range r.spans {
+		rec := SpanRecord{
+			Name:    sp.name,
+			StartMS: durMS(sp.start),
+		}
+		if sp.ended {
+			rec.DurMS = durMS(sp.dur)
+		} else {
+			rec.DurMS = durMS(now - sp.start)
+			rec.Unfinished = true
+		}
+		if len(sp.attrs) > 0 {
+			rec.Attrs = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				if _, dup := rec.Attrs[a.Key]; !dup {
+					rec.attrOrder = append(rec.attrOrder, a.Key)
+				}
+				rec.Attrs[a.Key] = a.Value
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Probes returns the recorder's probe set, which solver workers register
+// their progress slots with (nil for a nil recorder, which ProbeSet methods
+// tolerate).
+func (r *Recorder) Probes() *ProbeSet {
+	if r == nil {
+		return nil
+	}
+	return &r.probes
+}
+
+// Samples returns the worker progress samples collected so far.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Sample(nil), r.samples...)
+}
+
+// Adopt merges the spans, samples and probes of a child recorder into r,
+// rebasing the child's offsets onto r's epoch. It is used by racing
+// pipelines (the encoding portfolio) that give each racer a private child
+// recorder and keep the winner's telemetry.
+func (r *Recorder) Adopt(child *Recorder) {
+	if r == nil || child == nil {
+		return
+	}
+	// Snapshot the child first; never hold both locks at once.
+	spans := child.SpanRecords()
+	samples := child.Samples()
+	probes := child.Probes().probeSlice()
+	shift := durMS(child.epoch.Sub(r.epoch))
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sp := range spans {
+		adopted := &Span{
+			rec:   r,
+			name:  sp.Name,
+			start: msDur(sp.StartMS + shift),
+			dur:   msDur(sp.DurMS),
+			ended: !sp.Unfinished,
+		}
+		for _, k := range sp.attrOrder {
+			adopted.attrs = append(adopted.attrs, Attr{Key: k, Value: sp.Attrs[k]})
+		}
+		r.spans = append(r.spans, adopted)
+	}
+	for _, s := range samples {
+		s.AtMS += shift
+		r.samples = append(r.samples, s)
+	}
+	r.probes.adopt(probes)
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func msDur(ms float64) time.Duration { return time.Duration(ms * float64(time.Millisecond)) }

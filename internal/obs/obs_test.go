@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSinkNoAllocs guards invariant 1 of the package: with telemetry
+// disabled (nil recorder), the instrumentation threaded through the pipeline
+// must cost nothing — no allocations on the span, probe or sampling paths.
+func TestNilSinkNoAllocs(t *testing.T) {
+	var rec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		sp := rec.StartSpan("phase")
+		sp.AttrInt("n", 42).AttrInt64("m", 7).AttrFloat("f", 0.5).
+			AttrStr("s", "x").AttrBool("b", true)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("nil-recorder span path allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ps := rec.Probes()
+		p := ps.New(3)
+		p.Publish(ProbeCounters{Conflicts: 1})
+	}); n != 0 {
+		t.Errorf("nil-recorder probe path allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if rec.SpanRecords() != nil || rec.Samples() != nil {
+			t.Fatal("nil recorder exported records")
+		}
+	}); n != 0 {
+		t.Errorf("nil-recorder export path allocates %v per run, want 0", n)
+	}
+}
+
+// TestNilSamplingIsCallable checks the sampling no-op contract separately:
+// StartSampling on a nil recorder must hand back a callable stop. (The
+// closure return itself may allocate; the point is safety, not allocs.)
+func TestNilSamplingIsCallable(t *testing.T) {
+	var rec *Recorder
+	stop := rec.StartSampling()
+	stop()
+	stop()
+}
+
+func TestSpanRecords(t *testing.T) {
+	rec := NewRecorder()
+	a := rec.StartSpan("alpha")
+	a.AttrInt("k", 1).AttrStr("who", "a").AttrInt("k", 2) // duplicate key: last value wins, order kept
+	a.End()
+	b := rec.StartSpan("beta") // left unfinished on purpose
+
+	got := rec.SpanRecords()
+	if len(got) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got))
+	}
+	if got[0].Name != "alpha" || got[1].Name != "beta" {
+		t.Fatalf("span order %q, %q; want alpha, beta", got[0].Name, got[1].Name)
+	}
+	if got[0].Unfinished {
+		t.Error("alpha reported unfinished after End")
+	}
+	if !got[1].Unfinished {
+		t.Error("beta not reported unfinished")
+	}
+	if v := got[0].Attrs["k"]; v != 2 {
+		t.Errorf("duplicate attr k = %v, want 2 (last value wins)", v)
+	}
+	if keys := got[0].AttrKeys(); len(keys) != 2 || keys[0] != "k" || keys[1] != "who" {
+		t.Errorf("attr order %v, want [k who]", keys)
+	}
+	b.End()
+	if got := rec.SpanRecords(); got[1].Unfinished {
+		t.Error("beta still unfinished after End")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	rec := NewRecorder()
+	rec.SampleInterval = time.Millisecond
+	p0 := rec.Probes().New(0)
+	p1 := rec.Probes().New(1)
+
+	stop := rec.StartSampling()
+	p0.Publish(ProbeCounters{Conflicts: 10, LearntDB: 5})
+	p1.Publish(ProbeCounters{Conflicts: 3, Imported: 2})
+	time.Sleep(5 * time.Millisecond)
+	p0.Publish(ProbeCounters{Conflicts: 40, LearntDB: 9})
+	stop()
+
+	samples := rec.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want at least one per worker", len(samples))
+	}
+	byWorker := map[int][]Sample{}
+	for i, s := range samples {
+		if i > 0 && s.AtMS < samples[i-1].AtMS {
+			t.Fatalf("samples out of time order at %d", i)
+		}
+		byWorker[s.Worker] = append(byWorker[s.Worker], s)
+	}
+	if len(byWorker) != 2 {
+		t.Fatalf("samples cover workers %v, want 0 and 1", byWorker)
+	}
+	last0 := byWorker[0][len(byWorker[0])-1]
+	if last0.Conflicts != 40 || last0.LearntDB != 9 {
+		t.Errorf("final worker-0 sample %+v, want conflicts=40 learnt_db=9", last0.ProbeCounters)
+	}
+	rate := false
+	for _, s := range byWorker[0] {
+		if s.ConflictsPerSec > 0 {
+			rate = true
+		}
+	}
+	if !rate {
+		t.Error("no worker-0 sample computed a conflicts/sec rate")
+	}
+
+	// The stop func must be idempotent and sampling restartable.
+	stop()
+	stop2 := rec.StartSampling()
+	stop2()
+}
+
+// TestConcurrentHammer exercises invariant 2 under the race detector:
+// workers publishing to probes, the pipeline opening/closing spans, the
+// sampler collecting, and readers exporting — all at once.
+func TestConcurrentHammer(t *testing.T) {
+	rec := NewRecorder()
+	rec.SampleInterval = time.Millisecond
+	stop := rec.StartSampling()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		p := rec.Probes().New(w)
+		wg.Add(1)
+		go func(w int, p *WorkerProbe) {
+			defer wg.Done()
+			<-start
+			for i := 1; i <= 500; i++ {
+				p.Publish(ProbeCounters{
+					Conflicts: int64(i), Decisions: int64(2 * i),
+					LearntDB: int64(i % 50), Imported: int64(i / 3),
+				})
+			}
+		}(w, p)
+	}
+	wg.Add(1)
+	go func() { // the pipeline thread
+		defer wg.Done()
+		<-start
+		for i := 0; i < 100; i++ {
+			sp := rec.StartSpan("phase")
+			sp.AttrInt("i", i)
+			sp.End()
+		}
+	}()
+	wg.Add(1)
+	go func() { // a live debug-endpoint reader
+		defer wg.Done()
+		<-start
+		for i := 0; i < 50; i++ {
+			rec.SpanRecords()
+			rec.Samples()
+			var buf bytes.Buffer
+			if err := rec.WriteChromeTrace(&buf); err != nil {
+				t.Errorf("WriteChromeTrace: %v", err)
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	stop()
+
+	if got := len(rec.SpanRecords()); got != 100 {
+		t.Errorf("got %d spans, want 100", got)
+	}
+	for _, s := range rec.Samples() {
+		if s.Worker < 0 || s.Worker >= workers {
+			t.Fatalf("sample from unknown worker %d", s.Worker)
+		}
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	parent := NewRecorder()
+	child := NewRecorder()
+	sp := child.StartSpan("inner")
+	sp.AttrStr("from", "child")
+	sp.End()
+	child.Probes().New(7).Publish(ProbeCounters{Conflicts: 9})
+	child.mu.Lock()
+	child.samples = append(child.samples, Sample{AtMS: 1, Worker: 7})
+	child.mu.Unlock()
+
+	outer := parent.StartSpan("outer")
+	parent.Adopt(child)
+	outer.End()
+
+	recs := parent.SpanRecords()
+	if len(recs) != 2 || recs[0].Name != "outer" || recs[1].Name != "inner" {
+		t.Fatalf("adopted spans %v, want [outer inner]", recs)
+	}
+	if recs[1].Attrs["from"] != "child" {
+		t.Errorf("adopted span lost attrs: %v", recs[1].Attrs)
+	}
+	if len(parent.Samples()) != 1 {
+		t.Errorf("adopted %d samples, want 1", len(parent.Samples()))
+	}
+	found := false
+	for _, p := range parent.Probes().probeSlice() {
+		if p.ID == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("child probe not adopted")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan("encode")
+	sp.AttrInt("clauses", 12)
+	sp.End()
+	rec.StartSpan("sat").End()
+	rec.Probes().New(0).Publish(ProbeCounters{Conflicts: 5, LearntDB: 2})
+	rec.mu.Lock()
+	rec.samples = append(rec.samples, Sample{AtMS: 2, Worker: 0,
+		ProbeCounters: ProbeCounters{Conflicts: 5, LearntDB: 2}, ConflictsPerSec: 2500})
+	rec.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", tf.DisplayTimeUnit)
+	}
+	var spanNames []string
+	counters := 0
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Tid != 0 {
+				t.Errorf("span %q on tid %d, want 0", ev.Name, ev.Tid)
+			}
+			if ev.Dur < 1 {
+				t.Errorf("span %q has dur %v, want ≥ 1µs floor", ev.Name, ev.Dur)
+			}
+			spanNames = append(spanNames, ev.Name)
+		case "C":
+			if ev.Tid != 1 { // worker 0 tracks on tid 1
+				t.Errorf("counter %q on tid %d, want 1", ev.Name, ev.Tid)
+			}
+			counters++
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if strings.Join(spanNames, ",") != "encode,sat" {
+		t.Errorf("span events %v, want [encode sat]", spanNames)
+	}
+	if counters != 3 { // progress, exchange, maintenance tracks per sample
+		t.Errorf("got %d counter events, want 3 per sample", counters)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("trace not valid JSON")
+	}
+}
+
+// TestSnapshotJSONRoundTrip pins the JSON stats schema: a snapshot survives
+// encode/decode with no unknown fields, so external consumers (tracecheck,
+// the bench reports) can decode strictly.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	rec.StartSpan("sat").AttrStr("verdict", "UNSAT").End()
+	in := &Snapshot{
+		Method: "HYBRID",
+		Status: "valid",
+		Pipeline: PipelineStats{
+			SUFNodes: 10, SepPreds: 3, Classes: 2, SDClasses: 1, EIJClasses: 1,
+			PFuncFraction: 0.5, BoolNodes: 20, CNFClauses: 30,
+		},
+		Encoding: EncodingStats{
+			SD:  SDStats{BitVars: 4, MaxWidth: 2, MaxRange: 3, SumRange: 5},
+			EIJ: EIJStats{PredVars: 6, DerivedVars: 1, TransConstraints: 2},
+		},
+		SAT: SolverStats{Vars: 7, Clauses: 30, Conflicts: 5, ReduceDBs: 1},
+		Parallel: &ParallelSnap{Workers: 2, WinnerID: 1, PerWorker: []WorkerSnap{
+			{ID: 0, SolverStats: SolverStats{Conflicts: 5}, Imported: 1, Result: "UNKNOWN"},
+			{ID: 1, SolverStats: SolverStats{Conflicts: 3}, Exported: 2, Result: "UNSAT", Winner: true},
+		}},
+		Lazy:    &LazySnap{Iterations: 2, TheoryConflicts: 1, PredVars: 4},
+		SVC:     &SVCSnap{Splits: 9, TheoryAsserts: 12},
+		Timings: DurationsToTimings(time.Millisecond, 2*time.Millisecond, 3*time.Millisecond),
+	}
+	in.Finish(rec)
+
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var out Snapshot
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("snapshot does not round-trip strictly: %v\n%s", err, buf.String())
+	}
+	if out.Method != in.Method || out.Status != in.Status {
+		t.Errorf("round trip changed identity: %s/%s", out.Method, out.Status)
+	}
+	if out.Pipeline != in.Pipeline || out.Encoding != in.Encoding || out.SAT != in.SAT {
+		t.Error("round trip changed stats")
+	}
+	if out.Parallel == nil || len(out.Parallel.PerWorker) != 2 || !out.Parallel.PerWorker[1].Winner {
+		t.Errorf("round trip lost parallel detail: %+v", out.Parallel)
+	}
+	if *out.Lazy != *in.Lazy || *out.SVC != *in.SVC || out.Timings != in.Timings {
+		t.Error("round trip changed lazy/svc/timings")
+	}
+	if len(out.Spans) != 1 || out.Spans[0].Name != "sat" {
+		t.Errorf("round trip lost spans: %+v", out.Spans)
+	}
+}

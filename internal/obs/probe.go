@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerProbe is one solver worker's lock-free progress slot. The worker
+// stores its cumulative counters with atomic writes at its existing poll
+// cadence (never inside the propagation loop); the sampler goroutine reads
+// them with atomic loads. A nil *WorkerProbe ignores Publish.
+type WorkerProbe struct {
+	// ID is the worker index (0 for a sequential solve).
+	ID int
+
+	conflicts    atomic.Int64
+	decisions    atomic.Int64
+	propagations atomic.Int64
+	restarts     atomic.Int64
+	learnts      atomic.Int64
+	imported     atomic.Int64
+	exported     atomic.Int64
+	reduceDBs    atomic.Int64
+	arenaGCs     atomic.Int64
+}
+
+// ProbeCounters is one consistent-enough copy of a probe's counters. (Each
+// field is individually atomic; the set is read without a lock, which is the
+// usual sampling trade-off — values may be skewed by a few solver steps.)
+type ProbeCounters struct {
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+	LearntDB     int64 `json:"learnt_db"`
+	Imported     int64 `json:"imported"`
+	Exported     int64 `json:"exported"`
+	ReduceDBs    int64 `json:"reduce_dbs"`
+	ArenaGCs     int64 `json:"arena_gcs"`
+}
+
+// Publish stores the worker's cumulative counters into the slot.
+func (p *WorkerProbe) Publish(c ProbeCounters) {
+	if p == nil {
+		return
+	}
+	p.conflicts.Store(c.Conflicts)
+	p.decisions.Store(c.Decisions)
+	p.propagations.Store(c.Propagations)
+	p.restarts.Store(c.Restarts)
+	p.learnts.Store(c.LearntDB)
+	p.imported.Store(c.Imported)
+	p.exported.Store(c.Exported)
+	p.reduceDBs.Store(c.ReduceDBs)
+	p.arenaGCs.Store(c.ArenaGCs)
+}
+
+// Load returns the slot's current counters.
+func (p *WorkerProbe) Load() ProbeCounters {
+	return ProbeCounters{
+		Conflicts:    p.conflicts.Load(),
+		Decisions:    p.decisions.Load(),
+		Propagations: p.propagations.Load(),
+		Restarts:     p.restarts.Load(),
+		LearntDB:     p.learnts.Load(),
+		Imported:     p.imported.Load(),
+		Exported:     p.exported.Load(),
+		ReduceDBs:    p.reduceDBs.Load(),
+		ArenaGCs:     p.arenaGCs.Load(),
+	}
+}
+
+// ProbeSet is the registry of worker progress slots for one run. The zero
+// value is ready; a nil *ProbeSet hands out nil probes, preserving the
+// disabled-telemetry fast path end to end.
+type ProbeSet struct {
+	mu sync.Mutex
+	ps []*WorkerProbe
+}
+
+// New registers and returns a fresh probe for worker id (nil when s is nil).
+func (s *ProbeSet) New(id int) *WorkerProbe {
+	if s == nil {
+		return nil
+	}
+	p := &WorkerProbe{ID: id}
+	s.mu.Lock()
+	s.ps = append(s.ps, p)
+	s.mu.Unlock()
+	return p
+}
+
+// probeSlice returns a copy of the registered probe list.
+func (s *ProbeSet) probeSlice() []*WorkerProbe {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*WorkerProbe(nil), s.ps...)
+}
+
+func (s *ProbeSet) adopt(ps []*WorkerProbe) {
+	s.ps = append(s.ps, ps...)
+}
+
+// Sample is one timestamped observation of one worker's progress.
+// ConflictsPerSec is the rate since the worker's previous sample (0 for the
+// first).
+type Sample struct {
+	AtMS   float64 `json:"at_ms"`
+	Worker int     `json:"worker"`
+	ProbeCounters
+	ConflictsPerSec float64 `json:"conflicts_per_sec"`
+}
+
+// StartSampling launches the collector goroutine: every SampleInterval it
+// reads each registered probe and appends a Sample per worker. The returned
+// stop function takes a final sample, terminates the collector and waits for
+// it. On a nil recorder (or one already sampling) it is a no-op returning a
+// callable stop.
+func (r *Recorder) StartSampling() (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	if r.sampling {
+		r.mu.Unlock()
+		return func() {}
+	}
+	r.sampling = true
+	interval := r.SampleInterval
+	r.mu.Unlock()
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		prev := make(map[int]Sample)
+		for {
+			select {
+			case <-stopCh:
+				r.sampleOnce(prev)
+				return
+			case <-t.C:
+				r.sampleOnce(prev)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+			r.mu.Lock()
+			r.sampling = false
+			r.mu.Unlock()
+		})
+	}
+}
+
+// sampleOnce appends one sample per registered probe.
+func (r *Recorder) sampleOnce(prev map[int]Sample) {
+	at := durMS(time.Since(r.epoch))
+	for _, p := range r.probes.probeSlice() {
+		s := Sample{AtMS: at, Worker: p.ID, ProbeCounters: p.Load()}
+		if ps, ok := prev[p.ID]; ok && s.AtMS > ps.AtMS {
+			s.ConflictsPerSec = float64(s.Conflicts-ps.Conflicts) / ((s.AtMS - ps.AtMS) / 1e3)
+		}
+		prev[p.ID] = s
+		r.mu.Lock()
+		if len(r.samples) < maxSamples {
+			r.samples = append(r.samples, s)
+		}
+		r.mu.Unlock()
+	}
+}

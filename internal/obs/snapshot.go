@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot is the unified telemetry report of one Decide run. It absorbs
+// the per-package Stats structs (core, sat, smalldomain, perconstraint,
+// lazy, svc) into one nested, JSON-serializable shape; the package-neutral
+// field types keep obs import-free so every layer can depend on it.
+//
+// Sections that do not apply to the run's method are zero/nil and omitted
+// from the JSON (Lazy for an eager run, Parallel for workers=1, …). The
+// snapshot is built on every Decide exit path — including Timeout,
+// Canceled, ResourceOut and contained panics — so failed runs carry
+// whatever the pipeline measured before stopping.
+type Snapshot struct {
+	// Method is the decision method (HYBRID, SD, EIJ, LAZY, SVC,
+	// PORTFOLIO); Status the outcome (valid, invalid, timeout, canceled,
+	// resource-out, error).
+	Method string `json:"method"`
+	Status string `json:"status"`
+	// Error carries Result.Err's text for non-definitive statuses.
+	Error string `json:"error,omitempty"`
+
+	Pipeline PipelineStats `json:"pipeline"`
+	Encoding EncodingStats `json:"encoding"`
+	SAT      SolverStats   `json:"sat"`
+	Parallel *ParallelSnap `json:"parallel,omitempty"`
+	Lazy     *LazySnap     `json:"lazy,omitempty"`
+	SVC      *SVCSnap      `json:"svc,omitempty"`
+
+	Timings Timings `json:"timings_ms"`
+
+	Spans   []SpanRecord `json:"spans,omitempty"`
+	Samples []Sample     `json:"worker_samples,omitempty"`
+}
+
+// PipelineStats are the paper-facing formula/encoding measurements.
+type PipelineStats struct {
+	SUFNodes int `json:"suf_nodes"`
+	SepPreds int `json:"sep_preds"`
+	// Classes is the number of symbolic-constant classes; SDClasses and
+	// EIJClasses split them by encoder (SEP_THOLD routing), and
+	// DemotedClasses counts EIJ→SD budget demotions (included in
+	// SDClasses).
+	Classes        int     `json:"classes"`
+	SDClasses      int     `json:"sd_classes"`
+	EIJClasses     int     `json:"eij_classes"`
+	DemotedClasses int     `json:"demoted_classes"`
+	PFuncFraction  float64 `json:"p_func_fraction"`
+	BoolNodes      int     `json:"bool_nodes"`
+	CNFClauses     int     `json:"cnf_clauses"`
+}
+
+// EncodingStats carries the per-encoder size counters.
+type EncodingStats struct {
+	SD  SDStats  `json:"sd"`
+	EIJ EIJStats `json:"eij"`
+}
+
+// SDStats mirrors smalldomain.Stats.
+type SDStats struct {
+	BitVars  int `json:"bit_vars"`
+	MaxWidth int `json:"max_width"`
+	MaxRange int `json:"max_range"`
+	SumRange int `json:"sum_range"`
+}
+
+// EIJStats mirrors perconstraint.Stats.
+type EIJStats struct {
+	PredVars         int `json:"pred_vars"`
+	DerivedVars      int `json:"derived_vars"`
+	TransConstraints int `json:"trans_constraints"`
+}
+
+// SolverStats mirrors sat.Stats (plus the learnt-DB maintenance counters).
+type SolverStats struct {
+	Vars            int   `json:"vars"`
+	Clauses         int   `json:"clauses"`
+	ConflictClauses int64 `json:"conflict_clauses"`
+	Decisions       int64 `json:"decisions"`
+	Propagations    int64 `json:"propagations"`
+	Conflicts       int64 `json:"conflicts"`
+	Restarts        int64 `json:"restarts"`
+	ReduceDBs       int64 `json:"reduce_dbs"`
+	ArenaGCs        int64 `json:"arena_gcs"`
+}
+
+// WorkerSnap is one parallel worker's final accounting.
+type WorkerSnap struct {
+	ID int `json:"id"`
+	SolverStats
+	Imported int64  `json:"imported"`
+	Exported int64  `json:"exported"`
+	Result   string `json:"result"`
+	Winner   bool   `json:"winner,omitempty"`
+}
+
+// ParallelSnap is the per-worker breakdown of a parallel SAT search.
+type ParallelSnap struct {
+	Workers   int          `json:"workers"`
+	WinnerID  int          `json:"winner_id"`
+	PerWorker []WorkerSnap `json:"per_worker"`
+}
+
+// LazySnap mirrors lazy.Stats.
+type LazySnap struct {
+	Iterations      int `json:"iterations"`
+	TheoryConflicts int `json:"theory_conflicts"`
+	PredVars        int `json:"pred_vars"`
+}
+
+// SVCSnap mirrors svc.Stats.
+type SVCSnap struct {
+	Splits        int64 `json:"splits"`
+	TheoryAsserts int64 `json:"theory_asserts"`
+}
+
+// Timings is the phase wall-clock breakdown in milliseconds.
+type Timings struct {
+	EncodeMS float64 `json:"encode"`
+	SATMS    float64 `json:"sat"`
+	TotalMS  float64 `json:"total"`
+}
+
+// DurationsToTimings converts the pipeline's measured durations.
+func DurationsToTimings(encode, sat, total time.Duration) Timings {
+	return Timings{EncodeMS: durMS(encode), SATMS: durMS(sat), TotalMS: durMS(total)}
+}
+
+// Finish stamps the recorder's spans and samples onto the snapshot. It is
+// the last step of building a snapshot; safe on a nil recorder.
+func (s *Snapshot) Finish(r *Recorder) *Snapshot {
+	s.Spans = r.SpanRecords()
+	s.Samples = r.Samples()
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// RenderText writes the human-readable form (the classic -stats output,
+// extended with the unified sections).
+func (s *Snapshot) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "method=%s status=%s", s.Method, s.Status)
+	if s.Error != "" {
+		fmt.Fprintf(w, " error=%q", s.Error)
+	}
+	fmt.Fprintln(w)
+	p := s.Pipeline
+	fmt.Fprintf(w, "nodes=%d sep-preds=%d classes=%d (sd=%d eij=%d demoted=%d) p-fraction=%.2f\n",
+		p.SUFNodes, p.SepPreds, p.Classes, p.SDClasses, p.EIJClasses, p.DemotedClasses, p.PFuncFraction)
+	fmt.Fprintf(w, "bool-nodes=%d cnf-clauses=%d conflict-clauses=%d\n",
+		p.BoolNodes, p.CNFClauses, s.SAT.ConflictClauses)
+	e := s.Encoding
+	if e.SD != (SDStats{}) {
+		fmt.Fprintf(w, "sd: bit-vars=%d max-width=%d max-range=%d sum-range=%d\n",
+			e.SD.BitVars, e.SD.MaxWidth, e.SD.MaxRange, e.SD.SumRange)
+	}
+	if e.EIJ != (EIJStats{}) {
+		fmt.Fprintf(w, "eij: pred-vars=%d derived-vars=%d trans-constraints=%d\n",
+			e.EIJ.PredVars, e.EIJ.DerivedVars, e.EIJ.TransConstraints)
+	}
+	if s.SAT != (SolverStats{}) {
+		fmt.Fprintf(w, "sat: vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d restarts=%d reduce-dbs=%d arena-gcs=%d\n",
+			s.SAT.Vars, s.SAT.Clauses, s.SAT.Decisions, s.SAT.Propagations,
+			s.SAT.Conflicts, s.SAT.Restarts, s.SAT.ReduceDBs, s.SAT.ArenaGCs)
+	}
+	if ps := s.Parallel; ps != nil {
+		fmt.Fprintf(w, "parallel: workers=%d winner=%d\n", ps.Workers, ps.WinnerID)
+		for _, ws := range ps.PerWorker {
+			mark := " "
+			if ws.Winner {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %s worker %d: %s conflicts=%d decisions=%d imported=%d exported=%d\n",
+				mark, ws.ID, ws.Result, ws.Conflicts, ws.Decisions, ws.Imported, ws.Exported)
+		}
+	}
+	if l := s.Lazy; l != nil {
+		fmt.Fprintf(w, "lazy: iterations=%d theory-conflicts=%d pred-vars=%d\n",
+			l.Iterations, l.TheoryConflicts, l.PredVars)
+	}
+	if v := s.SVC; v != nil {
+		fmt.Fprintf(w, "svc: splits=%d theory-asserts=%d\n", v.Splits, v.TheoryAsserts)
+	}
+	fmt.Fprintf(w, "encode=%.3fms sat=%.3fms total=%.3fms\n",
+		s.Timings.EncodeMS, s.Timings.SATMS, s.Timings.TotalMS)
+	if len(s.Spans) > 0 {
+		fmt.Fprint(w, "spans:")
+		for _, sp := range s.Spans {
+			fmt.Fprintf(w, " %s=%.3fms", sp.Name, sp.DurMS)
+		}
+		fmt.Fprintln(w)
+	}
+	if n := len(s.Samples); n > 0 {
+		fmt.Fprintf(w, "worker-samples=%d\n", n)
+	}
+}

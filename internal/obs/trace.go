@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export (the chrome://tracing / Perfetto "JSON Array
+// with metadata" flavor, documented in docs/FORMATS.md):
+//
+//   - each pipeline span becomes one complete event ("ph":"X") on the
+//     pipeline thread (tid 0), with its attributes as args;
+//   - each worker progress sample becomes one counter event ("ph":"C") on
+//     the worker's own thread (tid = worker+1), so the trace viewer plots
+//     per-worker conflicts/sec, learnt-DB size and exchange traffic tracks
+//     next to the span timeline;
+//   - metadata events name the process and threads.
+//
+// Timestamps are microseconds from the recorder epoch.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level trace object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorder's spans and worker samples as a
+// Chrome trace-event JSON file loadable in chrome://tracing or Perfetto.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	meta := func(name string, tid int, args map[string]any) {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: name, Ph: "M", Pid: 0, Tid: tid, Args: args,
+		})
+	}
+	meta("process_name", 0, map[string]any{"name": "sufsat"})
+	meta("thread_name", 0, map[string]any{"name": "pipeline"})
+
+	for _, sp := range r.SpanRecords() {
+		ev := traceEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   sp.StartMS * 1e3,
+			Dur:  sp.DurMS * 1e3,
+			Pid:  0,
+			Tid:  0,
+		}
+		if ev.Dur <= 0 {
+			ev.Dur = 1 // zero-width events are invisible in the viewer
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = sp.Attrs
+		}
+		if sp.Unfinished {
+			if ev.Args == nil {
+				ev.Args = map[string]any{}
+			}
+			ev.Args["unfinished"] = true
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+
+	workersSeen := map[int]bool{}
+	for _, s := range r.Samples() {
+		tid := s.Worker + 1
+		if !workersSeen[s.Worker] {
+			workersSeen[s.Worker] = true
+			meta("thread_name", tid, map[string]any{"name": workerThreadName(s.Worker)})
+		}
+		tf.TraceEvents = append(tf.TraceEvents,
+			traceEvent{
+				Name: "progress", Ph: "C", Ts: s.AtMS * 1e3, Pid: 0, Tid: tid,
+				Args: map[string]any{
+					"conflicts_per_sec": s.ConflictsPerSec,
+					"learnt_db":         s.LearntDB,
+					"decisions":         s.Decisions,
+				},
+			},
+			traceEvent{
+				Name: "exchange", Ph: "C", Ts: s.AtMS * 1e3, Pid: 0, Tid: tid,
+				Args: map[string]any{
+					"imported": s.Imported,
+					"exported": s.Exported,
+				},
+			},
+			traceEvent{
+				Name: "maintenance", Ph: "C", Ts: s.AtMS * 1e3, Pid: 0, Tid: tid,
+				Args: map[string]any{
+					"reduce_dbs": s.ReduceDBs,
+					"arena_gcs":  s.ArenaGCs,
+					"restarts":   s.Restarts,
+				},
+			},
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+func workerThreadName(id int) string { return "worker " + strconv.Itoa(id) }

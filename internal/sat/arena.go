@@ -94,6 +94,7 @@ func (ca *clauseArena) shouldGC() bool {
 // It must run at decision level 0 — the only reasons alive there belong to
 // the level-0 trail, which is walked below.
 func (s *Solver) garbageCollect() {
+	s.stats.ArenaGCs++
 	old := s.ca.data
 	nd := make([]Lit, 0, len(old)-s.ca.wasted)
 	move := func(r ClauseRef) ClauseRef {

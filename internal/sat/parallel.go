@@ -5,6 +5,8 @@ package sat
 
 import (
 	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -320,6 +322,7 @@ func (s *Solver) SolveParallel(ctx context.Context, workers int) Status {
 		w.Ctx = runCtx
 		w.ex = ex
 		w.exID = int32(i)
+		w.probe = s.Probes.New(i) // nil Probes hands out a nil probe
 		ws[i] = w
 	}
 
@@ -331,9 +334,13 @@ func (s *Solver) SolveParallel(ctx context.Context, workers int) Status {
 	var wg sync.WaitGroup
 	for i, w := range ws {
 		wg.Add(1)
+		// Each worker goroutine carries pprof labels, so goroutine dumps and
+		// CPU profiles from the live debug endpoint attribute work per worker.
 		go func(id int, w *Solver) {
 			defer wg.Done()
-			results <- outcome{id, w.Solve()}
+			pprof.Do(runCtx, pprof.Labels("worker", strconv.Itoa(id), "phase", "sat"), func(context.Context) {
+				results <- outcome{id, w.Solve()}
+			})
 		}(i, w)
 	}
 

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"time"
+
+	"sufsat/internal/obs"
 )
 
 // Var is a 0-based variable index.
@@ -106,6 +108,11 @@ type Stats struct {
 	Propagations    int64
 	Conflicts       int64
 	Restarts        int64
+	// ReduceDBs counts learnt-database reductions; ArenaGCs counts clause
+	// arena compactions. Both are maintenance events the telemetry layer
+	// tracks per worker.
+	ReduceDBs int64
+	ArenaGCs  int64
 }
 
 // ErrBudget is returned by Solve via Unknown when the conflict budget or the
@@ -218,7 +225,13 @@ type Solver struct {
 	// Unknown with StopCanceled or StopDeadline within a bounded number of
 	// search steps.
 	Ctx context.Context
+	// Probes, when non-nil, receives lock-free per-worker progress slots:
+	// Solve registers one probe (ID 0) and SolveParallel one per worker,
+	// published at the existing poll cadence (never inside the propagation
+	// loop). A nil Probes costs one untaken branch per poll.
+	Probes *obs.ProbeSet
 
+	probe    *obs.WorkerProbe
 	stop     StopCause
 	model    []bool
 	parStats ParallelStats
@@ -573,7 +586,28 @@ func (s *Solver) pickBranchLit() Lit {
 	return LitUndef
 }
 
+// publishProgress stores the solver's cumulative counters into its progress
+// probe (no-op without one). Called at poll boundaries only, so the cost in
+// the hot path is the nil check.
+func (s *Solver) publishProgress() {
+	if s.probe == nil {
+		return
+	}
+	s.probe.Publish(obs.ProbeCounters{
+		Conflicts:    s.stats.Conflicts,
+		Decisions:    s.stats.Decisions,
+		Propagations: s.stats.Propagations,
+		Restarts:     s.stats.Restarts,
+		LearntDB:     int64(len(s.learnts)),
+		Imported:     s.imported,
+		Exported:     s.exported,
+		ReduceDBs:    s.stats.ReduceDBs,
+		ArenaGCs:     s.stats.ArenaGCs,
+	})
+}
+
 func (s *Solver) reduceDB() {
+	s.stats.ReduceDBs++
 	// Sort learnts by activity ascending (simple insertion into buckets is
 	// overkill; use an O(n log n) sort inline).
 	ls := s.learnts
@@ -717,9 +751,12 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if (s.stats.Conflicts%1024 == 0 || steps&255 == 0) && s.checkLimits(deadline) {
-			s.cancelUntil(0)
-			return Unknown
+		if s.stats.Conflicts%1024 == 0 || steps&255 == 0 {
+			s.publishProgress()
+			if s.checkLimits(deadline) {
+				s.cancelUntil(0)
+				return Unknown
+			}
 		}
 		if float64(len(s.learnts))-float64(len(s.trail)) >= s.maxLearnts {
 			s.reduceDB()
@@ -738,6 +775,10 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 // status. On Sat the model is available via Model.
 func (s *Solver) Solve() Status {
 	s.stop = StopNone
+	if s.probe == nil && s.Probes != nil {
+		s.probe = s.Probes.New(0)
+	}
+	defer s.publishProgress() // final counters, budget/verdict paths included
 	if s.unsatFlag {
 		return Unsat
 	}

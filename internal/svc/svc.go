@@ -25,6 +25,7 @@ import (
 	"sufsat/internal/core"
 	"sufsat/internal/difflogic"
 	"sufsat/internal/funcelim"
+	"sufsat/internal/obs"
 	"sufsat/internal/sep"
 	"sufsat/internal/suf"
 )
@@ -43,6 +44,19 @@ type Result struct {
 	Status core.Status
 	Err    error
 	Stats  Stats
+	// Telemetry is the unified snapshot of the run, present (on every exit
+	// path) iff Options.Telemetry was set.
+	Telemetry *obs.Snapshot
+}
+
+// Options configures DecideOpts.
+type Options struct {
+	// Timeout bounds total wall-clock time (0 = none).
+	Timeout time.Duration
+	// Telemetry, when non-nil, records phase spans (funcelim, analyze,
+	// split) and attaches a unified snapshot to the Result on every exit
+	// path. SVC has no SAT workers, so no progress samples are produced.
+	Telemetry *obs.Recorder
 }
 
 type prover struct {
@@ -67,14 +81,24 @@ func Decide(f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
 // Cancelling ctx aborts the run with a Canceled status within a bounded
 // number of case splits; timeout 0 means no extra deadline.
 func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout time.Duration) *Result {
+	return DecideOpts(ctx, f, b, Options{Timeout: timeout})
+}
+
+// DecideOpts is the full-option entry point of the SVC procedure.
+func DecideOpts(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, o Options) *Result {
 	start := time.Now()
+	rec := o.Telemetry
 	res := &Result{}
+	emit := func(r *Result) *Result {
+		r.Telemetry = snapshot(r, rec)
+		return r
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if timeout > 0 {
+	if o.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
 	deadline, _ := ctx.Deadline()
@@ -85,20 +109,27 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout tim
 		res.Status = core.StatusOf(err)
 		res.Err = err
 		res.Stats.Total = time.Since(start)
-		return res
+		return emit(res)
 	}
 
+	feSpan := rec.StartSpan("funcelim")
 	elim := funcelim.Eliminate(f, b)
+	feSpan.AttrFloat("p_func_fraction", elim.PFuncFraction).End()
+	anSpan := rec.StartSpan("analyze")
 	info, err := sep.Analyze(elim.Formula, b, elim.PConsts)
 	if err != nil {
 		res.Status = core.StatusOf(err)
 		res.Err = err
 		res.Stats.Total = time.Since(start)
-		return res
+		return emit(res)
 	}
+	anSpan.AttrInt("sep_preds", info.NumSepPreds).End()
 
 	p := &prover{b: b, info: info, th: difflogic.NewSolver(), ctx: ctx, deadline: deadline}
-	// Refute ¬F: flatten its atoms to ground predicates first.
+	// Refute ¬F: flatten its atoms to ground predicates first. The split
+	// span covers flattening and the whole recursive search; per-split spans
+	// would swamp the trace on disjunction-rich formulas.
+	spSpan := rec.StartSpan("split")
 	query, err := p.flatten(b.Not(info.Formula))
 	if err == nil {
 		var falsifiable bool
@@ -117,7 +148,30 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, timeout tim
 	}
 	res.Stats = p.stats
 	res.Stats.Total = time.Since(start)
-	return res
+	spSpan.AttrInt64("splits", res.Stats.Splits).
+		AttrInt64("theory_asserts", res.Stats.TheoryAsserts).End()
+	return emit(res)
+}
+
+// snapshot builds the unified telemetry report for an SVC run (nil when
+// telemetry is disabled).
+func snapshot(res *Result, rec *obs.Recorder) *obs.Snapshot {
+	if rec == nil {
+		return nil
+	}
+	snap := &obs.Snapshot{
+		Method: "SVC",
+		Status: res.Status.String(),
+		SVC: &obs.SVCSnap{
+			Splits:        res.Stats.Splits,
+			TheoryAsserts: res.Stats.TheoryAsserts,
+		},
+		Timings: obs.DurationsToTimings(0, 0, res.Stats.Total),
+	}
+	if res.Err != nil {
+		snap.Error = res.Err.Error()
+	}
+	return snap.Finish(rec)
 }
 
 // flatten rewrites every atom into a Boolean combination of ground atoms by

@@ -34,10 +34,27 @@ import (
 
 	"sufsat/internal/core"
 	"sufsat/internal/lazy"
+	"sufsat/internal/obs"
 	"sufsat/internal/smtlib"
 	"sufsat/internal/suf"
 	"sufsat/internal/svc"
 )
+
+// Telemetry is a recorder of phase spans and solver progress samples. Create
+// one with NewTelemetry, set it on Options.Telemetry, and read the unified
+// snapshot from Result.Telemetry after the call; the recorder itself exports
+// Chrome trace-event JSON (WriteChromeTrace) and can be published to the live
+// debug endpoint (see internal/obs). A nil Telemetry disables all recording
+// at negligible cost.
+type Telemetry = obs.Recorder
+
+// TelemetrySnapshot is the unified, JSON-serializable report of one decision
+// run: pipeline counters, encoding and solver statistics, per-worker
+// breakdowns, phase spans and progress samples.
+type TelemetrySnapshot = obs.Snapshot
+
+// NewTelemetry returns an empty telemetry recorder.
+func NewTelemetry() *Telemetry { return obs.NewRecorder() }
 
 // Term is an integer-valued SUF expression. Terms are immutable and bound to
 // the Builder that created them.
@@ -389,6 +406,11 @@ type Options struct {
 	// with the error's classified status. Used by fault injection and service
 	// instrumentation.
 	Hook func(stage string) error
+	// Telemetry, when non-nil, records phase spans and solver progress
+	// samples during the run and attaches a unified snapshot to
+	// Result.Telemetry on every exit path. All methods honor it. A recorder
+	// must not be shared between concurrent Decide calls.
+	Telemetry *Telemetry
 }
 
 // Stats reports pipeline measurements of a Decide call.
@@ -467,6 +489,10 @@ type Result struct {
 	// Counterexample is non-nil when Status == Invalid and the method is one
 	// of the eager encodings (hybrid, SD, EIJ).
 	Counterexample *Counterexample
+	// Telemetry is the unified snapshot of the run, present (on every exit
+	// path, including timeouts and budget exhaustion) iff Options.Telemetry
+	// was set.
+	Telemetry *TelemetrySnapshot
 }
 
 // Decide checks validity of f under a background context; cancellation is
@@ -488,16 +514,23 @@ func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
 	}()
 	switch opts.Method {
 	case MethodLazy:
-		r := lazy.DecideCtxWorkers(ctx, f.f, f.b.sb, opts.Timeout, opts.SolverWorkers)
-		return &Result{Status: r.Status, Err: r.Err, Stats: Stats{
+		r := lazy.DecideOpts(ctx, f.f, f.b.sb, lazy.Options{
+			Timeout:   opts.Timeout,
+			Workers:   opts.SolverWorkers,
+			Telemetry: opts.Telemetry,
+		})
+		return &Result{Status: r.Status, Err: r.Err, Telemetry: r.Telemetry, Stats: Stats{
 			Nodes:           suf.CountNodes(f.f),
 			CNFClauses:      r.Stats.SAT.Clauses,
 			ConflictClauses: r.Stats.SAT.ConflictClauses,
 			TotalTime:       r.Stats.Total,
 		}}
 	case MethodSVC:
-		r := svc.DecideCtx(ctx, f.f, f.b.sb, opts.Timeout)
-		return &Result{Status: r.Status, Err: r.Err, Stats: Stats{
+		r := svc.DecideOpts(ctx, f.f, f.b.sb, svc.Options{
+			Timeout:   opts.Timeout,
+			Telemetry: opts.Telemetry,
+		})
+		return &Result{Status: r.Status, Err: r.Err, Telemetry: r.Telemetry, Stats: Stats{
 			Nodes:     suf.CountNodes(f.f),
 			TotalTime: r.Stats.Total,
 		}}
@@ -529,6 +562,7 @@ func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
 		Ackermann:         opts.Ackermann,
 		DumpCNF:           opts.DumpCNF,
 		Hook:              opts.Hook,
+		Telemetry:         opts.Telemetry,
 	}
 	var r *core.Result
 	if opts.Method == MethodPortfolio {
@@ -549,6 +583,7 @@ func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
 		SATTime:         r.Stats.SATTime,
 		TotalTime:       r.Stats.TotalTime,
 	}}
+	out.Telemetry = r.Telemetry
 	if r.Model != nil {
 		out.Counterexample = &Counterexample{m: r.Model}
 	}
