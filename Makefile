@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke soak
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
-# portfolio racer, the parallel clause-sharing SAT core and the telemetry
-# recorder), a one-shot benchmark smoke run that keeps the bench harness
-# compiling and solving, and a telemetry smoke run that validates the trace
-# and JSON-stats artifacts against their documented schemas.
-ci: vet build test race bench-smoke trace-smoke
+# portfolio racer, the parallel clause-sharing SAT core, the telemetry
+# recorder and the decision service), a one-shot benchmark smoke run that
+# keeps the bench harness compiling and solving, a telemetry smoke run that
+# validates the trace and JSON-stats artifacts against their documented
+# schemas, and a process-level smoke of the sufserved daemon lifecycle.
+ci: vet build test race bench-smoke trace-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +21,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/core ./internal/sat ./internal/obs
+	$(GO) test -race -short ./internal/core ./internal/sat ./internal/obs \
+		./internal/server ./internal/server/client
 
 # bench regenerates the perf-trajectory report at the repo root: Sample16
 # encoded once per benchmark, then solved sequentially vs with the parallel
@@ -45,3 +47,15 @@ trace-smoke:
 		-trace /tmp/sufsat-trace-smoke.json \
 		-stats /tmp/sufsat-stats-smoke.json \
 		-want-spans funcelim,analyze,encode,trans,cnf,sat
+
+# serve-smoke builds cmd/sufserved and exercises the daemon end to end:
+# ephemeral port, valid/invalid/malformed requests through the retrying
+# client, SIGTERM drain with exit 0 and the final counter audit line.
+serve-smoke:
+	$(GO) test -run TestServedProcessSmoke ./internal/server
+
+# soak hammers an in-process sufserved with concurrent retrying clients over
+# Sample16 (verdicts verified against ground truth) and regenerates the
+# service report at the repo root. Schema documented in EXPERIMENTS.md.
+soak:
+	$(GO) run ./cmd/sufbench -soak -out BENCH_PR4.json

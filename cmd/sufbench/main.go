@@ -8,6 +8,8 @@
 // Usage:
 //
 //	sufbench [-out BENCH_PR3.json] [-j N] [-solve-timeout 60s]
+//	sufbench -soak [-out BENCH_PR4.json] [-url URL] [-clients N]
+//	         [-requests N] [-soak-timeout 20s] [-budget-every N]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
@@ -15,6 +17,13 @@
 // the unified telemetry snapshot of its runs (spans, solver counters,
 // per-worker breakdown, progress samples) under "telemetry"; see
 // docs/FORMATS.md for that schema.
+//
+// -soak switches to service load testing: concurrent retrying clients hammer
+// a sufserved instance (-url, or an in-process server on an ephemeral port
+// when -url is empty) with the Sample16 workload plus invalid variants,
+// verifying every verdict against ground truth, and the report becomes
+// throughput, latency percentiles and shed/degradation rates instead of
+// solver speedups.
 package main
 
 import (
@@ -28,16 +37,31 @@ import (
 	"time"
 
 	"sufsat/internal/bench"
+	"sufsat/internal/server"
 )
 
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout)")
 	workers := flag.Int("j", 0, "parallel workers (0 = NumCPU, floored at 4)")
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-SAT-run wall-clock cap")
+	soak := flag.Bool("soak", false, "run the service soak instead of the solver benchmark")
+	soakURL := flag.String("url", "", "soak: sufserved base URL (empty = start an in-process server)")
+	soakClients := flag.Int("clients", 8, "soak: concurrent clients")
+	soakRequests := flag.Int("requests", 128, "soak: total requests")
+	soakTimeout := flag.Duration("soak-timeout", 20*time.Second, "soak: per-request deadline")
+	budgetEvery := flag.Int("budget-every", 8, "soak: every nth request carries a 1-clause CNF budget (0 = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *soak {
+		if *out == "BENCH_PR3.json" {
+			*out = "BENCH_PR4.json"
+		}
+		runSoak(ctx, *out, *soakURL, *soakClients, *soakRequests, *soakTimeout, *budgetEvery)
+		return
+	}
 
 	fmt.Fprintf(os.Stderr, "sufbench: Sample16, %d CPU(s), GOMAXPROCS=%d\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0))
@@ -67,6 +91,65 @@ func main() {
 	}
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runSoak drives bench.RunSoak against a sufserved instance — the given URL,
+// or an in-process server on an ephemeral port when url is empty — and
+// writes the soak report JSON. A non-zero mismatch, transport-error or panic
+// count fails the run.
+func runSoak(ctx context.Context, out, url string, clients, requests int, timeout time.Duration, budgetEvery int) {
+	var srv *server.Server
+	if url == "" {
+		srv = server.New(server.Config{Log: os.Stderr})
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		url = "http://" + addr
+		fmt.Fprintf(os.Stderr, "sufbench: in-process sufserved on %s\n", url)
+	}
+
+	rep, err := bench.RunSoak(ctx, bench.SoakConfig{
+		URL:         url,
+		Clients:     clients,
+		Requests:    requests,
+		TimeoutMS:   timeout.Milliseconds(),
+		BudgetEvery: budgetEvery,
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench: drain:", err)
+			os.Exit(1)
+		}
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	if rep.Mismatches > 0 || rep.TransportErrors > 0 {
+		fmt.Fprintf(os.Stderr, "sufbench: soak FAILED: %d mismatches, %d transport errors\n",
+			rep.Mismatches, rep.TransportErrors)
 		os.Exit(1)
 	}
 }

@@ -7,7 +7,13 @@
 //	          [-thold N] [-maxtrans N] [-maxconflicts N] [-maxcnf N]
 //	          [-maxmem BYTES] [-j WORKERS] [-nodegrade]
 //	          [-stats | -stats=json] [-stats-out FILE] [-trace FILE]
-//	          [-debug-addr ADDR] [file.suf]
+//	          [-debug-addr ADDR] [-remote URL] [file.suf]
+//
+// With -remote the formula is decided by the sufserved instance at URL
+// (through the retrying client, honoring Retry-After on load shedding) and
+// reported with the same output and exit codes as a local run; budget flags
+// travel with the request and are clamped to the server's ceilings. -trace,
+// -debug-addr and -dimacs are local-only and rejected with -remote.
 //
 // The input is one formula in s-expression syntax, for example:
 //
@@ -38,10 +44,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"syscall"
 
 	"sufsat"
 	"sufsat/internal/obs"
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
 )
 
 // exitCode maps a decision status to the documented process exit code.
@@ -81,6 +90,110 @@ func (s *statsFlag) Set(v string) error {
 	return nil
 }
 
+// decideRemote ships the raw input to a sufserved instance via the retrying
+// client and reports the response with the same output and exit codes as a
+// local run, so scripts can switch between the two with one flag. It never
+// returns.
+func decideRemote(baseURL, src string, req *server.Request, statsMode, statsOut string) {
+	req.Formula = src
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	resp, err := client.New(baseURL).Decide(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufdecide:", err)
+		os.Exit(2)
+	}
+
+	// Statuses that never reach the decision procedures map onto the error
+	// exit code, like their local counterparts (parse errors, usage).
+	switch resp.Status {
+	case "malformed", "shed", "error":
+		fmt.Println("error")
+		if resp.Error != "" {
+			fmt.Fprintln(os.Stderr, "sufdecide:", resp.Error)
+		}
+		os.Exit(2)
+	}
+
+	if req.SMT2 {
+		switch resp.Status {
+		case "invalid":
+			fmt.Println("sat")
+			printRemoteModel(req, resp)
+			os.Exit(0)
+		case "valid":
+			fmt.Println("unsat")
+			os.Exit(0)
+		}
+		fmt.Println("unknown")
+	} else {
+		fmt.Println(resp.Status)
+		printRemoteModel(req, resp)
+	}
+	if resp.Error != "" {
+		fmt.Fprintln(os.Stderr, "sufdecide:", resp.Error)
+	}
+	if statsMode != "" && resp.Telemetry != nil {
+		out := os.Stdout
+		if statsOut != "" {
+			f, err := os.Create(statsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sufdecide: stats:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if statsMode == "json" {
+			if err := resp.Telemetry.WriteJSON(out); err != nil {
+				fmt.Fprintln(os.Stderr, "sufdecide: stats:", err)
+			}
+		} else {
+			resp.Telemetry.RenderText(out)
+		}
+	}
+
+	switch resp.Status {
+	case "valid":
+		os.Exit(0)
+	case "invalid":
+		os.Exit(1)
+	case "timeout":
+		os.Exit(3)
+	case "canceled":
+		os.Exit(4)
+	case "resource-out":
+		os.Exit(5)
+	}
+	os.Exit(2)
+}
+
+// printRemoteModel renders the response's falsifying assignment in the same
+// "name = value" form the local Counterexample printer uses.
+func printRemoteModel(req *server.Request, resp *server.Response) {
+	if !req.WantModel || resp.Status != "invalid" {
+		return
+	}
+	var names []string
+	for n := range resp.ModelConsts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s = %d\n", n, resp.ModelConsts[n])
+	}
+	names = names[:0]
+	for n := range resp.ModelBools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s = %v\n", n, resp.ModelBools[n])
+	}
+}
+
 func main() {
 	method := flag.String("method", "hybrid", "decision method: hybrid, sd, eij, lazy, svc or portfolio")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
@@ -100,6 +213,7 @@ func main() {
 	ackermann := flag.Bool("ackermann", false, "use Ackermann's function elimination (ablation)")
 	smt2 := flag.Bool("smt2", false, "input is an SMT-LIB v2 script (QF_IDL/QF_UFIDL); reports sat/unsat")
 	dimacs := flag.String("dimacs", "", "write the encoded SAT query to this file in DIMACS format")
+	remote := flag.String("remote", "", "decide via the sufserved instance at this base URL instead of locally")
 	flag.Parse()
 
 	var src []byte
@@ -116,6 +230,27 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sufdecide:", err)
 		os.Exit(2)
+	}
+
+	if *remote != "" {
+		if *traceFile != "" || *debugAddr != "" || *dimacs != "" {
+			fmt.Fprintln(os.Stderr, "sufdecide: -trace, -debug-addr and -dimacs require a local run, not -remote")
+			os.Exit(2)
+		}
+		decideRemote(*remote, string(src), &server.Request{
+			SMT2:              *smt2,
+			Method:            *method,
+			TimeoutMS:         timeout.Milliseconds(),
+			SepThreshold:      *thold,
+			MaxTransClauses:   *maxTrans,
+			MaxCNFClauses:     *maxCNF,
+			MaxConflicts:      *maxConflicts,
+			MaxMemoryEstimate: *maxMem,
+			SolverWorkers:     *workers,
+			NoDegrade:         *noDegrade,
+			WantModel:         *showModel,
+			WantTelemetry:     stats.mode != "",
+		}, stats.mode, *statsOut)
 	}
 
 	var m sufsat.Method

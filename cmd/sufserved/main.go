@@ -1,0 +1,123 @@
+// Command sufserved serves the SUF decision procedure over HTTP JSON: a
+// bounded admission queue with deadline-aware load shedding in front of a
+// fixed solve pool, per-request deadlines and budgets clamped to server
+// ceilings, a degradation ladder retrying budget-blown eager encodings on
+// the cheaper lazy path, per-request panic isolation, and SIGTERM/SIGINT
+// graceful drain.
+//
+// Usage:
+//
+//	sufserved [-addr :8080] [-queue 64] [-workers N] [-j N]
+//	          [-default-deadline 10s] [-max-deadline 60s]
+//	          [-maxtrans N] [-maxcnf N] [-maxconflicts N] [-maxmem BYTES]
+//	          [-nodegrade] [-drain-timeout 30s] [-debug-addr ADDR] [-quiet]
+//
+// Endpoints: POST /decide (request/response JSON documented in
+// docs/FORMATS.md), GET /healthz (liveness), GET /readyz (readiness; 503
+// once draining), GET /statusz (admission-control counters). -debug-addr
+// additionally serves expvar (including the "sufsat_service" counters) and
+// pprof on a separate address.
+//
+// On SIGTERM or SIGINT the server drains: readiness flips to 503, new
+// requests are shed with Retry-After, already-admitted requests finish — or
+// are cancelled when -drain-timeout expires — and the process exits 0 on a
+// clean drain, 1 otherwise. A second signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sufsat"
+	"sufsat/internal/obs"
+	"sufsat/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
+	queueCap := flag.Int("queue", 64, "admission queue capacity; excess load is shed with 503")
+	workers := flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS / per-request SAT workers)")
+	solverWorkers := flag.Int("j", 1, "per-request parallel SAT worker ceiling (0 = GOMAXPROCS)")
+	defaultDeadline := flag.Duration("default-deadline", 10*time.Second, "deadline for requests that name none")
+	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "per-request deadline ceiling")
+	maxTrans := flag.Int("maxtrans", 0, "transitivity-clause ceiling per request (0 = none)")
+	maxCNF := flag.Int("maxcnf", 0, "CNF problem-clause ceiling per request (0 = none)")
+	maxConflicts := flag.Int64("maxconflicts", 0, "SAT conflict ceiling per request (0 = none)")
+	maxMem := flag.Int64("maxmem", 0, "estimated memory ceiling per request in bytes (0 = none)")
+	noDegrade := flag.Bool("nodegrade", false, "disable the lazy-path degradation ladder")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests on SIGTERM before they are cancelled")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this extra address (e.g. :6060)")
+	quiet := flag.Bool("quiet", false, "suppress lifecycle logging")
+	flag.Parse()
+
+	if *solverWorkers <= 0 {
+		*solverWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	cfg := server.Config{
+		MaxQueue:       *queueCap,
+		Workers:        *workers,
+		DefaultTimeout: *defaultDeadline,
+		Limits: sufsat.Limits{
+			MaxTimeout:        *maxDeadline,
+			MaxSolverWorkers:  *solverWorkers,
+			MaxTransClauses:   *maxTrans,
+			MaxCNFClauses:     *maxCNF,
+			MaxConflicts:      *maxConflicts,
+			MaxMemoryEstimate: *maxMem,
+		},
+		NoDegrade: *noDegrade,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	srv := server.New(cfg)
+	obs.PublishService(srv.Probe())
+	if *debugAddr != "" {
+		dsrv, daddr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufserved:", err)
+			os.Exit(1)
+		}
+		defer dsrv.Close()
+		fmt.Fprintf(os.Stderr, "sufserved: debug endpoint on http://%s/debug/vars\n", daddr)
+	}
+
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufserved:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sufserved: listening on http://%s\n", bound)
+
+	// First SIGTERM/SIGINT starts the drain; a second one restores the
+	// default disposition and kills the process.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-sigCtx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "sufserved: signal received, draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(drainCtx)
+
+	// Flush telemetry: the final admission-control counters, so the drain
+	// leaves an audit line even without the debug endpoint.
+	c := srv.Probe().Counters()
+	fmt.Fprintf(os.Stderr,
+		"sufserved: drained: admitted=%d completed=%d shed(queue=%d deadline=%d draining=%d) degraded=%d panics=%d malformed=%d\n",
+		c.Admitted, c.Completed, c.ShedQueueFull, c.ShedDeadline, c.ShedDraining,
+		c.Degraded, c.Panics, c.Malformed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufserved: drain:", err)
+		os.Exit(1)
+	}
+}

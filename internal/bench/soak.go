@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
+)
+
+// SoakConfig parameterizes RunSoak: a load test that hammers a running
+// sufserved with concurrent retrying clients over the Sample16 workload
+// (plus invalid variants), verifying every verdict against the known ground
+// truth and measuring throughput, latency percentiles and the shed rate.
+type SoakConfig struct {
+	// URL is the base URL of the server under test (e.g. http://127.0.0.1:8080).
+	URL string
+	// Clients is the number of concurrent clients (0 = 8).
+	Clients int
+	// Requests is the total request count across all clients (0 = 128).
+	Requests int
+	// TimeoutMS is the per-request deadline sent to the server
+	// (0 = the server's default deadline).
+	TimeoutMS int64
+	// InvalidEvery makes every nth request an invalid variant, exercising
+	// model extraction under load (0 = 5; negative disables).
+	InvalidEvery int
+	// BudgetEvery makes every nth request carry a 1-clause CNF budget,
+	// forcing a ResourceOut on the eager path so the server's degradation
+	// ladder must answer on the lazy path (0 = disabled).
+	BudgetEvery int
+	// MaxAttempts overrides the clients' retry budget (0 = client default).
+	MaxAttempts int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// SoakReport is the JSON artifact of one soak run (BENCH_PR4.json).
+type SoakReport struct {
+	URL       string `json:"url"`
+	Clients   int    `json:"clients"`
+	Requests  int    `json:"requests"`
+	Completed int64  `json:"completed"`
+
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Latency percentiles over completed requests, shed retries included
+	// (the client-observed wall clock).
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+
+	// Statuses counts final decision statuses ("valid", "invalid", ...).
+	Statuses map[string]int64 `json:"statuses"`
+
+	// ShedRetried counts requests that were shed at least once and then
+	// succeeded on a retry; ShedGaveUp counts requests whose every attempt
+	// was shed. ShedRate is their sum over all requests.
+	ShedRetried int64   `json:"shed_retried"`
+	ShedGaveUp  int64   `json:"shed_gave_up"`
+	ShedRate    float64 `json:"shed_rate"`
+
+	// Degraded counts responses answered by the degradation ladder, split by
+	// reason; ladder responses are still verified against ground truth.
+	Degraded            int64 `json:"degraded"`
+	DegradedResourceOut int64 `json:"degraded_resource_out"`
+	DegradedSaturation  int64 `json:"degraded_saturation"`
+
+	// Panics counts structured 500s (contained request panics); Mismatches
+	// counts verdicts that contradict the known ground truth (must be 0);
+	// TransportErrors counts requests that failed below HTTP.
+	Panics          int64 `json:"panics"`
+	Mismatches      int64 `json:"mismatches"`
+	TransportErrors int64 `json:"transport_errors"`
+}
+
+// soakItem is one prebuilt workload entry.
+type soakItem struct {
+	name    string
+	formula string
+	valid   bool
+}
+
+// soakWorkload renders the Sample16 benchmarks (and invalid variants) to
+// request syntax once, up front, so clients spend the soak on the wire and
+// the server, not in the generator.
+func soakWorkload() []soakItem {
+	var items []soakItem
+	for _, bm := range Sample16() {
+		f, _ := bm.Build()
+		items = append(items, soakItem{name: bm.Name, formula: f.String(), valid: bm.Valid})
+	}
+	return items
+}
+
+func soakInvalids() []soakItem {
+	var items []soakItem
+	for _, bm := range InvalidVariants() {
+		f, _ := bm.Build()
+		items = append(items, soakItem{name: bm.Name, formula: f.String(), valid: bm.Valid})
+	}
+	return items
+}
+
+// RunSoak hammers cfg.URL with cfg.Clients concurrent retrying clients until
+// cfg.Requests requests have completed, verifying every verdict, and returns
+// the aggregated report. A ctx cancellation stops issuing new requests and
+// returns the partial report with ctx's error.
+func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 128
+	}
+	if cfg.InvalidEvery == 0 {
+		cfg.InvalidEvery = 5
+	}
+
+	valids := soakWorkload()
+	invalids := soakInvalids()
+
+	rep := &SoakReport{
+		URL:      cfg.URL,
+		Clients:  cfg.Clients,
+		Requests: cfg.Requests,
+		Statuses: make(map[string]int64),
+	}
+	var (
+		next      atomic.Int64 // request ticket counter
+		mu        sync.Mutex   // guards latencies and rep during the run
+		latencies []float64
+	)
+
+	record := func(latMS float64, f func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		latencies = append(latencies, latMS)
+		if f != nil {
+			f()
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(cfg.URL)
+			if cfg.MaxAttempts > 0 {
+				c.MaxAttempts = cfg.MaxAttempts
+			}
+			// A local soak wants a tight retry loop: the default backoff
+			// ceiling (2s) is tuned for WAN clients and would dominate the
+			// measured latencies here.
+			c.BaseBackoff = 25 * time.Millisecond
+			c.MaxBackoff = 500 * time.Millisecond
+			for {
+				ticket := next.Add(1) - 1
+				if ticket >= int64(cfg.Requests) || ctx.Err() != nil {
+					return
+				}
+				item := valids[ticket%int64(len(valids))]
+				if cfg.InvalidEvery > 0 && ticket%int64(cfg.InvalidEvery) == int64(cfg.InvalidEvery-1) {
+					item = invalids[ticket%int64(len(invalids))]
+				}
+				req := &server.Request{
+					Formula:   item.formula,
+					TimeoutMS: cfg.TimeoutMS,
+					WantModel: !item.valid,
+				}
+				if cfg.BudgetEvery > 0 && ticket%int64(cfg.BudgetEvery) == 0 {
+					req.MaxCNFClauses = 1
+				}
+				reqStart := time.Now()
+				resp, err := c.Decide(ctx, req)
+				latMS := float64(time.Since(reqStart).Microseconds()) / 1e3
+				atomic.AddInt64(&rep.Completed, 1)
+
+				if err != nil {
+					var re *client.RetryError
+					if errors.As(err, &re) {
+						record(latMS, func() { rep.ShedGaveUp++ })
+					} else if ctx.Err() == nil {
+						record(latMS, func() { rep.TransportErrors++ })
+					}
+					continue
+				}
+				record(latMS, func() {
+					rep.Statuses[resp.Status]++
+					if resp.HTTPStatus == http.StatusInternalServerError {
+						rep.Panics++
+						return
+					}
+					if resp.ClientAttempts > 1 {
+						rep.ShedRetried++
+					}
+					if resp.Degraded {
+						rep.Degraded++
+						switch resp.DegradedReason {
+						case "resource-out":
+							rep.DegradedResourceOut++
+						case "saturation":
+							rep.DegradedSaturation++
+						}
+					}
+					switch resp.Status {
+					case "valid":
+						if !item.valid {
+							rep.Mismatches++
+						}
+					case "invalid":
+						if item.valid {
+							rep.Mismatches++
+						}
+						if len(resp.ModelConsts)+len(resp.ModelBools) == 0 && !item.valid {
+							// An invalid verdict under want_model must carry
+							// the falsifying assignment.
+							rep.Mismatches++
+						}
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.DurationMS = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Completed) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.LatencyP50MS = percentile(latencies, 0.50)
+	rep.LatencyP90MS = percentile(latencies, 0.90)
+	rep.LatencyP99MS = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMaxMS = latencies[n-1]
+	}
+	if rep.Completed > 0 {
+		rep.ShedRate = float64(rep.ShedRetried+rep.ShedGaveUp) / float64(rep.Completed)
+	}
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log,
+			"soak: %d requests, %d clients, %.1f rps, p50=%.1fms p99=%.1fms, shed-gave-up=%d degraded=%d panics=%d mismatches=%d\n",
+			rep.Completed, rep.Clients, rep.ThroughputRPS,
+			rep.LatencyP50MS, rep.LatencyP99MS, rep.ShedGaveUp, rep.Degraded, rep.Panics, rep.Mismatches)
+	}
+	return rep, ctx.Err()
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *SoakReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

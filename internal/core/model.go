@@ -118,6 +118,44 @@ func extractModel(solver *sat.Solver, cnf boolexpr.CNF, info *sep.Info,
 	return m
 }
 
+// ReconstructModel assembles a Model from assignments computed outside the
+// eager pipeline — the lazy procedure's final consistent theory solution plus
+// the SAT values of the symbolic Boolean constants — with the same V_p
+// re-spacing as extractModel: diverse values above everything else, so the
+// p-function constants clear the unbounded difference-logic values.
+func ReconstructModel(consts map[string]int64, bools map[string]bool,
+	info *sep.Info, elim *funcelim.Result) *Model {
+
+	m := &Model{Consts: consts, Bools: bools, elim: elim}
+	if m.Consts == nil {
+		m.Consts = make(map[string]int64)
+	}
+	if m.Bools == nil {
+		m.Bools = make(map[string]bool)
+	}
+	for v := range info.GConsts {
+		if _, ok := m.Consts[v]; !ok {
+			m.Consts[v] = 0
+		}
+	}
+	spread := int64(info.MaxPosOff - info.MaxNegOff)
+	var top int64
+	for _, x := range m.Consts {
+		if x > top {
+			top = x
+		}
+	}
+	var pnames []string
+	for v := range info.PConsts {
+		pnames = append(pnames, v)
+	}
+	sort.Strings(pnames)
+	for i, v := range pnames {
+		m.Consts[v] = top + spread + 1 + int64(i)*(spread+1)
+	}
+	return m
+}
+
 // sepInterp interprets the separation-level formula: constants from the
 // model, everything else defaulted.
 func (m *Model) sepInterp() *suf.Interp {

@@ -43,6 +43,8 @@ type Injector struct {
 	action  Action
 	cancel  context.CancelFunc
 	err     error
+	every   int
+	seen    int
 	visited []string
 	fired   int
 }
@@ -69,12 +71,30 @@ func (i *Injector) OnError(err error) *Injector {
 	return i
 }
 
+// EveryNth makes the Injector fire only on every nth visit of the target
+// stage (the nth, 2nth, … visits) instead of on every visit, and returns i.
+// A soak harness uses it to fault a deterministic fraction of a request
+// stream — e.g. panic on every 7th request — while the rest proceed
+// normally. n < 2 restores fire-on-every-visit.
+func (i *Injector) EveryNth(n int) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.every = n
+	return i
+}
+
 // Stage implements the core.StageHook signature; install it as
 // Options.Hook (the method value i.Stage).
 func (i *Injector) Stage(name string) error {
 	i.mu.Lock()
 	i.visited = append(i.visited, name)
 	match := name == i.target
+	if match {
+		i.seen++
+		if i.every > 1 && i.seen%i.every != 0 {
+			match = false
+		}
+	}
 	if match {
 		i.fired++
 	}

@@ -44,6 +44,11 @@ type Result struct {
 	Status core.Status
 	Err    error
 	Stats  Stats
+	// Model is the falsifying interpretation when Status == Invalid: the
+	// final SAT assignment's Boolean constants plus the consistent theory
+	// check's difference-logic solution, completed like the eager pipeline's
+	// model (unconstrained constants zeroed, V_p constants re-spaced).
+	Model *core.Model
 	// Telemetry is the unified snapshot of the run, present (on every exit
 	// path) iff Options.Telemetry was set.
 	Telemetry *obs.Snapshot
@@ -209,8 +214,22 @@ func DecideOpts(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, o Options)
 			}
 		}
 		if conflict == nil {
-			// Consistent: genuine falsifying interpretation.
+			// Consistent: genuine falsifying interpretation. The theory
+			// solver's integer solution plus the SAT values of the symbolic
+			// Boolean constants are the model.
 			res.Status = core.Invalid
+			consts := th.Model()
+			bools := make(map[string]bool)
+			for name, l := range cnf.VarLits {
+				if len(name) > 3 && name[:3] == "sb!" {
+					val := model[l.Var()]
+					if l.Neg() {
+						val = !val
+					}
+					bools[name[3:]] = val
+				}
+			}
+			res.Model = core.ReconstructModel(consts, bools, info, elim)
 			return done(finish(res, solver, start))
 		}
 		// Spurious: block the negative cycle.

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// ServiceProbe is the lock-free metrics slot of a long-running decision
+// service: queue depth and in-flight gauges plus monotonic counters for every
+// admission-control outcome. Request handlers and pool workers update it with
+// atomics on the hot path; the debug endpoint and the /statusz handler read a
+// consistent-enough ServiceCounters copy without stopping the server. A nil
+// *ServiceProbe ignores every update, preserving the disabled-telemetry fast
+// path of the rest of the package.
+type ServiceProbe struct {
+	queueDepth atomic.Int64
+	inFlight   atomic.Int64
+
+	admitted     atomic.Int64
+	completed    atomic.Int64
+	shedQueue    atomic.Int64
+	shedDeadline atomic.Int64
+	shedDraining atomic.Int64
+	degraded     atomic.Int64
+	panics       atomic.Int64
+	malformed    atomic.Int64
+}
+
+// ServiceCounters is one sampled copy of a ServiceProbe.
+type ServiceCounters struct {
+	// QueueDepth and InFlight are instantaneous gauges: requests waiting in
+	// the admission queue and requests currently executing.
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+	// Admitted counts requests accepted into the queue; Completed those that
+	// produced a decision response (any status).
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	// ShedQueueFull, ShedDeadline and ShedDraining split the load-shedding
+	// rejections by cause: queue at capacity, in-queue deadline would expire,
+	// and server draining.
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+	ShedDraining  int64 `json:"shed_draining"`
+	// Degraded counts requests answered by the degradation ladder's cheaper
+	// fallback path rather than their requested method.
+	Degraded int64 `json:"degraded"`
+	// Panics counts contained per-request panics (each also a Completed).
+	Panics int64 `json:"panics"`
+	// Malformed counts requests rejected before admission (bad JSON, bad
+	// formula, unknown method, oversized body).
+	Malformed int64 `json:"malformed"`
+}
+
+// QueueDepth sets the queue-depth gauge.
+func (p *ServiceProbe) QueueDepth(n int64) {
+	if p != nil {
+		p.queueDepth.Store(n)
+	}
+}
+
+// InFlightAdd moves the in-flight gauge by delta (+1 at execution start,
+// −1 at completion).
+func (p *ServiceProbe) InFlightAdd(delta int64) {
+	if p != nil {
+		p.inFlight.Add(delta)
+	}
+}
+
+// Admitted counts one admission.
+func (p *ServiceProbe) Admitted() {
+	if p != nil {
+		p.admitted.Add(1)
+	}
+}
+
+// Completed counts one finished decision response.
+func (p *ServiceProbe) Completed() {
+	if p != nil {
+		p.completed.Add(1)
+	}
+}
+
+// ShedQueueFull counts one queue-capacity rejection.
+func (p *ServiceProbe) ShedQueueFull() {
+	if p != nil {
+		p.shedQueue.Add(1)
+	}
+}
+
+// ShedDeadline counts one deadline-aware rejection (the request's deadline
+// would expire before a worker could reach it, at admission or at dequeue).
+func (p *ServiceProbe) ShedDeadline() {
+	if p != nil {
+		p.shedDeadline.Add(1)
+	}
+}
+
+// ShedDraining counts one rejection because the server is draining.
+func (p *ServiceProbe) ShedDraining() {
+	if p != nil {
+		p.shedDraining.Add(1)
+	}
+}
+
+// Degraded counts one request answered by the fallback path.
+func (p *ServiceProbe) Degraded() {
+	if p != nil {
+		p.degraded.Add(1)
+	}
+}
+
+// Panicked counts one contained per-request panic.
+func (p *ServiceProbe) Panicked() {
+	if p != nil {
+		p.panics.Add(1)
+	}
+}
+
+// Malformed counts one pre-admission rejection.
+func (p *ServiceProbe) Malformed() {
+	if p != nil {
+		p.malformed.Add(1)
+	}
+}
+
+// Counters returns a sampled copy (zero value for nil).
+func (p *ServiceProbe) Counters() ServiceCounters {
+	if p == nil {
+		return ServiceCounters{}
+	}
+	return ServiceCounters{
+		QueueDepth:    p.queueDepth.Load(),
+		InFlight:      p.inFlight.Load(),
+		Admitted:      p.admitted.Load(),
+		Completed:     p.completed.Load(),
+		ShedQueueFull: p.shedQueue.Load(),
+		ShedDeadline:  p.shedDeadline.Load(),
+		ShedDraining:  p.shedDraining.Load(),
+		Degraded:      p.degraded.Load(),
+		Panics:        p.panics.Load(),
+		Malformed:     p.malformed.Load(),
+	}
+}
+
+var (
+	servicePublishOnce sync.Once
+	serviceProbe       atomic.Pointer[ServiceProbe]
+)
+
+// PublishService exposes p through the debug endpoint's "sufsat_service"
+// expvar (replacing any previous probe). Safe with a nil p.
+func PublishService(p *ServiceProbe) {
+	servicePublishOnce.Do(func() {
+		expvar.Publish("sufsat_service", expvar.Func(func() any {
+			return serviceProbe.Load().Counters()
+		}))
+	})
+	serviceProbe.Store(p)
+}

@@ -1,0 +1,212 @@
+// Package client is the retrying HTTP client for the sufserved decision
+// service (internal/server): it posts Request JSON to /decide and retries
+// load-shedding 503s with jittered exponential backoff, honoring the
+// server's Retry-After. The soak harness and sufdecide -remote are built on
+// it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"sufsat/internal/server"
+)
+
+// Client talks to one sufserved base URL. The zero value is not usable;
+// create with New. A Client is safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (New sets a default with sane timeouts).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per Decide call, first attempt included
+	// (New sets 5). Only shed 503s and transport errors are retried;
+	// malformed 400s and completed decisions are final on the first try.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (New sets 50ms); MaxBackoff
+	// caps it (New sets 2s). The server's Retry-After, when present, takes
+	// precedence over the computed backoff, still capped by MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a Client for baseURL with the default retry policy.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		HTTP:        &http.Client{Timeout: 5 * time.Minute},
+		MaxAttempts: 5,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// RetryError is returned when every attempt was shed: the last shed response
+// and the attempt count.
+type RetryError struct {
+	Attempts int
+	Last     *server.Response
+}
+
+func (e *RetryError) Error() string {
+	reason := "unavailable"
+	if e.Last != nil {
+		reason = e.Last.ShedReason
+	}
+	return fmt.Sprintf("client: shed after %d attempts (%s)", e.Attempts, reason)
+}
+
+// jitter returns a uniformly random duration in [d/2, d), so synchronized
+// clients spread their retries instead of re-stampeding the server.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// Decide posts req and returns the decoded response. Shed 503s and transport
+// errors are retried with jittered exponential backoff honoring Retry-After;
+// any decision response (any status) and any 4xx/5xx with a decodable body
+// is returned as-is with a nil error.
+func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	backoff := c.BaseBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	var last *server.Response
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, retryAfter, err := c.post(ctx, body)
+		if err == nil && (resp.HTTPStatus != http.StatusServiceUnavailable) {
+			resp.ClientAttempts = attempt
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			last, lastErr = resp, nil
+		}
+		if attempt >= maxAttempts {
+			break
+		}
+		wait := c.jitter(backoff)
+		if retryAfter > 0 && retryAfter > wait {
+			wait = retryAfter
+		}
+		if c.MaxBackoff > 0 && wait > c.MaxBackoff {
+			wait = c.MaxBackoff
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+		backoff *= 2
+		if c.MaxBackoff > 0 && backoff > c.MaxBackoff {
+			backoff = c.MaxBackoff
+		}
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, &RetryError{Attempts: maxAttempts, Last: last}
+}
+
+// post performs one attempt. The response's HTTPStatus field is filled from
+// the transport so callers (and the retry loop) see the status without the
+// header.
+func (c *Client) post(ctx context.Context, body []byte) (*server.Response, time.Duration, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/decide", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: read response: %w", err)
+	}
+	var resp server.Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, 0, fmt.Errorf("client: decode response (HTTP %d): %w", hresp.StatusCode, err)
+	}
+	resp.HTTPStatus = hresp.StatusCode
+	var retryAfter time.Duration
+	if s := hresp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if resp.RetryAfterMS > 0 {
+		// The JSON body carries the precise estimate; the header is rounded
+		// up to whole seconds.
+		retryAfter = time.Duration(resp.RetryAfterMS) * time.Millisecond
+	}
+	return &resp, retryAfter, nil
+}
+
+// Ready polls GET /readyz until it returns 200, ctx expires, or the server
+// answers 503 past the deadline — for process supervisors and tests that
+// need to wait for a fresh server.
+func (c *Client) Ready(ctx context.Context) error {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if err != nil {
+				return fmt.Errorf("client: not ready: %w", err)
+			}
+			return fmt.Errorf("client: not ready: %w", ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,777 @@
+// Package server is the fault-tolerant HTTP serving layer of the decision
+// procedure: a bounded admission queue with deadline-aware load shedding in
+// front of a fixed worker pool, per-request deadlines and resource budgets
+// clamped to server ceilings, a degradation ladder that retries budget-blown
+// eager encodings on the cheaper lazy path, per-request panic isolation, and
+// SIGTERM graceful drain. cmd/sufserved wraps it as a standalone daemon and
+// internal/server/client provides the matching retrying client.
+//
+// Endpoints:
+//
+//	POST /decide   — decide one formula (request/response JSON in proto.go,
+//	                 schema in docs/FORMATS.md)
+//	GET  /healthz  — liveness: 200 while the process runs
+//	GET  /readyz   — readiness: 200 while accepting, 503 once draining
+//	GET  /statusz  — JSON admission-control counters (obs.ServiceCounters)
+//
+// Admission control: a request is rejected with 503 + Retry-After — never
+// queued — when the server is draining, the queue is at capacity, or the
+// queue's estimated wait (depth × EMA service time / workers) would exceed
+// the request's deadline. A request whose deadline expires while queued is
+// shed at dequeue instead of being solved to no purpose.
+//
+// Degradation ladder: when an eager request exhausts a resource budget
+// (ResourceOut), it is retried once on the lazy path — which needs no eager
+// transitivity closure and a far smaller CNF — inside the original deadline;
+// when the pool is saturated (queue depth at or above Config.DegradeDepth at
+// dequeue), eager requests are routed straight to the lazy path. Both paths
+// mark the response Degraded, mirroring the Hybrid encoder's per-class
+// EIJ→SD fallback one level up the stack.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sufsat"
+	"sufsat/internal/core"
+	"sufsat/internal/obs"
+)
+
+// Server-side fault-point names, called on Config.Hook in request order.
+// They extend the core pipeline's stage-hook convention to the serving
+// layer, so the faultinject harness can target the request path itself.
+const (
+	// StageDecode: after reading the body, before parsing the formula.
+	StageDecode = "server.decode"
+	// StageAdmit: before the admission decision.
+	StageAdmit = "server.admit"
+	// StageExec: in the pool worker, before the first decision attempt.
+	StageExec = "server.exec"
+	// StageRespond: before serializing the response.
+	StageRespond = "server.respond"
+)
+
+// Config parameterizes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxQueue bounds the admission queue (0 = 64). Requests beyond it are
+	// shed with 503, never queued or blocked on.
+	MaxQueue int
+	// Workers is the pool size — the number of concurrent Decide calls
+	// (0 = GOMAXPROCS / max(1, Limits.MaxSolverWorkers), floored at 1, so
+	// parallel per-request SAT workers don't oversubscribe the machine).
+	Workers int
+	// DefaultTimeout is the per-request deadline applied when the request
+	// names none (0 = 10s). Always clamped to Limits.MaxTimeout.
+	DefaultTimeout time.Duration
+	// Limits are the server ceilings applied to every request's options
+	// (zero fields = the matching option stays request-controlled). The
+	// zero Limits gets MaxTimeout 60s and MaxSolverWorkers GOMAXPROCS.
+	Limits sufsat.Limits
+	// MaxRequestBytes caps the request body (0 = 1 MiB).
+	MaxRequestBytes int64
+	// DegradeDepth is the dequeue-time queue depth at or above which eager
+	// requests are routed straight to the cheaper lazy path (0 = ¾ of
+	// MaxQueue; negative disables saturation routing).
+	DegradeDepth int
+	// NoDegrade disables the degradation ladder server-wide.
+	NoDegrade bool
+	// MinRetryBudget is the minimum remaining deadline for a ResourceOut
+	// retry on the lazy path (0 = 20ms).
+	MinRetryBudget time.Duration
+	// Hook, when non-nil, is called at each server fault point (the Stage…
+	// constants above) and threaded through to the decision pipeline's own
+	// stage hooks. A returned error fails the request with a structured 500;
+	// a panic is contained like any per-request panic.
+	Hook func(stage string) error
+	// Probe receives admission-control metrics (nil = a fresh probe,
+	// readable via Server.Probe).
+	Probe *obs.ServiceProbe
+	// Log, when non-nil, receives one line per lifecycle event.
+	Log io.Writer
+}
+
+// task is one admitted request travelling from the handler to a pool worker.
+type task struct {
+	ctx      context.Context
+	req      *Request
+	opts     sufsat.Options
+	formula  sufsat.Formula
+	clamped  []string
+	rec      *obs.Recorder
+	reqSpan  *obs.Span
+	enqueued time.Time
+	deadline time.Time
+	done     chan *Response
+}
+
+// Server is the decision service. Create with New, serve its Handler (or
+// Serve/ListenAndServe), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	probe *obs.ServiceProbe
+
+	queue chan *task
+	mu    sync.Mutex // guards draining and the queue close
+	drain bool
+
+	workersDone chan struct{}
+	baseCtx     context.Context
+	baseCancel  context.CancelFunc
+
+	emaNS    atomic.Int64 // EMA of per-request service time
+	shutOnce sync.Once
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New returns a Server with its worker pool running.
+func New(cfg Config) *Server {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.Limits.MaxTimeout <= 0 {
+		cfg.Limits.MaxTimeout = 60 * time.Second
+	}
+	if cfg.Limits.MaxSolverWorkers <= 0 {
+		cfg.Limits.MaxSolverWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0) / cfg.Limits.MaxSolverWorkers
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 1 << 20
+	}
+	if cfg.DegradeDepth == 0 {
+		cfg.DegradeDepth = cfg.MaxQueue * 3 / 4
+		if cfg.DegradeDepth < 1 {
+			cfg.DegradeDepth = 1
+		}
+	}
+	if cfg.MinRetryBudget <= 0 {
+		cfg.MinRetryBudget = 20 * time.Millisecond
+	}
+	probe := cfg.Probe
+	if probe == nil {
+		probe = &obs.ServiceProbe{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		probe:       probe,
+		queue:       make(chan *task, cfg.MaxQueue),
+		workersDone: make(chan struct{}),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.workersDone)
+	}()
+	s.logf("server: %d workers, queue %d, degrade depth %d, default deadline %v, deadline ceiling %v",
+		cfg.Workers, cfg.MaxQueue, cfg.DegradeDepth, cfg.DefaultTimeout, cfg.Limits.MaxTimeout)
+	return s
+}
+
+// Probe returns the server's admission-control metrics slot.
+func (s *Server) Probe() *obs.ServiceProbe { return s.probe }
+
+// QueueLen reports the current admission-queue depth.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drain
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+// hook runs the server-side fault point; nil Config.Hook means no-op.
+func (s *Server) hook(stage string) error {
+	if s.cfg.Hook != nil {
+		return s.cfg.Hook(stage)
+	}
+	return nil
+}
+
+// ema returns the current service-time estimate (a floor of 1ms before any
+// request has completed, so wait estimates are never zero).
+func (s *Server) ema() time.Duration {
+	if v := s.emaNS.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return time.Millisecond
+}
+
+// observe folds one completed request's service time into the EMA (α = ⅛).
+func (s *Server) observe(d time.Duration) {
+	for {
+		old := s.emaNS.Load()
+		nw := int64(d)
+		if old > 0 {
+			nw = old + (int64(d)-old)/8
+		}
+		if s.emaNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// estimatedWait is the deadline-aware admission estimate: queued requests
+// ahead of this one, times the EMA service time, divided across the pool.
+func (s *Server) estimatedWait(depth int) time.Duration {
+	return time.Duration(int64(depth) * int64(s.ema()) / int64(s.cfg.Workers))
+}
+
+// shed builds a 503 response.
+func (s *Server) shed(reason string, retryAfter time.Duration) *Response {
+	if retryAfter < 10*time.Millisecond {
+		retryAfter = 10 * time.Millisecond
+	}
+	switch reason {
+	case ShedQueueFull:
+		s.probe.ShedQueueFull()
+	case ShedDeadline:
+		s.probe.ShedDeadline()
+	case ShedDraining:
+		s.probe.ShedDraining()
+	}
+	return &Response{
+		Status:       "shed",
+		ShedReason:   reason,
+		RetryAfterMS: retryAfter.Milliseconds(),
+		HTTPStatus:   http.StatusServiceUnavailable,
+		RetryAfter:   retryAfter,
+	}
+}
+
+// admit performs the admission decision: reject (shed) or enqueue. It never
+// blocks — a full queue is a rejection, not a wait.
+func (s *Server) admit(t *task) *Response {
+	depth := len(s.queue)
+	if wait := s.estimatedWait(depth); time.Now().Add(wait).After(t.deadline) {
+		return s.shed(ShedDeadline, wait)
+	}
+	s.mu.Lock()
+	if s.drain {
+		s.mu.Unlock()
+		return s.shed(ShedDraining, time.Second)
+	}
+	select {
+	case s.queue <- t:
+		s.mu.Unlock()
+		s.probe.Admitted()
+		s.probe.QueueDepth(int64(len(s.queue)))
+		return nil
+	default:
+		s.mu.Unlock()
+		return s.shed(ShedQueueFull, s.estimatedWait(s.cfg.MaxQueue))
+	}
+}
+
+// worker is one pool goroutine: dequeue, shed-or-solve, respond. It exits
+// when the queue is closed and drained.
+func (s *Server) worker() {
+	for t := range s.queue {
+		depth := len(s.queue)
+		s.probe.QueueDepth(int64(depth))
+		queueWait := time.Since(t.enqueued)
+
+		// In-queue deadline shedding: solving a request whose deadline has
+		// already passed (or whose client has gone) helps no one.
+		if t.ctx.Err() != nil {
+			t.finish(nil)
+			continue
+		}
+		if !time.Now().Before(t.deadline) {
+			resp := s.shed(ShedDeadline, s.estimatedWait(depth))
+			resp.QueueMS = float64(queueWait.Microseconds()) / 1e3
+			t.finish(resp)
+			continue
+		}
+
+		s.probe.InFlightAdd(1)
+		start := time.Now()
+		resp := s.exec(t, depth, queueWait)
+		s.observe(time.Since(start))
+		s.probe.InFlightAdd(-1)
+		s.probe.Completed()
+		t.finish(resp)
+	}
+}
+
+// finish delivers the worker's response to the waiting handler (nil when the
+// client is gone; the handler has already returned in that case).
+func (t *task) finish(resp *Response) {
+	if resp != nil {
+		select {
+		case t.done <- resp:
+		case <-t.ctx.Done():
+		}
+	}
+	close(t.done)
+}
+
+// eagerMethod reports whether m runs the eager encoding pipeline (the
+// methods the lazy fallback is cheaper than).
+func eagerMethod(m sufsat.Method) bool {
+	switch m {
+	case sufsat.MethodHybrid, sufsat.MethodSD, sufsat.MethodEIJ, sufsat.MethodPortfolio:
+		return true
+	}
+	return false
+}
+
+// exec runs the degradation ladder for one admitted request under panic
+// isolation: any panic — in the serving code, a fault-point hook, or escaping
+// the decision pipeline — is converted into a structured 500 carrying the
+// telemetry snapshot measured so far.
+func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (resp *Response) {
+	queueMS := float64(queueWait.Microseconds()) / 1e3
+	defer func() {
+		if v := recover(); v != nil {
+			s.probe.Panicked()
+			resp = s.panicResponse(t, v, queueMS)
+		}
+	}()
+
+	// The decision context joins the client's context, the request deadline
+	// and the server's drain-abort cancellation.
+	dctx, cancel := context.WithDeadline(t.ctx, t.deadline)
+	defer cancel()
+	stopAbort := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAbort()
+
+	if err := s.hook(StageExec); err != nil {
+		return s.errorResponse(t, err, queueMS)
+	}
+
+	opts := t.opts
+	degradedReason := ""
+	ladderOK := !s.cfg.NoDegrade && !t.req.NoDegrade && eagerMethod(opts.Method)
+
+	// Saturation routing: with the pool drowning, don't start an expensive
+	// eager encoding at all — answer on the cheap path directly.
+	if ladderOK && s.cfg.DegradeDepth > 0 && depthAtDequeue >= s.cfg.DegradeDepth {
+		opts.Method = sufsat.MethodLazy
+		degradedReason = "saturation"
+	}
+
+	solveStart := time.Now()
+	res := sufsat.DecideContext(dctx, t.formula, opts)
+	attempts := 1
+
+	// ResourceOut retry: the lazy path needs no eager transitivity closure
+	// and a far smaller CNF, so a blown clause/memory/conflict budget on the
+	// eager path often still has a cheap answer within the deadline.
+	if res.Status == sufsat.ResourceOut && ladderOK && degradedReason == "" &&
+		time.Until(t.deadline) > s.cfg.MinRetryBudget {
+		retry := opts
+		retry.Method = sufsat.MethodLazy
+		res2 := sufsat.DecideContext(dctx, t.formula, retry)
+		attempts = 2
+		if res2.Status.Definitive() {
+			res = res2
+			opts.Method = retry.Method
+			degradedReason = "resource-out"
+		}
+	}
+	solveMS := float64(time.Since(solveStart).Microseconds()) / 1e3
+
+	// A panic contained by the facade is still a per-request crash: report
+	// it as a structured 500 with the snapshot, like a panic caught here.
+	var pe *core.PanicError
+	if res.Err != nil && errors.As(res.Err, &pe) {
+		s.probe.Panicked()
+		return s.panicResponse(t, pe.Value, queueMS)
+	}
+
+	if degradedReason != "" {
+		s.probe.Degraded()
+	}
+	resp = &Response{
+		Status:     res.Status.String(),
+		Method:     methodString(opts.Method),
+		Degraded:   degradedReason != "",
+		Attempts:   attempts,
+		Clamped:    t.clamped,
+		HTTPStatus: http.StatusOK,
+		QueueMS:    queueMS,
+		SolveMS:    solveMS,
+	}
+	if degradedReason != "" {
+		resp.DegradedReason = degradedReason
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	if res.Status.Definitive() {
+		resp.Stats = &RespStats{
+			Nodes:           res.Stats.Nodes,
+			SepPreds:        res.Stats.SepPreds,
+			Classes:         res.Stats.Classes,
+			SDClasses:       res.Stats.SDClasses,
+			DemotedClasses:  res.Stats.DemotedClasses,
+			CNFClauses:      res.Stats.CNFClauses,
+			ConflictClauses: res.Stats.ConflictClauses,
+		}
+	}
+	if t.req.WantModel && res.Counterexample != nil {
+		resp.ModelConsts = res.Counterexample.Consts()
+		resp.ModelBools = res.Counterexample.Bools()
+	}
+	if t.req.WantTelemetry {
+		t.endRequestSpan(resp.Status)
+		if res.Telemetry != nil {
+			resp.Telemetry = res.Telemetry
+		} else {
+			resp.Telemetry = t.snapshot(resp.Status, resp.Error)
+		}
+	}
+	return resp
+}
+
+// methodString renders a facade method in request syntax.
+func methodString(m sufsat.Method) string {
+	switch m {
+	case sufsat.MethodHybrid:
+		return "hybrid"
+	case sufsat.MethodSD:
+		return "sd"
+	case sufsat.MethodEIJ:
+		return "eij"
+	case sufsat.MethodLazy:
+		return "lazy"
+	case sufsat.MethodSVC:
+		return "svc"
+	case sufsat.MethodPortfolio:
+		return "portfolio"
+	}
+	return m.String()
+}
+
+// endRequestSpan closes the per-request span with the final status.
+func (t *task) endRequestSpan(status string) {
+	t.reqSpan.AttrStr("status", status)
+	t.reqSpan.End()
+}
+
+// snapshot builds a minimal snapshot from the per-request recorder for paths
+// where the pipeline produced none (panics, hook errors).
+func (t *task) snapshot(status, errText string) *obs.Snapshot {
+	snap := &obs.Snapshot{
+		Method: methodString(t.opts.Method),
+		Status: status,
+		Error:  errText,
+	}
+	return snap.Finish(t.rec)
+}
+
+// panicResponse is the structured 500 for a contained per-request panic: the
+// panic value plus the telemetry snapshot measured up to the crash.
+func (s *Server) panicResponse(t *task, v any, queueMS float64) *Response {
+	t.endRequestSpan("error")
+	errText := fmt.Sprintf("panic: %v", v)
+	s.logf("server: contained request panic: %v", v)
+	return &Response{
+		Status:     core.Error.String(),
+		Error:      errText,
+		Method:     methodString(t.opts.Method),
+		Clamped:    t.clamped,
+		Telemetry:  t.snapshot(core.Error.String(), errText),
+		HTTPStatus: http.StatusInternalServerError,
+		QueueMS:    queueMS,
+	}
+}
+
+// errorResponse is the structured 500 for a server-side hook error.
+func (s *Server) errorResponse(t *task, err error, queueMS float64) *Response {
+	t.endRequestSpan("error")
+	return &Response{
+		Status:     core.Error.String(),
+		Error:      err.Error(),
+		Method:     methodString(t.opts.Method),
+		Clamped:    t.clamped,
+		HTTPStatus: http.StatusInternalServerError,
+		QueueMS:    queueMS,
+	}
+}
+
+// ---------- HTTP layer ----------
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decide", s.handleDecide)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n") //nolint:errcheck
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n") //nolint:errcheck
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{ //nolint:errcheck
+			"counters": s.probe.Counters(),
+			"draining": s.Draining(),
+			"workers":  s.cfg.Workers,
+			"queue":    s.cfg.MaxQueue,
+			"depth":    s.QueueLen(),
+			"ema_ms":   float64(s.ema().Microseconds()) / 1e3,
+		})
+	})
+	// The outermost recover keeps a handler-level panic (fault-injected or
+	// otherwise) from killing the connection without a structured response.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.probe.Panicked()
+				s.logf("server: contained handler panic: %v", v)
+				writeJSON(w, &Response{
+					Status:     core.Error.String(),
+					Error:      fmt.Sprintf("panic: %v", v),
+					HTTPStatus: http.StatusInternalServerError,
+				})
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleDecide is POST /decide: decode, admission control, wait for the
+// worker's response. It never blocks on a full queue.
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Fast-path shed while draining, before reading the body.
+	if s.Draining() {
+		writeJSON(w, s.shed(ShedDraining, time.Second))
+		return
+	}
+	if err := s.hook(StageDecode); err != nil {
+		writeJSON(w, &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		s.probe.Malformed()
+		writeJSON(w, malformed(fmt.Sprintf("read body: %v", err)))
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.probe.Malformed()
+		writeJSON(w, malformed(fmt.Sprintf("bad JSON: %v", err)))
+		return
+	}
+	if req.Formula == "" {
+		s.probe.Malformed()
+		writeJSON(w, malformed("missing formula"))
+		return
+	}
+	method, err := ParseMethod(req.Method)
+	if err != nil {
+		s.probe.Malformed()
+		writeJSON(w, malformed(err.Error()))
+		return
+	}
+	// Parsing runs in the handler, outside the admission queue: malformed
+	// bytes must never cost a queue slot (and must never kill the server —
+	// the parsers return errors, enforced by the FuzzParse corpora).
+	b := sufsat.NewBuilder()
+	var f sufsat.Formula
+	if req.SMT2 {
+		f, err = b.ParseSMTLIB(req.Formula)
+	} else {
+		f, err = b.Parse(req.Formula)
+	}
+	if err != nil {
+		s.probe.Malformed()
+		writeJSON(w, malformed(fmt.Sprintf("parse: %v", err)))
+		return
+	}
+	if req.SMT2 {
+		// sat(F) ⟺ ¬valid(¬F): decide the negation; "invalid" then means
+		// satisfiable and the model satisfies the assertions.
+		f = f.Not()
+	}
+
+	opts := req.options(method)
+	if opts.Timeout <= 0 {
+		opts.Timeout = s.cfg.DefaultTimeout
+	}
+	clamped := opts.ApplyLimits(s.cfg.Limits)
+	now := time.Now()
+	deadline := now.Add(opts.Timeout)
+	opts.Timeout = 0 // the worker applies the deadline via context
+
+	rec := obs.NewRecorder()
+	opts.Telemetry = rec
+	opts.Hook = s.cfg.Hook
+	t := &task{
+		ctx:      r.Context(),
+		req:      &req,
+		opts:     opts,
+		formula:  f,
+		clamped:  clamped,
+		rec:      rec,
+		reqSpan:  rec.StartSpan("request"),
+		enqueued: now,
+		deadline: deadline,
+		done:     make(chan *Response, 1),
+	}
+
+	if err := s.hook(StageAdmit); err != nil {
+		writeJSON(w, &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+		return
+	}
+	if resp := s.admit(t); resp != nil {
+		writeJSON(w, resp)
+		return
+	}
+
+	select {
+	case resp, ok := <-t.done:
+		if !ok || resp == nil {
+			// The worker observed a dead client context; nothing to write.
+			return
+		}
+		if err := s.hook(StageRespond); err != nil {
+			writeJSON(w, &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+			return
+		}
+		resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
+		writeJSON(w, resp)
+	case <-r.Context().Done():
+		// Client gone; the worker will observe the same context and skip.
+	}
+}
+
+func malformed(msg string) *Response {
+	return &Response{Status: "malformed", Error: msg, HTTPStatus: http.StatusBadRequest}
+}
+
+// writeJSON serializes resp with its transport status and optional
+// Retry-After header.
+func writeJSON(w http.ResponseWriter, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	if resp.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(resp.RetryAfter.Seconds()))))
+	}
+	code := resp.HTTPStatus
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+// ---------- lifecycle ----------
+
+// Serve runs an http.Server for the handler on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr (port 0 picks a free port, reported via the
+// returned address) and serves in a background goroutine.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln) //nolint:errcheck
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server: stop admitting (readiness flips, new requests
+// shed with 503), let the pool finish every already-admitted request, and —
+// if ctx expires first — cancel the in-flight solves, which then complete
+// with Canceled within the pipeline's bounded poll cadence. Idempotent;
+// concurrent calls all wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.mu.Lock()
+		s.drain = true
+		close(s.queue)
+		s.mu.Unlock()
+		s.logf("server: draining (%d queued)", len(s.queue))
+	})
+
+	var err error
+	select {
+	case <-s.workersDone:
+	case <-ctx.Done():
+		// Deadline: abort in-flight work and wait for the workers to notice.
+		s.logf("server: drain deadline hit, cancelling in-flight requests")
+		s.baseCancel()
+		<-s.workersDone
+		err = ctx.Err()
+	}
+	s.baseCancel()
+
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.httpMu.Unlock()
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	s.logf("server: drained")
+	return err
+}

@@ -1,0 +1,54 @@
+package smtlib
+
+import (
+	"testing"
+
+	"sufsat/internal/suf"
+)
+
+// FuzzParseScript checks the SMT-LIB front end never panics on arbitrary
+// input (it faces untrusted benchmark files and, via the server, untrusted
+// request bodies) and that every accepted script yields a formula whose
+// printed form reparses through the SUF parser. It mirrors FuzzParse in
+// internal/suf.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		"(set-logic QF_IDL)(declare-const x Int)(declare-const y Int)(assert (< x y))(check-sat)",
+		"(declare-fun f (Int) Int)(declare-const x Int)(assert (= (f x) (f (f x))))",
+		"(declare-const x Int)(assert (<= (- x x) 0))",
+		"(declare-const p Bool)(assert (and p (or (not p) p)))",
+		"(declare-const x Int)(assert (let ((y (+ x 1))) (< x y)))",
+		"(assert (= 1 2))",
+		"(assert (distinct 0 1 2))",
+		"(declare-const x Int)(assert (< x 99999999999999999999))",
+		"(declare-const x Int)(assert (< x 9999999))",
+		"(declare-const x Int)(assert (< (+ 60000 60000) x))",
+		"(declare-const |quoted name| Int)(assert (>= |quoted name| 0))",
+		"(set-info :status unsat)",
+		"; comment only",
+		"((((",
+		"))))",
+		"(assert)",
+		"(assert (ite (< 0 1) 2 3))",
+		"(declare-fun g (Int Int) Bool)(assert (g 0 1))",
+		"(asse\x00rt true)",
+		"(assert (= |unterminated",
+		"(assert \"string\")",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b := suf.NewBuilder()
+		script, err := ParseScript(src, b)
+		if err != nil {
+			return
+		}
+		// An accepted script's formula must print to valid SUF syntax.
+		formula := script.Formula()
+		if _, err := suf.Parse(formula.String(), b); err != nil {
+			t.Fatalf("accepted script's formula does not reparse: %v\nscript: %q\nformula: %q",
+				err, src, formula)
+		}
+	})
+}

@@ -29,6 +29,16 @@ import (
 // Zero is the designated base constant standing for the integer 0.
 const Zero = "$zero"
 
+// checkOffset rejects offsets beyond suf.MaxNumeral. Offsets become succ/pred
+// chains (one node per unit), so an unbounded literal in a script would let a
+// few bytes of input allocate gigabytes.
+func checkOffset(k int) error {
+	if k > suf.MaxNumeral || k < -suf.MaxNumeral {
+		return fmt.Errorf("smtlib: offset magnitude %d exceeds the supported cap %d", k, suf.MaxNumeral)
+	}
+	return nil
+}
+
 // Script is a parsed SMT-LIB script.
 type Script struct {
 	// Logic is the set-logic argument ("" if absent).
@@ -239,6 +249,9 @@ func (t *translator) command(n snode) error {
 
 func (t *translator) declare(rawName string, argSorts []snode, retSort snode) error {
 	name := unquote(rawName)
+	if err := checkName(name); err != nil {
+		return err
+	}
 	for _, s := range argSorts {
 		if s.atom != "Int" {
 			return fmt.Errorf("smtlib: only Int argument sorts are supported, got %v", render(s))
@@ -280,6 +293,9 @@ func (t *translator) term(n snode) (value, error) {
 			return value{f: b.False()}, nil
 		}
 		if k, err := strconv.Atoi(a); err == nil {
+			if err := checkOffset(k); err != nil {
+				return value{}, err
+			}
 			return value{i: b.Offset(b.Sym(Zero), k)}, nil
 		}
 		if _, ok := t.script.BoolFuns[a]; ok {
@@ -303,7 +319,7 @@ func (t *translator) term(n snode) (value, error) {
 	case "let":
 		return t.letTerm(args)
 	case "not":
-		v, err := t.boolArg(args, 0, 1)
+		v, err := t.boolArg(args, 1, 1)
 		if err != nil {
 			return value{}, err
 		}
@@ -518,6 +534,9 @@ type diffForm struct {
 
 func (t *translator) diffForm(n snode) (diffForm, error) {
 	if k, ok := literal(n); ok {
+		if err := checkOffset(k); err != nil {
+			return diffForm{}, err
+		}
 		return diffForm{off: k}, nil
 	}
 	if n.isList && len(n.list) > 0 && !n.list[0].isList {
@@ -553,6 +572,9 @@ func (t *translator) diffForm(n snode) (diffForm, error) {
 					}
 					out.neg = base
 				}
+			}
+			if err := checkOffset(out.off); err != nil {
+				return diffForm{}, err
 			}
 			return out, nil
 		}
@@ -657,6 +679,9 @@ func (t *translator) arith(n snode) (*suf.IntExpr, error) {
 				s = -1
 			}
 			if k, ok := literal(a); ok {
+				if err := checkOffset(k); err != nil {
+					return nil, err
+				}
 				off += s * k
 				continue
 			}
@@ -676,6 +701,9 @@ func (t *translator) arith(n snode) (*suf.IntExpr, error) {
 				return nil, fmt.Errorf("smtlib: sum of two non-constant terms in %v is outside difference logic", render(n))
 			}
 			base = x
+		}
+		if err := checkOffset(off); err != nil {
+			return nil, err
 		}
 		if head == "-" && len(args) == 1 {
 			// unary minus: only of a literal
@@ -750,6 +778,19 @@ func (t *translator) intArgs(args []snode, arity int) ([]*suf.IntExpr, error) {
 		out[i] = x
 	}
 	return out, nil
+}
+
+// checkName rejects declared names the SUF printer cannot render back to
+// parseable syntax even with |quoting|: empty names and names containing a
+// bar (SMT-LIB forbids the latter inside quoted symbols too).
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("smtlib: empty symbol name")
+	}
+	if strings.ContainsRune(name, '|') {
+		return fmt.Errorf("smtlib: symbol name %q contains '|'", name)
+	}
+	return nil
 }
 
 func unquote(s string) string {

@@ -19,6 +19,9 @@ import (
 //
 // Line comments start with ';'. Symbols appearing in Boolean positions are
 // uninterpreted predicates; in integer positions, uninterpreted functions.
+// A SYMBOL may be written |quoted| (SMT-LIB style) to carry spaces,
+// metacharacters, or names that collide with keywords and numerals; the
+// printer quotes such names automatically, so formulas always round-trip.
 func Parse(src string, b *Builder) (*BoolExpr, error) {
 	toks, err := tokenize(src)
 	if err != nil {
@@ -35,7 +38,16 @@ func Parse(src string, b *Builder) (*BoolExpr, error) {
 	return p.boolOf(sx)
 }
 
-// MustParse is Parse, panicking on error; for tests and examples.
+// MaxNumeral caps the magnitude of offset numerals accepted by the parser.
+// Offsets are represented as succ/pred chains (one node per unit), so an
+// unbounded numeral would let a few bytes of input allocate gigabytes; 2^16
+// is far beyond any published difference-logic benchmark's offsets.
+const MaxNumeral = 1 << 16
+
+// MustParse is Parse, panicking on error. It is intended for tests and
+// examples with literal inputs only; every path that handles untrusted or
+// user-supplied syntax (cmd/sufdecide, the server's /decide endpoint, the
+// smtlib translator) goes through Parse and reports the error instead.
 func MustParse(src string, b *Builder) *BoolExpr {
 	f, err := Parse(src, b)
 	if err != nil {
@@ -59,10 +71,20 @@ func tokenize(src string) ([]string, error) {
 		case c == '(' || c == ')':
 			toks = append(toks, string(c))
 			i++
+		case c == '|':
+			j := i + 1
+			for j < len(src) && src[j] != '|' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("suf: unterminated |symbol|")
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
 		default:
 			j := i
 			for j < len(src) && src[j] != '(' && src[j] != ')' && src[j] != ';' &&
-				!unicode.IsSpace(rune(src[j])) {
+				src[j] != '|' && !unicode.IsSpace(rune(src[j])) {
 				j++
 			}
 			toks = append(toks, src[i:j])
@@ -127,10 +149,11 @@ func (p *parser) boolOf(sx sexpNode) (*BoolExpr, error) {
 		case "":
 			return nil, fmt.Errorf("suf: empty boolean atom")
 		default:
-			if err := validSymbol(sx.atom); err != nil {
+			name, err := symName(sx.atom)
+			if err != nil {
 				return nil, err
 			}
-			return b.BoolSym(sx.atom), nil
+			return b.BoolSym(name), nil
 		}
 	}
 	if len(sx.list) == 0 {
@@ -226,7 +249,8 @@ func (p *parser) boolOf(sx sexpNode) (*BoolExpr, error) {
 			return b.Ge(t1, t2), nil
 		}
 	default:
-		if err := validSymbol(head.atom); err != nil {
+		name, err := symName(head.atom)
+		if err != nil {
 			return nil, err
 		}
 		ias := make([]*IntExpr, len(args))
@@ -237,7 +261,7 @@ func (p *parser) boolOf(sx sexpNode) (*BoolExpr, error) {
 			}
 			ias[i] = t
 		}
-		return b.PredApp(head.atom, ias...), nil
+		return b.PredApp(name, ias...), nil
 	}
 }
 
@@ -247,10 +271,11 @@ func (p *parser) intOf(sx sexpNode) (*IntExpr, error) {
 		if sx.atom == "" {
 			return nil, fmt.Errorf("suf: empty integer atom")
 		}
-		if err := validSymbol(sx.atom); err != nil {
+		name, err := symName(sx.atom)
+		if err != nil {
 			return nil, err
 		}
-		return b.Sym(sx.atom), nil
+		return b.Sym(name), nil
 	}
 	if len(sx.list) == 0 {
 		return nil, fmt.Errorf("suf: empty list in integer position")
@@ -281,6 +306,9 @@ func (p *parser) intOf(sx sexpNode) (*IntExpr, error) {
 		if err != nil {
 			return nil, fmt.Errorf("suf: bad numeral %q: %v", args[1].atom, err)
 		}
+		if k > MaxNumeral || k < -MaxNumeral {
+			return nil, fmt.Errorf("suf: numeral %d exceeds the supported offset magnitude %d", k, MaxNumeral)
+		}
 		t, err := p.intOf(args[0])
 		if err != nil {
 			return nil, err
@@ -307,7 +335,8 @@ func (p *parser) intOf(sx sexpNode) (*IntExpr, error) {
 		}
 		return b.Ite(c, t1, t2), nil
 	default:
-		if err := validSymbol(head.atom); err != nil {
+		name, err := symName(head.atom)
+		if err != nil {
 			return nil, err
 		}
 		ias := make([]*IntExpr, len(args))
@@ -318,7 +347,7 @@ func (p *parser) intOf(sx sexpNode) (*IntExpr, error) {
 			}
 			ias[i] = t
 		}
-		return b.Fn(head.atom, ias...), nil
+		return b.Fn(name, ias...), nil
 	}
 }
 
@@ -327,6 +356,23 @@ var reserved = map[string]bool{
 	"ite": true, "succ": true, "pred": true, "+": true, "-": true,
 	"=": true, "<": true, "<=": true, ">": true, ">=": true,
 	"true": true, "false": true,
+}
+
+// symName interprets an atom as a symbol name. |bars| quote any name
+// (including keywords, numerals and names with spaces — the printer emits
+// them via QuoteSym); unquoted atoms must pass validSymbol.
+func symName(atom string) (string, error) {
+	if len(atom) >= 2 && atom[0] == '|' && atom[len(atom)-1] == '|' {
+		name := atom[1 : len(atom)-1]
+		if name == "" {
+			return "", fmt.Errorf("suf: empty quoted symbol ||")
+		}
+		return name, nil
+	}
+	if err := validSymbol(atom); err != nil {
+		return "", err
+	}
+	return atom, nil
 }
 
 // validSymbol rejects atoms that cannot name uninterpreted symbols:

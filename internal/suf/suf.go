@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // IntKind enumerates integer expression kinds.
@@ -460,17 +461,39 @@ func PredApps(f *BoolExpr, minArity int) map[string][]*BoolExpr {
 	return out
 }
 
+// QuoteSym renders a symbol name in parseable form: names that collide with
+// keywords or numerals, or contain s-expression metacharacters, are wrapped
+// in |bars| (the same escape SMT-LIB uses), which Parse understands. Plain
+// names print unchanged.
+func QuoteSym(s string) string {
+	if s == "" || reserved[s] {
+		return "|" + s + "|"
+	}
+	// Byte-wise to mirror the tokenizer exactly (it scans bytes, so a
+	// space-like continuation byte inside a multibyte rune still splits).
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '(' || c == ')' || c == '|' || c == ';' || unicode.IsSpace(rune(c)) {
+			return "|" + s + "|"
+		}
+	}
+	if _, err := strconv.Atoi(s); err == nil {
+		return "|" + s + "|"
+	}
+	return s
+}
+
 func (e *IntExpr) String() string {
 	switch e.kind {
 	case IFunc:
 		if len(e.args) == 0 {
-			return e.fn
+			return QuoteSym(e.fn)
 		}
 		parts := make([]string, len(e.args))
 		for i, a := range e.args {
 			parts[i] = a.String()
 		}
-		return fmt.Sprintf("(%s %s)", e.fn, strings.Join(parts, " "))
+		return fmt.Sprintf("(%s %s)", QuoteSym(e.fn), strings.Join(parts, " "))
 	case ISucc:
 		return fmt.Sprintf("(succ %s)", e.a)
 	case IPred:
@@ -499,13 +522,13 @@ func (e *BoolExpr) String() string {
 		return fmt.Sprintf("(< %s %s)", e.t1, e.t2)
 	case BPred:
 		if len(e.args) == 0 {
-			return e.pn
+			return QuoteSym(e.pn)
 		}
 		parts := make([]string, len(e.args))
 		for i, a := range e.args {
 			parts[i] = a.String()
 		}
-		return fmt.Sprintf("(%s %s)", e.pn, strings.Join(parts, " "))
+		return fmt.Sprintf("(%s %s)", QuoteSym(e.pn), strings.Join(parts, " "))
 	}
 	return "?"
 }

@@ -413,6 +413,34 @@ type Options struct {
 	Telemetry *Telemetry
 }
 
+// Limits are server-enforced ceilings on per-request Options, for serving
+// layers that map untrusted request fields onto Options (see
+// Options.ApplyLimits and internal/core.Limits).
+type Limits = core.Limits
+
+// ApplyLimits tightens o in place to the ceilings in l and returns the names
+// of the fields it clamped (nil when o already conformed). A zero ceiling
+// leaves the matching option untouched; a non-zero ceiling clamps the option
+// down to it, and an unset (unlimited) option is raised to the ceiling —
+// except SolverWorkers, whose zero value means "sequential" and therefore
+// only clamps downward.
+func (o *Options) ApplyLimits(l Limits) []string {
+	co := core.Options{
+		Timeout:           o.Timeout,
+		SolverWorkers:     o.SolverWorkers,
+		MaxTrans:          o.MaxTrans,
+		MaxTransClauses:   o.MaxTransClauses,
+		MaxCNFClauses:     o.MaxCNFClauses,
+		MaxConflicts:      o.MaxConflicts,
+		MaxMemoryEstimate: o.MaxMemoryEstimate,
+	}
+	clamped := l.Clamp(&co)
+	o.Timeout, o.SolverWorkers = co.Timeout, co.SolverWorkers
+	o.MaxTrans, o.MaxTransClauses = co.MaxTrans, co.MaxTransClauses
+	o.MaxCNFClauses, o.MaxConflicts, o.MaxMemoryEstimate = co.MaxCNFClauses, co.MaxConflicts, co.MaxMemoryEstimate
+	return clamped
+}
+
 // Stats reports pipeline measurements of a Decide call.
 type Stats struct {
 	// Nodes is the input formula's DAG size.
@@ -448,6 +476,24 @@ func (c *Counterexample) Const(name string) int64 { return c.m.Consts[name] }
 // BoolConst returns the counterexample's value for a symbolic Boolean
 // constant.
 func (c *Counterexample) BoolConst(name string) bool { return c.m.Bools[name] }
+
+// Consts returns a copy of the counterexample's integer assignments.
+func (c *Counterexample) Consts() map[string]int64 {
+	out := make(map[string]int64, len(c.m.Consts))
+	for k, v := range c.m.Consts {
+		out[k] = v
+	}
+	return out
+}
+
+// Bools returns a copy of the counterexample's Boolean assignments.
+func (c *Counterexample) Bools() map[string]bool {
+	out := make(map[string]bool, len(c.m.Bools))
+	for k, v := range c.m.Bools {
+		out[k] = v
+	}
+	return out
+}
 
 // Holds evaluates f under the counterexample's interpretation (uninterpreted
 // functions and predicates included); for the formula that produced the
@@ -519,12 +565,16 @@ func DecideContext(ctx context.Context, f Formula, opts Options) (res *Result) {
 			Workers:   opts.SolverWorkers,
 			Telemetry: opts.Telemetry,
 		})
-		return &Result{Status: r.Status, Err: r.Err, Telemetry: r.Telemetry, Stats: Stats{
+		out := &Result{Status: r.Status, Err: r.Err, Telemetry: r.Telemetry, Stats: Stats{
 			Nodes:           suf.CountNodes(f.f),
 			CNFClauses:      r.Stats.SAT.Clauses,
 			ConflictClauses: r.Stats.SAT.ConflictClauses,
 			TotalTime:       r.Stats.Total,
 		}}
+		if r.Model != nil {
+			out.Counterexample = &Counterexample{m: r.Model}
+		}
+		return out
 	case MethodSVC:
 		r := svc.DecideOpts(ctx, f.f, f.b.sb, svc.Options{
 			Timeout:   opts.Timeout,
