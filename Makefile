@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke soak
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
 # portfolio racer, the parallel clause-sharing SAT core, the telemetry
-# recorder and the decision service), a one-shot benchmark smoke run that
-# keeps the bench harness compiling and solving, a telemetry smoke run that
-# validates the trace and JSON-stats artifacts against their documented
-# schemas, and a process-level smoke of the sufserved daemon lifecycle.
-ci: vet build test race bench-smoke trace-smoke serve-smoke
+# recorder, metrics registry and flight recorder, and the decision service),
+# a one-shot benchmark smoke run that keeps the bench harness compiling and
+# solving, a telemetry smoke run that validates the trace and JSON-stats
+# artifacts against their documented schemas, a process-level smoke of the
+# sufserved daemon lifecycle, and a metrics smoke that scrapes /metrics and
+# SIGQUIT-dumps the flight recorder from a live server.
+ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,8 +56,17 @@ trace-smoke:
 serve-smoke:
 	$(GO) test -run TestServedProcessSmoke ./internal/server
 
+# metrics-smoke is the process-level observability gate: serve with metrics
+# on, drive correlated requests, scrape /metrics to a file and validate it
+# with tracecheck, then SIGQUIT under live load and validate the flight dump
+# (strict parse, in-flight requests present).
+metrics-smoke:
+	$(GO) test -run TestServedMetricsSmoke ./internal/server
+
 # soak hammers an in-process sufserved with concurrent retrying clients over
-# Sample16 (verdicts verified against ground truth) and regenerates the
-# service report at the repo root. Schema documented in EXPERIMENTS.md.
+# Sample16 (verdicts verified against ground truth), runs a metrics-off
+# baseline then a metrics-on pass with a /metrics scrape folded into the
+# report, and gates telemetry overhead at <=2% of the server-side p50.
+# Schema documented in EXPERIMENTS.md.
 soak:
-	$(GO) run ./cmd/sufbench -soak -out BENCH_PR4.json
+	$(GO) run ./cmd/sufbench -soak -out BENCH_PR5.json

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	sufbench [-out BENCH_PR3.json] [-j N] [-solve-timeout 60s]
-//	sufbench -soak [-out BENCH_PR4.json] [-url URL] [-clients N]
+//	sufbench -soak [-out BENCH_PR5.json] [-url URL] [-clients N]
 //	         [-requests N] [-soak-timeout 20s] [-budget-every N]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
@@ -23,7 +23,10 @@
 // when -url is empty) with the Sample16 workload plus invalid variants,
 // verifying every verdict against ground truth, and the report becomes
 // throughput, latency percentiles and shed/degradation rates instead of
-// solver speedups.
+// solver speedups. In-process soaks run twice — metrics off, then on — fold
+// a strict /metrics scrape into the report (server-side quantiles, phase
+// split, flight-recorder totals) and gate the isolated per-request
+// instrumentation cost at ≤2% of the server-side p50 latency.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"sufsat/internal/bench"
+	"sufsat/internal/obs"
 	"sufsat/internal/server"
 )
 
@@ -57,7 +61,7 @@ func main() {
 
 	if *soak {
 		if *out == "BENCH_PR3.json" {
-			*out = "BENCH_PR4.json"
+			*out = "BENCH_PR5.json"
 		}
 		runSoak(ctx, *out, *soakURL, *soakClients, *soakRequests, *soakTimeout, *budgetEvery)
 		return
@@ -95,21 +99,25 @@ func main() {
 	}
 }
 
-// runSoak drives bench.RunSoak against a sufserved instance — the given URL,
-// or an in-process server on an ephemeral port when url is empty — and
-// writes the soak report JSON. A non-zero mismatch, transport-error or panic
-// count fails the run.
-func runSoak(ctx context.Context, out, url string, clients, requests int, timeout time.Duration, budgetEvery int) {
+// soakOnce runs one soak against url, or an in-process server on an
+// ephemeral port when url is empty. withMetrics attaches a Prometheus
+// registry and a private flight recorder to the in-process server, and the
+// soak ends with a /metrics scrape folded into the report.
+func soakOnce(ctx context.Context, url string, clients, requests int, timeout time.Duration, budgetEvery int, withMetrics bool) (*bench.SoakReport, error) {
 	var srv *server.Server
 	if url == "" {
-		srv = server.New(server.Config{Log: os.Stderr})
+		cfg := server.Config{Log: os.Stderr}
+		if withMetrics {
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Flight = obs.NewFlightRecorder(obs.DefaultFlightSize)
+		}
+		srv = server.New(cfg)
 		addr, err := srv.ListenAndServe("127.0.0.1:0")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sufbench:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		url = "http://" + addr
-		fmt.Fprintf(os.Stderr, "sufbench: in-process sufserved on %s\n", url)
+		fmt.Fprintf(os.Stderr, "sufbench: in-process sufserved on %s (metrics=%v)\n", url, withMetrics)
 	}
 
 	rep, err := bench.RunSoak(ctx, bench.SoakConfig{
@@ -121,16 +129,64 @@ func runSoak(ctx context.Context, out, url string, clients, requests int, timeou
 		Log:         os.Stderr,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sufbench:", err)
-		os.Exit(1)
+		return nil, err
+	}
+	if withMetrics {
+		// Scrape before the drain so in-flight gauges and the exposition
+		// itself are exercised on a live server; the parse is strict, so a
+		// malformed exposition fails the soak.
+		m, err := bench.ScrapeSoakMetrics(url)
+		if err != nil {
+			return nil, err
+		}
+		rep.Metrics = m
+		fmt.Fprintf(os.Stderr, "sufbench: server-side p50=%.1fms p99=%.1fms, phases: %s\n",
+			m.RequestP50MS, m.RequestP99MS, bench.PhaseShare(m.PhaseSeconds))
 	}
 	if srv != nil {
 		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
-			fmt.Fprintln(os.Stderr, "sufbench: drain:", err)
+			return nil, fmt.Errorf("drain: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// runSoak drives the service soak and writes the report JSON. Against an
+// in-process server it runs a metrics-off baseline first, then the
+// metrics-on soak with a /metrics scrape, measures the isolated per-request
+// instrumentation cost, and gates it at ≤2% of the server-side p50 request
+// latency. A non-zero mismatch, transport-error or panic count fails the
+// run, as does a blown overhead gate.
+func runSoak(ctx context.Context, out, url string, clients, requests int, timeout time.Duration, budgetEvery int) {
+	var baselineRPS float64
+	if url == "" {
+		base, err := soakOnce(ctx, "", clients, requests, timeout, budgetEvery, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
 			os.Exit(1)
 		}
+		baselineRPS = base.ThroughputRPS
+	}
+
+	rep, err := soakOnce(ctx, url, clients, requests, timeout, budgetEvery, url == "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	overheadOK := true
+	if rep.Metrics != nil {
+		instrUS := bench.MeasureInstrumentation()
+		ov, ok := bench.CheckOverhead(instrUS, rep.Metrics.RequestP50MS)
+		ov.BaselineRPS = baselineRPS
+		ov.MetricsRPS = rep.ThroughputRPS
+		rep.Overhead = &ov
+		overheadOK = ok
+		fmt.Fprintf(os.Stderr,
+			"sufbench: telemetry overhead %.1fµs/request = %.3f%% of p50 (limit 2%%); rps %.1f off / %.1f on\n",
+			ov.InstrUSPerRequest, 100*ov.Fraction, ov.BaselineRPS, ov.MetricsRPS)
 	}
 
 	w := os.Stdout
@@ -150,6 +206,11 @@ func runSoak(ctx context.Context, out, url string, clients, requests int, timeou
 	if rep.Mismatches > 0 || rep.TransportErrors > 0 {
 		fmt.Fprintf(os.Stderr, "sufbench: soak FAILED: %d mismatches, %d transport errors\n",
 			rep.Mismatches, rep.TransportErrors)
+		os.Exit(1)
+	}
+	if !overheadOK {
+		fmt.Fprintf(os.Stderr, "sufbench: soak FAILED: telemetry overhead %.3f%% exceeds 2%% of p50\n",
+			100*rep.Overhead.Fraction)
 		os.Exit(1)
 	}
 }

@@ -135,6 +135,9 @@ func decideRemote(baseURL, src string, req *server.Request, statsMode, statsOut 
 	if resp.Error != "" {
 		fmt.Fprintln(os.Stderr, "sufdecide:", resp.Error)
 	}
+	if statsMode != "" && resp.RequestID != "" {
+		fmt.Fprintln(os.Stderr, "sufdecide: request-id", resp.RequestID)
+	}
 	if statsMode != "" && resp.Telemetry != nil {
 		out := os.Stdout
 		if statsOut != "" {
@@ -309,10 +312,13 @@ func main() {
 		opts.DumpCNF = out
 	}
 
-	// One recorder feeds every telemetry sink.
+	// One recorder feeds every telemetry sink. Local runs mint a request ID
+	// too, so a local snapshot/trace correlates with server-side artifacts
+	// when a formula is replayed against a daemon.
 	var rec *sufsat.Telemetry
 	if stats.mode != "" || *traceFile != "" || *debugAddr != "" {
 		rec = sufsat.NewTelemetry()
+		rec.SetRequestID(obs.NewRequestID())
 		opts.Telemetry = rec
 	}
 	if *debugAddr != "" {

@@ -10,24 +10,35 @@
 //	sufserved [-addr :8080] [-queue 64] [-workers N] [-j N]
 //	          [-default-deadline 10s] [-max-deadline 60s]
 //	          [-maxtrans N] [-maxcnf N] [-maxconflicts N] [-maxmem BYTES]
-//	          [-nodegrade] [-drain-timeout 30s] [-debug-addr ADDR] [-quiet]
+//	          [-nodegrade] [-drain-timeout 30s] [-debug-addr ADDR]
+//	          [-no-metrics] [-flightrec-out FILE] [-quiet]
 //
 // Endpoints: POST /decide (request/response JSON documented in
 // docs/FORMATS.md), GET /healthz (liveness), GET /readyz (readiness; 503
-// once draining), GET /statusz (admission-control counters). -debug-addr
-// additionally serves expvar (including the "sufsat_service" counters) and
-// pprof on a separate address.
+// once draining), GET /statusz (build info + admission-control counters),
+// GET /metrics (Prometheus text exposition, unless -no-metrics), GET
+// /debug/flightrec (recent request/span/degradation events as JSON).
+// -debug-addr additionally serves expvar, pprof and the flight recorder on
+// a separate address.
+//
+// Every request carries a correlation ID (client-minted via X-Request-Id or
+// the request_id body field, server-minted otherwise) that joins the
+// response, the structured request log line on stderr, the telemetry
+// snapshot and the flight-recorder events.
 //
 // On SIGTERM or SIGINT the server drains: readiness flips to 503, new
 // requests are shed with Retry-After, already-admitted requests finish — or
 // are cancelled when -drain-timeout expires — and the process exits 0 on a
 // clean drain, 1 otherwise. A second signal kills the process immediately.
+// On SIGQUIT the process dumps the flight recorder (to -flightrec-out, or
+// stderr) and exits 2 — the post-mortem path for a wedged instance.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,6 +49,20 @@ import (
 	"sufsat/internal/obs"
 	"sufsat/internal/server"
 )
+
+// dumpFlight writes the flight-recorder ring to path ("" = stderr).
+func dumpFlight(path string) error {
+	out := os.Stderr
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return obs.Flight.WriteJSON(out)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
@@ -52,8 +77,10 @@ func main() {
 	maxMem := flag.Int64("maxmem", 0, "estimated memory ceiling per request in bytes (0 = none)")
 	noDegrade := flag.Bool("nodegrade", false, "disable the lazy-path degradation ladder")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests on SIGTERM before they are cancelled")
-	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this extra address (e.g. :6060)")
-	quiet := flag.Bool("quiet", false, "suppress lifecycle logging")
+	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof and the flight recorder on this extra address (e.g. :6060)")
+	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint and the aggregation behind it")
+	flightOut := flag.String("flightrec-out", "", "write the SIGQUIT flight-recorder dump to this file (default stderr)")
+	quiet := flag.Bool("quiet", false, "suppress lifecycle and request logging")
 	flag.Parse()
 
 	if *solverWorkers <= 0 {
@@ -76,7 +103,21 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	if !*noMetrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+
+	// A crashing panic on the main goroutine still leaves a flight dump —
+	// the last seconds of request history next to the stack trace.
+	defer func() {
+		if v := recover(); v != nil {
+			fmt.Fprintln(os.Stderr, "sufserved: panic, dumping flight recorder")
+			dumpFlight(*flightOut) //nolint:errcheck // already crashing
+			panic(v)
+		}
+	}()
 
 	srv := server.New(cfg)
 	obs.PublishService(srv.Probe())
@@ -90,12 +131,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sufserved: debug endpoint on http://%s/debug/vars\n", daddr)
 	}
 
+	bi := obs.GetBuildInfo()
+	fmt.Fprintf(os.Stderr, "sufserved: build version=%s go=%s revision=%s\n",
+		bi.Version, bi.GoVersion, bi.Revision)
+
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sufserved:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "sufserved: listening on http://%s\n", bound)
+
+	// SIGQUIT: dump the flight recorder and exit 2, replacing the runtime's
+	// stack-dump disposition with a structured post-mortem.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		<-quitCh
+		fmt.Fprintln(os.Stderr, "sufserved: SIGQUIT, dumping flight recorder")
+		if err := dumpFlight(*flightOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sufserved: flight dump:", err)
+		}
+		os.Exit(2)
+	}()
 
 	// First SIGTERM/SIGINT starts the drain; a second one restores the
 	// default disposition and kills the process.

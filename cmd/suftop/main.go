@@ -1,0 +1,253 @@
+// Command suftop is a live terminal dashboard for a sufserved instance: it
+// polls the /metrics Prometheus exposition and renders queries-per-second,
+// shed rate, latency quantiles (p50/p95/p99), the per-phase decision-time
+// share, and per-worker conflict rates — the operational view of the
+// paper's "where does decision time go" question.
+//
+// Usage:
+//
+//	suftop [-url http://127.0.0.1:8080] [-interval 1s] [-n COUNT] [-once]
+//
+// Each tick scrapes /metrics, diffs it against the previous scrape, and
+// redraws. Rates are per-interval deltas; quantiles are estimated from the
+// windowed histogram buckets (falling back to all-time buckets until two
+// scrapes exist). -once prints a single snapshot without clearing the
+// screen (cumulative values, for scripts and smoke tests); -n N exits
+// after N frames.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sufsat/internal/obs"
+)
+
+// scrapeMetrics fetches and strict-parses one /metrics exposition.
+func scrapeMetrics(hc *http.Client, url string) (*obs.PromScrape, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, fmt.Errorf("HTTP %d from %s", resp.StatusCode, url)
+	}
+	return obs.ParsePrometheus(resp.Body)
+}
+
+// bucketDelta subtracts the previous scrape's cumulative buckets from the
+// current ones, producing the windowed bucket series HistQuantile wants.
+// With no previous scrape it returns the current buckets unchanged.
+func bucketDelta(cur, prev *obs.PromScrape, family string) []obs.PromSample {
+	f := cur.Family(family)
+	if f == nil {
+		return nil
+	}
+	var out []obs.PromSample
+	for _, s := range f.Samples {
+		if s.Name != family+"_bucket" {
+			continue
+		}
+		v := s.Value
+		if prev != nil {
+			if pv, ok := prev.Value(family+"_bucket", "le", s.Label("le")); ok {
+				v -= pv
+			}
+		}
+		out = append(out, obs.PromSample{Name: s.Name, Labels: s.Labels, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return leValue(out[i].Label("le")) < leValue(out[j].Label("le"))
+	})
+	return out
+}
+
+func leValue(s string) float64 {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v
+	}
+	return math.Inf(1)
+}
+
+// delta is cur − prev for one summed family (0 floor against restarts).
+func delta(cur, prev *obs.PromScrape, family string, labels ...string) float64 {
+	v := cur.Sum(family, labels...)
+	if prev != nil {
+		v -= prev.Sum(family, labels...)
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// frame renders one dashboard frame from the current and previous scrapes.
+func frame(w io.Writer, cur, prev *obs.PromScrape, interval time.Duration) {
+	secs := interval.Seconds()
+	if prev == nil || secs <= 0 {
+		secs = 1 // cumulative view: rates become totals
+	}
+
+	completed := delta(cur, prev, "sufsat_completed_total")
+	shed := delta(cur, prev, "sufsat_shed_total")
+	admitted := delta(cur, prev, "sufsat_admitted_total")
+	offered := completed + shed
+	shedRate := 0.0
+	if offered > 0 {
+		shedRate = 100 * shed / offered
+	}
+	queueDepth, _ := cur.Value("sufsat_queue_depth")
+	inFlight, _ := cur.Value("sufsat_in_flight")
+
+	if version, ok := buildLabel(cur, "version"); ok {
+		rev, _ := buildLabel(cur, "vcs_revision")
+		fmt.Fprintf(w, "sufserved %s %s\n", version, rev)
+	}
+	fmt.Fprintf(w, "qps %.1f   admitted/s %.1f   shed/s %.1f (%.1f%%)   queue %d   in-flight %d\n",
+		completed/secs, admitted/secs, shed/secs, shedRate, int(queueDepth), int(inFlight))
+
+	buckets := bucketDelta(cur, prev, "sufsat_request_duration_seconds")
+	fmt.Fprintf(w, "latency  p50 %s   p95 %s   p99 %s\n",
+		fmtSecs(obs.HistQuantile(0.50, buckets)),
+		fmtSecs(obs.HistQuantile(0.95, buckets)),
+		fmtSecs(obs.HistQuantile(0.99, buckets)))
+
+	// Per-phase share of decision time: the request envelope span dominates
+	// every other span by construction, so it is excluded from the share.
+	type phaseSec struct {
+		name string
+		sec  float64
+	}
+	var phases []phaseSec
+	total := 0.0
+	if f := cur.Family("sufsat_phase_seconds_total"); f != nil {
+		for _, s := range f.Samples {
+			name := s.Label("phase")
+			if name == "request" {
+				continue
+			}
+			v := delta(cur, prev, "sufsat_phase_seconds_total", "phase", name)
+			if v <= 0 {
+				continue
+			}
+			phases = append(phases, phaseSec{name, v})
+			// encode_sd/encode_eij split the encode span's time; don't count
+			// it twice in the share denominator.
+			if name != "encode_sd" && name != "encode_eij" {
+				total += v
+			}
+		}
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].sec > phases[j].sec })
+	if total > 0 {
+		fmt.Fprint(w, "phases  ")
+		for i, p := range phases {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%s %.0f%%", p.name, 100*p.sec/total)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Per-worker conflict rates.
+	if f := cur.Family("sufsat_worker_conflicts_total"); f != nil {
+		var ids []string
+		for _, s := range f.Samples {
+			ids = append(ids, s.Label("worker"))
+		}
+		sort.Strings(ids)
+		fmt.Fprint(w, "workers ")
+		for i, id := range ids {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			v := delta(cur, prev, "sufsat_worker_conflicts_total", "worker", id)
+			fmt.Fprintf(w, "w%s %.0f conf/s", id, v/secs)
+		}
+		fmt.Fprintln(w)
+	}
+
+	degraded := delta(cur, prev, "sufsat_degraded_total")
+	panics := delta(cur, prev, "sufsat_panics_total")
+	malformed := delta(cur, prev, "sufsat_malformed_total")
+	if degraded > 0 || panics > 0 || malformed > 0 {
+		fmt.Fprintf(w, "alerts  degraded/s %.1f  panics/s %.1f  malformed/s %.1f\n",
+			degraded/secs, panics/secs, malformed/secs)
+	}
+}
+
+// buildLabel reads one label off the sufsat_build_info sample.
+func buildLabel(scrape *obs.PromScrape, key string) (string, bool) {
+	f := scrape.Family("sufsat_build_info")
+	if f == nil || len(f.Samples) == 0 {
+		return "", false
+	}
+	v := f.Samples[0].Label(key)
+	return v, v != ""
+}
+
+// fmtSecs renders a duration in the most readable unit.
+func fmtSecs(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	}
+	return fmt.Sprintf("%.2fs", s)
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "sufserved base URL")
+	interval := flag.Duration("interval", time.Second, "scrape interval")
+	count := flag.Int("n", 0, "exit after this many frames (0 = run until interrupted)")
+	once := flag.Bool("once", false, "print one cumulative snapshot and exit (no screen clearing)")
+	flag.Parse()
+
+	metricsURL := strings.TrimRight(*url, "/") + "/metrics"
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		cur, err := scrapeMetrics(hc, metricsURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suftop:", err)
+			os.Exit(1)
+		}
+		frame(os.Stdout, cur, nil, 0)
+		return
+	}
+
+	var prev *obs.PromScrape
+	frames := 0
+	for {
+		cur, err := scrapeMetrics(hc, metricsURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suftop:", err)
+			os.Exit(1)
+		}
+		// ANSI clear + home; a full redraw per tick keeps the renderer
+		// stateless.
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Printf("suftop %s  %s\n\n", *url, time.Now().Format("15:04:05"))
+		frame(os.Stdout, cur, prev, *interval)
+		prev = cur
+		frames++
+		if *count > 0 && frames >= *count {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

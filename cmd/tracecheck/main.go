@@ -1,11 +1,13 @@
-// Command tracecheck validates the telemetry artifacts sufdecide emits —
-// a Chrome trace-event file (-trace) and a JSON stats snapshot (-stats) —
-// against the schemas documented in docs/FORMATS.md. It is the checker
-// behind `make trace-smoke`.
+// Command tracecheck validates the telemetry artifacts the toolchain emits —
+// a Chrome trace-event file (-trace), a JSON stats snapshot (-stats), a
+// Prometheus /metrics exposition (-metrics) and a flight-recorder dump
+// (-flightrec) — against the schemas documented in docs/FORMATS.md. It is
+// the checker behind `make trace-smoke` and `make metrics-smoke`.
 //
 // Usage:
 //
 //	tracecheck [-trace t.json] [-stats s.json] [-want-spans funcelim,analyze,...]
+//	           [-metrics m.txt] [-flightrec f.json]
 //
 // The trace file must be a JSON object with a traceEvents array of events in
 // the trace-event format ("ph" one of M, X, C; microsecond timestamps;
@@ -13,7 +15,11 @@
 // spans must appear as "X" events on the pipeline thread (tid 0) as a
 // subsequence in timestamp order — the phase-ordering contract of the Decide
 // pipeline. The stats file must decode into the unified snapshot schema with
-// a method, a status and at least one span.
+// a method, a status and at least one span. The metrics file must be strict
+// Prometheus text (TYPE before samples, histogram buckets cumulative and
+// +Inf-terminated, +Inf bucket equal to _count) and contain the service's
+// core families. The flight dump must decode strictly, with known event
+// kinds, positive timestamps and strictly increasing sequence numbers.
 //
 // Exit status: 0 when every requested check passes, 1 otherwise.
 package main
@@ -150,13 +156,107 @@ func checkStats(path string) {
 		path, snap.Method, snap.Status, len(snap.Spans), len(snap.Samples))
 }
 
+// requiredFamilies are the metric families every sufserved /metrics scrape
+// must expose (the admission-control surface plus build identity).
+var requiredFamilies = []string{
+	"sufsat_build_info",
+	"sufsat_admitted_total",
+	"sufsat_completed_total",
+	"sufsat_shed_total",
+	"sufsat_panics_total",
+	"sufsat_malformed_total",
+	"sufsat_queue_depth",
+	"sufsat_in_flight",
+	"sufsat_request_duration_seconds",
+	"sufsat_queue_wait_seconds",
+	"sufsat_solve_seconds",
+}
+
+// checkMetrics strict-parses a Prometheus text exposition and verifies the
+// service's core families are present (ParsePrometheus already enforces the
+// format invariants: TYPE before samples, cumulative +Inf-terminated
+// histogram buckets, _count consistency).
+func checkMetrics(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	scrape, err := obs.ParsePrometheus(f)
+	if err != nil {
+		fail("%s: invalid Prometheus exposition: %v", path, err)
+	}
+	for _, name := range requiredFamilies {
+		if scrape.Family(name) == nil {
+			fail("%s: missing required metric family %q", path, name)
+		}
+	}
+	if v, ok := scrape.Value("sufsat_build_info"); !ok || v != 1 {
+		fail("%s: sufsat_build_info must be the constant 1 (got %v, present=%v)", path, v, ok)
+	}
+	samples := 0
+	for _, fam := range scrape.Families {
+		samples += len(fam.Samples)
+	}
+	fmt.Printf("tracecheck: %s ok (%d families, %d samples)\n", path, len(scrape.Families), samples)
+}
+
+// flightKinds are the event kinds a flight dump may contain.
+var flightKinds = map[string]bool{
+	"span": true, "admit": true, "start": true, "done": true,
+	"shed": true, "degrade": true, "panic": true, "malformed": true,
+}
+
+// checkFlightrec strict-validates a flight-recorder dump.
+func checkFlightrec(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var dump obs.FlightDump
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dump); err != nil {
+		fail("%s: not a valid flight-recorder dump: %v", path, err)
+	}
+	if dump.Cap <= 0 {
+		fail("%s: non-positive ring capacity %d", path, dump.Cap)
+	}
+	if dump.Recorded < int64(len(dump.Events)) {
+		fail("%s: recorded=%d < %d events in the dump", path, dump.Recorded, len(dump.Events))
+	}
+	if dump.Overwritten < 0 {
+		fail("%s: negative overwritten count", path)
+	}
+	var prevSeq uint64
+	for i, ev := range dump.Events {
+		if !flightKinds[ev.Kind] {
+			fail("%s: event %d has unknown kind %q", path, i, ev.Kind)
+		}
+		if ev.Seq <= prevSeq {
+			fail("%s: event %d seq %d not strictly increasing (prev %d)", path, i, ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		if ev.AtNS <= 0 {
+			fail("%s: event %d has non-positive timestamp", path, i)
+		}
+		if ev.DurUS < 0 {
+			fail("%s: event %d has negative duration", path, i)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok (%d events, cap %d, %d overwritten)\n",
+		path, len(dump.Events), dump.Cap, dump.Overwritten)
+}
+
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	statsPath := flag.String("stats", "", "JSON stats snapshot to validate")
 	wantSpans := flag.String("want-spans", "", "comma-separated span names that must appear in order on the pipeline thread")
+	metricsPath := flag.String("metrics", "", "Prometheus /metrics exposition to validate")
+	flightPath := flag.String("flightrec", "", "flight-recorder dump to validate")
 	flag.Parse()
-	if *tracePath == "" && *statsPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c]")
+	if *tracePath == "" && *statsPath == "" && *metricsPath == "" && *flightPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c] [-metrics m.txt] [-flightrec f.json]")
 		os.Exit(1)
 	}
 	if *tracePath != "" {
@@ -164,5 +264,11 @@ func main() {
 	}
 	if *statsPath != "" {
 		checkStats(*statsPath)
+	}
+	if *metricsPath != "" {
+		checkMetrics(*metricsPath)
+	}
+	if *flightPath != "" {
+		checkFlightrec(*flightPath)
 	}
 }

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"sufsat/internal/obs"
+)
+
+// SoakMetrics is the server-side view of a soak, derived from one strict
+// /metrics scrape taken after the load finished: the histogram quantiles the
+// service itself measured (no client wire time, no retry sleeps), the
+// per-phase decision-time split, and the admission/flight-recorder totals.
+// It complements the client-observed latencies in the SoakReport.
+type SoakMetrics struct {
+	RequestP50MS float64 `json:"request_p50_ms"`
+	RequestP95MS float64 `json:"request_p95_ms"`
+	RequestP99MS float64 `json:"request_p99_ms"`
+	QueueP50MS   float64 `json:"queue_p50_ms"`
+	QueueP99MS   float64 `json:"queue_p99_ms"`
+	SolveP50MS   float64 `json:"solve_p50_ms"`
+	SolveP99MS   float64 `json:"solve_p99_ms"`
+
+	Admitted  float64 `json:"admitted"`
+	Completed float64 `json:"completed"`
+	Shed      float64 `json:"shed"`
+	Degraded  float64 `json:"degraded"`
+	Panics    float64 `json:"panics"`
+
+	RequestsByStatus map[string]float64 `json:"requests_by_status"`
+	PhaseSeconds     map[string]float64 `json:"phase_seconds"`
+	WorkerConflicts  map[string]float64 `json:"worker_conflicts"`
+
+	FlightRecorded    float64 `json:"flightrec_recorded"`
+	FlightOverwritten float64 `json:"flightrec_overwritten"`
+}
+
+// histQuantileMS reads one latency histogram family off the scrape and
+// returns its q-quantile in milliseconds.
+func histQuantileMS(s *obs.PromScrape, family string, q float64) float64 {
+	f := s.Family(family)
+	if f == nil {
+		return 0
+	}
+	var buckets []obs.PromSample
+	for _, smp := range f.Samples {
+		if smp.Name == family+"_bucket" {
+			buckets = append(buckets, smp)
+		}
+	}
+	return obs.HistQuantile(q, buckets) * 1e3
+}
+
+// labelSums collects value-by-label for one family.
+func labelSums(s *obs.PromScrape, family, label string) map[string]float64 {
+	f := s.Family(family)
+	if f == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, smp := range f.Samples {
+		out[smp.Label(label)] += smp.Value
+	}
+	return out
+}
+
+// ScrapeSoakMetrics fetches baseURL/metrics, strict-parses it, and derives
+// the server-side soak summary. Any format violation is an error: the soak
+// doubles as the exposition's integration test.
+func ScrapeSoakMetrics(baseURL string) (*SoakMetrics, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, fmt.Errorf("scrape metrics: HTTP %d", resp.StatusCode)
+	}
+	scrape, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape metrics: %w", err)
+	}
+
+	m := &SoakMetrics{
+		RequestP50MS:     histQuantileMS(scrape, "sufsat_request_duration_seconds", 0.50),
+		RequestP95MS:     histQuantileMS(scrape, "sufsat_request_duration_seconds", 0.95),
+		RequestP99MS:     histQuantileMS(scrape, "sufsat_request_duration_seconds", 0.99),
+		QueueP50MS:       histQuantileMS(scrape, "sufsat_queue_wait_seconds", 0.50),
+		QueueP99MS:       histQuantileMS(scrape, "sufsat_queue_wait_seconds", 0.99),
+		SolveP50MS:       histQuantileMS(scrape, "sufsat_solve_seconds", 0.50),
+		SolveP99MS:       histQuantileMS(scrape, "sufsat_solve_seconds", 0.99),
+		Admitted:         scrape.Sum("sufsat_admitted_total"),
+		Completed:        scrape.Sum("sufsat_completed_total"),
+		Shed:             scrape.Sum("sufsat_shed_total"),
+		Degraded:         scrape.Sum("sufsat_degraded_total"),
+		Panics:           scrape.Sum("sufsat_panics_total"),
+		RequestsByStatus: labelSums(scrape, "sufsat_requests_total", "status"),
+		PhaseSeconds:     labelSums(scrape, "sufsat_phase_seconds_total", "phase"),
+		WorkerConflicts:  labelSums(scrape, "sufsat_worker_conflicts_total", "worker"),
+	}
+	m.FlightRecorded, _ = scrape.Value("sufsat_flightrec_events_total")
+	m.FlightOverwritten, _ = scrape.Value("sufsat_flightrec_overwritten_total")
+	return m, nil
+}
+
+// MetricsOverhead is the telemetry-cost section of the soak report. The gate
+// is deterministic: the full per-request instrumentation path (histogram
+// observations, label lookups, snapshot walk, flight-recorder events) is
+// timed in isolation and compared against the server-side p50 request
+// latency. The paired throughput numbers from a metrics-off soak are
+// recorded for context but not gated — wall-clock throughput on a loaded
+// box is too noisy for a 2% assertion.
+type MetricsOverhead struct {
+	// InstrUSPerRequest is the measured cost of one request's worth of
+	// instrumentation, in microseconds.
+	InstrUSPerRequest float64 `json:"instr_us_per_request"`
+	// RequestP50US is the server-side p50 request latency, in microseconds.
+	RequestP50US float64 `json:"request_p50_us"`
+	// Fraction is InstrUSPerRequest / RequestP50US — the gated value.
+	Fraction float64 `json:"fraction"`
+	// Limit is the gate (0.02).
+	Limit float64 `json:"limit"`
+
+	// BaselineRPS / MetricsRPS are the paired-soak throughputs with metrics
+	// off and on (informational).
+	BaselineRPS float64 `json:"baseline_rps,omitempty"`
+	MetricsRPS  float64 `json:"metrics_rps,omitempty"`
+}
+
+// overheadSnapshot builds a representative telemetry snapshot for the
+// instrumentation benchmark: the span set, solver counters and per-worker
+// breakdown of a mid-size hybrid decision.
+func overheadSnapshot() *obs.Snapshot {
+	snap := &obs.Snapshot{
+		Method: "HYBRID",
+		Status: "valid",
+		Pipeline: obs.PipelineStats{
+			Classes: 12, SDClasses: 8, EIJClasses: 4, DemotedClasses: 1,
+			CNFClauses: 40000,
+		},
+		SAT: obs.SolverStats{
+			Decisions: 12000, Propagations: 400000, Conflicts: 3000, Restarts: 11,
+		},
+		Parallel: &obs.ParallelSnap{
+			Workers: 4,
+			PerWorker: []obs.WorkerSnap{
+				{ID: 0, SolverStats: obs.SolverStats{Conflicts: 900}},
+				{ID: 1, SolverStats: obs.SolverStats{Conflicts: 700}},
+				{ID: 2, SolverStats: obs.SolverStats{Conflicts: 800}},
+				{ID: 3, SolverStats: obs.SolverStats{Conflicts: 600}},
+			},
+		},
+		Spans: []obs.SpanRecord{
+			{Name: "request", DurMS: 25},
+			{Name: "parse", DurMS: 0.4},
+			{Name: "funcelim", DurMS: 1.1},
+			{Name: "analyze", DurMS: 0.6},
+			{Name: "encode", DurMS: 6.0, Attrs: map[string]any{"sd_ms": 3.5, "eij_ms": 2.1}},
+			{Name: "F_trans", DurMS: 2.2},
+			{Name: "cnf", DurMS: 1.8},
+			{Name: "sat", DurMS: 12.0},
+		},
+		Samples: make([]obs.Sample, 8),
+	}
+	return snap
+}
+
+// MeasureInstrumentation times the complete per-request instrumentation
+// path against a fresh registry and flight recorder and returns the mean
+// cost per request in microseconds. Deterministic up to clock resolution:
+// no network, no scheduler, no load.
+func MeasureInstrumentation() float64 {
+	reg := obs.NewRegistry()
+	probe := &obs.ServiceProbe{}
+	flight := obs.NewFlightRecorder(obs.DefaultFlightSize)
+	m := obs.NewServiceMetrics(reg, probe, flight)
+	snap := overheadSnapshot()
+
+	const iters = 20000
+	// Warm the label children so the steady state is measured, not the
+	// first-request map fills.
+	m.ObserveRequest("valid", "HYBRID", 0.001, 0.02, 0.025)
+	m.ObserveSnapshot(snap)
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		flight.Record(obs.FlightStart, "0123456789abcdef", "HYBRID", 100, 3)
+		m.ObserveSnapshot(snap)
+		m.ObserveRequest("valid", "HYBRID", 0.001, 0.02, 0.025)
+		flight.Record(obs.FlightDone, "0123456789abcdef", "valid", 25000, 200)
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Microseconds()) / iters
+}
+
+// CheckOverhead fills the gated fields of a MetricsOverhead from the
+// measured instrumentation cost and the scraped server-side p50, and
+// reports whether the ≤2% gate holds. A p50 of zero (empty histogram)
+// fails: the gate must be computed over real traffic.
+func CheckOverhead(instrUS, p50MS float64) (MetricsOverhead, bool) {
+	ov := MetricsOverhead{
+		InstrUSPerRequest: instrUS,
+		RequestP50US:      p50MS * 1e3,
+		Limit:             0.02,
+	}
+	if ov.RequestP50US <= 0 {
+		return ov, false
+	}
+	ov.Fraction = ov.InstrUSPerRequest / ov.RequestP50US
+	return ov, ov.Fraction <= ov.Limit
+}
+
+// PhaseShare renders the phase-seconds map as a sorted "phase pct%" list for
+// log lines (encode_sd/encode_eij refine encode and are excluded from the
+// denominator, as is the request envelope).
+func PhaseShare(phases map[string]float64) string {
+	total := 0.0
+	for name, sec := range phases {
+		if name == "request" || name == "encode_sd" || name == "encode_eij" {
+			continue
+		}
+		total += sec
+	}
+	if total <= 0 {
+		return "n/a"
+	}
+	type ps struct {
+		name string
+		sec  float64
+	}
+	var list []ps
+	for name, sec := range phases {
+		if name == "request" {
+			continue
+		}
+		list = append(list, ps{name, sec})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].sec > list[j].sec })
+	out := ""
+	for i, p := range list {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.0f%%", p.name, 100*p.sec/total)
+	}
+	return out
+}

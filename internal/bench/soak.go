@@ -43,7 +43,7 @@ type SoakConfig struct {
 	Log io.Writer
 }
 
-// SoakReport is the JSON artifact of one soak run (BENCH_PR4.json).
+// SoakReport is the JSON artifact of one soak run (BENCH_PR5.json).
 type SoakReport struct {
 	URL       string `json:"url"`
 	Clients   int    `json:"clients"`
@@ -82,6 +82,13 @@ type SoakReport struct {
 	Panics          int64 `json:"panics"`
 	Mismatches      int64 `json:"mismatches"`
 	TransportErrors int64 `json:"transport_errors"`
+
+	// Metrics is the server-side view derived from a /metrics scrape after
+	// the load finished (in-process soaks only; nil when the server runs
+	// without a registry or remotely without /metrics).
+	Metrics *SoakMetrics `json:"metrics,omitempty"`
+	// Overhead is the telemetry-cost measurement and its ≤2% gate.
+	Overhead *MetricsOverhead `json:"metrics_overhead,omitempty"`
 }
 
 // soakItem is one prebuilt workload entry.

@@ -330,7 +330,11 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 		bb = boolexpr.NewBuilder()
 		res.Stats.SDClasses = 0
 		res.Stats.SDStats = smalldomain.Stats{}
-		bvar, sdEnc, eijEnc, err = encode(ctx, info, b, bb, opts, threshold, deadline, demoted, &res.Stats)
+		var timing *encTiming
+		if rec != nil {
+			timing = new(encTiming)
+		}
+		bvar, sdEnc, eijEnc, err = encode(ctx, info, b, bb, opts, threshold, deadline, demoted, &res.Stats, timing)
 		if err != nil {
 			return fail(err, true)
 		}
@@ -338,6 +342,10 @@ func DecideCtx(ctx context.Context, f *suf.BoolExpr, b *suf.Builder, opts Option
 			AttrInt("eij_classes", res.Stats.Classes-res.Stats.SDClasses).
 			AttrInt("demoted_classes", res.Stats.DemotedClasses).
 			AttrInt("bool_nodes", bb.NumNodes())
+		if timing != nil {
+			encSpan.AttrFloat("sd_ms", float64(timing.sdNS)/1e6).
+				AttrFloat("eij_ms", float64(timing.eijNS)/1e6)
+		}
 		encSpan.End()
 		if err := checkpoint(StageTrans); err != nil {
 			return fail(err, true)
@@ -470,6 +478,23 @@ func estimateMemory(boolNodes int, st sat.Stats) int64 {
 	return int64(boolNodes)*96 + int64(st.Clauses)*112 + int64(st.Vars)*160
 }
 
+// encTiming accumulates per-encoder wall-clock during one encode pass, so
+// the encode span can attribute its duration to the SD and EIJ encoders
+// (the sd_ms/eij_ms attributes the metrics layer turns into the
+// encode_sd/encode_eij phases). Only allocated when telemetry is on; the
+// walker is single-threaded, so plain int64 accumulation suffices.
+type encTiming struct{ sdNS, eijNS int64 }
+
+// timedAtom wraps an atom encoder, accumulating its wall-clock into acc.
+func timedAtom(f func(*suf.BoolExpr) (*boolexpr.Node, error), acc *int64) func(*suf.BoolExpr) (*boolexpr.Node, error) {
+	return func(a *suf.BoolExpr) (*boolexpr.Node, error) {
+		t0 := time.Now()
+		n, err := f(a)
+		*acc += time.Since(t0).Nanoseconds()
+		return n, err
+	}
+}
+
 // encode builds F_bvar with the selected method and returns the EIJ encoder
 // whose pending transitivity constraints the caller must assert. For Hybrid,
 // atoms are routed per class: SepCnt(V_i) > SEP_THOLD → SD, otherwise EIJ
@@ -477,7 +502,7 @@ func estimateMemory(boolNodes int, st sat.Stats) int64 {
 // go to EIJ, which folds them to constants. Classes in demoted are forced to
 // SD regardless of SepCnt (the transitivity-budget degradation path).
 func encode(ctx context.Context, info *sep.Info, b *suf.Builder, bb *boolexpr.Builder, opts Options,
-	threshold int, deadline time.Time, demoted map[*sep.Class]bool, st *Stats) (bvar *boolexpr.Node, sdEnc *smalldomain.Encoder, eij *perconstraint.Encoder, err error) {
+	threshold int, deadline time.Time, demoted map[*sep.Class]bool, st *Stats, timing *encTiming) (bvar *boolexpr.Node, sdEnc *smalldomain.Encoder, eij *perconstraint.Encoder, err error) {
 
 	method := opts.Method
 	sdEnc = smalldomain.NewEncoder(info, b, bb)
@@ -488,18 +513,23 @@ func encode(ctx context.Context, info *sep.Info, b *suf.Builder, bb *boolexpr.Bu
 	eijEnc.Interrupt = opts.Interrupt
 	eijEnc.Ctx = ctx
 
+	encodeSD, encodeEIJ := sdEnc.EncodeAtom, eijEnc.EncodeAtom
+	if timing != nil {
+		encodeSD = timedAtom(encodeSD, &timing.sdNS)
+		encodeEIJ = timedAtom(encodeEIJ, &timing.eijNS)
+	}
 	var atom func(a *suf.BoolExpr) (*boolexpr.Node, error)
 	switch method {
 	case SD:
-		atom = sdEnc.EncodeAtom
+		atom = encodeSD
 	case EIJ:
-		atom = eijEnc.EncodeAtom
+		atom = encodeEIJ
 	default:
 		atom = func(a *suf.BoolExpr) (*boolexpr.Node, error) {
 			if cl := atomClass(info, a); cl != nil && (cl.SepCnt > threshold || demoted[cl]) {
-				return sdEnc.EncodeAtom(a)
+				return encodeSD(a)
 			}
-			return eijEnc.EncodeAtom(a)
+			return encodeEIJ(a)
 		}
 	}
 	w := enc.NewWalker(bb, atom)

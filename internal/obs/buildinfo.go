@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary in a fleet: module version, Go
+// toolchain, and VCS metadata when the binary was built inside a checkout.
+// It backs the sufsat_build_info metric and the /statusz build block.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// GetBuildInfo reads the binary's embedded build metadata once and caches it.
+// Binaries built outside a module (go run of a loose file) report
+// version "unknown" with the runtime's Go version.
+func GetBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// shortRevision trims a VCS hash to the customary 12 characters.
+func shortRevision(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// RegisterBuildInfo exposes the binary's identity as the constant-1
+// sufsat_build_info gauge, the conventional shape for joining fleet metrics
+// against a version during a rollout.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	bi := GetBuildInfo()
+	g := reg.Gauge("sufsat_build_info",
+		"Constant 1; labels identify the binary's version and VCS state.",
+		"version", bi.Version,
+		"go_version", bi.GoVersion,
+		"vcs_revision", shortRevision(bi.Revision),
+	)
+	g.Set(1)
+}

@@ -69,10 +69,12 @@ func registerVar() {
 	})
 }
 
-// DebugMux returns a fresh mux with the expvar and pprof handlers.
+// DebugMux returns a fresh mux with the expvar, pprof and flight-recorder
+// handlers.
 func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/flightrec", Flight.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,455 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Aggregated metrics: a zero-dependency Prometheus-text registry. The design
+// splits the work the same way the rest of the package does:
+//
+//   - The hot path is lock-free and allocation-free. A Counter, Gauge or
+//     Histogram handle is created once at registration and then updated with
+//     plain atomics; Observe on a log-bucketed histogram is a binary search
+//     plus two atomic adds. All update methods are nil-safe no-ops, so a
+//     metrics-disabled server pays only an untaken branch.
+//   - The scrape path takes the registry lock only to walk the (append-only)
+//     family list; sample values are atomic loads, so a scrape never stops a
+//     request and sees a consistent-enough snapshot.
+//
+// The exposition format is the Prometheus text format (version 0.0.4): one
+// HELP and TYPE line per family followed by its samples, histograms with
+// cumulative le-labeled buckets, +Inf, _sum and _count. ParsePrometheus in
+// this package (used by cmd/suftop and cmd/tracecheck) strict-validates it.
+
+// metricKind is the TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry holds metric families in registration order. Create with
+// NewRegistry; register handles at startup, update them on the hot path,
+// scrape with WritePrometheus or Handler. A nil *Registry hands out nil
+// handles whose methods all no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is one named metric with its TYPE, HELP and label-distinguished
+// children.
+type family struct {
+	name, help string
+	kind       metricKind
+	children   []*child
+}
+
+// child is one labeled sample (or histogram) of a family.
+type child struct {
+	labels string // rendered {k="v",...} suffix, "" for unlabeled
+	ctr    *Counter
+	fctr   *FloatCounter
+	gauge  *Gauge
+	gfn    func() float64
+	hist   *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// validMetricName matches the Prometheus metric-name charset.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels turns alternating key/value pairs into a sorted, escaped
+// {k="v",...} suffix. Panics on malformed input — labels are registration-time
+// constants, so this is a programming error, not an operational one.
+func renderLabels(kvs []string) string {
+	if len(kvs) == 0 {
+		return ""
+	}
+	if len(kvs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label key/value list %q", kvs))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(kvs)/2)
+	for i := 0; i < len(kvs); i += 2 {
+		if !validMetricName(kvs[i]) || strings.Contains(kvs[i], ":") {
+			panic(fmt.Sprintf("obs: bad label name %q", kvs[i]))
+		}
+		pairs = append(pairs, kv{kvs[i], kvs[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the text-format escapes: backslash, quote, newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register finds or creates the family and appends a child, enforcing one
+// TYPE and HELP per name and unique label sets.
+func (r *Registry) register(name, help string, kind metricKind, c *child) {
+	if r == nil {
+		return
+	}
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: bad metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	for _, prev := range f.children {
+		if prev.labels == c.labels {
+			panic(fmt.Sprintf("obs: duplicate metric %s%s", name, c.labels))
+		}
+	}
+	f.children = append(f.children, c)
+}
+
+// Counter is a lock-free monotonic integer counter. A nil *Counter ignores
+// every update.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be ≥ 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter registers and returns a counter with optional label key/value
+// pairs. On a nil registry it returns nil, which no-ops.
+func (r *Registry) Counter(name, help string, labelKVs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(name, help, kindCounter, &child{labels: renderLabels(labelKVs), ctr: c})
+	return c
+}
+
+// FloatCounter is a lock-free monotonic float counter (CAS loop over the
+// float bits), used for *_seconds_total time accumulators. A nil
+// *FloatCounter ignores every update.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds v (v must be ≥ 0).
+func (c *FloatCounter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current sum (0 for nil).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// FloatCounter registers and returns a float counter.
+func (r *Registry) FloatCounter(name, help string, labelKVs ...string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	c := &FloatCounter{}
+	r.register(name, help, kindCounter, &child{labels: renderLabels(labelKVs), fctr: c})
+	return c
+}
+
+// Gauge is a lock-free integer gauge. A nil *Gauge ignores every update.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labelKVs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &child{labels: renderLabels(labelKVs), gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time — for
+// values another subsystem already maintains (queue depth, in-flight).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelKVs ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, &child{labels: renderLabels(labelKVs), gfn: fn})
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from a
+// monotonic source another subsystem already maintains (the ServiceProbe
+// admission counters). The function must be non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labelKVs ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, &child{labels: renderLabels(labelKVs), gfn: fn})
+}
+
+// Histogram is a lock-free fixed-bucket histogram: Observe binary-searches
+// the sorted upper bounds and atomically bumps one bucket, the total count
+// and the float sum. Buckets are non-cumulative in memory and cumulated at
+// scrape. A nil *Histogram ignores every update.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    FloatCounter
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v; equal values belong to the
+	// bucket (le = upper bound is inclusive).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Histogram registers and returns a histogram over the given ascending
+// bucket upper bounds (the +Inf bucket is implicit; do not include it).
+func (r *Registry) Histogram(name, help string, bounds []float64, labelKVs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1), // +1 for +Inf
+	}
+	r.register(name, help, kindHistogram, &child{labels: renderLabels(labelKVs), hist: h})
+	return h
+}
+
+// ExpBuckets returns n ascending bucket bounds growing geometrically from
+// start by factor — the log-bucketing used for latencies, clause counts and
+// conflict counts, where one knob spans decades at bounded cardinality.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelJoin inserts extra labels (already rendered as k="v") into a rendered
+// label suffix.
+func labelJoin(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(w stringWriter) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range fams {
+		sb.Reset()
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.children {
+			switch {
+			case c.ctr != nil:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, c.labels, c.ctr.Value())
+			case c.fctr != nil:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, c.labels, formatFloat(c.fctr.Value()))
+			case c.gauge != nil:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, c.labels, c.gauge.Value())
+			case c.gfn != nil:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, c.labels, formatFloat(c.gfn()))
+			case c.hist != nil:
+				h := c.hist
+				cum := int64(0)
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					le := `le="` + formatFloat(b) + `"`
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelJoin(c.labels, le), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelJoin(c.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, c.labels, formatFloat(h.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, c.labels, cum)
+			}
+		}
+		if _, err := w.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stringWriter is the sink WritePrometheus renders into; *strings.Builder,
+// *bufio.Writer and http response writers wrapped by Handler all satisfy it.
+type stringWriter interface {
+	WriteString(s string) (int, error)
+}
+
+// Expose renders the registry to a string (for tests and the dump paths).
+func (r *Registry) Expose() string {
+	var sb strings.Builder
+	r.WritePrometheus(&sb) //nolint:errcheck // strings.Builder never fails
+	return sb.String()
+}
+
+// Handler returns the /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := w.Write([]byte(r.Expose())); err != nil {
+			return
+		}
+	})
+}

@@ -57,6 +57,8 @@ type Recorder struct {
 	spans   []*Span
 	samples []Sample
 	probes  ProbeSet
+	reqID   string
+	flight  *FlightRecorder
 
 	sampling bool
 }
@@ -95,18 +97,24 @@ func (r *Recorder) StartSpan(name string) *Span {
 }
 
 // End closes the span at the current offset. Redundant End calls keep the
-// first duration.
+// first duration. If the recorder has a flight ring attached (SetFlight),
+// the first End also records a span event there, carrying the request ID.
 func (sp *Span) End() {
 	if sp == nil {
 		return
 	}
 	r := sp.rec
 	r.mu.Lock()
-	if !sp.ended {
+	first := !sp.ended
+	if first {
 		sp.ended = true
 		sp.dur = time.Since(r.epoch) - sp.start
 	}
+	flight, reqID, dur := r.flight, r.reqID, sp.dur
 	r.mu.Unlock()
+	if first && flight != nil {
+		flight.Record(FlightSpan, reqID, sp.name, dur.Microseconds(), 0)
+	}
 }
 
 // attr appends a key/value pair under the recorder lock.

@@ -25,6 +25,10 @@ type Snapshot struct {
 	Status string `json:"status"`
 	// Error carries Result.Err's text for non-definitive statuses.
 	Error string `json:"error,omitempty"`
+	// RequestID is the correlation ID of the request this run served (empty
+	// for local runs without one); the same ID appears in the response, the
+	// request log line, the trace file and the flight-recorder events.
+	RequestID string `json:"request_id,omitempty"`
 
 	Pipeline PipelineStats `json:"pipeline"`
 	Encoding EncodingStats `json:"encoding"`
@@ -132,11 +136,15 @@ func DurationsToTimings(encode, sat, total time.Duration) Timings {
 	return Timings{EncodeMS: durMS(encode), SATMS: durMS(sat), TotalMS: durMS(total)}
 }
 
-// Finish stamps the recorder's spans and samples onto the snapshot. It is
-// the last step of building a snapshot; safe on a nil recorder.
+// Finish stamps the recorder's spans, samples and request ID onto the
+// snapshot. It is the last step of building a snapshot; safe on a nil
+// recorder.
 func (s *Snapshot) Finish(r *Recorder) *Snapshot {
 	s.Spans = r.SpanRecords()
 	s.Samples = r.Samples()
+	if s.RequestID == "" {
+		s.RequestID = r.RequestID()
+	}
 	return s
 }
 

@@ -32,8 +32,9 @@ type traceEvent struct {
 
 // traceFile is the top-level trace object.
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // WriteChromeTrace renders the recorder's spans and worker samples as a
@@ -47,6 +48,9 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 	meta("process_name", 0, map[string]any{"name": "sufsat"})
 	meta("thread_name", 0, map[string]any{"name": "pipeline"})
+	if id := r.RequestID(); id != "" {
+		tf.OtherData = map[string]any{"request_id": id}
+	}
 
 	for _, sp := range r.SpanRecords() {
 		ev := traceEvent{

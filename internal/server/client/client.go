@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"sufsat/internal/obs"
 	"sufsat/internal/server"
 )
 
@@ -32,8 +33,11 @@ type Client struct {
 	// malformed 400s and completed decisions are final on the first try.
 	MaxAttempts int
 	// BaseBackoff seeds the exponential backoff (New sets 50ms); MaxBackoff
-	// caps it (New sets 2s). The server's Retry-After, when present, takes
-	// precedence over the computed backoff, still capped by MaxBackoff.
+	// caps the computed backoff (New sets 2s). The server's Retry-After,
+	// when present, is a floor: the client sleeps at least that long, plus a
+	// jittered margin, so a cohort of shed clients does not retry in
+	// lockstep and re-stampede the queue. MaxBackoff never cuts a wait below
+	// the server's Retry-After.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 
@@ -82,11 +86,44 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 }
 
+// retryWait computes one retry sleep from the current exponential backoff
+// and the server's Retry-After. The computed backoff is jittered and capped
+// by MaxBackoff as before. Retry-After is a floor, not a schedule: every
+// shed client got the same value, so sleeping it exactly puts the whole
+// cohort back on the doorstep in the same instant. The wait is therefore at
+// least Retry-After plus a jittered margin of up to half of it, and
+// MaxBackoff never trims it below the server's floor.
+func (c *Client) retryWait(backoff, retryAfter time.Duration) time.Duration {
+	wait := c.jitter(backoff)
+	if c.MaxBackoff > 0 && wait > c.MaxBackoff {
+		wait = c.MaxBackoff
+	}
+	if retryAfter <= 0 {
+		return wait
+	}
+	margin := retryAfter / 2
+	if margin < 10*time.Millisecond {
+		margin = 10 * time.Millisecond
+	}
+	if c.MaxBackoff > 0 && margin > c.MaxBackoff {
+		margin = c.MaxBackoff
+	}
+	if floored := retryAfter + c.jitter(margin); floored > wait {
+		wait = floored
+	}
+	return wait
+}
+
 // Decide posts req and returns the decoded response. Shed 503s and transport
 // errors are retried with jittered exponential backoff honoring Retry-After;
 // any decision response (any status) and any 4xx/5xx with a decodable body
 // is returned as-is with a nil error.
 func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Response, error) {
+	// Mint the correlation ID at the client edge so retried attempts of one
+	// logical request share it and the caller can grep for it afterwards.
+	if req.RequestID == "" {
+		req.RequestID = obs.NewRequestID()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encode request: %w", err)
@@ -102,7 +139,7 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 	var last *server.Response
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		resp, retryAfter, err := c.post(ctx, body)
+		resp, retryAfter, err := c.post(ctx, body, req.RequestID)
 		if err == nil && (resp.HTTPStatus != http.StatusServiceUnavailable) {
 			resp.ClientAttempts = attempt
 			return resp, nil
@@ -115,13 +152,7 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 		if attempt >= maxAttempts {
 			break
 		}
-		wait := c.jitter(backoff)
-		if retryAfter > 0 && retryAfter > wait {
-			wait = retryAfter
-		}
-		if c.MaxBackoff > 0 && wait > c.MaxBackoff {
-			wait = c.MaxBackoff
-		}
+		wait := c.retryWait(backoff, retryAfter)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -141,12 +172,15 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 // post performs one attempt. The response's HTTPStatus field is filled from
 // the transport so callers (and the retry loop) see the status without the
 // header.
-func (c *Client) post(ctx context.Context, body []byte) (*server.Response, time.Duration, error) {
+func (c *Client) post(ctx context.Context, body []byte, reqID string) (*server.Response, time.Duration, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/decide", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: build request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		hreq.Header.Set("X-Request-Id", reqID)
+	}
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient

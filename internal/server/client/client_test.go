@@ -1,0 +1,68 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryWaitFloorsRetryAfter pins the anti-stampede contract: when the
+// server names a Retry-After, every computed wait is at least that long
+// (MaxBackoff never trims below the server's floor), and a cohort of
+// clients does not get identical waits — the jittered margin must actually
+// spread them.
+func TestRetryWaitFloorsRetryAfter(t *testing.T) {
+	c := New("http://unused")
+	retryAfter := 400 * time.Millisecond
+	c.MaxBackoff = 100 * time.Millisecond // tighter than the floor on purpose
+
+	waits := make(map[time.Duration]int)
+	for i := 0; i < 200; i++ {
+		w := c.retryWait(50*time.Millisecond, retryAfter)
+		if w < retryAfter {
+			t.Fatalf("wait %v below the server's Retry-After %v", w, retryAfter)
+		}
+		if w > retryAfter+c.MaxBackoff {
+			t.Fatalf("wait %v exceeds Retry-After plus the margin cap", w)
+		}
+		waits[w]++
+	}
+	if len(waits) < 10 {
+		t.Errorf("only %d distinct waits across 200 draws — jitter is not spreading the cohort", len(waits))
+	}
+}
+
+// TestRetryWaitBackoffOnly checks the no-Retry-After path: jittered
+// exponential backoff in [d/2, d), capped by MaxBackoff.
+func TestRetryWaitBackoffOnly(t *testing.T) {
+	c := New("http://unused")
+	for i := 0; i < 100; i++ {
+		w := c.retryWait(100*time.Millisecond, 0)
+		if w < 50*time.Millisecond || w > 100*time.Millisecond {
+			t.Fatalf("wait %v outside the jitter window [50ms, 100ms]", w)
+		}
+	}
+	c.MaxBackoff = 60 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		if w := c.retryWait(100*time.Millisecond, 0); w > 60*time.Millisecond {
+			t.Fatalf("wait %v exceeds MaxBackoff", w)
+		}
+	}
+}
+
+// TestRetryWaitSmallRetryAfter: a sub-10ms Retry-After still gets at least
+// the 10ms minimum margin's worth of spread.
+func TestRetryWaitSmallRetryAfter(t *testing.T) {
+	c := New("http://unused")
+	retryAfter := 5 * time.Millisecond
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 100; i++ {
+		w := c.retryWait(0, retryAfter)
+		if w < retryAfter {
+			t.Fatalf("wait %v below Retry-After %v", w, retryAfter)
+		}
+		distinct[w] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("only %d distinct waits — the minimum margin is not jittering", len(distinct))
+	}
+}

@@ -1,0 +1,284 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sufsat/internal/bench"
+	"sufsat/internal/obs"
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
+)
+
+// slowFormula renders a hard Sample16 instance (hundreds of milliseconds of
+// solve time) so the SIGQUIT phase has a wide in-flight window.
+func slowFormula(t *testing.T) string {
+	t.Helper()
+	bm, ok := bench.ByName("dlx-7")
+	if !ok {
+		t.Fatal("dlx-7 benchmark missing from the suite")
+	}
+	f, _ := bm.Build()
+	return f.String()
+}
+
+// TestServedMetricsSmoke is the process-level observability smoke behind
+// `make metrics-smoke`: build sufserved and tracecheck, serve with metrics
+// on, drive correlated requests, scrape /metrics to a file and
+// strict-validate it with tracecheck, then SIGQUIT under live load and
+// verify the exit-2 flight dump parses, passes tracecheck, and contains the
+// in-flight requests that never completed.
+func TestServedMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	served := filepath.Join(dir, "sufserved")
+	tracecheck := filepath.Join(dir, "tracecheck")
+	for bin, pkg := range map[string]string{served: "sufsat/cmd/sufserved", tracecheck: "sufsat/cmd/tracecheck"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// One worker: the SIGQUIT phase needs a request backlog that is still
+	// unfinished when the dump happens.
+	dumpPath := filepath.Join(dir, "flight.json")
+	proc := exec.Command(served, "-addr", "127.0.0.1:0", "-workers", "1", "-flightrec-out", dumpPath)
+	stderr, err := proc.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer proc.Process.Kill() //nolint:errcheck // no-op after a clean Wait
+
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	var logMu sync.Mutex
+	var logLines []string
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logLines = append(logLines, line)
+			logMu.Unlock()
+			if _, rest, ok := strings.Cut(line, "listening on http://"); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	var baseURL string
+	select {
+	case addr := <-addrCh:
+		baseURL = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never reported its listen address")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := client.New(baseURL)
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+
+	// One request with a client-minted correlation ID: the same ID must come
+	// back in the response body, the X-Request-Id response header, and the
+	// structured request log line.
+	reqID := obs.NewRequestID()
+	resp, err := c.Decide(ctx, &server.Request{
+		Formula:   "(=> (= x y) (= (f x) (f y)))",
+		RequestID: reqID,
+	})
+	if err != nil || resp.Status != "valid" {
+		t.Fatalf("valid request: resp=%+v err=%v", resp, err)
+	}
+	if resp.RequestID != reqID {
+		t.Fatalf("response request_id %q, want the client-minted %q", resp.RequestID, reqID)
+	}
+
+	// A second, server-minted ID path.
+	resp2, err := c.Decide(ctx, &server.Request{Formula: "(=> (< x y) (< y x))", WantModel: true})
+	if err != nil || resp2.Status != "invalid" {
+		t.Fatalf("invalid request: resp=%+v err=%v", resp2, err)
+	}
+	if resp2.RequestID == "" || resp2.RequestID == reqID {
+		t.Fatalf("server-minted request_id missing or reused: %q", resp2.RequestID)
+	}
+
+	// Scrape /metrics to a file and strict-validate it with tracecheck.
+	scrape := fetchMetrics(t, baseURL)
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	if err := os.WriteFile(metricsPath, scrape, 0o644); err != nil {
+		t.Fatalf("write scrape: %v", err)
+	}
+	if out, err := exec.Command(tracecheck, "-metrics", metricsPath).CombinedOutput(); err != nil {
+		t.Fatalf("tracecheck -metrics: %v\n%s", err, out)
+	}
+	parsed, err := obs.ParsePrometheus(strings.NewReader(string(scrape)))
+	if err != nil {
+		t.Fatalf("parse scrape: %v", err)
+	}
+	if v := parsed.Sum("sufsat_requests_total"); v < 2 {
+		t.Errorf("sufsat_requests_total = %v, want >= 2", v)
+	}
+	if v := parsed.Sum("sufsat_phase_seconds_total", "phase", "sat"); v <= 0 {
+		t.Errorf("sufsat_phase_seconds_total{phase=sat} = %v, want > 0", v)
+	}
+
+	// Keep continuous load of slow requests on the server so SIGQUIT lands
+	// with work in flight: a hard Sample16 instance solves in hundreds of
+	// milliseconds, so the single worker is mid-solve and the queue holds
+	// admitted-but-unstarted requests for the whole quit window. The floods'
+	// own errors (connection reset at exit) are expected.
+	slow := slowFormula(t)
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	var flood sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			fc := client.New(baseURL)
+			fc.MaxAttempts = 1
+			for floodCtx.Err() == nil {
+				fc.Decide(floodCtx, &server.Request{Formula: slow}) //nolint:errcheck
+			}
+		}()
+	}
+	// Wait for a queued backlog: admitted requests that cannot have finished
+	// by the time the quit handler dumps, since the single worker drains them
+	// one at a time.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		cur, err := obs.ParsePrometheus(strings.NewReader(string(fetchMetrics(t, baseURL))))
+		if err != nil {
+			t.Fatalf("parse scrape: %v", err)
+		}
+		queued, _ := cur.Value("sufsat_queue_depth")
+		if queued >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never reported an in-flight request under flood")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := proc.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatalf("SIGQUIT: %v", err)
+	}
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server stderr never reached EOF after SIGQUIT")
+	}
+	stopFlood()
+	flood.Wait()
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if !asExitError(err, &ee) || ee.ExitCode() != 2 {
+			t.Fatalf("exit after SIGQUIT: %v, want exit status 2", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGQUIT")
+	}
+
+	// The dump must pass tracecheck's strict validation and contain at least
+	// one request that was admitted or started but never finished — the
+	// in-flight work SIGQUIT interrupted.
+	if out, err := exec.Command(tracecheck, "-flightrec", dumpPath).CombinedOutput(); err != nil {
+		t.Fatalf("tracecheck -flightrec: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("decode dump: %v", err)
+	}
+	finished := make(map[string]bool)
+	for _, ev := range dump.Events {
+		if ev.Kind == "done" {
+			finished[ev.ReqID] = true
+		}
+	}
+	inFlightDumped := 0
+	for _, ev := range dump.Events {
+		if (ev.Kind == "admit" || ev.Kind == "start") && ev.ReqID != "" && !finished[ev.ReqID] {
+			inFlightDumped++
+		}
+	}
+	if inFlightDumped == 0 {
+		kinds := map[string]int{}
+		for _, ev := range dump.Events {
+			kinds[ev.Kind]++
+		}
+		tail := dump.Events
+		if len(tail) > 6 {
+			tail = tail[len(tail)-6:]
+		}
+		t.Errorf("flight dump has no in-flight (admitted/started but unfinished) requests among %d events; kinds=%v dump-last-gap=%dus tail=%+v",
+			len(dump.Events), kinds, (dump.DumpedAtNS-dump.Events[len(dump.Events)-1].AtNS)/1000, tail)
+	}
+
+	// Correlation joins the log: the client-minted ID appears in a structured
+	// request log line.
+	logMu.Lock()
+	all := strings.Join(logLines, "\n")
+	logMu.Unlock()
+	if !strings.Contains(all, "req_id="+reqID) {
+		t.Errorf("stderr has no structured log line with req_id=%s:\n%s", reqID, all)
+	}
+	if !strings.Contains(all, "SIGQUIT, dumping flight recorder") {
+		t.Errorf("stderr missing the SIGQUIT dump notice:\n%s", all)
+	}
+}
+
+func fetchMetrics(t *testing.T, baseURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return data
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}

@@ -21,6 +21,12 @@ type Request struct {
 	// model, when requested, satisfies the assertions.
 	Formula string `json:"formula"`
 	SMT2    bool   `json:"smt2,omitempty"`
+	// RequestID is the client-minted correlation ID. The X-Request-Id header
+	// takes precedence; when both are absent the server mints one. The ID is
+	// echoed in the response (header and body) and appears in the server's
+	// request log line, the telemetry snapshot, the trace export and the
+	// flight-recorder events of this request.
+	RequestID string `json:"request_id,omitempty"`
 	// Method is one of hybrid, sd, eij, lazy, svc, portfolio ("" = hybrid).
 	Method string `json:"method,omitempty"`
 	// TimeoutMS bounds the request's wall clock, queue wait included
@@ -68,6 +74,9 @@ type Response struct {
 	// resource-out, error) or "shed"/"malformed" for pre-decision rejects.
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// RequestID echoes the request's correlation ID (also in the
+	// X-Request-Id response header).
+	RequestID string `json:"request_id,omitempty"`
 	// ShedReason and RetryAfterMS accompany status "shed".
 	ShedReason   string `json:"shed_reason,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`

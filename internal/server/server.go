@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -100,12 +101,24 @@ type Config struct {
 	Probe *obs.ServiceProbe
 	// Log, when non-nil, receives one line per lifecycle event.
 	Log io.Writer
+	// Metrics, when non-nil, receives the aggregated metric families
+	// (obs.NewServiceMetrics) and is served at /metrics. Nil disables the
+	// metrics layer entirely — every observation call no-ops.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives one structured log record per finished
+	// request (status, method, latency split, correlation ID).
+	Logger *slog.Logger
+	// Flight is the flight-recorder ring request/span/degradation events are
+	// recorded into (nil = the process-wide obs.Flight). Served at
+	// /debug/flightrec.
+	Flight *obs.FlightRecorder
 }
 
 // task is one admitted request travelling from the handler to a pool worker.
 type task struct {
 	ctx      context.Context
 	req      *Request
+	reqID    string
 	opts     sufsat.Options
 	formula  sufsat.Formula
 	clamped  []string
@@ -119,8 +132,10 @@ type task struct {
 // Server is the decision service. Create with New, serve its Handler (or
 // Serve/ListenAndServe), stop with Shutdown.
 type Server struct {
-	cfg   Config
-	probe *obs.ServiceProbe
+	cfg     Config
+	probe   *obs.ServiceProbe
+	metrics *obs.ServiceMetrics
+	flight  *obs.FlightRecorder
 
 	queue chan *task
 	mu    sync.Mutex // guards draining and the queue close
@@ -173,10 +188,16 @@ func New(cfg Config) *Server {
 	if probe == nil {
 		probe = &obs.ServiceProbe{}
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = obs.Flight
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:         cfg,
 		probe:       probe,
+		metrics:     obs.NewServiceMetrics(cfg.Metrics, probe, flight),
+		flight:      flight,
 		queue:       make(chan *task, cfg.MaxQueue),
 		workersDone: make(chan struct{}),
 		baseCtx:     ctx,
@@ -360,9 +381,11 @@ func eagerMethod(m sufsat.Method) bool {
 // telemetry snapshot measured so far.
 func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (resp *Response) {
 	queueMS := float64(queueWait.Microseconds()) / 1e3
+	s.flight.Record(obs.FlightStart, t.reqID, t.req.Method, queueWait.Microseconds(), int64(depthAtDequeue))
 	defer func() {
 		if v := recover(); v != nil {
 			s.probe.Panicked()
+			s.flight.Record(obs.FlightPanic, t.reqID, "", 0, 0)
 			resp = s.panicResponse(t, v, queueMS)
 		}
 	}()
@@ -387,6 +410,7 @@ func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (res
 	if ladderOK && s.cfg.DegradeDepth > 0 && depthAtDequeue >= s.cfg.DegradeDepth {
 		opts.Method = sufsat.MethodLazy
 		degradedReason = "saturation"
+		s.flight.Record(obs.FlightDegrade, t.reqID, degradedReason, 0, int64(depthAtDequeue))
 	}
 
 	solveStart := time.Now()
@@ -406,6 +430,7 @@ func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (res
 			res = res2
 			opts.Method = retry.Method
 			degradedReason = "resource-out"
+			s.flight.Record(obs.FlightDegrade, t.reqID, degradedReason, 0, 0)
 		}
 	}
 	solveMS := float64(time.Since(solveStart).Microseconds()) / 1e3
@@ -415,12 +440,15 @@ func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (res
 	var pe *core.PanicError
 	if res.Err != nil && errors.As(res.Err, &pe) {
 		s.probe.Panicked()
+		s.flight.Record(obs.FlightPanic, t.reqID, "", 0, 0)
 		return s.panicResponse(t, pe.Value, queueMS)
 	}
 
 	if degradedReason != "" {
 		s.probe.Degraded()
+		s.metrics.ObserveDegraded(degradedReason)
 	}
+	s.metrics.ObserveSnapshot(res.Telemetry)
 	resp = &Response{
 		Status:     res.Status.String(),
 		Method:     methodString(opts.Method),
@@ -452,8 +480,10 @@ func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (res
 		resp.ModelConsts = res.Counterexample.Consts()
 		resp.ModelBools = res.Counterexample.Bools()
 	}
+	// The request span always ends (its End feeds the flight ring); the
+	// snapshot rides in the response only on request.
+	t.endRequestSpan(resp.Status)
 	if t.req.WantTelemetry {
-		t.endRequestSpan(resp.Status)
 		if res.Telemetry != nil {
 			resp.Telemetry = res.Telemetry
 		} else {
@@ -553,14 +583,23 @@ func (s *Server) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(map[string]any{ //nolint:errcheck
+			"build":    obs.GetBuildInfo(),
 			"counters": s.probe.Counters(),
 			"draining": s.Draining(),
 			"workers":  s.cfg.Workers,
 			"queue":    s.cfg.MaxQueue,
 			"depth":    s.QueueLen(),
 			"ema_ms":   float64(s.ema().Microseconds()) / 1e3,
+			"flightrec": map[string]int64{
+				"recorded":    s.flight.Recorded(),
+				"overwritten": s.flight.Overwritten(),
+			},
 		})
 	})
+	if s.cfg.Metrics != nil {
+		mux.Handle("/metrics", s.cfg.Metrics.Handler())
+	}
+	mux.Handle("/debug/flightrec", s.flight.Handler())
 	// The outermost recover keeps a handler-level panic (fault-injected or
 	// otherwise) from killing the connection without a structured response.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -586,36 +625,58 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	handlerStart := time.Now()
+	// Correlation ID precedence: X-Request-Id header, then the body's
+	// request_id (checked after decode), then server-minted.
+	reqID := r.Header.Get("X-Request-Id")
+	if !obs.ValidRequestID(reqID) {
+		reqID = ""
+	}
+	// respond is the single exit: it fixes the correlation ID, echoes it in
+	// header and body, writes the response and emits the request's metrics,
+	// flight event and log record.
+	respond := func(resp *Response) {
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		resp.RequestID = reqID
+		w.Header().Set("X-Request-Id", reqID)
+		writeJSON(w, resp)
+		s.finishRequest(resp, reqID, time.Since(handlerStart))
+	}
 	// Fast-path shed while draining, before reading the body.
 	if s.Draining() {
-		writeJSON(w, s.shed(ShedDraining, time.Second))
+		respond(s.shed(ShedDraining, time.Second))
 		return
 	}
 	if err := s.hook(StageDecode); err != nil {
-		writeJSON(w, &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+		respond(&Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
 	if err != nil {
 		s.probe.Malformed()
-		writeJSON(w, malformed(fmt.Sprintf("read body: %v", err)))
+		respond(malformed(fmt.Sprintf("read body: %v", err)))
 		return
 	}
 	var req Request
 	if err := json.Unmarshal(body, &req); err != nil {
 		s.probe.Malformed()
-		writeJSON(w, malformed(fmt.Sprintf("bad JSON: %v", err)))
+		respond(malformed(fmt.Sprintf("bad JSON: %v", err)))
 		return
+	}
+	if reqID == "" && obs.ValidRequestID(req.RequestID) {
+		reqID = req.RequestID
 	}
 	if req.Formula == "" {
 		s.probe.Malformed()
-		writeJSON(w, malformed("missing formula"))
+		respond(malformed("missing formula"))
 		return
 	}
 	method, err := ParseMethod(req.Method)
 	if err != nil {
 		s.probe.Malformed()
-		writeJSON(w, malformed(err.Error()))
+		respond(malformed(err.Error()))
 		return
 	}
 	// Parsing runs in the handler, outside the admission queue: malformed
@@ -630,7 +691,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.probe.Malformed()
-		writeJSON(w, malformed(fmt.Sprintf("parse: %v", err)))
+		respond(malformed(fmt.Sprintf("parse: %v", err)))
 		return
 	}
 	if req.SMT2 {
@@ -648,12 +709,18 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	deadline := now.Add(opts.Timeout)
 	opts.Timeout = 0 // the worker applies the deadline via context
 
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
 	rec := obs.NewRecorder()
+	rec.SetRequestID(reqID)
+	rec.SetFlight(s.flight)
 	opts.Telemetry = rec
 	opts.Hook = s.cfg.Hook
 	t := &task{
 		ctx:      r.Context(),
 		req:      &req,
+		reqID:    reqID,
 		opts:     opts,
 		formula:  f,
 		clamped:  clamped,
@@ -665,13 +732,14 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if err := s.hook(StageAdmit); err != nil {
-		writeJSON(w, &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+		respond(&Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
 		return
 	}
 	if resp := s.admit(t); resp != nil {
-		writeJSON(w, resp)
+		respond(resp)
 		return
 	}
+	s.flight.Record(obs.FlightAdmit, reqID, req.Method, 0, int64(s.QueueLen()))
 
 	select {
 	case resp, ok := <-t.done:
@@ -680,14 +748,62 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.hook(StageRespond); err != nil {
-			writeJSON(w, &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+			respond(&Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
 			return
 		}
 		resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
-		writeJSON(w, resp)
+		respond(resp)
 	case <-r.Context().Done():
 		// Client gone; the worker will observe the same context and skip.
 	}
+}
+
+// finishRequest emits the post-write observability of one request: the
+// flight-ring terminal event, the aggregated metrics observation, and the
+// structured request log record — one correlation ID joins all three.
+func (s *Server) finishRequest(resp *Response, reqID string, total time.Duration) {
+	httpStatus := resp.HTTPStatus
+	if httpStatus == 0 {
+		httpStatus = http.StatusOK
+	}
+	switch resp.Status {
+	case "shed":
+		s.flight.Record(obs.FlightShed, reqID, resp.ShedReason, total.Microseconds(), 0)
+	case "malformed":
+		s.flight.Record(obs.FlightMalformed, reqID, "", total.Microseconds(), 0)
+	default:
+		s.flight.Record(obs.FlightDone, reqID, resp.Status, total.Microseconds(), int64(httpStatus))
+		s.metrics.ObserveRequest(resp.Status, resp.Method,
+			resp.QueueMS/1e3, resp.SolveMS/1e3, total.Seconds())
+	}
+	if s.cfg.Logger == nil {
+		return
+	}
+	attrs := []any{
+		"req_id", reqID,
+		"status", resp.Status,
+		"http", httpStatus,
+		"total_ms", float64(total.Microseconds()) / 1e3,
+	}
+	if resp.Method != "" {
+		attrs = append(attrs, "method", resp.Method)
+	}
+	if resp.Status != "shed" && resp.Status != "malformed" {
+		attrs = append(attrs, "queue_ms", resp.QueueMS, "solve_ms", resp.SolveMS)
+	}
+	if resp.ShedReason != "" {
+		attrs = append(attrs, "shed_reason", resp.ShedReason)
+	}
+	if resp.Degraded {
+		attrs = append(attrs, "degraded", resp.DegradedReason)
+	}
+	if resp.Attempts > 1 {
+		attrs = append(attrs, "attempts", resp.Attempts)
+	}
+	if resp.Error != "" {
+		attrs = append(attrs, "error", resp.Error)
+	}
+	s.cfg.Logger.Info("request", attrs...)
 }
 
 func malformed(msg string) *Response {
