@@ -1,17 +1,21 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
 # portfolio racer, the parallel clause-sharing SAT core, the telemetry
-# recorder, metrics registry and flight recorder, and the decision service),
-# a one-shot benchmark smoke run that keeps the bench harness compiling and
-# solving, a telemetry smoke run that validates the trace and JSON-stats
-# artifacts against their documented schemas, a process-level smoke of the
-# sufserved daemon lifecycle, and a metrics smoke that scrapes /metrics and
-# SIGQUIT-dumps the flight recorder from a live server.
-ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke
+# recorder, metrics registry and flight recorder, the decision service and
+# the fleet router), a one-shot benchmark smoke run that keeps the bench
+# harness compiling and solving, a telemetry smoke run that validates the
+# trace and JSON-stats artifacts against their documented schemas, a
+# process-level smoke of the sufserved daemon lifecycle, a metrics smoke that
+# scrapes /metrics and SIGQUIT-dumps the flight recorder from a live server,
+# a process-level smoke of the sufrouter fleet tier (kill a backend, assert
+# failover and a strict /metrics parse), and the chaos soak (crash/restart +
+# latency/blackhole chaos under verifying load, gated on zero mismatches,
+# 99%+ availability and zero leaked goroutines).
+ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +28,7 @@ test:
 
 race:
 	$(GO) test -race -short ./internal/core ./internal/sat ./internal/obs \
-		./internal/server ./internal/server/client
+		./internal/server ./internal/server/client ./internal/router
 
 # bench regenerates the perf-trajectory report at the repo root: Sample16
 # encoded once per benchmark, then solved sequentially vs with the parallel
@@ -70,3 +74,28 @@ metrics-smoke:
 # Schema documented in EXPERIMENTS.md.
 soak:
 	$(GO) run ./cmd/sufbench -soak -out BENCH_PR5.json
+
+# router-smoke is the process-level fleet gate: a real sufrouter over two
+# real sufserved processes, one backend SIGKILLed mid-run. Every verdict must
+# keep arriving via failover, the dead backend's breaker must open, and the
+# router's /metrics exposition must strict-parse with the sufrouter_*
+# families present.
+router-smoke:
+	$(GO) test -run TestRouterProcessSmoke ./internal/bench
+
+# chaos-soak is the fleet chaos gate, run with -race so the in-process
+# router is instrumented: 10 verifying clients through a hedging router over
+# three sufserved processes while one backend is SIGKILLed and restarted on a
+# schedule and another sits behind a proxy cycling latency and blackhole
+# windows. Zero verdict mismatches, 99%+ availability (definitive answer or
+# clean 503) and zero leaked goroutines, or the gate fails.
+chaos-soak:
+	$(GO) test -race -run TestChaosSoak ./internal/bench
+
+# chaos-bench regenerates the fleet tail-latency artifact at the repo root:
+# the same scripted chaos soaked twice, hedging on then off, gated on the
+# hedged p99 being no worse than the unhedged p99. Schema documented in
+# EXPERIMENTS.md.
+chaos-bench:
+	$(GO) run ./cmd/sufbench -chaos -clients 10 -requests 200 -soak-timeout 6s \
+		-out BENCH_PR6.json

@@ -10,6 +10,8 @@
 //	sufbench [-out BENCH_PR3.json] [-j N] [-solve-timeout 60s]
 //	sufbench -soak [-out BENCH_PR5.json] [-url URL] [-clients N]
 //	         [-requests N] [-soak-timeout 20s] [-budget-every N]
+//	sufbench -chaos [-out BENCH_PR6.json] [-clients N] [-requests N]
+//	         [-soak-timeout 6s]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
@@ -17,6 +19,15 @@
 // the unified telemetry snapshot of its runs (spans, solver counters,
 // per-worker breakdown, progress samples) under "telemetry"; see
 // docs/FORMATS.md for that schema.
+//
+// -chaos switches to the fleet tail-latency benchmark: a sufrouter fleet
+// (in-process router over three real sufserved processes) soaked twice under
+// identical scripted chaos — one backend SIGKILLed and restarted on a
+// schedule, another behind a proxy cycling latency and blackhole windows —
+// first with hedged requests on, then off. The report (BENCH_PR6.json) is
+// both phase reports plus the unhedged/hedged p99 ratio; hedged p99 worse
+// than unhedged, a verdict mismatch, or hedged availability below 99% fails
+// the run.
 //
 // -soak switches to service load testing: concurrent retrying clients hammer
 // a sufserved instance (-url, or an in-process server on an ephemeral port
@@ -49,6 +60,7 @@ func main() {
 	workers := flag.Int("j", 0, "parallel workers (0 = NumCPU, floored at 4)")
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-SAT-run wall-clock cap")
 	soak := flag.Bool("soak", false, "run the service soak instead of the solver benchmark")
+	chaos := flag.Bool("chaos", false, "run the fleet chaos benchmark (hedged vs unhedged) instead of the solver benchmark")
 	soakURL := flag.String("url", "", "soak: sufserved base URL (empty = start an in-process server)")
 	soakClients := flag.Int("clients", 8, "soak: concurrent clients")
 	soakRequests := flag.Int("requests", 128, "soak: total requests")
@@ -59,6 +71,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *chaos {
+		if *out == "BENCH_PR3.json" {
+			*out = "BENCH_PR6.json"
+		}
+		runChaosBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout)
+		return
+	}
 	if *soak {
 		if *out == "BENCH_PR3.json" {
 			*out = "BENCH_PR5.json"
@@ -95,6 +114,88 @@ func main() {
 	}
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runChaosBench drives the two-phase fleet chaos benchmark and writes
+// BENCH_PR6.json. Both phases run identical scripted chaos (crash/restart on
+// one backend, latency/blackhole windows on another); only hedging differs.
+// Gates: zero verdict mismatches in both phases, hedged availability >= 99%,
+// and hedged p99 no worse than unhedged p99.
+func runChaosBench(ctx context.Context, out string, clients, requests int, timeout time.Duration) {
+	dir, err := os.MkdirTemp("", "sufbench-chaos-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	served, err := bench.BuildBinary(dir, "sufsat/cmd/sufserved")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	phase := func(hedge bool) *bench.ChaosReport {
+		mode := "unhedged"
+		if hedge {
+			mode = "hedged"
+		}
+		fmt.Fprintf(os.Stderr, "sufbench: chaos phase %s: %d clients, %d requests, deadline %s\n",
+			mode, clients, requests, timeout)
+		rep, err := bench.RunChaos(ctx, bench.ChaosConfig{
+			ServedBin: served,
+			Clients:   clients,
+			Requests:  requests,
+			TimeoutMS: timeout.Milliseconds(),
+			Hedge:     hedge,
+			Kill:      true,
+			NetFaults: true,
+			Log:       os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		return rep
+	}
+
+	rep := &bench.ChaosBenchReport{Hedged: phase(true), Unhedged: phase(false)}
+	if rep.Hedged.LatencyP99MS > 0 {
+		rep.HedgeP99SpeedupX = rep.Unhedged.LatencyP99MS / rep.Hedged.LatencyP99MS
+	}
+	fmt.Fprintf(os.Stderr,
+		"sufbench: chaos p99 hedged=%.1fms unhedged=%.1fms (x%.2f); availability hedged=%.4f unhedged=%.4f\n",
+		rep.Hedged.LatencyP99MS, rep.Unhedged.LatencyP99MS, rep.HedgeP99SpeedupX,
+		rep.Hedged.Availability, rep.Unhedged.Availability)
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	if n := rep.Hedged.Mismatches + rep.Unhedged.Mismatches; n > 0 {
+		fmt.Fprintf(os.Stderr, "sufbench: chaos FAILED: %d verdict mismatches\n", n)
+		os.Exit(1)
+	}
+	if rep.Hedged.Availability < 0.99 {
+		fmt.Fprintf(os.Stderr, "sufbench: chaos FAILED: hedged availability %.4f < 0.99\n",
+			rep.Hedged.Availability)
+		os.Exit(1)
+	}
+	if rep.Hedged.LatencyP99MS > rep.Unhedged.LatencyP99MS {
+		fmt.Fprintf(os.Stderr, "sufbench: chaos FAILED: hedged p99 %.1fms > unhedged p99 %.1fms\n",
+			rep.Hedged.LatencyP99MS, rep.Unhedged.LatencyP99MS)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,161 @@
+// Command sufrouter is the fleet front tier for a pool of sufserved
+// backends: it consistent-hashes the canonical formula fingerprint onto the
+// backend ring, actively health-checks every backend (/readyz probes plus a
+// passive error-rate EWMA) behind a per-backend circuit breaker, fails over
+// to the next ring node under a retry budget, hedges slow requests after a
+// p95-derived delay, and propagates backend backpressure upstream — a full
+// fleet degrades to an immediate 503 with Retry-After, never a hang.
+//
+// Usage:
+//
+//	sufrouter -backends URL[,URL...] [-addr :8090]
+//	          [-replicas 64] [-health-interval 500ms] [-probe-timeout 1s]
+//	          [-max-inflight 256] [-max-attempts 3]
+//	          [-hedge-delay auto|off|DUR] [-hedge-ratio 0.1] [-hedge-burst 5]
+//	          [-failover-ratio 0.2] [-failover-burst 10]
+//	          [-default-deadline 10s] [-max-deadline 60s]
+//	          [-drain-timeout 30s] [-no-metrics] [-quiet]
+//
+// Endpoints: POST /decide (the same request/response JSON as sufserved —
+// clients need no changes to talk to the fleet), GET /healthz, GET /readyz
+// (503 while draining or with every breaker open), GET /statusz (backend
+// breaker table), GET /metrics (sufrouter_* families, docs/FORMATS.md).
+//
+// On SIGTERM or SIGINT the router drains: readiness flips to 503, new
+// requests are shed, in-flight requests finish (bounded by -drain-timeout),
+// probers stop, and the process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sufsat/internal/obs"
+	"sufsat/internal/router"
+)
+
+// parseHedgeDelay maps the -hedge-delay spelling onto the Config encoding:
+// "auto" (or "0") derives the delay from the primary's p95, "off" disables
+// hedging, anything else is a fixed duration.
+func parseHedgeDelay(s string) (time.Duration, error) {
+	switch s {
+	case "auto", "0":
+		return 0, nil
+	case "off", "none":
+		return -1, nil
+	}
+	return time.ParseDuration(s)
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address (port 0 picks a free port)")
+	backends := flag.String("backends", "", "comma-separated sufserved base URLs (required)")
+	replicas := flag.Int("replicas", 64, "virtual nodes per backend on the hash ring")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "active /readyz probe cadence per backend (jittered)")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "timeout for one health probe")
+	maxInFlight := flag.Int("max-inflight", 256, "concurrent request cap; excess is shed with 503")
+	maxAttempts := flag.Int("max-attempts", 3, "distinct backends tried per request, primary included")
+	hedgeDelay := flag.String("hedge-delay", "auto", "hedge fire delay: auto (p95-derived), off, or a duration")
+	hedgeRatio := flag.Float64("hedge-ratio", 0.1, "hedge budget: extra attempts per routed request")
+	hedgeBurst := flag.Int("hedge-burst", 5, "hedge budget burst allowance")
+	failoverRatio := flag.Float64("failover-ratio", 0.2, "failover budget: retries per routed request")
+	failoverBurst := flag.Int("failover-burst", 10, "failover budget burst allowance")
+	defaultDeadline := flag.Duration("default-deadline", 10*time.Second, "deadline for requests that name none")
+	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "per-request deadline ceiling")
+	maxBody := flag.Int64("max-body", 1<<20, "request body byte cap")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests on SIGTERM")
+	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint")
+	quiet := flag.Bool("quiet", false, "suppress lifecycle and failover logging")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "sufrouter: -backends is required (comma-separated sufserved URLs)")
+		os.Exit(2)
+	}
+	hd, err := parseHedgeDelay(*hedgeDelay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufrouter: -hedge-delay:", err)
+		os.Exit(2)
+	}
+
+	cfg := router.Config{
+		Backends:        urls,
+		Replicas:        *replicas,
+		HealthInterval:  *healthInterval,
+		ProbeTimeout:    *probeTimeout,
+		MaxInFlight:     *maxInFlight,
+		MaxAttempts:     *maxAttempts,
+		FailoverRatio:   *failoverRatio,
+		FailoverBurst:   *failoverBurst,
+		HedgeDelay:      hd,
+		HedgeRatio:      *hedgeRatio,
+		HedgeBurst:      *hedgeBurst,
+		DefaultTimeout:  *defaultDeadline,
+		MaxTimeout:      *maxDeadline,
+		MaxRequestBytes: *maxBody,
+	}
+	if !*noMetrics {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "sufrouter: ", log.LstdFlags|log.Lmsgprefix)
+	}
+
+	rt, err := router.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufrouter:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufrouter:", err)
+		os.Exit(1)
+	}
+	hsrv := &http.Server{Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hsrv.Serve(ln) }()
+
+	bi := obs.GetBuildInfo()
+	fmt.Fprintf(os.Stderr, "sufrouter: build version=%s go=%s revision=%s backends=%d\n",
+		bi.Version, bi.GoVersion, bi.Revision, len(urls))
+	fmt.Fprintf(os.Stderr, "sufrouter: listening on http://%s\n", ln.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-sigCtx.Done():
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "sufrouter:", err)
+		os.Exit(1)
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "sufrouter: signal received, draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting, then drain the router (probers + in-flight + reapers).
+	if err := hsrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sufrouter: http shutdown:", err)
+	}
+	if err := rt.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sufrouter: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sufrouter: drained")
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	suftop [-url http://127.0.0.1:8080] [-interval 1s] [-n COUNT] [-once]
+//	suftop -fleet http://127.0.0.1:8090 [-interval 1s] [-n COUNT] [-once]
 //
 // Each tick scrapes /metrics, diffs it against the previous scrape, and
 // redraws. Rates are per-interval deltas; quantiles are estimated from the
@@ -14,6 +15,14 @@
 // scrapes exist). -once prints a single snapshot without clearing the
 // screen (cumulative values, for scripts and smoke tests); -n N exits
 // after N frames.
+//
+// -fleet points at a sufrouter instead: the dashboard renders the router's
+// own traffic (routed qps, sheds, failovers, hedges, latency quantiles),
+// discovers the backend pool from the sufrouter_backend_state labels, and
+// federates each backend's /metrics into a per-backend table — breaker
+// state, attempt and failure rates seen from the router, and queue depth /
+// in-flight / qps as reported by the backend itself (marked unreachable
+// when its scrape fails).
 package main
 
 import (
@@ -187,6 +196,85 @@ func frame(w io.Writer, cur, prev *obs.PromScrape, interval time.Duration) {
 	}
 }
 
+// breakerStateName renders the sufrouter_backend_state encoding.
+func breakerStateName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "closed"
+	case 1:
+		return "half-open"
+	case 2:
+		return "open"
+	}
+	return "?"
+}
+
+// fleetBackends lists the backend names present in the router scrape.
+func fleetBackends(scrape *obs.PromScrape) []string {
+	f := scrape.Family("sufrouter_backend_state")
+	if f == nil {
+		return nil
+	}
+	var out []string
+	for _, s := range f.Samples {
+		if b := s.Label("backend"); b != "" {
+			out = append(out, b)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fleetFrame renders one federated frame: the router's own traffic plus a
+// per-backend table joining the router's view (breaker state, attempt and
+// failure rates) with each backend's self-reported /metrics.
+func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs.PromScrape, prevBackends map[string]*obs.PromScrape, interval time.Duration) {
+	secs := interval.Seconds()
+	if prev == nil || secs <= 0 {
+		secs = 1
+	}
+
+	routed := delta(cur, prev, "sufrouter_requests_total")
+	shed := delta(cur, prev, "sufrouter_requests_total", "status", "shed")
+	failovers := delta(cur, prev, "sufrouter_failovers_total")
+	hedges := delta(cur, prev, "sufrouter_hedges_total")
+	hedgeWins := delta(cur, prev, "sufrouter_hedge_wins_total")
+	inFlight, _ := cur.Value("sufrouter_in_flight")
+	fmt.Fprintf(w, "router  qps %.1f   shed/s %.1f   failover/s %.1f   hedge/s %.1f (wins %.1f)   in-flight %d\n",
+		routed/secs, shed/secs, failovers/secs, hedges/secs, hedgeWins/secs, int(inFlight))
+
+	buckets := bucketDelta(cur, prev, "sufrouter_request_duration_seconds")
+	fmt.Fprintf(w, "latency  p50 %s   p95 %s   p99 %s\n\n",
+		fmtSecs(obs.HistQuantile(0.50, buckets)),
+		fmtSecs(obs.HistQuantile(0.95, buckets)),
+		fmtSecs(obs.HistQuantile(0.99, buckets)))
+
+	fmt.Fprintf(w, "%-40s %-10s %8s %8s %8s %7s %9s %7s\n",
+		"BACKEND", "STATE", "ATT/S", "FAIL/S", "PROBE-F", "QPS", "IN-FLIGHT", "QUEUE")
+	for _, name := range fleetBackends(cur) {
+		state, _ := cur.Value("sufrouter_backend_state", "backend", name)
+		att := delta(cur, prev, "sufrouter_backend_requests_total", "backend", name)
+		fail := delta(cur, prev, "sufrouter_backend_failures_total", "backend", name)
+		probeF := cur.Sum("sufrouter_probe_failures_total", "backend", name)
+
+		qps, bif, bq := "-", "-", "-"
+		if bs := backends[name]; bs != nil {
+			completed := delta(bs, prevBackends[name], "sufsat_completed_total")
+			qps = fmt.Sprintf("%.1f", completed/secs)
+			if v, ok := bs.Value("sufsat_in_flight"); ok {
+				bif = fmt.Sprintf("%d", int(v))
+			}
+			if v, ok := bs.Value("sufsat_queue_depth"); ok {
+				bq = fmt.Sprintf("%d", int(v))
+			}
+		} else {
+			qps = "unreach"
+		}
+		fmt.Fprintf(w, "%-40s %-10s %8.1f %8.1f %8.0f %7s %9s %7s\n",
+			name, breakerStateName(state), att/secs, fail/secs, probeF, qps, bif, bq)
+	}
+}
+
 // buildLabel reads one label off the sufsat_build_info sample.
 func buildLabel(scrape *obs.PromScrape, key string) (string, bool) {
 	f := scrape.Family("sufsat_build_info")
@@ -210,14 +298,34 @@ func fmtSecs(s float64) string {
 	return fmt.Sprintf("%.2fs", s)
 }
 
+// scrapeFleet scrapes every backend the router scrape names; unreachable
+// backends map to nil (rendered as such).
+func scrapeFleet(hc *http.Client, routerScrape *obs.PromScrape) map[string]*obs.PromScrape {
+	out := make(map[string]*obs.PromScrape)
+	for _, name := range fleetBackends(routerScrape) {
+		bs, err := scrapeMetrics(hc, strings.TrimRight(name, "/")+"/metrics")
+		if err != nil {
+			out[name] = nil
+			continue
+		}
+		out[name] = bs
+	}
+	return out
+}
+
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "sufserved base URL")
+	fleet := flag.String("fleet", "", "sufrouter base URL: render the federated fleet view instead")
 	interval := flag.Duration("interval", time.Second, "scrape interval")
 	count := flag.Int("n", 0, "exit after this many frames (0 = run until interrupted)")
 	once := flag.Bool("once", false, "print one cumulative snapshot and exit (no screen clearing)")
 	flag.Parse()
 
-	metricsURL := strings.TrimRight(*url, "/") + "/metrics"
+	base := *url
+	if *fleet != "" {
+		base = *fleet
+	}
+	metricsURL := strings.TrimRight(base, "/") + "/metrics"
 	hc := &http.Client{Timeout: 10 * time.Second}
 
 	if *once {
@@ -226,11 +334,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "suftop:", err)
 			os.Exit(1)
 		}
-		frame(os.Stdout, cur, nil, 0)
+		if *fleet != "" {
+			fleetFrame(os.Stdout, cur, nil, scrapeFleet(hc, cur), nil, 0)
+		} else {
+			frame(os.Stdout, cur, nil, 0)
+		}
 		return
 	}
 
 	var prev *obs.PromScrape
+	var prevBackends map[string]*obs.PromScrape
 	frames := 0
 	for {
 		cur, err := scrapeMetrics(hc, metricsURL)
@@ -241,8 +354,14 @@ func main() {
 		// ANSI clear + home; a full redraw per tick keeps the renderer
 		// stateless.
 		fmt.Print("\x1b[2J\x1b[H")
-		fmt.Printf("suftop %s  %s\n\n", *url, time.Now().Format("15:04:05"))
-		frame(os.Stdout, cur, prev, *interval)
+		fmt.Printf("suftop %s  %s\n\n", base, time.Now().Format("15:04:05"))
+		if *fleet != "" {
+			backends := scrapeFleet(hc, cur)
+			fleetFrame(os.Stdout, cur, prev, backends, prevBackends, *interval)
+			prevBackends = backends
+		} else {
+			frame(os.Stdout, cur, prev, *interval)
+		}
 		prev = cur
 		frames++
 		if *count > 0 && frames >= *count {

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"sufsat/internal/server/client"
+)
+
+// Process-level fleet harness: build the daemons once, run sufserved
+// backends as real OS processes (so a SIGKILL is a real crash — sockets die
+// with RSTs, no deferred cleanup runs), and restart them on the same port so
+// a router's fixed backend list stays valid across the crash.
+
+// BuildBinary compiles pkg (e.g. "sufsat/cmd/sufserved") into dir and
+// returns the binary path.
+func BuildBinary(dir, pkg string) (string, error) {
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("bench: go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin, nil
+}
+
+// BackendProc is one sufserved OS process. Start it with StartBackend; Kill
+// delivers SIGKILL (a crash, not a drain); Restart brings it back on the
+// same address.
+type BackendProc struct {
+	bin  string
+	args []string
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	addr string // host:port, fixed after first start
+	done chan struct{}
+}
+
+// StartBackend launches bin on an ephemeral port with the given extra args
+// and waits until it reports its listen address and answers /readyz.
+func StartBackend(ctx context.Context, bin string, args ...string) (*BackendProc, error) {
+	p := &BackendProc{bin: bin, args: args}
+	if err := p.start(ctx, "127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// start launches the process on addr and waits for readiness.
+func (p *BackendProc) start(ctx context.Context, addr string) error {
+	cmd := exec.Command(p.bin, append([]string{"-addr", addr}, p.args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return fmt.Errorf("bench: stderr pipe: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("bench: start %s: %w", p.bin, err)
+	}
+	done := make(chan struct{})
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "listening on http://"); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	var bound string
+	select {
+	case bound = <-addrCh:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		return fmt.Errorf("bench: %s never reported its listen address", p.bin)
+	case <-ctx.Done():
+		cmd.Process.Kill() //nolint:errcheck
+		return ctx.Err()
+	}
+
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := client.New("http://" + bound).Ready(rctx); err != nil {
+		cmd.Process.Kill() //nolint:errcheck
+		return fmt.Errorf("bench: %s not ready: %w", p.bin, err)
+	}
+
+	p.mu.Lock()
+	p.cmd = cmd
+	p.addr = bound
+	p.done = done
+	p.mu.Unlock()
+	return nil
+}
+
+// URL is the backend's base URL — stable across Kill/Restart.
+func (p *BackendProc) URL() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return "http://" + p.addr
+}
+
+// Kill SIGKILLs the process and reaps it: an abrupt crash, in-flight
+// requests die with connection resets.
+func (p *BackendProc) Kill() error {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	cmd.Process.Kill() //nolint:errcheck // racing a natural exit is fine
+	<-done
+	cmd.Wait() //nolint:errcheck // exit status is the kill signal
+	return nil
+}
+
+// Restart brings the backend back on the same port it first bound (so a
+// fixed fleet membership list stays valid) and waits for readiness. The port
+// may linger briefly after the kill; binds are retried.
+func (p *BackendProc) Restart(ctx context.Context) error {
+	p.mu.Lock()
+	addr := p.addr
+	p.mu.Unlock()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if lastErr = p.start(ctx, addr); lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("bench: restart on %s: %w", addr, lastErr)
+}
+
+// Stop terminates the process with SIGTERM and falls back to SIGKILL when it
+// does not exit within the grace period.
+func (p *BackendProc) Stop(grace time.Duration) {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+	select {
+	case <-done:
+	case <-time.After(grace):
+		cmd.Process.Kill() //nolint:errcheck
+		<-done
+	}
+	cmd.Wait() //nolint:errcheck
+}

@@ -1,0 +1,273 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network fault modes: the Injector above targets pipeline stages inside one
+// process; NetProxy targets the wire between processes. It is a TCP proxy a
+// test threads between a router and a backend, with a runtime-switchable
+// fault mode, so the fleet tier can be exercised against the failure shapes
+// real networks produce — added latency, silent blackholes, connection
+// resets, and mid-body truncation — without ever touching the processes
+// under test.
+
+// NetFault selects the proxy's behavior.
+type NetFault int32
+
+const (
+	// FaultNone forwards traffic transparently.
+	FaultNone NetFault = iota
+	// FaultLatency delays the first forwarded bytes of each connection (in
+	// both directions) by the configured Latency, modeling a congested or
+	// distant link. Established streams then flow normally.
+	FaultLatency
+	// FaultBlackhole accepts connections and reads (and discards) client
+	// bytes but never forwards and never responds — the peer looks alive at
+	// the TCP level while every request silently hangs until its deadline.
+	// This is the failure shape only hedging (not error-driven failover)
+	// can cover.
+	FaultBlackhole
+	// FaultReset aborts every connection with a TCP RST (SO_LINGER 0) as
+	// soon as it is accepted, and kills established connections when the
+	// mode is switched in — the crashed-mid-request shape.
+	FaultReset
+	// FaultTruncate forwards the backend's response but cuts the connection
+	// after TruncateAfter bytes of it, leaving the client with a syntactically
+	// broken body — the shape the client's typed BodyError distinguishes.
+	FaultTruncate
+)
+
+func (f NetFault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultLatency:
+		return "latency"
+	case FaultBlackhole:
+		return "blackhole"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("NetFault(%d)", int32(f))
+}
+
+// NetProxy is a fault-injecting TCP proxy in front of one target address.
+// Create with NewProxy, point clients at Addr, switch behavior with SetMode.
+// Safe for concurrent use; Close is idempotent.
+type NetProxy struct {
+	target string
+	ln     net.Listener
+
+	mode          atomic.Int32
+	latencyNS     atomic.Int64
+	truncateAfter atomic.Int64
+
+	accepted atomic.Int64
+	faulted  atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on an ephemeral localhost port and forwards connections
+// to target (a host:port). The initial mode is FaultNone with a 500ms
+// latency and a 64-byte truncation point preconfigured for when those modes
+// are switched in.
+func NewProxy(target string) (*NetProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: proxy listen: %w", err)
+	}
+	p := &NetProxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.latencyNS.Store(int64(500 * time.Millisecond))
+	p.truncateAfter.Store(64)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — the address clients should dial.
+func (p *NetProxy) Addr() string { return p.ln.Addr().String() }
+
+// Target is the upstream address the proxy forwards to.
+func (p *NetProxy) Target() string { return p.target }
+
+// Mode returns the current fault mode.
+func (p *NetProxy) Mode() NetFault { return NetFault(p.mode.Load()) }
+
+// SetMode switches the fault mode. Switching to FaultReset or FaultBlackhole
+// also kills every established connection (reset abruptly, blackhole by
+// severing the stream), so in-flight requests feel the fault immediately
+// rather than only the next dial.
+func (p *NetProxy) SetMode(m NetFault) {
+	p.mode.Store(int32(m))
+	if m == FaultReset || m == FaultBlackhole {
+		p.killConns()
+	}
+}
+
+// SetLatency configures the delay FaultLatency applies.
+func (p *NetProxy) SetLatency(d time.Duration) { p.latencyNS.Store(int64(d)) }
+
+// SetTruncateAfter configures how many response bytes FaultTruncate forwards
+// before cutting the connection.
+func (p *NetProxy) SetTruncateAfter(n int64) { p.truncateAfter.Store(n) }
+
+// Accepted reports how many connections the proxy has accepted.
+func (p *NetProxy) Accepted() int64 { return p.accepted.Load() }
+
+// Faulted reports how many connections a non-None mode was applied to.
+func (p *NetProxy) Faulted() int64 { return p.faulted.Load() }
+
+// Close shuts the listener and every tracked connection and waits for the
+// proxy's goroutines to exit.
+func (p *NetProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.killConns()
+	p.wg.Wait()
+	return err
+}
+
+// track registers c for mode-switch and Close teardown; it reports false
+// (and closes c) when the proxy is already closed.
+func (p *NetProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *NetProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// killConns aborts every tracked connection with a RST where the platform
+// allows it — an abrupt kill, not a graceful FIN, matching how a crashed
+// process's sockets die.
+func (p *NetProxy) killConns() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0) //nolint:errcheck
+		}
+		c.Close()
+	}
+}
+
+func (p *NetProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.accepted.Add(1)
+		if !p.track(c) {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(c)
+			p.serveConn(c)
+		}()
+	}
+}
+
+// serveConn applies the mode sampled at accept time to one connection.
+func (p *NetProxy) serveConn(client net.Conn) {
+	defer client.Close()
+	mode := p.Mode()
+	if mode != FaultNone {
+		p.faulted.Add(1)
+	}
+	switch mode {
+	case FaultReset:
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0) //nolint:errcheck
+		}
+		return
+	case FaultBlackhole:
+		// Swallow the request bytes forever; never answer. The client sits
+		// on the socket until its own deadline fires or killConns runs.
+		io.Copy(io.Discard, client) //nolint:errcheck
+		return
+	}
+
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+	if !p.track(upstream) {
+		return
+	}
+	defer p.untrack(upstream)
+
+	if mode == FaultLatency {
+		d := time.Duration(p.latencyNS.Load())
+		t := time.NewTimer(d)
+		defer t.Stop()
+		<-t.C
+	}
+
+	done := make(chan struct{}, 2)
+	// Client → upstream: always forwarded whole (the faults under test are
+	// response-side; a request that never arrives is just a blackhole).
+	go func() {
+		io.Copy(upstream, client) //nolint:errcheck
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite() //nolint:errcheck
+		}
+		done <- struct{}{}
+	}()
+	// Upstream → client: the truncation point applies here.
+	go func() {
+		if mode == FaultTruncate {
+			io.CopyN(client, upstream, p.truncateAfter.Load()) //nolint:errcheck
+			// Abrupt cut: the client sees the body end mid-token.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0) //nolint:errcheck
+			}
+			client.Close()
+			upstream.Close()
+		} else {
+			io.Copy(client, upstream) //nolint:errcheck
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite() //nolint:errcheck
+			}
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

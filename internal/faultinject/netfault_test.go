@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho serves a tiny HTTP endpoint with a known body behind a NetProxy
+// and returns the proxy plus a client pointed through it.
+func startEcho(t *testing.T, body string) (*NetProxy, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	proxy, err := NewProxy(strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return proxy, srv
+}
+
+func get(t *testing.T, addr string, timeout time.Duration) (string, error) {
+	t.Helper()
+	hc := &http.Client{
+		Timeout: timeout,
+		// Each request must dial fresh so the accept-time mode applies.
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	resp, err := hc.Get("http://" + addr + "/")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestNetProxyTransparent(t *testing.T) {
+	proxy, _ := startEcho(t, "hello fleet")
+	body, err := get(t, proxy.Addr(), 2*time.Second)
+	if err != nil || body != "hello fleet" {
+		t.Fatalf("transparent proxy: body=%q err=%v", body, err)
+	}
+	if proxy.Accepted() == 0 || proxy.Faulted() != 0 {
+		t.Fatalf("counters: accepted=%d faulted=%d", proxy.Accepted(), proxy.Faulted())
+	}
+}
+
+func TestNetProxyLatency(t *testing.T) {
+	proxy, _ := startEcho(t, "slow")
+	proxy.SetLatency(150 * time.Millisecond)
+	proxy.SetMode(FaultLatency)
+	start := time.Now()
+	body, err := get(t, proxy.Addr(), 5*time.Second)
+	if err != nil || body != "slow" {
+		t.Fatalf("latency proxy: body=%q err=%v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("request completed in %v — latency was not applied", elapsed)
+	}
+	proxy.SetMode(FaultNone)
+	start = time.Now()
+	if _, err := get(t, proxy.Addr(), 5*time.Second); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 140*time.Millisecond {
+		t.Fatalf("restored request took %v — latency still applied", elapsed)
+	}
+}
+
+func TestNetProxyBlackhole(t *testing.T) {
+	proxy, _ := startEcho(t, "never")
+	proxy.SetMode(FaultBlackhole)
+	start := time.Now()
+	_, err := get(t, proxy.Addr(), 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("blackholed request returned a response")
+	}
+	// The failure must be the client's own deadline, not a fast refusal:
+	// a blackhole looks alive at the TCP level.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("blackholed request failed fast (%v, %v) — that is a reset, not a blackhole", elapsed, err)
+	}
+}
+
+func TestNetProxyReset(t *testing.T) {
+	proxy, _ := startEcho(t, "rst")
+	proxy.SetMode(FaultReset)
+	start := time.Now()
+	_, err := get(t, proxy.Addr(), 5*time.Second)
+	if err == nil {
+		t.Fatal("reset connection returned a response")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("reset took %v — expected a prompt connection error", elapsed)
+	}
+}
+
+func TestNetProxyTruncate(t *testing.T) {
+	long := strings.Repeat("abcdefgh", 512) // 4 KiB body
+	proxy, _ := startEcho(t, long)
+	proxy.SetTruncateAfter(100)
+	proxy.SetMode(FaultTruncate)
+	body, err := get(t, proxy.Addr(), 5*time.Second)
+	if err == nil && body == long {
+		t.Fatal("truncate mode delivered the full body")
+	}
+	if len(body) > 100 {
+		t.Fatalf("truncate forwarded %d bytes, cap was 100", len(body))
+	}
+}
+
+// TestNetProxyKillsEstablished: switching to FaultReset tears down
+// connections that were already established, not only new dials.
+func TestNetProxyKillsEstablished(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // hold the response open
+	}))
+	defer srv.Close()
+	proxy, err := NewProxy(strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer proxy.Close()
+
+	conn, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Wait for the status line so the stream is provably established.
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read header: %v", err)
+	}
+
+	proxy.SetMode(FaultReset)
+	// Drain whatever was already buffered; the stream must then terminate
+	// (EOF or RST) rather than hang until the read deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	_, err = io.Copy(io.Discard, conn)
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		t.Fatal("established connection survived the mode switch (read deadline hit)")
+	}
+}
+
+// TestNetProxyCloseLeak: Close tears everything down without leaking the
+// accept loop or per-connection goroutines, even with a blackholed
+// connection still swallowing bytes.
+func TestNetProxyCloseLeak(t *testing.T) {
+	err := LeakCheck(func() {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "bye") //nolint:errcheck
+		}))
+		defer srv.Close()
+		proxy, err := NewProxy(strings.TrimPrefix(srv.URL, "http://"))
+		if err != nil {
+			t.Fatalf("proxy: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			get(t, proxy.Addr(), 2*time.Second) //nolint:errcheck
+		}
+		proxy.SetMode(FaultBlackhole)
+		get(t, proxy.Addr(), 100*time.Millisecond) //nolint:errcheck
+		proxy.Close()
+		srv.CloseClientConnections()
+	}, 5*time.Second)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import "sync"
+
+// RouterMetrics is the aggregated-metrics bundle of the fleet router
+// (internal/router): the sufrouter_* families its /metrics endpoint exposes.
+// It follows the same discipline as ServiceMetrics — handles are registered
+// once, hot-path updates are lock-free after a one-time child lookup, label
+// cardinality is capped, and a nil *RouterMetrics no-ops every method, so a
+// metrics-disabled router pays only untaken branches.
+//
+// Families (documented in docs/FORMATS.md):
+//
+//	sufrouter_requests_total{status}          routed responses by final status
+//	sufrouter_request_duration_seconds        end-to-end router latency
+//	sufrouter_backend_state{backend}          breaker state (0 closed, 1 half-open, 2 open)
+//	sufrouter_backend_requests_total{backend} attempts sent to each backend
+//	sufrouter_backend_failures_total{backend} attempts that failed below HTTP
+//	sufrouter_failovers_total                 reroutes to the next ring node
+//	sufrouter_failover_denied_total           failovers blocked by the retry budget
+//	sufrouter_hedges_total                    hedge requests fired
+//	sufrouter_hedge_wins_total                hedges that answered first
+//	sufrouter_hedge_denied_total              hedges blocked by the hedge budget
+//	sufrouter_sheds_total{reason}             router-level 503s by cause
+//	sufrouter_probe_failures_total{backend}   failed active health probes
+//	sufrouter_in_flight                       requests currently inside the router
+type RouterMetrics struct {
+	reg *Registry
+
+	reqDuration *Histogram
+
+	failovers      *Counter
+	failoverDenied *Counter
+	hedges         *Counter
+	hedgeWins      *Counter
+	hedgeDenied    *Counter
+
+	mu            sync.Mutex
+	requests      map[string]*Counter // by status
+	sheds         map[string]*Counter // by reason
+	backendReqs   map[string]*Counter // by backend
+	backendFails  map[string]*Counter // by backend
+	probeFailures map[string]*Counter // by backend
+}
+
+// NewRouterMetrics registers the router's metric families on reg. inFlight
+// is read at scrape time (the router already maintains the count). Returns
+// nil on a nil registry.
+func NewRouterMetrics(reg *Registry, inFlight func() float64) *RouterMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &RouterMetrics{
+		reg:           reg,
+		requests:      make(map[string]*Counter),
+		sheds:         make(map[string]*Counter),
+		backendReqs:   make(map[string]*Counter),
+		backendFails:  make(map[string]*Counter),
+		probeFailures: make(map[string]*Counter),
+	}
+	RegisterBuildInfo(reg)
+	m.reqDuration = reg.Histogram("sufrouter_request_duration_seconds",
+		"End-to-end router latency (receipt to response), hedges and failovers included.",
+		latencyBuckets)
+	m.failovers = reg.Counter("sufrouter_failovers_total",
+		"Requests rerouted to the next ring node after a backend failure or open breaker.")
+	m.failoverDenied = reg.Counter("sufrouter_failover_denied_total",
+		"Failovers blocked by the retry budget (degraded to a shed instead of cascading).")
+	m.hedges = reg.Counter("sufrouter_hedges_total",
+		"Hedge requests fired after the p95-derived delay.")
+	m.hedgeWins = reg.Counter("sufrouter_hedge_wins_total",
+		"Hedge requests that answered before the primary.")
+	m.hedgeDenied = reg.Counter("sufrouter_hedge_denied_total",
+		"Hedges blocked by the hedge budget (self-load-shedding under saturation).")
+	if inFlight != nil {
+		reg.GaugeFunc("sufrouter_in_flight",
+			"Requests currently inside the router.", inFlight)
+	}
+	return m
+}
+
+// Registry returns the registry the bundle writes to (nil for nil).
+func (m *RouterMetrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// RegisterBackend registers the per-backend breaker-state gauge, read at
+// scrape time from stateFn (0 closed, 1 half-open, 2 open). Call once per
+// backend at router construction.
+func (m *RouterMetrics) RegisterBackend(name string, stateFn func() float64) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc("sufrouter_backend_state",
+		"Circuit-breaker state per backend: 0 closed, 1 half-open, 2 open.",
+		stateFn, "backend", name)
+}
+
+// labeled returns (creating on first use) the counter child of family name
+// keyed by one dynamic label value, collapsing past maxLabelChildren into
+// "other" — same cardinality cap as the service bundle.
+func (m *RouterMetrics) labeled(cache map[string]*Counter, name, help, label, value string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := cache[value]; ok {
+		return c
+	}
+	if len(cache) >= maxLabelChildren {
+		value = "other"
+		if c, ok := cache[value]; ok {
+			return c
+		}
+	}
+	c := m.reg.Counter(name, help, label, value)
+	cache[value] = c
+	return c
+}
+
+// ObserveRequest records one routed response: its final status and the
+// router-side end-to-end latency in seconds.
+func (m *RouterMetrics) ObserveRequest(status string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.labeled(m.requests, "sufrouter_requests_total",
+		"Routed responses by final status.", "status", status).Inc()
+	m.reqDuration.Observe(seconds)
+}
+
+// ObserveAttempt records one attempt sent to a backend, and whether it
+// failed below HTTP (transport error, truncated or undecodable body).
+func (m *RouterMetrics) ObserveAttempt(backend string, failed bool) {
+	if m == nil {
+		return
+	}
+	m.labeled(m.backendReqs, "sufrouter_backend_requests_total",
+		"Attempts sent to each backend (hedges and failovers included).", "backend", backend).Inc()
+	if failed {
+		m.labeled(m.backendFails, "sufrouter_backend_failures_total",
+			"Attempts that failed below HTTP, by backend.", "backend", backend).Inc()
+	}
+}
+
+// ObserveShed records one router-level 503 by cause.
+func (m *RouterMetrics) ObserveShed(reason string) {
+	if m == nil {
+		return
+	}
+	m.labeled(m.sheds, "sufrouter_sheds_total",
+		"Router-level load-shedding rejections by cause.", "reason", reason).Inc()
+}
+
+// ObserveProbeFailure records one failed active health probe.
+func (m *RouterMetrics) ObserveProbeFailure(backend string) {
+	if m == nil {
+		return
+	}
+	m.labeled(m.probeFailures, "sufrouter_probe_failures_total",
+		"Failed active /readyz probes, by backend.", "backend", backend).Inc()
+}
+
+// Failover / FailoverDenied / Hedge / HedgeWin / HedgeDenied bump the
+// matching counters (nil-safe via the Counter methods).
+func (m *RouterMetrics) Failover() {
+	if m != nil {
+		m.failovers.Inc()
+	}
+}
+
+func (m *RouterMetrics) FailoverDenied() {
+	if m != nil {
+		m.failoverDenied.Inc()
+	}
+}
+
+func (m *RouterMetrics) Hedge() {
+	if m != nil {
+		m.hedges.Inc()
+	}
+}
+
+func (m *RouterMetrics) HedgeWin() {
+	if m != nil {
+		m.hedgeWins.Inc()
+	}
+}
+
+func (m *RouterMetrics) HedgeDenied() {
+	if m != nil {
+		m.hedgeDenied.Inc()
+	}
+}

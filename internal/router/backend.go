@@ -1,0 +1,75 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sufsat/internal/server/client"
+)
+
+// latWindow is a fixed-size sliding window of observed attempt latencies,
+// the sample the hedge delay's p95 is derived from. Safe for concurrent use.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	n    int // filled entries
+	next int // ring cursor
+}
+
+func newLatWindow(size int) *latWindow {
+	if size <= 0 {
+		size = 256
+	}
+	return &latWindow{buf: make([]time.Duration, size)}
+}
+
+// Observe records one successful attempt's latency.
+func (w *latWindow) Observe(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the window, or 0 when the
+// window is empty.
+func (w *latWindow) Quantile(q float64) time.Duration {
+	w.mu.Lock()
+	sample := make([]time.Duration, w.n)
+	copy(sample, w.buf[:w.n])
+	w.mu.Unlock()
+	if len(sample) == 0 {
+		return 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	idx := int(q * float64(len(sample)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
+	return sample[idx]
+}
+
+// backend is one pool member: its client, its breaker, and its latency
+// window.
+type backend struct {
+	name string // base URL; also the ring member and metric label
+	cl   *client.Client
+	br   *Breaker
+	lat  *latWindow
+}
+
+func newBackend(baseURL string, bcfg BreakerConfig) *backend {
+	return &backend{
+		name: baseURL,
+		cl:   client.New(baseURL),
+		br:   NewBreaker(bcfg),
+		lat:  newLatWindow(256),
+	}
+}

@@ -1,0 +1,298 @@
+package router
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows; failures are tallied into the EWMA.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; exactly one trial (a live
+	// request or an active probe) may pass to test the backend.
+	BreakerHalfOpen
+	// BreakerOpen: traffic is blocked until the jittered cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value gets the documented
+// defaults.
+type BreakerConfig struct {
+	// ErrorThreshold is the EWMA error rate at or above which a closed
+	// breaker opens (0 = 0.5). The EWMA (α = ¼) needs MinSamples results
+	// before it can trip, so one failed request on a cold backend does not
+	// blacklist it.
+	ErrorThreshold float64
+	MinSamples     int // 0 = 5
+	// ProbeFailures is the consecutive active-probe failure count that opens
+	// the breaker regardless of the EWMA (0 = 3) — the passive signal needs
+	// traffic; the active one works on an idle fleet.
+	ProbeFailures int
+	// BaseCooldown seeds the open-state cooldown; each reopen from half-open
+	// doubles it up to MaxCooldown, and every entry is jittered to ±50% so a
+	// fleet of routers does not re-probe a recovering backend in lockstep
+	// (0 = 500ms base, 15s max).
+	BaseCooldown time.Duration
+	MaxCooldown  time.Duration
+
+	// now overrides the clock in tests (nil = time.Now).
+	now func() time.Time
+}
+
+func (c *BreakerConfig) withDefaults() BreakerConfig {
+	out := *c
+	if out.ErrorThreshold <= 0 {
+		out.ErrorThreshold = 0.5
+	}
+	if out.MinSamples <= 0 {
+		out.MinSamples = 5
+	}
+	if out.ProbeFailures <= 0 {
+		out.ProbeFailures = 3
+	}
+	if out.BaseCooldown <= 0 {
+		out.BaseCooldown = 500 * time.Millisecond
+	}
+	if out.MaxCooldown <= 0 {
+		out.MaxCooldown = 15 * time.Second
+	}
+	if out.now == nil {
+		out.now = time.Now
+	}
+	return out
+}
+
+// Breaker is a three-state circuit breaker (closed → open → half-open)
+// driven by two signals: the passive error-rate EWMA of live requests and
+// the active /readyz probe stream. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu              sync.Mutex
+	state           BreakerState
+	ewma            float64 // error rate, α = ¼
+	samples         int
+	consecProbeFail int
+	cooldown        time.Duration // next open-state duration (pre-jitter)
+	reopenAt        time.Time     // when open → half-open
+	trialInFlight   bool
+	rng             *rand.Rand
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	c := cfg.withDefaults()
+	return &Breaker{
+		cfg:      c,
+		cooldown: c.BaseCooldown,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// State returns the current position, accounting for cooldown expiry (an
+// open breaker past its reopen time reports half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.cfg.now().Before(b.reopenAt) {
+		b.state = BreakerHalfOpen
+		b.trialInFlight = false
+	}
+	return b.state
+}
+
+// ReopenIn reports how long until an open breaker admits its half-open
+// trial (0 when not open) — the Retry-After a router surfaces when every
+// backend is open.
+func (b *Breaker) ReopenIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	d := b.reopenAt.Sub(b.cfg.now())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ErrorRate returns the current EWMA error rate.
+func (b *Breaker) ErrorRate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ewma
+}
+
+// Allow asks to send one request. ok reports whether the request may pass;
+// trial is set when it passes as the half-open trial — the caller must then
+// report the outcome (ReportSuccess, ReportFailure, or ReportCanceled) to
+// release the slot. Closed breakers always allow; open breakers allow
+// nothing until the cooldown elapses; half-open allows exactly one trial at
+// a time.
+func (b *Breaker) Allow() (ok, trial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.cfg.now().Before(b.reopenAt) {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.trialInFlight = true
+		return true, true
+	default: // BreakerHalfOpen
+		if b.trialInFlight {
+			return false, false
+		}
+		b.trialInFlight = true
+		return true, true
+	}
+}
+
+// open transitions to open with the current cooldown, jittered to ±50%, and
+// doubles the cooldown for the next trip (capped). Caller holds b.mu.
+func (b *Breaker) openLocked() {
+	d := b.cooldown
+	// Jitter in [d/2, 3d/2): recovering fleets must not stampede.
+	d = d/2 + time.Duration(b.rng.Int63n(int64(d)+1))
+	b.state = BreakerOpen
+	b.reopenAt = b.cfg.now().Add(d)
+	b.trialInFlight = false
+	b.cooldown *= 2
+	if b.cooldown > b.cfg.MaxCooldown {
+		b.cooldown = b.cfg.MaxCooldown
+	}
+}
+
+// closeLocked resets to a clean closed state. Caller holds b.mu.
+func (b *Breaker) closeLocked() {
+	b.state = BreakerClosed
+	b.ewma = 0
+	b.samples = 0
+	b.consecProbeFail = 0
+	b.cooldown = b.cfg.BaseCooldown
+	b.trialInFlight = false
+}
+
+// observeLocked folds one request outcome into the EWMA and trips the
+// breaker when it crosses the threshold. Caller holds b.mu.
+func (b *Breaker) observeLocked(failed bool) {
+	v := 0.0
+	if failed {
+		v = 1.0
+	}
+	if b.samples == 0 {
+		b.ewma = v
+	} else {
+		b.ewma += (v - b.ewma) / 4
+	}
+	b.samples++
+	if failed && b.samples >= b.cfg.MinSamples && b.ewma >= b.cfg.ErrorThreshold {
+		b.openLocked()
+	}
+}
+
+// ReportSuccess records a completed request. A successful half-open trial
+// closes the breaker.
+func (b *Breaker) ReportSuccess(trial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if trial || b.state == BreakerHalfOpen {
+		b.closeLocked()
+		return
+	}
+	if b.state == BreakerClosed {
+		b.observeLocked(false)
+	}
+}
+
+// ReportFailure records a failed request. A failed half-open trial reopens
+// the breaker with a doubled (capped, jittered) cooldown; failures in the
+// closed state feed the EWMA.
+func (b *Breaker) ReportFailure(trial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if trial || b.state == BreakerHalfOpen {
+		b.openLocked()
+		return
+	}
+	if b.state == BreakerClosed {
+		b.observeLocked(true)
+	}
+}
+
+// ReportCanceled releases a trial slot without a verdict — the attempt was
+// cancelled by the router (hedge lost, client gone), which says nothing
+// about the backend's health.
+func (b *Breaker) ReportCanceled(trial bool) {
+	if !trial {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trialInFlight = false
+	}
+}
+
+// ReportProbe records one active health-probe result. Consecutive failures
+// past the configured count open the breaker; a successful probe closes a
+// half-open breaker (it is a valid trial) and clears the failure streak.
+func (b *Breaker) ReportProbe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Refresh open → half-open before judging, so a probe against a cooled
+	// breaker acts as its trial.
+	if b.state == BreakerOpen && !b.cfg.now().Before(b.reopenAt) {
+		b.state = BreakerHalfOpen
+		b.trialInFlight = false
+	}
+	if ok {
+		b.consecProbeFail = 0
+		if b.state == BreakerHalfOpen && !b.trialInFlight {
+			// Close only when no live trial is racing this probe: the live
+			// request's verdict is the stronger signal and must keep the
+			// slot's exclusivity.
+			b.closeLocked()
+		}
+		return
+	}
+	b.consecProbeFail++
+	switch b.state {
+	case BreakerClosed:
+		if b.consecProbeFail >= b.cfg.ProbeFailures {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		if !b.trialInFlight {
+			// The probe was the trial and it failed: back to open.
+			b.openLocked()
+		}
+	}
+}
+
+// ConsecutiveProbeFailures reports the current failed-probe streak.
+func (b *Breaker) ConsecutiveProbeFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecProbeFail
+}

@@ -1,0 +1,202 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock returns a BreakerConfig clock hook and a function to advance it.
+func fakeClock() (func() time.Time, func(time.Duration)) {
+	now := time.Unix(1_700_000_000, 0)
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestBreakerTripsOnErrorRate(t *testing.T) {
+	nowFn, _ := fakeClock()
+	b := NewBreaker(BreakerConfig{MinSamples: 5, now: nowFn})
+	for i := 0; i < 4; i++ {
+		b.ReportFailure(false)
+		if b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d samples, MinSamples is 5", i+1)
+		}
+	}
+	b.ReportFailure(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker %v after 5 consecutive failures, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	if b.ReopenIn() <= 0 {
+		t.Fatal("open breaker reports no reopen time")
+	}
+}
+
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	nowFn, _ := fakeClock()
+	b := NewBreaker(BreakerConfig{now: nowFn})
+	for i := 0; i < 50; i++ {
+		b.ReportSuccess(false)
+		if i%7 == 0 {
+			b.ReportFailure(false) // ~13% error rate stays under the 50% threshold
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker %v under a low error rate, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	nowFn, advance := fakeClock()
+	b := NewBreaker(BreakerConfig{MinSamples: 1, BaseCooldown: 100 * time.Millisecond, now: nowFn})
+	b.ReportFailure(false) // trip (MinSamples 1, first sample EWMA = 1.0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	advance(time.Second) // past any jittered cooldown (max 150ms)
+
+	ok, trial := b.Allow()
+	if !ok || !trial {
+		t.Fatalf("cooled breaker Allow = (%v,%v), want a half-open trial", ok, trial)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker granted a second concurrent trial")
+	}
+	b.ReportSuccess(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful trial, want closed", b.State())
+	}
+	if ok, trial := b.Allow(); !ok || trial {
+		t.Fatalf("closed breaker Allow = (%v,%v)", ok, trial)
+	}
+}
+
+func TestBreakerFailedTrialDoublesCooldown(t *testing.T) {
+	nowFn, advance := fakeClock()
+	b := NewBreaker(BreakerConfig{
+		MinSamples: 1, BaseCooldown: 100 * time.Millisecond, MaxCooldown: time.Second, now: nowFn,
+	})
+	b.ReportFailure(false)
+	advance(time.Second)
+	if ok, trial := b.Allow(); !ok || !trial {
+		t.Fatal("expected a trial after cooldown")
+	}
+	b.ReportFailure(true) // trial failed → reopen with doubled cooldown
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed trial, want open", b.State())
+	}
+	// Second cooldown is drawn from 200ms jittered to [100ms, 300ms].
+	if ra := b.ReopenIn(); ra < 100*time.Millisecond || ra > 300*time.Millisecond {
+		t.Fatalf("second cooldown %v outside the doubled jitter band", ra)
+	}
+	// Cap: after many consecutive failed trials the cooldown must not exceed
+	// MaxCooldown×1.5 (jitter headroom).
+	for i := 0; i < 10; i++ {
+		advance(10 * time.Second)
+		if ok, _ := b.Allow(); ok {
+			b.ReportFailure(true)
+		}
+	}
+	if ra := b.ReopenIn(); ra > 1500*time.Millisecond {
+		t.Fatalf("cooldown %v exceeds the cap", ra)
+	}
+}
+
+func TestBreakerReportCanceledReleasesTrial(t *testing.T) {
+	nowFn, advance := fakeClock()
+	b := NewBreaker(BreakerConfig{MinSamples: 1, BaseCooldown: 50 * time.Millisecond, now: nowFn})
+	b.ReportFailure(false)
+	advance(time.Second)
+	_, trial := b.Allow()
+	if !trial {
+		t.Fatal("expected trial")
+	}
+	// The router hedged, the hedge won, the trial was canceled mid-flight:
+	// the slot must free without changing the verdict.
+	b.ReportCanceled(trial)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after canceled trial, want half-open", b.State())
+	}
+	if ok, trial2 := b.Allow(); !ok || !trial2 {
+		t.Fatal("released trial slot was not re-grantable")
+	}
+}
+
+func TestBreakerProbeSignal(t *testing.T) {
+	nowFn, advance := fakeClock()
+	b := NewBreaker(BreakerConfig{ProbeFailures: 3, now: nowFn})
+	b.ReportProbe(false)
+	b.ReportProbe(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2 probe failures, threshold 3", b.State())
+	}
+	b.ReportProbe(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after 3 consecutive probe failures, want open", b.State())
+	}
+	// Recovery: cooldown elapses, a successful probe acts as the trial.
+	advance(time.Second)
+	b.ReportProbe(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful post-cooldown probe, want closed", b.State())
+	}
+	// An intervening success resets the consecutive counter.
+	b.ReportProbe(false)
+	b.ReportProbe(false)
+	b.ReportProbe(true)
+	b.ReportProbe(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v — probe failure streak should have reset", b.State())
+	}
+}
+
+// TestBreakerProbeRacesLiveTrial: a half-open breaker with a live request
+// holding the trial slot must not let a concurrent successful probe close it
+// (the live verdict is the stronger signal), and must not let a failed probe
+// reopen it under the live trial either.
+func TestBreakerProbeRacesLiveTrial(t *testing.T) {
+	nowFn, advance := fakeClock()
+	b := NewBreaker(BreakerConfig{MinSamples: 1, BaseCooldown: 50 * time.Millisecond, now: nowFn})
+	b.ReportFailure(false)
+	advance(time.Second)
+	_, trial := b.Allow() // live request takes the trial slot
+	if !trial {
+		t.Fatal("expected trial")
+	}
+	b.ReportProbe(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("probe closed the breaker under a live trial (state %v)", b.State())
+	}
+	b.ReportProbe(false)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("probe reopened the breaker under a live trial (state %v)", b.State())
+	}
+	// The live request's verdict decides.
+	b.ReportFailure(trial)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after the live trial failed, want open", b.State())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(0.5, 2)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst of 2 not granted")
+	}
+	if b.Allow() {
+		t.Fatal("third extra granted with no requests noted")
+	}
+	for i := 0; i < 4; i++ {
+		b.Note()
+	}
+	// Allowance is now 2 + 0.5·4 = 4; two more extras fit.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("ratio allowance not granted")
+	}
+	if b.Allow() {
+		t.Fatal("allowance overdrawn")
+	}
+	if b.Spent() != 4 {
+		t.Fatalf("Spent = %d, want 4", b.Spent())
+	}
+}

@@ -1,0 +1,45 @@
+package router
+
+import "sync/atomic"
+
+// Budget is a ratio-with-burst spend limiter for extra work — failover
+// retries and hedges. It admits up to burst extras outright, plus ratio
+// extras per noted logical request, so a healthy fleet hedges freely while a
+// failing one cannot amplify its own load: when every request would retry,
+// the budget clamps the retry rate to ratio and the rest degrade to clean
+// 503s instead of a retry storm. Lock-free; safe for concurrent use.
+type Budget struct {
+	ratio float64
+	burst int64
+
+	requests atomic.Int64
+	spent    atomic.Int64
+}
+
+// NewBudget returns a budget allowing burst + ratio·requests extras.
+func NewBudget(ratio float64, burst int) *Budget {
+	return &Budget{ratio: ratio, burst: int64(burst)}
+}
+
+// Note records one logical request, growing the allowance.
+func (b *Budget) Note() { b.requests.Add(1) }
+
+// Allow tries to spend one extra; it reports false when the allowance is
+// exhausted. CAS loop so concurrent spenders never overdraw.
+func (b *Budget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		s := b.spent.Load()
+		if float64(s) >= float64(b.burst)+b.ratio*float64(b.requests.Load()) {
+			return false
+		}
+		if b.spent.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// Spent reports how many extras have been granted.
+func (b *Budget) Spent() int64 { return b.spent.Load() }

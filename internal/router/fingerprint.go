@@ -1,0 +1,30 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"sufsat"
+)
+
+// Fingerprint parses the request formula and returns the hex SHA-256 of its
+// canonical rendering — the ring key. Hashing the canonical form (not the
+// raw source) means whitespace, comments and equivalent spellings of the
+// same formula all land on the same backend, which is what gives a
+// per-backend verdict cache its hit rate. Parsing at the router also rejects
+// malformed input before it costs a backend anything.
+func Fingerprint(formula string, smt2 bool) (string, error) {
+	b := sufsat.NewBuilder()
+	var f sufsat.Formula
+	var err error
+	if smt2 {
+		f, err = b.ParseSMTLIB(formula)
+	} else {
+		f, err = b.Parse(formula)
+	}
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(f.String()))
+	return hex.EncodeToString(sum[:]), nil
+}

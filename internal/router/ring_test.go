@@ -1,0 +1,104 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderDeterministic(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("b%d", i))
+	}
+	a := r.Order("some-fingerprint", 3)
+	b := r.Order("some-fingerprint", 3)
+	if len(a) != 3 {
+		t.Fatalf("Order returned %d backends, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Order not deterministic: %v vs %v", a, b)
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range a {
+		if seen[n] {
+			t.Fatalf("Order returned duplicate backend %q in %v", n, a)
+		}
+		seen[n] = true
+	}
+}
+
+func TestRingOrderBounds(t *testing.T) {
+	r := NewRing(16)
+	if got := r.Order("k", 3); got != nil {
+		t.Fatalf("empty ring Order = %v, want nil", got)
+	}
+	r.Add("only")
+	if got := r.Order("k", 3); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-member Order = %v", got)
+	}
+	r.Add("two")
+	if got := r.Order("k", 0); len(got) != 2 {
+		t.Fatalf("n=0 should return all members, got %v", got)
+	}
+}
+
+// TestRingRebalance: a member joining or leaving moves only a minority of
+// the keyspace — the consistent-hashing property the verdict-cache affinity
+// depends on.
+func TestRingRebalance(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"b0", "b1", "b2", "b3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 2000
+	before := make([]string, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.Order(fmt.Sprintf("key-%d", i), 1)[0]
+	}
+
+	// Join: only keys that moved must have moved TO the new member.
+	r.Add("b4")
+	movedJoin := 0
+	for i := 0; i < keys; i++ {
+		now := r.Order(fmt.Sprintf("key-%d", i), 1)[0]
+		if now != before[i] {
+			movedJoin++
+			if now != "b4" {
+				t.Fatalf("key-%d moved %s→%s on join of b4 — churn between survivors", i, before[i], now)
+			}
+		}
+	}
+	// Expect ~1/5 of keys on the new node; allow a generous band.
+	if movedJoin == 0 || movedJoin > keys/2 {
+		t.Fatalf("join moved %d/%d keys — expected roughly %d", movedJoin, keys, keys/5)
+	}
+
+	// Leave: removing b4 must restore exactly the pre-join assignment.
+	r.Remove("b4")
+	for i := 0; i < keys; i++ {
+		if now := r.Order(fmt.Sprintf("key-%d", i), 1)[0]; now != before[i] {
+			t.Fatalf("key-%d at %s after b4 left, was %s before it joined", i, now, before[i])
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing(64)
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("b%d", i))
+	}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Order(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for name, c := range counts {
+		// Fair share is 1000; virtual nodes should keep everyone within 2×.
+		if c < keys/16 || c > keys/2 {
+			t.Fatalf("backend %s owns %d/%d keys — spread too skewed: %v", name, c, keys, counts)
+		}
+	}
+}

@@ -1,0 +1,672 @@
+// Package router is the fleet front tier: an HTTP router that spreads
+// decision requests over a pool of sufserved backends by consistent-hashing
+// the canonical formula fingerprint, with active+passive health checking
+// driving a per-backend circuit breaker, budgeted failover to the next ring
+// node, and hedged requests after a p95-derived delay. The router never
+// blocks on a full fleet: when no backend can take a request it degrades to
+// an immediate 503 with an aggregated Retry-After, mirroring the
+// load-shedding discipline of internal/server one tier up.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sufsat/internal/obs"
+	"sufsat/internal/server"
+)
+
+// Router-level shed reasons (Response.ShedReason on a router 503). The
+// backend reasons (queue-full, deadline, draining) pass through when a
+// backend shed is the final answer; these name conditions only the router
+// can see.
+const (
+	// ShedRouterFull: the router's own in-flight cap is reached.
+	ShedRouterFull = "router-full"
+	// ShedDraining: the router is draining after Shutdown.
+	ShedDraining = "draining"
+	// ShedBackendsOpen: every candidate backend's breaker is open.
+	ShedBackendsOpen = "backends-open"
+	// ShedBackendsShedding: every attempt was answered with a backend 503.
+	ShedBackendsShedding = "backends-shedding"
+	// ShedFailoverBudget: a failover was warranted but the retry budget is
+	// exhausted — the fleet is failing broadly and retries would amplify it.
+	ShedFailoverBudget = "failover-budget"
+)
+
+// Config parameterizes a Router. Backends is required; every other field
+// has a production default.
+type Config struct {
+	// Backends are the sufserved base URLs forming the pool.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the ring (0 = 64).
+	Replicas int
+
+	// HealthInterval is the active /readyz probe cadence per backend, jittered
+	// ±50% so probes de-synchronize (0 = 500ms). ProbeTimeout bounds one probe
+	// (0 = 1s).
+	HealthInterval time.Duration
+	ProbeTimeout   time.Duration
+
+	// MaxInFlight caps concurrently routed requests; admission past it is an
+	// immediate 503, never a blocked goroutine (0 = 256).
+	MaxInFlight int
+	// MaxAttempts bounds distinct backends tried per request, the primary
+	// included (0 = 3).
+	MaxAttempts int
+
+	// FailoverRatio/FailoverBurst parameterize the retry budget: a request may
+	// fail over while spent < burst + ratio·requests (0 = 0.2 ratio, 10 burst).
+	FailoverRatio float64
+	FailoverBurst int
+
+	// HedgeDelay is how long the primary attempt runs before a hedge fires on
+	// the next ring node. 0 derives it per request from the primary backend's
+	// p95 latency (clamped to [5ms, 2s]); negative disables hedging.
+	HedgeDelay time.Duration
+	// HedgeRatio/HedgeBurst parameterize the hedge budget (0 = 0.1 ratio,
+	// 5 burst).
+	HedgeRatio float64
+	HedgeBurst int
+
+	// DefaultTimeout is applied when a request carries no timeout_ms
+	// (0 = 10s); MaxTimeout clamps what a request may ask for (0 = 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRequestBytes bounds the /decide request body (0 = 1 MiB).
+	MaxRequestBytes int64
+
+	// Breaker configures every backend's circuit breaker.
+	Breaker BreakerConfig
+
+	// Registry receives the sufrouter_* metric families (nil disables
+	// metrics). Log receives failover/shed lines (nil = silent).
+	Registry *obs.Registry
+	Log      *log.Logger
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = 64
+	}
+	if out.HealthInterval <= 0 {
+		out.HealthInterval = 500 * time.Millisecond
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = time.Second
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = 256
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if out.FailoverRatio <= 0 {
+		out.FailoverRatio = 0.2
+	}
+	if out.FailoverBurst <= 0 {
+		out.FailoverBurst = 10
+	}
+	if out.HedgeRatio <= 0 {
+		out.HedgeRatio = 0.1
+	}
+	if out.HedgeBurst <= 0 {
+		out.HedgeBurst = 5
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 10 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 60 * time.Second
+	}
+	if out.MaxRequestBytes <= 0 {
+		out.MaxRequestBytes = 1 << 20
+	}
+	return out
+}
+
+// Router routes /decide requests across the backend pool. Create with New,
+// serve via Handler, stop with Shutdown.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	backends map[string]*backend
+	metrics  *obs.RouterMetrics
+
+	failoverBudget *Budget
+	hedgeBudget    *Budget
+
+	inFlight atomic.Int64
+	draining atomic.Bool
+
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+	reqWG       sync.WaitGroup
+	bgWG        sync.WaitGroup
+}
+
+// New builds the router, registers its metrics, and starts the health
+// probers.
+func New(cfg Config) (*Router, error) {
+	c := cfg.withDefaults()
+	if len(c.Backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	rt := &Router{
+		cfg:            c,
+		ring:           NewRing(c.Replicas),
+		backends:       make(map[string]*backend, len(c.Backends)),
+		failoverBudget: NewBudget(c.FailoverRatio, c.FailoverBurst),
+		hedgeBudget:    NewBudget(c.HedgeRatio, c.HedgeBurst),
+	}
+	rt.metrics = obs.NewRouterMetrics(c.Registry, func() float64 {
+		return float64(rt.inFlight.Load())
+	})
+	for _, url := range c.Backends {
+		if _, dup := rt.backends[url]; dup {
+			return nil, fmt.Errorf("router: duplicate backend %q", url)
+		}
+		b := newBackend(url, c.Breaker)
+		rt.backends[url] = b
+		rt.ring.Add(url)
+		br := b.br
+		rt.metrics.RegisterBackend(url, func() float64 { return float64(br.State()) })
+	}
+	pctx, cancel := context.WithCancel(context.Background())
+	rt.probeCancel = cancel
+	for _, b := range rt.backends {
+		rt.probeWG.Add(1)
+		go rt.probeLoop(pctx, b)
+	}
+	return rt, nil
+}
+
+// probeLoop actively probes one backend's /readyz at the configured cadence,
+// jittered ±50%, feeding the breaker's active signal.
+func (rt *Router) probeLoop(ctx context.Context, b *backend) {
+	defer rt.probeWG.Done()
+	interval := rt.cfg.HealthInterval
+	for {
+		d := interval/2 + time.Duration(rand.Int63n(int64(interval)+1))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+		err := b.cl.Probe(pctx)
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		b.br.ReportProbe(err == nil)
+		if err != nil {
+			rt.metrics.ObserveProbeFailure(b.name)
+		}
+	}
+}
+
+// Shutdown stops accepting work, halts the probers, and waits for in-flight
+// requests (and their loser-attempt reapers) to finish, bounded by ctx.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.draining.Store(true)
+	rt.probeCancel()
+	rt.probeWG.Wait()
+	done := make(chan struct{})
+	go func() {
+		rt.reqWG.Wait()
+		rt.bgWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("router: shutdown: %w", ctx.Err())
+	}
+}
+
+// Backends returns the pool member names in ring order.
+func (rt *Router) Backends() []string { return rt.ring.Backends() }
+
+// BackendState reports a member's breaker state (ok=false for unknown).
+func (rt *Router) BackendState(name string) (BreakerState, bool) {
+	b, ok := rt.backends[name]
+	if !ok {
+		return 0, false
+	}
+	return b.br.State(), true
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /decide   routed decision requests
+//	GET  /healthz  liveness (always 200)
+//	GET  /readyz   readiness (503 while draining or with every breaker open)
+//	GET  /statusz  human-readable backend table
+//	GET  /metrics  Prometheus exposition (when a Registry is configured)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decide", rt.handleDecide)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n") //nolint:errcheck
+	})
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	mux.HandleFunc("/statusz", rt.handleStatusz)
+	if reg := rt.metrics.Registry(); reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n") //nolint:errcheck
+		return
+	}
+	for _, b := range rt.backends {
+		if b.br.State() != BreakerOpen {
+			io.WriteString(w, "ok\n") //nolint:errcheck
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	io.WriteString(w, "all backends open\n") //nolint:errcheck
+}
+
+func (rt *Router) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "sufrouter  backends=%d  in_flight=%d  draining=%v\n",
+		len(rt.backends), rt.inFlight.Load(), rt.draining.Load())
+	fmt.Fprintf(w, "failover budget spent=%d  hedge budget spent=%d\n\n",
+		rt.failoverBudget.Spent(), rt.hedgeBudget.Spent())
+	fmt.Fprintf(w, "%-40s %-10s %-10s %-12s %s\n",
+		"BACKEND", "STATE", "ERR-EWMA", "PROBE-FAILS", "REOPEN-IN")
+	for _, name := range rt.ring.Backends() {
+		b := rt.backends[name]
+		fmt.Fprintf(w, "%-40s %-10s %-10.3f %-12d %s\n",
+			name, b.br.State(), b.br.ErrorRate(),
+			b.br.ConsecutiveProbeFailures(), b.br.ReopenIn().Round(time.Millisecond))
+	}
+}
+
+// writeJSON writes resp with the given HTTP status, setting the correlation
+// and backpressure headers the way internal/server does.
+func writeJSON(w http.ResponseWriter, status int, resp *server.Response) {
+	w.Header().Set("Content-Type", "application/json")
+	if resp.RequestID != "" {
+		w.Header().Set("X-Request-Id", resp.RequestID)
+	}
+	if status == http.StatusServiceUnavailable && resp.RetryAfterMS > 0 {
+		secs := (resp.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+func (rt *Router) shed(w http.ResponseWriter, reqID, reason string, retryAfter time.Duration, start time.Time) {
+	rt.metrics.ObserveShed(reason)
+	rt.metrics.ObserveRequest("shed", time.Since(start).Seconds())
+	if rt.cfg.Log != nil {
+		rt.cfg.Log.Printf("shed reason=%s retry_after=%s request_id=%s", reason, retryAfter, reqID)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, &server.Response{
+		Status:       "shed",
+		RequestID:    reqID,
+		ShedReason:   reason,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+func (rt *Router) malformed(w http.ResponseWriter, reqID, msg string, start time.Time) {
+	rt.metrics.ObserveRequest("malformed", time.Since(start).Seconds())
+	writeJSON(w, http.StatusBadRequest, &server.Response{
+		Status:    "malformed",
+		RequestID: reqID,
+		Error:     msg,
+	})
+}
+
+func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if rt.draining.Load() {
+		rt.shed(w, r.Header.Get("X-Request-Id"), ShedDraining, time.Second, start)
+		return
+	}
+	// Admission: a full router answers 503 immediately; it never queues, so
+	// backpressure propagates to clients instead of accumulating here.
+	if n := rt.inFlight.Add(1); n > int64(rt.cfg.MaxInFlight) {
+		rt.inFlight.Add(-1)
+		rt.shed(w, r.Header.Get("X-Request-Id"), ShedRouterFull, time.Second, start)
+		return
+	}
+	defer rt.inFlight.Add(-1)
+	rt.reqWG.Add(1)
+	defer rt.reqWG.Done()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxRequestBytes+1))
+	if err != nil {
+		rt.malformed(w, "", "read request body: "+err.Error(), start)
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxRequestBytes {
+		rt.malformed(w, "", fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxRequestBytes), start)
+		return
+	}
+	var req server.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.malformed(w, "", "decode request: "+err.Error(), start)
+		return
+	}
+	// Correlation ID: header wins, then body, else mint — the same precedence
+	// as the backend, so one ID spans router log, backend log and response.
+	if hid := r.Header.Get("X-Request-Id"); hid != "" {
+		req.RequestID = hid
+	}
+	if !obs.ValidRequestID(req.RequestID) {
+		req.RequestID = obs.NewRequestID()
+	}
+
+	fp, err := Fingerprint(req.Formula, req.SMT2)
+	if err != nil {
+		rt.malformed(w, req.RequestID, "parse formula: "+err.Error(), start)
+		return
+	}
+
+	// Deadline: the request's budget (or the default), clamped, forwarded to
+	// the backend via timeout_ms, plus one second of router grace so the
+	// backend's own timeout verdict arrives instead of being cut off mid-body.
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = rt.cfg.DefaultTimeout
+	}
+	if timeout > rt.cfg.MaxTimeout {
+		timeout = rt.cfg.MaxTimeout
+	}
+	req.TimeoutMS = timeout.Milliseconds()
+	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
+	defer cancel()
+
+	order := rt.ring.Order(fp, rt.cfg.MaxAttempts)
+	resp, who, retryAfter, reason := rt.route(ctx, &req, order)
+	switch {
+	case resp != nil:
+		w.Header().Set("X-Sufrouter-Backend", who)
+		rt.metrics.ObserveRequest(resp.Status, time.Since(start).Seconds())
+		writeJSON(w, resp.HTTPStatus, resp)
+	case reason != "":
+		rt.shed(w, req.RequestID, reason, retryAfter, start)
+	default:
+		// The router's deadline (request budget + grace) expired with no
+		// answer: report a timeout upward rather than hanging.
+		rt.metrics.ObserveRequest("timeout", time.Since(start).Seconds())
+		writeJSON(w, http.StatusGatewayTimeout, &server.Response{
+			Status:    "timeout",
+			RequestID: req.RequestID,
+			Error:     "router: request deadline exceeded before any backend answered",
+			TotalMS:   float64(time.Since(start).Milliseconds()),
+		})
+	}
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	b          *backend
+	trial      bool
+	hedge      bool
+	resp       *server.Response
+	retryAfter time.Duration
+	err        error
+	elapsed    time.Duration
+}
+
+// launch fires one attempt against b under its own cancelable context and
+// reports the outcome on ch. The returned cancel aborts the attempt.
+func (rt *Router) launch(ctx context.Context, b *backend, trial, hedge bool, req *server.Request, ch chan<- attemptResult) context.CancelFunc {
+	actx, cancel := context.WithCancel(ctx)
+	go func() {
+		begin := time.Now()
+		resp, ra, err := b.cl.DecideOnce(actx, req)
+		ch <- attemptResult{
+			b: b, trial: trial, hedge: hedge,
+			resp: resp, retryAfter: ra, err: err,
+			elapsed: time.Since(begin),
+		}
+	}()
+	return cancel
+}
+
+// reapAsync drains n outstanding attempt results in the background so loser
+// attempts still settle their breaker bookkeeping (a canceled trial must
+// release its half-open slot) without delaying the winning response.
+// Tracked by bgWG so Shutdown (and leak checks) wait for it.
+func (rt *Router) reapAsync(ch <-chan attemptResult, n int) {
+	if n == 0 {
+		return
+	}
+	rt.bgWG.Add(1)
+	go func() {
+		defer rt.bgWG.Done()
+		for i := 0; i < n; i++ {
+			r := <-ch
+			switch {
+			case r.err == nil:
+				// The loser finished with an answer anyway: real signal.
+				r.b.br.ReportSuccess(r.trial)
+				r.b.lat.Observe(r.elapsed)
+			case errors.Is(r.err, context.Canceled):
+				r.b.br.ReportCanceled(r.trial)
+			default:
+				r.b.br.ReportFailure(r.trial)
+			}
+		}
+	}()
+}
+
+// hedgeDelayFor resolves the hedge delay for a request whose primary is b:
+// the configured fixed delay, or the backend's observed p95 clamped to
+// [5ms, 2s]. Negative means hedging is disabled.
+func (rt *Router) hedgeDelayFor(b *backend) time.Duration {
+	if rt.cfg.HedgeDelay < 0 {
+		return -1
+	}
+	if rt.cfg.HedgeDelay > 0 {
+		return rt.cfg.HedgeDelay
+	}
+	d := b.lat.Quantile(0.95)
+	if d == 0 {
+		d = 50 * time.Millisecond
+	}
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// raOrDefault turns the aggregated backpressure signal into a usable
+// Retry-After: at least one second, at most thirty.
+func raOrDefault(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 30*time.Second {
+		return 30 * time.Second
+	}
+	return d
+}
+
+// route runs the attempt race for one request: primary on the fingerprint's
+// home node, a budgeted hedge on the next ring node after the hedge delay,
+// and budgeted failover down the preference order on failure. First answer
+// wins and the loser is canceled (its context observes cancellation
+// promptly). Returns exactly one of: a response (with the winning backend's
+// name), a shed reason (with the aggregated Retry-After), or neither when
+// ctx expired.
+func (rt *Router) route(ctx context.Context, req *server.Request, order []string) (resp *server.Response, who string, retryAfter time.Duration, reason string) {
+	rt.failoverBudget.Note()
+	rt.hedgeBudget.Note()
+
+	var maxRA time.Duration // aggregated backpressure across attempts
+	sawShed := false
+
+	// nextAllowed walks the preference order past open breakers, collecting
+	// their reopen times into the aggregated Retry-After.
+	idx := 0
+	nextAllowed := func() (*backend, bool, bool) {
+		for idx < len(order) {
+			b := rt.backends[order[idx]]
+			idx++
+			if ok, trial := b.br.Allow(); ok {
+				return b, trial, true
+			}
+			if ra := b.br.ReopenIn(); ra > maxRA {
+				maxRA = ra
+			}
+		}
+		return nil, false, false
+	}
+
+	ch := make(chan attemptResult, len(order)+1)
+	cancels := make(map[*backend]context.CancelFunc, 2)
+	inflight := 0
+	cancelLosers := func(winner *backend) {
+		for b, c := range cancels {
+			if b != winner {
+				c()
+			}
+		}
+		rt.reapAsync(ch, inflight)
+	}
+
+	primary, trial, ok := nextAllowed()
+	if !ok {
+		return nil, "", raOrDefault(maxRA), ShedBackendsOpen
+	}
+	cancels[primary] = rt.launch(ctx, primary, trial, false, req, ch)
+	defer func() {
+		// Release every per-attempt context (winner included) once decided.
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	inflight++
+
+	var hedgeC <-chan time.Time
+	if d := rt.hedgeDelayFor(primary); d >= 0 {
+		ht := time.NewTimer(d)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			cancelLosers(nil)
+			return nil, "", 0, ""
+
+		case <-hedgeC:
+			hedgeC = nil // at most one hedge per request
+			if !rt.hedgeBudget.Allow() {
+				rt.metrics.HedgeDenied()
+				continue
+			}
+			hb, htrial, hok := nextAllowed()
+			if !hok {
+				continue
+			}
+			rt.metrics.Hedge()
+			cancels[hb] = rt.launch(ctx, hb, htrial, true, req, ch)
+			inflight++
+
+		case r := <-ch:
+			inflight--
+			if r.err == nil && r.resp.HTTPStatus != http.StatusServiceUnavailable {
+				// A definitive answer (decision verdict, or a final 4xx/5xx
+				// such as a contained panic) — first answer wins.
+				r.b.br.ReportSuccess(r.trial)
+				r.b.lat.Observe(r.elapsed)
+				rt.metrics.ObserveAttempt(r.b.name, false)
+				if r.hedge {
+					rt.metrics.HedgeWin()
+				}
+				cancelLosers(r.b)
+				return r.resp, r.b.name, 0, ""
+			}
+			switch {
+			case r.err == nil:
+				// Backend 503: it answered properly but is shedding — a
+				// breaker-healthy outcome that still warrants failover.
+				sawShed = true
+				if r.retryAfter > maxRA {
+					maxRA = r.retryAfter
+				}
+				r.b.br.ReportSuccess(r.trial)
+				rt.metrics.ObserveAttempt(r.b.name, false)
+			case errors.Is(r.err, context.Canceled) && ctx.Err() == nil:
+				// Canceled by the router, not a backend fault.
+				r.b.br.ReportCanceled(r.trial)
+			default:
+				r.b.br.ReportFailure(r.trial)
+				rt.metrics.ObserveAttempt(r.b.name, true)
+				if rt.cfg.Log != nil {
+					rt.cfg.Log.Printf("attempt failed backend=%s hedge=%v request_id=%s err=%v",
+						r.b.name, r.hedge, req.RequestID, r.err)
+				}
+			}
+			// Replace the failed attempt with the next candidate even while
+			// another attempt is still in flight: a hung (blackholed) primary
+			// must not block failover of its failed hedge — the race simply
+			// gains a fresh runner.
+			nb, ntrial, nok := nextAllowed()
+			if !nok {
+				if inflight > 0 {
+					continue // only the in-flight attempt can answer now
+				}
+				reason := ShedBackendsOpen
+				if sawShed {
+					reason = ShedBackendsShedding
+				}
+				return nil, "", raOrDefault(maxRA), reason
+			}
+			if !rt.failoverBudget.Allow() {
+				rt.metrics.FailoverDenied()
+				if inflight > 0 {
+					continue
+				}
+				return nil, "", raOrDefault(maxRA), ShedFailoverBudget
+			}
+			rt.metrics.Failover()
+			if rt.cfg.Log != nil {
+				rt.cfg.Log.Printf("failover to backend=%s request_id=%s", nb.name, req.RequestID)
+			}
+			cancels[nb] = rt.launch(ctx, nb, ntrial, false, req, ch)
+			inflight++
+		}
+	}
+}

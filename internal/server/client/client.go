@@ -40,6 +40,11 @@ type Client struct {
 	// the server's Retry-After.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// MaxResponseBytes bounds how much of a response body is read (New sets
+	// 64 MiB). A backend that streams more than this — malformed, hostile, or
+	// mid-failure garbage — yields a *BodyError with Truncated set instead of
+	// an unbounded read: a misbehaving backend must never OOM its caller.
+	MaxResponseBytes int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -48,14 +53,40 @@ type Client struct {
 // New returns a Client for baseURL with the default retry policy.
 func New(baseURL string) *Client {
 	return &Client{
-		BaseURL:     baseURL,
-		HTTP:        &http.Client{Timeout: 5 * time.Minute},
-		MaxAttempts: 5,
-		BaseBackoff: 50 * time.Millisecond,
-		MaxBackoff:  2 * time.Second,
-		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		BaseURL:          baseURL,
+		HTTP:             &http.Client{Timeout: 5 * time.Minute},
+		MaxAttempts:      5,
+		BaseBackoff:      50 * time.Millisecond,
+		MaxBackoff:       2 * time.Second,
+		MaxResponseBytes: 64 << 20,
+		rng:              rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
+
+// BodyError is the typed error for an unusable response body. Truncated
+// distinguishes the two failure shapes a caller wants to treat differently:
+// a body that blew the MaxResponseBytes cap (the backend streamed more than
+// any valid response could be — hostile or wedged mid-crash) versus bytes
+// that arrived whole but did not decode as a Response (the connection died
+// mid-body, or the peer is not a sufserved at all). The router counts both
+// as backend failures but reports them distinctly.
+type BodyError struct {
+	// Truncated: the body exceeded the read cap and was cut off.
+	Truncated bool
+	// HTTPStatus is the transport status the broken body arrived under.
+	HTTPStatus int
+	// Err is the underlying decode error (nil when Truncated).
+	Err error
+}
+
+func (e *BodyError) Error() string {
+	if e.Truncated {
+		return fmt.Sprintf("client: response body exceeds read cap (HTTP %d)", e.HTTPStatus)
+	}
+	return fmt.Sprintf("client: decode response (HTTP %d): %v", e.HTTPStatus, e.Err)
+}
+
+func (e *BodyError) Unwrap() error { return e.Err }
 
 // RetryError is returned when every attempt was shed: the last shed response
 // and the attempt count.
@@ -152,11 +183,8 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 		if attempt >= maxAttempts {
 			break
 		}
-		wait := c.retryWait(backoff, retryAfter)
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(wait):
+		if err := sleepCtx(ctx, c.retryWait(backoff, retryAfter)); err != nil {
+			return nil, err
 		}
 		backoff *= 2
 		if c.MaxBackoff > 0 && backoff > c.MaxBackoff {
@@ -167,6 +195,45 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 		return nil, lastErr
 	}
 	return nil, &RetryError{Attempts: maxAttempts, Last: last}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first. Unlike a
+// bare time.After select, the timer is stopped on the cancellation path, so
+// a cancelled backoff does not leave a multi-second timer pinned in the
+// runtime's heap (a router failing over across many backends would otherwise
+// accumulate them).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// DecideOnce performs exactly one attempt: no shed retries, no backoff. It
+// returns the decoded response (any HTTP status) together with the server's
+// Retry-After, so a caller running its own failover policy — the router —
+// can aggregate backpressure across backends instead of sleeping on one.
+func (c *Client) DecideOnce(ctx context.Context, req *server.Request) (*server.Response, time.Duration, error) {
+	if req.RequestID == "" {
+		req.RequestID = obs.NewRequestID()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: encode request: %w", err)
+	}
+	resp, retryAfter, err := c.post(ctx, body, req.RequestID)
+	if err != nil {
+		return nil, retryAfter, err
+	}
+	resp.ClientAttempts = 1
+	return resp, retryAfter, nil
 }
 
 // post performs one attempt. The response's HTTPStatus field is filled from
@@ -190,13 +257,23 @@ func (c *Client) post(ctx context.Context, body []byte, reqID string) (*server.R
 		return nil, 0, fmt.Errorf("client: %w", err)
 	}
 	defer hresp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	maxBody := c.MaxResponseBytes
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	// Read one byte past the cap: exactly-at-cap bodies are legal, anything
+	// beyond proves the backend is streaming garbage and is reported as a
+	// typed truncation, distinct from a decode failure of complete bytes.
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, maxBody+1))
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: read response: %w", err)
 	}
+	if int64(len(data)) > maxBody {
+		return nil, 0, &BodyError{Truncated: true, HTTPStatus: hresp.StatusCode}
+	}
 	var resp server.Response
 	if err := json.Unmarshal(data, &resp); err != nil {
-		return nil, 0, fmt.Errorf("client: decode response (HTTP %d): %w", hresp.StatusCode, err)
+		return nil, 0, &BodyError{HTTPStatus: hresp.StatusCode, Err: err}
 	}
 	resp.HTTPStatus = hresp.StatusCode
 	var retryAfter time.Duration
@@ -213,34 +290,42 @@ func (c *Client) post(ctx context.Context, body []byte, reqID string) (*server.R
 	return &resp, retryAfter, nil
 }
 
-// Ready polls GET /readyz until it returns 200, ctx expires, or the server
-// answers 503 past the deadline — for process supervisors and tests that
-// need to wait for a fresh server.
-func (c *Client) Ready(ctx context.Context) error {
+// Probe performs one GET /readyz round trip: nil when the server answered
+// 200, an error otherwise (transport failure or a non-200 such as a draining
+// 503). This is the active health-check primitive the router's prober is
+// built on — one attempt, no polling, promptly cancellable via ctx.
+func (c *Client) Probe(ctx context.Context) error {
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: probe: %w", err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10)) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: probe: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Ready polls GET /readyz until it returns 200, ctx expires, or the server
+// answers 503 past the deadline — for process supervisors and tests that
+// need to wait for a fresh server.
+func (c *Client) Ready(ctx context.Context) error {
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
-		if err != nil {
-			return err
-		}
-		resp, err := hc.Do(req)
+		err := c.Probe(ctx)
 		if err == nil {
-			io.Copy(io.Discard, resp.Body) //nolint:errcheck
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
+			return nil
 		}
-		select {
-		case <-ctx.Done():
-			if err != nil {
-				return fmt.Errorf("client: not ready: %w", err)
-			}
-			return fmt.Errorf("client: not ready: %w", ctx.Err())
-		case <-time.After(20 * time.Millisecond):
+		if serr := sleepCtx(ctx, 20*time.Millisecond); serr != nil {
+			return fmt.Errorf("client: not ready: %w", err)
 		}
 	}
 }

@@ -1,8 +1,16 @@
 package client
 
 import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
+
+	"sufsat/internal/server"
 )
 
 // TestRetryWaitFloorsRetryAfter pins the anti-stampede contract: when the
@@ -46,6 +54,135 @@ func TestRetryWaitBackoffOnly(t *testing.T) {
 		if w := c.retryWait(100*time.Millisecond, 0); w > 60*time.Millisecond {
 			t.Fatalf("wait %v exceeds MaxBackoff", w)
 		}
+	}
+}
+
+// shedServer returns a test server that answers every /decide with a shed
+// 503 naming retryAfterMS, driving the client into its backoff loop.
+func shedServer(retryAfterMS int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"shed","shed_reason":"queue-full","retry_after_ms":` + //nolint:errcheck
+			strconv.FormatInt(retryAfterMS, 10) + `}`))
+	}))
+}
+
+// TestCancelDuringBackoff is the regression test for the backoff sleep: a
+// context cancelled mid-backoff must return promptly (ctx.Err, not a full
+// multi-second sleep), and the stopped timer must not keep the goroutine or
+// its timer alive. The server sheds with a 5s Retry-After, so any wait the
+// client computes is seconds long; the cancel lands 30ms in.
+func TestCancelDuringBackoff(t *testing.T) {
+	srv := shedServer(5000)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.MaxAttempts = 5
+	c.MaxBackoff = 10 * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Decide(ctx, &server.Request{Formula: "(= x x)"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("Decide returned after %v — the backoff sleep ignored the cancellation", elapsed)
+	}
+}
+
+// TestSleepCtxStopsTimer pins sleepCtx's two contracts directly: a live
+// context sleeps the full duration; a cancelled one returns at once with the
+// context's error (the timer is stopped on that path, so nothing fires
+// later).
+func TestSleepCtxStopsTimer(t *testing.T) {
+	start := time.Now()
+	if err := sleepCtx(context.Background(), 20*time.Millisecond); err != nil {
+		t.Fatalf("sleepCtx: %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("sleepCtx returned early on a live context")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	if err := sleepCtx(ctx, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepCtx on dead context: err = %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("sleepCtx slept on a dead context")
+	}
+}
+
+// TestBodyErrorTruncated: a backend streaming more than the response cap
+// yields a typed *BodyError with Truncated set — the hostile-backend OOM
+// guard — while a complete-but-undecodable body yields Truncated == false
+// with the decode error attached.
+func TestBodyErrorTruncated(t *testing.T) {
+	huge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"valid","error":"` + strings.Repeat("x", 4096) + `"}`)) //nolint:errcheck
+	}))
+	defer huge.Close()
+	c := New(huge.URL)
+	c.MaxAttempts = 1
+	c.MaxResponseBytes = 1024
+	_, err := c.Decide(context.Background(), &server.Request{Formula: "(= x x)"})
+	var be *BodyError
+	if !errors.As(err, &be) || !be.Truncated {
+		t.Fatalf("oversized body: err = %v, want *BodyError{Truncated:true}", err)
+	}
+
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":`)) //nolint:errcheck
+	}))
+	defer garbled.Close()
+	c2 := New(garbled.URL)
+	c2.MaxAttempts = 1
+	_, err = c2.Decide(context.Background(), &server.Request{Formula: "(= x x)"})
+	be = nil
+	if !errors.As(err, &be) || be.Truncated {
+		t.Fatalf("garbled body: err = %v, want *BodyError{Truncated:false}", err)
+	}
+	if be.Err == nil {
+		t.Fatal("garbled body: BodyError.Err must carry the decode error")
+	}
+}
+
+// TestDecideOnceNoRetry: DecideOnce makes exactly one attempt and surfaces
+// the server's Retry-After instead of sleeping on it.
+func TestDecideOnceNoRetry(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"shed","shed_reason":"queue-full","retry_after_ms":250}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	start := time.Now()
+	resp, retryAfter, err := c.DecideOnce(context.Background(), &server.Request{Formula: "(= x x)"})
+	if err != nil {
+		t.Fatalf("DecideOnce: %v", err)
+	}
+	if hits != 1 {
+		t.Fatalf("DecideOnce made %d attempts, want 1", hits)
+	}
+	if resp.HTTPStatus != http.StatusServiceUnavailable || resp.ShedReason != "queue-full" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if retryAfter != 250*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 250ms", retryAfter)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("DecideOnce took %v — it must not sleep", elapsed)
 	}
 }
 
