@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
@@ -12,10 +12,13 @@ GO ?= go
 # process-level smoke of the sufserved daemon lifecycle, a metrics smoke that
 # scrapes /metrics and SIGQUIT-dumps the flight recorder from a live server,
 # a process-level smoke of the sufrouter fleet tier (kill a backend, assert
-# failover and a strict /metrics parse), and the chaos soak (crash/restart +
+# failover and a strict /metrics parse), the chaos soak (crash/restart +
 # latency/blackhole chaos under verifying load, gated on zero mismatches,
-# 99%+ availability and zero leaked goroutines).
-ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak
+# 99%+ availability and zero leaked goroutines), and the cache gate (cached
+# repeats 10x faster than cold with a no-cache control agreeing, the
+# incremental BMC session 1.5x faster than per-depth, and a race-instrumented
+# cache-mix soak with zero verdict mismatches).
+ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate
 
 vet:
 	$(GO) vet ./...
@@ -28,13 +31,24 @@ test:
 
 race:
 	$(GO) test -race -short ./internal/core ./internal/sat ./internal/obs \
-		./internal/server ./internal/server/client ./internal/router
+		./internal/server ./internal/server/client ./internal/router \
+		./internal/tsys
 
-# bench regenerates the perf-trajectory report at the repo root: Sample16
-# encoded once per benchmark, then solved sequentially vs with the parallel
+# bench regenerates the current perf artifact at the repo root
+# (BENCH_PR7.json): repeat-decide against a cache-enabled server (gate: warm
+# p50 10x faster than cold, verdict identical to a no-cache control), a
+# concurrent soak with 40% alpha-renamed spellings (gates: zero mismatches,
+# hit rate above half the mix), and the BMC-stream sweep of one incremental
+# solver session vs per-depth pipelines (gate: 1.5x). Schema documented in
+# EXPERIMENTS.md.
+bench:
+	$(GO) run ./cmd/sufbench -cache -clients 8 -requests 96 -out BENCH_PR7.json
+
+# perf-bench regenerates the solver perf-trajectory report: Sample16 encoded
+# once per benchmark, then solved sequentially vs with the parallel
 # clause-sharing portfolio, each entry embedding its telemetry snapshot.
 # Schema documented in EXPERIMENTS.md.
-bench:
+perf-bench:
 	$(GO) run ./cmd/sufbench -out BENCH_PR3.json
 
 bench-smoke:
@@ -91,6 +105,17 @@ router-smoke:
 # clean 503) and zero leaked goroutines, or the gate fails.
 chaos-soak:
 	$(GO) test -race -run TestChaosSoak ./internal/bench
+
+# cache-gate is the caching/incrementality verification gate. The timing
+# halves run uninstrumented (a 10x and a 1.5x wall-clock ratio are meaningless
+# under the race detector's slowdown); the correctness half — concurrent
+# cache-mix soak where every cached verdict is checked against ground truth —
+# runs with -race so cache and single-flight internals are instrumented while
+# being hammered.
+cache-gate:
+	$(GO) test -run 'TestCacheColdWarmSpeedup|TestBatchDecide' ./internal/server
+	$(GO) test -run TestBMCStreamSpeedup ./internal/bench
+	$(GO) test -race -run TestSoakCacheMix ./internal/server
 
 # chaos-bench regenerates the fleet tail-latency artifact at the repo root:
 # the same scripted chaos soaked twice, hedging on then off, gated on the

@@ -10,8 +10,11 @@
 //	sufbench [-out BENCH_PR3.json] [-j N] [-solve-timeout 60s]
 //	sufbench -soak [-out BENCH_PR5.json] [-url URL] [-clients N]
 //	         [-requests N] [-soak-timeout 20s] [-budget-every N]
+//	         [-cache-mix F]
 //	sufbench -chaos [-out BENCH_PR6.json] [-clients N] [-requests N]
 //	         [-soak-timeout 6s]
+//	sufbench -cache [-out BENCH_PR7.json] [-clients N] [-requests N]
+//	         [-soak-timeout 20s] [-cache-mix 0.4]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
@@ -28,6 +31,14 @@
 // both phase reports plus the unhedged/hedged p99 ratio; hedged p99 worse
 // than unhedged, a verdict mismatch, or hedged availability below 99% fails
 // the run.
+//
+// -cache switches to the caching/incrementality benchmark (BENCH_PR7.json):
+// repeat-decide on the hardest Sample16 instance against a cache-enabled
+// in-process server (gate: warm p50 at least 10x faster than cold, verdict
+// identical to a -no-cache control), a concurrent soak mixing in
+// alpha-renamed spellings that must hit the cache (gates: zero verdict
+// mismatches, hit rate above half the mix), and the BMC-stream sweep of one
+// incremental solver session vs per-depth pipelines (gate: at least 1.5x).
 //
 // -soak switches to service load testing: concurrent retrying clients hammer
 // a sufserved instance (-url, or an in-process server on an ephemeral port
@@ -61,6 +72,8 @@ func main() {
 	solveTimeout := flag.Duration("solve-timeout", 60*time.Second, "per-SAT-run wall-clock cap")
 	soak := flag.Bool("soak", false, "run the service soak instead of the solver benchmark")
 	chaos := flag.Bool("chaos", false, "run the fleet chaos benchmark (hedged vs unhedged) instead of the solver benchmark")
+	cacheBench := flag.Bool("cache", false, "run the cache/incrementality benchmark (repeat-decide, cache-mix soak, BMC stream)")
+	cacheMix := flag.Float64("cache-mix", 0, "soak: fraction of requests issued as alpha-renamed spellings (0 disables)")
 	soakURL := flag.String("url", "", "soak: sufserved base URL (empty = start an in-process server)")
 	soakClients := flag.Int("clients", 8, "soak: concurrent clients")
 	soakRequests := flag.Int("requests", 128, "soak: total requests")
@@ -78,11 +91,18 @@ func main() {
 		runChaosBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout)
 		return
 	}
+	if *cacheBench {
+		if *out == "BENCH_PR3.json" {
+			*out = "BENCH_PR7.json"
+		}
+		runCacheBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout, *cacheMix)
+		return
+	}
 	if *soak {
 		if *out == "BENCH_PR3.json" {
 			*out = "BENCH_PR5.json"
 		}
-		runSoak(ctx, *out, *soakURL, *soakClients, *soakRequests, *soakTimeout, *budgetEvery)
+		runSoak(ctx, *out, *soakURL, *soakClients, *soakRequests, *soakTimeout, *budgetEvery, *cacheMix)
 		return
 	}
 
@@ -200,14 +220,116 @@ func runChaosBench(ctx context.Context, out string, clients, requests int, timeo
 	}
 }
 
+// runCacheBench measures the caching/incrementality work and writes
+// BENCH_PR7.json: (1) repeat-decide — the hardest Sample16 instance cold,
+// then cached repeats, gated at a 10x p50 speedup with a no-cache control
+// verifying the verdict; (2) a concurrent soak with 40% alpha-renamed
+// spellings against a cache-enabled server, gated at zero mismatches and a
+// hit rate above the mix floor; (3) the BMC-stream sweep, one incremental
+// session vs per-depth pipelines, gated at 1.5x with verdicts compared.
+func runCacheBench(ctx context.Context, out string, clients, requests int, timeout time.Duration, cacheMix float64) {
+	if cacheMix <= 0 {
+		cacheMix = 0.4
+	}
+
+	srv := server.New(server.Config{Log: os.Stderr})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	url := "http://" + addr
+	fmt.Fprintf(os.Stderr, "sufbench: in-process sufserved on %s (cache on)\n", url)
+
+	rep := &bench.PR7Report{}
+	rep.Cache, err = bench.RunCacheRepeat(ctx, url, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sufbench: repeat-decide %s: cold %.1fms warm p50 %.2fms (x%.0f), no-cache control %.1fms\n",
+		rep.Cache.Benchmark, rep.Cache.ColdMS, rep.Cache.WarmP50MS, rep.Cache.Speedup, rep.Cache.NoCacheMS)
+
+	fmt.Fprintf(os.Stderr, "sufbench: cache-mix soak: %d clients, %d requests, mix %.0f%%\n",
+		clients, requests, 100*cacheMix)
+	rep.CacheMixSoak, err = bench.RunSoak(ctx, bench.SoakConfig{
+		URL:       url,
+		Clients:   clients,
+		Requests:  requests,
+		TimeoutMS: timeout.Milliseconds(),
+		CacheMix:  cacheMix,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sufbench: cache-mix soak: hit rate %.2f (%d hits, %d renamed), %d mismatches\n",
+		rep.CacheMixSoak.CacheHitRate, rep.CacheMixSoak.CacheHits, rep.CacheMixSoak.AlphaVariants,
+		rep.CacheMixSoak.Mismatches)
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench: drain:", err)
+		os.Exit(1)
+	}
+
+	rep.BMCStream, err = bench.RunBMCStream(ctx, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sufbench: BMC stream depth %d: cold %.1fms warm %.1fms (x%.2f)\n",
+		rep.BMCStream.Depth, rep.BMCStream.ColdMS, rep.BMCStream.WarmMS, rep.BMCStream.Speedup)
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "sufbench: cache FAILED: "+format+"\n", a...)
+		os.Exit(1)
+	}
+	if n := rep.Cache.Mismatches + rep.CacheMixSoak.Mismatches; n > 0 {
+		fail("%d verdict mismatches", n)
+	}
+	if rep.Cache.Speedup < 10 {
+		fail("repeat-decide speedup x%.1f < x10", rep.Cache.Speedup)
+	}
+	if rep.Cache.WarmCached < int64(rep.Cache.Repeats) {
+		fail("only %d/%d warm repeats served from cache", rep.Cache.WarmCached, rep.Cache.Repeats)
+	}
+	if rep.CacheMixSoak.CacheHitRate < cacheMix/2 {
+		fail("soak hit rate %.2f below the mix floor %.2f", rep.CacheMixSoak.CacheHitRate, cacheMix/2)
+	}
+	if rep.BMCStream.Speedup < 1.5 {
+		fail("BMC-stream speedup x%.2f < x1.5", rep.BMCStream.Speedup)
+	}
+}
+
 // soakOnce runs one soak against url, or an in-process server on an
 // ephemeral port when url is empty. withMetrics attaches a Prometheus
 // registry and a private flight recorder to the in-process server, and the
 // soak ends with a /metrics scrape folded into the report.
-func soakOnce(ctx context.Context, url string, clients, requests int, timeout time.Duration, budgetEvery int, withMetrics bool) (*bench.SoakReport, error) {
+func soakOnce(ctx context.Context, url string, clients, requests int, timeout time.Duration, budgetEvery int, cacheMix float64, withMetrics bool) (*bench.SoakReport, error) {
 	var srv *server.Server
 	if url == "" {
-		cfg := server.Config{Log: os.Stderr}
+		// The shed/degradation measurements assume every request is real
+		// work, so the in-process soak server runs cache-off unless the run
+		// is explicitly exercising the cache with a rename mix.
+		cfg := server.Config{Log: os.Stderr, NoCache: cacheMix == 0}
 		if withMetrics {
 			cfg.Metrics = obs.NewRegistry()
 			cfg.Flight = obs.NewFlightRecorder(obs.DefaultFlightSize)
@@ -227,6 +349,7 @@ func soakOnce(ctx context.Context, url string, clients, requests int, timeout ti
 		Requests:    requests,
 		TimeoutMS:   timeout.Milliseconds(),
 		BudgetEvery: budgetEvery,
+		CacheMix:    cacheMix,
 		Log:         os.Stderr,
 	})
 	if err != nil {
@@ -260,10 +383,10 @@ func soakOnce(ctx context.Context, url string, clients, requests int, timeout ti
 // instrumentation cost, and gates it at ≤2% of the server-side p50 request
 // latency. A non-zero mismatch, transport-error or panic count fails the
 // run, as does a blown overhead gate.
-func runSoak(ctx context.Context, out, url string, clients, requests int, timeout time.Duration, budgetEvery int) {
+func runSoak(ctx context.Context, out, url string, clients, requests int, timeout time.Duration, budgetEvery int, cacheMix float64) {
 	var baselineRPS float64
 	if url == "" {
-		base, err := soakOnce(ctx, "", clients, requests, timeout, budgetEvery, false)
+		base, err := soakOnce(ctx, "", clients, requests, timeout, budgetEvery, cacheMix, false)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sufbench:", err)
 			os.Exit(1)
@@ -271,7 +394,7 @@ func runSoak(ctx context.Context, out, url string, clients, requests int, timeou
 		baselineRPS = base.ThroughputRPS
 	}
 
-	rep, err := soakOnce(ctx, url, clients, requests, timeout, budgetEvery, url == "")
+	rep, err := soakOnce(ctx, url, clients, requests, timeout, budgetEvery, cacheMix, url == "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sufbench:", err)
 		os.Exit(1)

@@ -7,13 +7,20 @@
 //	          [-thold N] [-maxtrans N] [-maxconflicts N] [-maxcnf N]
 //	          [-maxmem BYTES] [-j WORKERS] [-nodegrade]
 //	          [-stats | -stats=json] [-stats-out FILE] [-trace FILE]
-//	          [-debug-addr ADDR] [-remote URL] [file.suf]
+//	          [-debug-addr ADDR] [-remote URL] [-batch] [file.suf]
 //
 // With -remote the formula is decided by the sufserved instance at URL
 // (through the retrying client, honoring Retry-After on load shedding) and
 // reported with the same output and exit codes as a local run; budget flags
 // travel with the request and are clamped to the server's ceilings. -trace,
 // -debug-addr and -dimacs are local-only and rejected with -remote.
+//
+// With -batch (remote-only) the input is one formula per line (blank lines
+// and ";" comments skipped) and the whole set is decided in a single
+// POST /v1/decide/batch round trip; the server answers duplicates and
+// alpha-variants from one solve. Output is one "<line>: <status>" per item
+// in input order, "(cached)"-marked when served from the verdict cache; the
+// exit status is 0 when every item got a definitive verdict, 2 otherwise.
 //
 // The input is one formula in s-expression syntax, for example:
 //
@@ -45,6 +52,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"syscall"
 
 	"sufsat"
@@ -173,6 +181,71 @@ func decideRemote(baseURL, src string, req *server.Request, statsMode, statsOut 
 	os.Exit(2)
 }
 
+// decideBatchRemote ships one formula per input line to the server's batch
+// endpoint and prints one "<n>: <status>" line per item, in input order,
+// with a "cached" marker on verdicts served from the verdict cache (which
+// includes duplicates deduplicated inside the batch itself). Exit status: 0
+// when every item reached a definitive verdict, 2 otherwise. It never
+// returns.
+func decideBatchRemote(baseURL string, src string, proto *server.Request) {
+	var reqs []*server.Request
+	var lines []int
+	for i, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, ";") {
+			continue
+		}
+		r := *proto
+		r.Formula = trimmed
+		reqs = append(reqs, &r)
+		lines = append(lines, i+1)
+	}
+	if len(reqs) == 0 {
+		fmt.Fprintln(os.Stderr, "sufdecide: -batch: no formulas in input (one per line)")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	resps, err := client.New(baseURL).DecideBatch(ctx, reqs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufdecide:", err)
+		os.Exit(2)
+	}
+
+	allDefinitive := true
+	for i, resp := range resps {
+		status := resp.Status
+		if proto.SMT2 {
+			switch resp.Status {
+			case "invalid":
+				status = "sat"
+			case "valid":
+				status = "unsat"
+			}
+		}
+		marker := ""
+		if resp.Cached {
+			marker = " (cached)"
+		}
+		fmt.Printf("%d: %s%s\n", lines[i], status, marker)
+		printRemoteModel(reqs[i], resp)
+		if resp.Error != "" {
+			fmt.Fprintf(os.Stderr, "sufdecide: line %d: %s\n", lines[i], resp.Error)
+		}
+		switch resp.Status {
+		case "valid", "invalid":
+		default:
+			allDefinitive = false
+		}
+	}
+	if !allDefinitive {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
 // printRemoteModel renders the response's falsifying assignment in the same
 // "name = value" form the local Counterexample printer uses.
 func printRemoteModel(req *server.Request, resp *server.Response) {
@@ -217,6 +290,7 @@ func main() {
 	smt2 := flag.Bool("smt2", false, "input is an SMT-LIB v2 script (QF_IDL/QF_UFIDL); reports sat/unsat")
 	dimacs := flag.String("dimacs", "", "write the encoded SAT query to this file in DIMACS format")
 	remote := flag.String("remote", "", "decide via the sufserved instance at this base URL instead of locally")
+	batch := flag.Bool("batch", false, "with -remote: input is one formula per line, decided in one POST /v1/decide/batch")
 	flag.Parse()
 
 	var src []byte
@@ -235,10 +309,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *batch && *remote == "" {
+		fmt.Fprintln(os.Stderr, "sufdecide: -batch requires -remote")
+		os.Exit(2)
+	}
 	if *remote != "" {
 		if *traceFile != "" || *debugAddr != "" || *dimacs != "" {
 			fmt.Fprintln(os.Stderr, "sufdecide: -trace, -debug-addr and -dimacs require a local run, not -remote")
 			os.Exit(2)
+		}
+		if *batch {
+			decideBatchRemote(*remote, string(src), &server.Request{
+				SMT2:              *smt2,
+				Method:            *method,
+				TimeoutMS:         timeout.Milliseconds(),
+				SepThreshold:      *thold,
+				MaxTransClauses:   *maxTrans,
+				MaxCNFClauses:     *maxCNF,
+				MaxConflicts:      *maxConflicts,
+				MaxMemoryEstimate: *maxMem,
+				SolverWorkers:     *workers,
+				NoDegrade:         *noDegrade,
+				WantModel:         *showModel,
+			})
 		}
 		decideRemote(*remote, string(src), &server.Request{
 			SMT2:              *smt2,

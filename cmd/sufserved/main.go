@@ -10,14 +10,26 @@
 //	sufserved [-addr :8080] [-queue 64] [-workers N] [-j N]
 //	          [-default-deadline 10s] [-max-deadline 60s]
 //	          [-maxtrans N] [-maxcnf N] [-maxconflicts N] [-maxmem BYTES]
-//	          [-nodegrade] [-drain-timeout 30s] [-debug-addr ADDR]
+//	          [-nodegrade] [-no-cache] [-cache-entries N] [-cache-bytes N]
+//	          [-trust-fingerprint] [-max-batch N]
+//	          [-drain-timeout 30s] [-debug-addr ADDR]
 //	          [-no-metrics] [-flightrec-out FILE] [-quiet]
 //
 // Endpoints: POST /decide (request/response JSON documented in
-// docs/FORMATS.md), GET /healthz (liveness), GET /readyz (readiness; 503
-// once draining), GET /statusz (build info + admission-control counters),
+// docs/FORMATS.md), POST /v1/decide/batch (up to -max-batch requests in one
+// round trip, deduped through the verdict cache), GET /healthz (liveness),
+// GET /readyz (readiness; 503 once draining), GET /statusz (build info +
+// admission-control counters + verdict-cache stats),
 // GET /metrics (Prometheus text exposition, unless -no-metrics), GET
 // /debug/flightrec (recent request/span/degradation events as JSON).
+//
+// Definitive verdicts are cached in a size-bounded LRU keyed by the
+// formula's canonical fingerprint (alpha-renaming- and commutativity-
+// invariant), with single-flight collapsing of concurrent identical
+// requests. -no-cache turns the layer off; per-request bypass is the
+// no_cache body field. -trust-fingerprint accepts the fingerprint body
+// field as the cache key without reparsing — only safe when every client is
+// a sufrouter instance (a forged fingerprint could poison the cache).
 // -debug-addr additionally serves expvar, pprof and the flight recorder on
 // a separate address.
 //
@@ -76,6 +88,11 @@ func main() {
 	maxConflicts := flag.Int64("maxconflicts", 0, "SAT conflict ceiling per request (0 = none)")
 	maxMem := flag.Int64("maxmem", 0, "estimated memory ceiling per request in bytes (0 = none)")
 	noDegrade := flag.Bool("nodegrade", false, "disable the lazy-path degradation ladder")
+	noCache := flag.Bool("no-cache", false, "disable the verdict cache and single-flight collapsing")
+	cacheEntries := flag.Int("cache-entries", 0, "verdict cache entry bound (0 = default, negative = unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "verdict cache resident-byte bound (0 = default, negative = unbounded)")
+	trustFP := flag.Bool("trust-fingerprint", false, "accept client-supplied fingerprints as cache keys (router-only deployments)")
+	maxBatch := flag.Int("max-batch", 0, "items accepted per /v1/decide/batch request (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests on SIGTERM before they are cancelled")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof and the flight recorder on this extra address (e.g. :6060)")
 	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint and the aggregation behind it")
@@ -99,7 +116,12 @@ func main() {
 			MaxConflicts:      *maxConflicts,
 			MaxMemoryEstimate: *maxMem,
 		},
-		NoDegrade: *noDegrade,
+		NoDegrade:        *noDegrade,
+		NoCache:          *noCache,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
+		TrustFingerprint: *trustFP,
+		MaxBatch:         *maxBatch,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr

@@ -21,8 +21,9 @@
 // discovers the backend pool from the sufrouter_backend_state labels, and
 // federates each backend's /metrics into a per-backend table — breaker
 // state, attempt and failure rates seen from the router, and queue depth /
-// in-flight / qps as reported by the backend itself (marked unreachable
-// when its scrape fails).
+// in-flight / qps / verdict-cache hit rate (HIT%, lifetime
+// hits/(hits+misses); "off" when the backend runs cache-disabled) as
+// reported by the backend itself (marked unreachable when its scrape fails).
 package main
 
 import (
@@ -249,15 +250,15 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 		fmtSecs(obs.HistQuantile(0.95, buckets)),
 		fmtSecs(obs.HistQuantile(0.99, buckets)))
 
-	fmt.Fprintf(w, "%-40s %-10s %8s %8s %8s %7s %9s %7s\n",
-		"BACKEND", "STATE", "ATT/S", "FAIL/S", "PROBE-F", "QPS", "IN-FLIGHT", "QUEUE")
+	fmt.Fprintf(w, "%-40s %-10s %8s %8s %8s %7s %9s %7s %6s\n",
+		"BACKEND", "STATE", "ATT/S", "FAIL/S", "PROBE-F", "QPS", "IN-FLIGHT", "QUEUE", "HIT%")
 	for _, name := range fleetBackends(cur) {
 		state, _ := cur.Value("sufrouter_backend_state", "backend", name)
 		att := delta(cur, prev, "sufrouter_backend_requests_total", "backend", name)
 		fail := delta(cur, prev, "sufrouter_backend_failures_total", "backend", name)
 		probeF := cur.Sum("sufrouter_probe_failures_total", "backend", name)
 
-		qps, bif, bq := "-", "-", "-"
+		qps, bif, bq, hit := "-", "-", "-", "-"
 		if bs := backends[name]; bs != nil {
 			completed := delta(bs, prevBackends[name], "sufsat_completed_total")
 			qps = fmt.Sprintf("%.1f", completed/secs)
@@ -267,11 +268,21 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 			if v, ok := bs.Value("sufsat_queue_depth"); ok {
 				bq = fmt.Sprintf("%d", int(v))
 			}
+			// Lifetime verdict-cache hit rate; "off" when the backend exports
+			// no cache families (cache disabled).
+			hits, okH := bs.Value("sufsat_cache_hits_total")
+			misses, okM := bs.Value("sufsat_cache_misses_total")
+			switch {
+			case !okH && !okM:
+				hit = "off"
+			case hits+misses > 0:
+				hit = fmt.Sprintf("%.0f", 100*hits/(hits+misses))
+			}
 		} else {
 			qps = "unreach"
 		}
-		fmt.Fprintf(w, "%-40s %-10s %8.1f %8.1f %8.0f %7s %9s %7s\n",
-			name, breakerStateName(state), att/secs, fail/secs, probeF, qps, bif, bq)
+		fmt.Fprintf(w, "%-40s %-10s %8.1f %8.1f %8.0f %7s %9s %7s %6s\n",
+			name, breakerStateName(state), att/secs, fail/secs, probeF, qps, bif, bq, hit)
 	}
 }
 

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
+)
+
+// CacheRepeatReport measures the verdict cache on its simplest win: the same
+// hard formula decided twice. The first request pays the full pipeline; the
+// repeats must come back from the cache in HTTP-round-trip time. A no-cache
+// control request re-solves from scratch and must agree — a fast wrong
+// answer counts as a mismatch, not a speedup.
+type CacheRepeatReport struct {
+	Benchmark string `json:"benchmark"`
+	Repeats   int    `json:"repeats"`
+
+	ColdMS    float64 `json:"cold_ms"`
+	WarmP50MS float64 `json:"warm_p50_ms"`
+	// Speedup is ColdMS / WarmP50MS.
+	Speedup float64 `json:"speedup"`
+	// NoCacheMS is the wall clock of the bypass control (a fresh solve).
+	NoCacheMS float64 `json:"no_cache_ms"`
+
+	// WarmCached counts repeats actually served from the cache (should equal
+	// Repeats); Mismatches counts verdicts that contradicted ground truth or
+	// the no-cache control (must be 0).
+	WarmCached int64 `json:"warm_cached"`
+	Mismatches int64 `json:"mismatches"`
+}
+
+// RunCacheRepeat drives the cold/warm repeat measurement against a running
+// cache-enabled sufserved at url, using the hardest Sample16 instance so the
+// cold solve dwarfs the transport cost.
+func RunCacheRepeat(ctx context.Context, url string, repeats int) (*CacheRepeatReport, error) {
+	if repeats <= 0 {
+		repeats = 9
+	}
+	bm, ok := ByName("dlx-7")
+	if !ok {
+		return nil, fmt.Errorf("cachebench: benchmark dlx-7 not in Sample16")
+	}
+	f, _ := bm.Build()
+	formula := f.String()
+	want := "invalid"
+	if bm.Valid {
+		want = "valid"
+	}
+
+	c := client.New(url)
+	req := func(noCache bool) *server.Request {
+		return &server.Request{Formula: formula, TimeoutMS: 60_000, NoCache: noCache}
+	}
+
+	rep := &CacheRepeatReport{Benchmark: bm.Name, Repeats: repeats}
+
+	coldStart := time.Now()
+	cold, err := c.Decide(ctx, req(false))
+	if err != nil {
+		return nil, fmt.Errorf("cachebench: cold request: %w", err)
+	}
+	rep.ColdMS = float64(time.Since(coldStart).Microseconds()) / 1e3
+	if cold.Status != want {
+		rep.Mismatches++
+	}
+	if cold.Cached {
+		return nil, fmt.Errorf("cachebench: cold request served from cache — server not fresh")
+	}
+
+	warm := make([]float64, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		resp, err := c.Decide(ctx, req(false))
+		if err != nil {
+			return nil, fmt.Errorf("cachebench: warm repeat %d: %w", i, err)
+		}
+		warm = append(warm, float64(time.Since(start).Microseconds())/1e3)
+		if resp.Status != want {
+			rep.Mismatches++
+		}
+		if resp.Cached {
+			rep.WarmCached++
+		}
+	}
+	sort.Float64s(warm)
+	rep.WarmP50MS = percentile(warm, 0.50)
+	if rep.WarmP50MS > 0 {
+		rep.Speedup = rep.ColdMS / rep.WarmP50MS
+	}
+
+	// Bypass control: same formula, cache off, fresh solve. Its verdict is
+	// the ground truth the cached answers must match.
+	ncStart := time.Now()
+	nc, err := c.Decide(ctx, req(true))
+	if err != nil {
+		return nil, fmt.Errorf("cachebench: no-cache control: %w", err)
+	}
+	rep.NoCacheMS = float64(time.Since(ncStart).Microseconds()) / 1e3
+	if nc.Cached {
+		return nil, fmt.Errorf("cachebench: no-cache control was served from cache")
+	}
+	if nc.Status != want {
+		rep.Mismatches++
+	}
+	return rep, nil
+}
+
+// PR7Report is the BENCH_PR7.json artifact: the three perf claims of the
+// caching/incrementality work, each with its own verification baked in.
+type PR7Report struct {
+	// Cache is the repeat-decide measurement (gate: Speedup >= 10).
+	Cache *CacheRepeatReport `json:"cache"`
+	// CacheMixSoak is a concurrent soak with alpha-renamed spellings mixed in
+	// (gates: zero mismatches, hit rate above the mix floor).
+	CacheMixSoak *SoakReport `json:"cache_mix_soak"`
+	// BMCStream is the incremental-session sweep (gate: Speedup >= 1.5).
+	BMCStream *BMCStreamReport `json:"bmc_stream"`
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *PR7Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -39,6 +39,14 @@ type SoakConfig struct {
 	BudgetEvery int
 	// MaxAttempts overrides the clients' retry budget (0 = client default).
 	MaxAttempts int
+	// CacheMix, in (0,1), replaces that fraction of requests with
+	// alpha-renamed spellings of base workload formulas: different request
+	// text, identical canonical fingerprint, so a verdict-caching server
+	// must answer them from the cache once the base entry is warm. The
+	// verdicts are still verified against ground truth — a cache that
+	// returned a wrong (or wrongly-transferred) answer shows up as a
+	// mismatch. 0 disables the mix.
+	CacheMix float64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -82,6 +90,13 @@ type SoakReport struct {
 	Panics          int64 `json:"panics"`
 	Mismatches      int64 `json:"mismatches"`
 	TransportErrors int64 `json:"transport_errors"`
+
+	// CacheHits counts responses served from the server's verdict cache
+	// (Response.Cached); AlphaVariants counts requests issued as renamed
+	// spellings under CacheMix. CacheHitRate is hits over completed.
+	CacheHits     int64   `json:"cache_hits,omitempty"`
+	AlphaVariants int64   `json:"alpha_variants,omitempty"`
+	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
 
 	// Metrics is the server-side view derived from a /metrics scrape after
 	// the load finished (in-process soaks only; nil when the server runs
@@ -182,6 +197,19 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 				if cfg.InvalidEvery > 0 && ticket%int64(cfg.InvalidEvery) == int64(cfg.InvalidEvery-1) {
 					item = invalids[ticket%int64(len(invalids))]
 				}
+				// Cache mix: deterministically replace the chosen fraction of
+				// requests with an alpha-renamed spelling — same fingerprint,
+				// different text — keeping the ground-truth verdict. The ×409
+				// (coprime to 997) scatters sequential tickets over the
+				// residues so the fraction holds for small request counts too.
+				if cfg.CacheMix > 0 && float64(ticket*409%997) < cfg.CacheMix*997 {
+					item = soakItem{
+						name:    item.name + "-alpha",
+						formula: alphaRename(item.formula, int(ticket%7)),
+						valid:   item.valid,
+					}
+					atomic.AddInt64(&rep.AlphaVariants, 1)
+				}
 				req := &server.Request{
 					Formula:   item.formula,
 					TimeoutMS: cfg.TimeoutMS,
@@ -206,6 +234,9 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 				}
 				record(latMS, func() {
 					rep.Statuses[resp.Status]++
+					if resp.Cached {
+						rep.CacheHits++
+					}
 					if resp.HTTPStatus == http.StatusInternalServerError {
 						rep.Panics++
 						return
@@ -257,6 +288,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	}
 	if rep.Completed > 0 {
 		rep.ShedRate = float64(rep.ShedRetried+rep.ShedGaveUp) / float64(rep.Completed)
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(rep.Completed)
 	}
 	if cfg.Log != nil {
 		fmt.Fprintf(cfg.Log,

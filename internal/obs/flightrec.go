@@ -35,6 +35,7 @@ const (
 	FlightDegrade                         // degradation ladder engaged (name = reason)
 	FlightPanic                           // contained per-request panic
 	FlightMalformed                       // pre-admission rejection
+	FlightCacheHit                        // verdict served from the cache (val: 0 = lookup, 1 = single-flight join)
 )
 
 // String returns the dump-schema name of the kind.
@@ -56,6 +57,8 @@ func (k FlightKind) String() string {
 		return "panic"
 	case FlightMalformed:
 		return "malformed"
+	case FlightCacheHit:
+		return "cache-hit"
 	}
 	return "unknown"
 }

@@ -31,6 +31,8 @@ type ServiceMetrics struct {
 	encEIJ     *Counter
 	encDemoted *Counter
 
+	cacheHitSeconds *Histogram
+
 	mu       sync.Mutex
 	requests map[string]*Counter      // by status
 	methods  map[string]*Counter      // by method
@@ -184,6 +186,51 @@ func (m *ServiceMetrics) ObserveRequest(status, method string, queueSec, solveSe
 	m.queueWait.Observe(queueSec)
 	m.solveSeconds.Observe(solveSec)
 	m.reqDuration.Observe(totalSec)
+}
+
+// CacheCounters is a scrape-time snapshot of the verdict cache, provided by
+// the getter passed to RegisterCache. Counter fields must be monotone.
+type CacheCounters struct {
+	Hits, Misses, Evictions, SingleflightJoins int64
+	Entries, Bytes                             int64
+}
+
+// RegisterCache wires the sufsat_cache_* metric families to a verdict cache
+// via a scrape-time getter, and enables the cache-hit latency histogram the
+// server feeds through ObserveCacheHit. No-op on a nil bundle or getter.
+func (m *ServiceMetrics) RegisterCache(stats func() CacheCounters) {
+	if m == nil || stats == nil {
+		return
+	}
+	m.cacheHitSeconds = m.reg.Histogram("sufsat_cache_hit_seconds",
+		"Latency of requests answered from the verdict cache (lookup to response build).",
+		ExpBuckets(1e-6, 4, 12))
+	m.reg.CounterFunc("sufsat_cache_hits_total",
+		"Requests answered from the verdict cache.",
+		func() float64 { return float64(stats().Hits) })
+	m.reg.CounterFunc("sufsat_cache_misses_total",
+		"Cache lookups that missed (solved from scratch).",
+		func() float64 { return float64(stats().Misses) })
+	m.reg.CounterFunc("sufsat_cache_evictions_total",
+		"Entries evicted by the LRU bounds.",
+		func() float64 { return float64(stats().Evictions) })
+	m.reg.CounterFunc("sufsat_cache_singleflight_joins_total",
+		"Requests that joined a concurrent identical request instead of re-solving.",
+		func() float64 { return float64(stats().SingleflightJoins) })
+	m.reg.GaugeFunc("sufsat_cache_entries",
+		"Verdicts currently cached.",
+		func() float64 { return float64(stats().Entries) })
+	m.reg.GaugeFunc("sufsat_cache_bytes",
+		"Estimated resident bytes of cached verdicts.",
+		func() float64 { return float64(stats().Bytes) })
+}
+
+// ObserveCacheHit records one cache-served response's latency in seconds.
+func (m *ServiceMetrics) ObserveCacheHit(sec float64) {
+	if m == nil || m.cacheHitSeconds == nil {
+		return
+	}
+	m.cacheHitSeconds.Observe(sec)
 }
 
 // ObserveDegraded records one request answered by the degradation ladder,

@@ -1,30 +1,43 @@
 package router
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-
 	"sufsat"
 )
 
-// Fingerprint parses the request formula and returns the hex SHA-256 of its
-// canonical rendering — the ring key. Hashing the canonical form (not the
-// raw source) means whitespace, comments and equivalent spellings of the
-// same formula all land on the same backend, which is what gives a
-// per-backend verdict cache its hit rate. Parsing at the router also rejects
-// malformed input before it costs a backend anything.
+// Fingerprint parses the request formula and returns its canonical
+// alpha-renaming-invariant fingerprint (see sufsat.Formula.Fingerprint) —
+// the ring key. Hashing the canonical DAG (not the raw source) means
+// whitespace, equivalent spellings, commutative argument orders and even
+// consistently renamed copies of the same formula all land on the same
+// backend, which is what gives a per-backend verdict cache its hit rate.
+// Parsing at the router also rejects malformed input before it costs a
+// backend anything.
+//
+// The router forwards the computed fingerprint to the chosen backend in the
+// request body's fingerprint field so a backend running with
+// -trust-fingerprint can skip recanonicalizing (one canonicalization per
+// request across the fleet).
+//
+// The fingerprint keys the formula the backend actually hands to the solver:
+// an SMT2 request is a satisfiability check, which the server decides as
+// UNSAT-of-negation, so the negated formula is fingerprinted. This keeps the
+// router's key bit-identical to the one a backend would compute itself and
+// guarantees a sat-check can never share a cache entry with a validity check
+// of the same text.
 func Fingerprint(formula string, smt2 bool) (string, error) {
 	b := sufsat.NewBuilder()
 	var f sufsat.Formula
 	var err error
 	if smt2 {
 		f, err = b.ParseSMTLIB(formula)
+		if err == nil {
+			f = f.Not() // the backend decides UNSAT of the negation
+		}
 	} else {
 		f, err = b.Parse(formula)
 	}
 	if err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256([]byte(f.String()))
-	return hex.EncodeToString(sum[:]), nil
+	return f.Fingerprint(), nil
 }

@@ -395,6 +395,10 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 		rt.malformed(w, req.RequestID, "parse formula: "+err.Error(), start)
 		return
 	}
+	// Forward the canonical fingerprint so a backend running with
+	// -trust-fingerprint skips recanonicalizing: one parse+hash per request
+	// across the fleet, and the ring key equals the backend cache key.
+	req.Fingerprint = fp
 
 	// Deadline: the request's budget (or the default), clamped, forwarded to
 	// the backend via timeout_ms, plus one second of router grace so the

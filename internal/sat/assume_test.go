@@ -1,0 +1,250 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveAssumeBasic drives one solver through a sequence of assumption
+// queries over x↔y: each verdict must be conditional, never destructive.
+func TestSolveAssumeBasic(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	y := s.NewVar()
+	// x ↔ y
+	s.AddClause(NegLit(x), PosLit(y))
+	s.AddClause(PosLit(x), NegLit(y))
+
+	if st := s.SolveAssume(PosLit(x), PosLit(y)); st != Sat {
+		t.Fatalf("x∧y: got %v, want Sat", st)
+	}
+	if m := s.Model(); !m[x] || !m[y] {
+		t.Fatalf("x∧y model: got x=%v y=%v", m[x], m[y])
+	}
+	if st := s.SolveAssume(PosLit(x), NegLit(y)); st != Unsat {
+		t.Fatalf("x∧¬y: got %v, want Unsat", st)
+	}
+	if !s.AssumptionsFailed() {
+		t.Fatalf("x∧¬y: want assumption-conditional Unsat")
+	}
+	// The conditional Unsat must not have poisoned the solver.
+	if st := s.SolveAssume(NegLit(x), NegLit(y)); st != Sat {
+		t.Fatalf("¬x∧¬y after conditional Unsat: got %v, want Sat", st)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("unconstrained solve after assumptions: got %v, want Sat", st)
+	}
+}
+
+// TestSolveAssumeFalsifiedAtLevelZero covers the establishment-time failure
+// path: a unit clause already contradicts the assumption.
+func TestSolveAssumeFalsifiedAtLevelZero(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	s.AddClause(NegLit(x)) // ¬x is a fact
+	if st := s.SolveAssume(PosLit(x)); st != Unsat {
+		t.Fatalf("assume x with fact ¬x: got %v, want Unsat", st)
+	}
+	if !s.AssumptionsFailed() {
+		t.Fatalf("want AssumptionsFailed after contradicted assumption")
+	}
+	if st := s.SolveAssume(NegLit(x)); st != Sat {
+		t.Fatalf("assume ¬x: got %v, want Sat", st)
+	}
+}
+
+// TestSolveAssumeGlobalUnsat checks that a genuinely unsatisfiable database
+// still reports an unconditional Unsat under assumptions.
+func TestSolveAssumeGlobalUnsat(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	y := s.NewVar()
+	s.AddClause(PosLit(x))
+	s.AddClause(NegLit(x))
+	if st := s.SolveAssume(PosLit(y)); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+	if s.AssumptionsFailed() {
+		t.Fatalf("global Unsat must not be blamed on the assumptions")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("solver must stay Unsat, got %v", st)
+	}
+}
+
+// php builds the pigeonhole principle PHP(n+1, n): unsatisfiable, and hard
+// enough to force real conflict analysis under assumptions.
+func php(s *Solver, pigeons, holes int) [][]Var {
+	vs := make([][]Var, pigeons)
+	for p := range vs {
+		vs[p] = make([]Var, holes)
+		for h := range vs[p] {
+			vs[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = PosLit(vs[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vs[p1][h]), NegLit(vs[p2][h]))
+			}
+		}
+	}
+	return vs
+}
+
+// TestSolveAssumeGuardedPigeonhole is the session usage pattern in miniature:
+// one database holding a guarded hard subproblem, queried under different
+// guard assumptions. g → PHP is Sat with g false, Unsat with g true.
+func TestSolveAssumeGuardedPigeonhole(t *testing.T) {
+	s := New()
+	g := s.NewVar()
+	vs := php(s, 7, 6)
+	_ = vs
+	// Guard: rewrite every pigeon clause to include ¬g... simpler: instead
+	// assert nothing extra; PHP alone is Unsat. Build a guarded variant:
+	// fresh solver below.
+	_ = g
+
+	s2 := New()
+	guard := s2.NewVar()
+	pigeons, holes := 7, 6
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s2.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := []Lit{NegLit(guard)}
+		for h := 0; h < holes; h++ {
+			cl = append(cl, PosLit(vars[p][h]))
+		}
+		s2.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s2.AddClause(NegLit(guard), NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+
+	if st := s2.SolveAssume(NegLit(guard)); st != Sat {
+		t.Fatalf("guard off: got %v, want Sat", st)
+	}
+	confBefore := s2.Stats().Conflicts
+	if st := s2.SolveAssume(PosLit(guard)); st != Unsat {
+		t.Fatalf("guard on: got %v, want Unsat", st)
+	}
+	if !s2.AssumptionsFailed() {
+		t.Fatalf("guarded PHP refutation is conditional on the guard")
+	}
+	firstCost := s2.Stats().Conflicts - confBefore
+	if firstCost == 0 {
+		t.Fatalf("PHP(7,6) refutation with zero conflicts is implausible")
+	}
+	// Repeat query: learnt clauses are retained, so the rerun must be
+	// dramatically cheaper than the first.
+	confBefore = s2.Stats().Conflicts
+	if st := s2.SolveAssume(PosLit(guard)); st != Unsat {
+		t.Fatalf("guard on (rerun): got %v, want Unsat", st)
+	}
+	rerunCost := s2.Stats().Conflicts - confBefore
+	if rerunCost*10 > firstCost {
+		t.Errorf("learnt clauses not retained: first refutation %d conflicts, rerun %d", firstCost, rerunCost)
+	}
+	// And the guard can still be released.
+	if st := s2.SolveAssume(NegLit(guard)); st != Sat {
+		t.Fatalf("guard off after refutation: got %v, want Sat", st)
+	}
+}
+
+// TestSolveAssumeParallel runs the same conditional queries through the
+// portfolio path with several workers.
+func TestSolveAssumeParallel(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	y := s.NewVar()
+	z := s.NewVar()
+	s.AddClause(NegLit(x), PosLit(y))
+	s.AddClause(NegLit(y), PosLit(z))
+
+	ctx := context.Background()
+	if st := s.SolveAssumeParallel(ctx, 4, PosLit(x), NegLit(z)); st != Unsat {
+		t.Fatalf("x∧¬z under x→y→z: got %v, want Unsat", st)
+	}
+	if st := s.SolveAssumeParallel(ctx, 4, PosLit(x)); st != Sat {
+		t.Fatalf("x alone: got %v, want Sat", st)
+	}
+	if m := s.Model(); !m[x] || !m[y] || !m[z] {
+		t.Fatalf("model must extend assumptions through implications: %v %v %v", m[x], m[y], m[z])
+	}
+	if st := s.SolveAssumeParallel(ctx, 4, NegLit(x)); st != Sat {
+		t.Fatalf("¬x: got %v, want Sat", st)
+	}
+}
+
+// TestSolveAssumeModelExtendsAssumptions cross-checks Sat models against the
+// assumption vector on random 3-SAT instances.
+func TestSolveAssumeModelExtendsAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		s := New()
+		n := 20
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		for c := 0; c < 60; c++ {
+			var cl []Lit
+			for k := 0; k < 3; k++ {
+				v := vars[rng.Intn(n)]
+				if rng.Intn(2) == 0 {
+					cl = append(cl, PosLit(v))
+				} else {
+					cl = append(cl, NegLit(v))
+				}
+			}
+			s.AddClause(cl...)
+		}
+		var assumps []Lit
+		for k := 0; k < 4; k++ {
+			v := vars[rng.Intn(n)]
+			if rng.Intn(2) == 0 {
+				assumps = append(assumps, PosLit(v))
+			} else {
+				assumps = append(assumps, NegLit(v))
+			}
+		}
+		st := s.SolveAssume(assumps...)
+		conditional := s.AssumptionsFailed()
+		if st == Sat {
+			m := s.Model()
+			for _, a := range assumps {
+				got := m[a.Var()]
+				want := !a.Neg()
+				if got != want {
+					t.Fatalf("iter %d: model violates assumption %v", iter, a)
+				}
+			}
+		}
+		// Whatever the verdict, the solver must answer the empty query
+		// consistently afterwards unless globally Unsat.
+		st2 := s.Solve()
+		if st == Unsat && !conditional && st2 != Unsat {
+			t.Fatalf("iter %d: unconditional Unsat not sticky", iter)
+		}
+		if st2 == Unsat && s.SolveAssume(assumps...) != Unsat {
+			t.Fatalf("iter %d: global Unsat must subsume assumptions", iter)
+		}
+	}
+}

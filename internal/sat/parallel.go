@@ -152,6 +152,7 @@ func (s *Solver) clone() *Solver {
 		claInc:      s.claInc,
 		claDecay:    s.claDecay,
 		unsatFlag:   s.unsatFlag,
+		assumptions: append([]Lit(nil), s.assumptions...),
 		restartBase: s.restartBase,
 		restartUnit: s.restartUnit,
 
@@ -274,12 +275,22 @@ func (s *Solver) ParallelStats() ParallelStats { return s.parStats }
 // incremental Solve calls. Budgets (ConflictBudget, Deadline) apply to each
 // worker individually.
 func (s *Solver) SolveParallel(ctx context.Context, workers int) Status {
+	return s.SolveAssumeParallel(ctx, workers)
+}
+
+// SolveAssumeParallel is SolveParallel under assumption literals: every
+// worker decides the assumptions first (see SolveAssume), and the winner's
+// verdict is conditional on them in the same way — an assumption-failed
+// Unsat leaves the parent solver usable for further calls.
+func (s *Solver) SolveAssumeParallel(ctx context.Context, workers int, assumps ...Lit) Status {
+	s.assumptions = append(s.assumptions[:0], assumps...)
+	s.assumpFailed = false
 	if workers <= 1 {
 		if ctx != nil && s.Ctx == nil {
 			s.Ctx = ctx
 			defer func() { s.Ctx = nil }()
 		}
-		st := s.Solve()
+		st := s.solve()
 		s.parStats = ParallelStats{
 			Workers:  1,
 			WinnerID: 0,
@@ -339,7 +350,7 @@ func (s *Solver) SolveParallel(ctx context.Context, workers int) Status {
 		go func(id int, w *Solver) {
 			defer wg.Done()
 			pprof.Do(runCtx, pprof.Labels("worker", strconv.Itoa(id), "phase", "sat"), func(context.Context) {
-				results <- outcome{id, w.Solve()}
+				results <- outcome{id, w.solve()}
 			})
 		}(i, w)
 	}
@@ -385,7 +396,15 @@ func (s *Solver) SolveParallel(ctx context.Context, workers int) Status {
 	case Unsat:
 		s.stats = ws[winner].stats
 		s.stop = StopNone
-		s.unsatFlag = true
+		// A verdict conditional on the assumptions must not poison the
+		// parent: only a worker that refuted the clause database outright
+		// (or an absorbed-unit conflict above) makes the solver permanently
+		// Unsat.
+		if ws[winner].assumpFailed {
+			s.assumpFailed = true
+		} else {
+			s.unsatFlag = true
+		}
 	default:
 		// No verdict: report the first worker's counters and the most
 		// meaningful stop cause across workers (a budget or deadline beats
@@ -406,7 +425,7 @@ func (s *Solver) SolveParallel(ctx context.Context, workers int) Status {
 // solveStatus reconstructs the worker's own Solve outcome from its state.
 func (w *Solver) solveStatus() Status {
 	switch {
-	case w.unsatFlag:
+	case w.unsatFlag || w.assumpFailed:
 		return Unsat
 	case w.model != nil:
 		return Sat

@@ -193,6 +193,14 @@ type Solver struct {
 	claDecay  float64
 	unsatFlag bool
 
+	// Incremental interface: assumptions hold the literals the current
+	// SolveAssume call decides first (MiniSat solve(assumps) style), each on
+	// its own pseudo-decision level below all free decisions. assumpFailed
+	// records that the last Unsat was conditional on them — the clause
+	// database itself stayed satisfiable, so the solver remains usable.
+	assumptions  []Lit
+	assumpFailed bool
+
 	// Diversification knobs (see diversify): restart geometry and an
 	// occasional-random-decision rate. Zero rndFreq means fully deterministic
 	// VSIDS decisions.
@@ -761,9 +769,32 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 		if float64(len(s.learnts))-float64(len(s.trail)) >= s.maxLearnts {
 			s.reduceDB()
 		}
-		next := s.pickBranchLit()
+		// Establish assumptions before any free decision: each pending
+		// assumption opens its own decision level, so decisionLevel() ≤
+		// len(assumptions) always means "still inside the assumption
+		// prefix". An assumption already true under propagation opens a
+		// dummy level (keeping the level↔index correspondence); one already
+		// false is a conflict with the assumptions, not with the formula —
+		// report Unsat with assumpFailed so Solve leaves unsatFlag alone.
+		next := LitUndef
+		for next == LitUndef && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				s.assumpFailed = true
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				next = p
+			}
+		}
 		if next == LitUndef {
-			return Sat
+			next = s.pickBranchLit()
+			if next == LitUndef {
+				return Sat
+			}
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
@@ -773,7 +804,26 @@ func (s *Solver) search(nConflicts int64, deadline time.Time) Status {
 
 // Solve runs the solver to completion (or budget exhaustion) and returns the
 // status. On Sat the model is available via Model.
-func (s *Solver) Solve() Status {
+func (s *Solver) Solve() Status { return s.SolveAssume() }
+
+// SolveAssume solves under the given assumption literals, decided (in order)
+// before any free decision. It returns Sat with a model extending the
+// assumptions, Unsat when the clauses are unsatisfiable *under the
+// assumptions*, or Unknown on a budget/cancellation stop. Unlike an
+// unconditional Unsat, an assumption-conditional one does not poison the
+// solver: learnt clauses are retained (they are implied by the clause
+// database alone) and later calls with different assumptions proceed —
+// MiniSat's solve(assumps) incremental interface. AssumptionsFailed
+// distinguishes the two after the fact.
+func (s *Solver) SolveAssume(assumps ...Lit) Status {
+	s.assumptions = append(s.assumptions[:0], assumps...)
+	return s.solve()
+}
+
+// solve runs the restart loop under whatever s.assumptions currently holds
+// (parallel workers enter here so their cloned assumption vector survives).
+func (s *Solver) solve() Status {
+	s.assumpFailed = false
 	s.stop = StopNone
 	if s.probe == nil && s.Probes != nil {
 		s.probe = s.Probes.New(0)
@@ -781,6 +831,11 @@ func (s *Solver) Solve() Status {
 	defer s.publishProgress() // final counters, budget/verdict paths included
 	if s.unsatFlag {
 		return Unsat
+	}
+	for _, p := range s.assumptions {
+		if int(p.Var()) >= len(s.assigns) {
+			panic("sat: assumption literal names an unknown variable")
+		}
 	}
 	s.cancelUntil(0)
 	s.model = nil
@@ -825,7 +880,9 @@ func (s *Solver) Solve() Status {
 			s.cancelUntil(0)
 			return Sat
 		case Unsat:
-			s.unsatFlag = true
+			if !s.assumpFailed {
+				s.unsatFlag = true
+			}
 			return Unsat
 		}
 		if s.stop != StopNone {
@@ -845,6 +902,11 @@ func (s *Solver) Solve() Status {
 // StopReason reports why the last Solve call returned Unknown (StopNone when
 // it returned a definitive answer).
 func (s *Solver) StopReason() StopCause { return s.stop }
+
+// AssumptionsFailed reports whether the last SolveAssume returned Unsat
+// because of its assumptions rather than the clause database: the formula
+// itself was not shown unsatisfiable and further calls remain meaningful.
+func (s *Solver) AssumptionsFailed() bool { return s.assumpFailed }
 
 // Model returns the satisfying assignment found by the last successful Solve.
 // Index i holds the value of variable i. The slice is owned by the solver.

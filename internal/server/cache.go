@@ -1,0 +1,270 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheEntry is one cached definitive verdict, keyed by the formula's
+// canonical fingerprint. Definitive verdicts are method- and
+// budget-independent — every decision method answers the same validity
+// question — so the fingerprint alone is a sound key. The model (when the
+// verdict is invalid) is a falsifying assignment of the canonical formula,
+// valid for every alpha-variant modulo renamed symbol names; it is served
+// only to requests for the identical formula source, never across variants
+// (see Cache.Get).
+type CacheEntry struct {
+	Status      string // "valid" or "invalid"
+	Method      string // method that produced the verdict
+	Stats       *RespStats
+	ModelConsts map[string]int64
+	ModelBools  map[string]bool
+	// Source is the exact formula text that produced the entry; model fields
+	// are only meaningful for requests with the same source (symbol names in
+	// an alpha-variant differ, though the verdict transfers).
+	Source string
+	size   int64
+}
+
+// approxSize estimates the entry's resident bytes for the byte bound.
+func (e *CacheEntry) approxSize(fp string) int64 {
+	n := int64(len(fp) + len(e.Status) + len(e.Method) + len(e.Source) + 96)
+	if e.Stats != nil {
+		n += 64
+	}
+	for k := range e.ModelConsts {
+		n += int64(len(k)) + 24
+	}
+	for k := range e.ModelBools {
+		n += int64(len(k)) + 17
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of the cache's counters, exposed at
+// /statusz and (live) via the sufsat_cache_* metric families.
+type CacheStats struct {
+	Entries     int     `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	MaxEntries  int     `json:"max_entries"`
+	MaxBytes    int64   `json:"max_bytes"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Evictions   int64   `json:"evictions"`
+	SingleFlown int64   `json:"singleflight_joins"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// Flight is one in-progress computation of a fingerprint's verdict. The
+// first requester of a missing fingerprint becomes the leader and must call
+// Finish exactly once (Abort is a safe idempotent stand-in on error paths);
+// concurrent requesters of the same fingerprint join as followers and Wait
+// for the leader instead of re-solving the identical problem.
+type Flight struct {
+	c      *Cache
+	fp     string
+	leader bool
+	lead   *Flight // the leader flight (self when leader)
+	once   sync.Once
+	done   chan struct{}
+	entry  *CacheEntry
+}
+
+// Leader reports whether the caller owns the computation.
+func (f *Flight) Leader() bool { return f.leader }
+
+// Finish publishes the leader's outcome: a definitive entry is stored in the
+// cache and handed to every follower; nil (no definitive verdict) releases
+// the followers to solve for themselves. Idempotent; a no-op on followers.
+func (f *Flight) Finish(e *CacheEntry) {
+	if !f.leader {
+		return
+	}
+	f.once.Do(func() {
+		if f.c != nil {
+			if e != nil {
+				f.c.store(f.fp, e)
+			}
+			f.c.mu.Lock()
+			if f.c.inflight[f.fp] == f {
+				delete(f.c.inflight, f.fp)
+			}
+			f.c.mu.Unlock()
+		}
+		f.entry = e
+		close(f.done)
+	})
+}
+
+// Abort is Finish(nil) for error paths; safe after a Finish.
+func (f *Flight) Abort() { f.Finish(nil) }
+
+// Wait blocks a follower until the leader finishes or ctx expires. A nil
+// entry with a nil error means the leader produced no definitive verdict —
+// the follower should proceed to solve on its own.
+func (f *Flight) Wait(ctx context.Context) (*CacheEntry, error) {
+	select {
+	case <-f.done:
+		return f.lead.entry, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cache is a size-bounded LRU verdict cache with single-flight collapsing of
+// concurrent identical requests. Safe for concurrent use. A nil *Cache is a
+// valid always-miss cache with no single-flighting.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recent; values are *cacheItem
+	items    map[string]*list.Element
+	inflight map[string]*Flight
+	bytes    int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	joins     atomic.Int64
+}
+
+type cacheItem struct {
+	fp    string
+	entry *CacheEntry
+}
+
+// Cache sizing defaults (entries and resident-byte bound).
+const (
+	DefaultCacheEntries = 4096
+	DefaultCacheBytes   = 64 << 20
+)
+
+// NewCache returns a cache bounded to maxEntries entries and maxBytes
+// estimated resident bytes (0 picks the defaults; negative disables the
+// bound).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries == 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	if maxBytes == 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		inflight:   make(map[string]*Flight),
+	}
+}
+
+// Get returns the cached verdict for fp, if any, refreshing its recency.
+// When wantModel is set, an invalid entry is served only if it can satisfy
+// the request: the model must be present and the source text identical
+// (models do not transfer across alpha-variants). A hit is counted only on
+// success; a model-miss counts as a miss and the caller re-solves.
+func (c *Cache) Get(fp string, source string, wantModel bool) (*CacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[fp]
+	if ok {
+		it := el.Value.(*cacheItem)
+		if wantModel && it.entry.Status == "invalid" &&
+			(it.entry.ModelConsts == nil || it.entry.Source != source) {
+			ok = false
+		} else {
+			c.ll.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return it.entry, true
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Begin opens the single-flight for fp: the first caller gets a leader
+// Flight, concurrent callers a follower Flight (counted as a join). A nil
+// cache returns a pre-finished leader so callers need no special-casing.
+func (c *Cache) Begin(fp string) *Flight {
+	if c == nil {
+		f := &Flight{leader: true, done: make(chan struct{})}
+		f.lead = f
+		f.once.Do(func() { close(f.done) })
+		return f
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[fp]; ok {
+		c.joins.Add(1)
+		return &Flight{c: c, fp: fp, leader: false, lead: f, done: f.done}
+	}
+	f := &Flight{c: c, fp: fp, leader: true, done: make(chan struct{})}
+	f.lead = f
+	c.inflight[fp] = f
+	return f
+}
+
+// store inserts (or refreshes) a definitive entry and evicts LRU items past
+// the bounds.
+func (c *Cache) store(fp string, e *CacheEntry) {
+	if c == nil || e == nil {
+		return
+	}
+	e.size = e.approxSize(fp)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		old := el.Value.(*cacheItem)
+		c.bytes += e.size - old.entry.size
+		old.entry = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[fp] = c.ll.PushFront(&cacheItem{fp: fp, entry: e})
+		c.bytes += e.size
+	}
+	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		it := el.Value.(*cacheItem)
+		c.ll.Remove(el)
+		delete(c.items, it.fp)
+		c.bytes -= it.entry.size
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the counters. Safe on a nil cache (zero stats).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	entries := c.ll.Len()
+	bytes := c.bytes
+	c.mu.Unlock()
+	st := CacheStats{
+		Entries:     entries,
+		Bytes:       bytes,
+		MaxEntries:  c.maxEntries,
+		MaxBytes:    c.maxBytes,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		SingleFlown: c.joins.Load(),
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

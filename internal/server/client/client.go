@@ -329,3 +329,117 @@ func (c *Client) Ready(ctx context.Context) error {
 		}
 	}
 }
+
+// DecideBatch posts the items to /v1/decide/batch and returns per-item
+// responses in input order. Shed 503s (the whole batch rejected at the door)
+// and transport errors are retried with the same backoff policy as Decide;
+// per-item sheds inside an accepted batch are returned as-is for the caller
+// to inspect.
+func (c *Client) DecideBatch(ctx context.Context, reqs []*server.Request) ([]*server.Response, error) {
+	breq := server.BatchRequest{
+		Items:     make([]server.Request, len(reqs)),
+		RequestID: obs.NewRequestID(),
+	}
+	for i, r := range reqs {
+		breq.Items[i] = *r
+	}
+	body, err := json.Marshal(&breq)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode batch: %w", err)
+	}
+	backoff := c.BaseBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	var last *server.Response
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resps, shed, retryAfter, err := c.postBatch(ctx, body, breq.RequestID)
+		if err == nil && shed == nil {
+			return resps, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			last, lastErr = shed, nil
+		}
+		if attempt >= maxAttempts {
+			break
+		}
+		if err := sleepCtx(ctx, c.retryWait(backoff, retryAfter)); err != nil {
+			return nil, err
+		}
+		backoff *= 2
+		if c.MaxBackoff > 0 && backoff > c.MaxBackoff {
+			backoff = c.MaxBackoff
+		}
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, &RetryError{Attempts: maxAttempts, Last: last}
+}
+
+// postBatch performs one batch attempt. A 503 at the batch level decodes as
+// a single shed Response (returned in shed); an accepted batch decodes as a
+// BatchResponse.
+func (c *Client) postBatch(ctx context.Context, body []byte, reqID string) ([]*server.Response, *server.Response, time.Duration, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/decide/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("client: build batch request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		hreq.Header.Set("X-Request-Id", reqID)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	maxBody := c.MaxResponseBytes
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, maxBody+1))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("client: read batch response: %w", err)
+	}
+	if int64(len(data)) > maxBody {
+		return nil, nil, 0, &BodyError{Truncated: true, HTTPStatus: hresp.StatusCode}
+	}
+	var retryAfter time.Duration
+	if s := hresp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		// Batch-level rejection (shed or malformed): a single Response body.
+		var shed server.Response
+		if err := json.Unmarshal(data, &shed); err != nil {
+			return nil, nil, retryAfter, &BodyError{HTTPStatus: hresp.StatusCode, Err: err}
+		}
+		shed.HTTPStatus = hresp.StatusCode
+		if shed.RetryAfterMS > 0 {
+			retryAfter = time.Duration(shed.RetryAfterMS) * time.Millisecond
+		}
+		if hresp.StatusCode == http.StatusServiceUnavailable {
+			return nil, &shed, retryAfter, nil
+		}
+		return nil, nil, retryAfter, fmt.Errorf("client: batch rejected (HTTP %d): %s", hresp.StatusCode, shed.Error)
+	}
+	var bresp server.BatchResponse
+	if err := json.Unmarshal(data, &bresp); err != nil {
+		return nil, nil, retryAfter, &BodyError{HTTPStatus: hresp.StatusCode, Err: err}
+	}
+	return bresp.Responses, nil, retryAfter, nil
+}

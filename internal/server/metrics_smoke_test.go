@@ -56,7 +56,9 @@ func TestServedMetricsSmoke(t *testing.T) {
 	// One worker: the SIGQUIT phase needs a request backlog that is still
 	// unfinished when the dump happens.
 	dumpPath := filepath.Join(dir, "flight.json")
-	proc := exec.Command(served, "-addr", "127.0.0.1:0", "-workers", "1", "-flightrec-out", dumpPath)
+	// -no-cache: the flood phase repeats one slow formula; the queue must
+	// actually fill for SIGQUIT to land with work in flight.
+	proc := exec.Command(served, "-addr", "127.0.0.1:0", "-workers", "1", "-no-cache", "-flightrec-out", dumpPath)
 	stderr, err := proc.StderrPipe()
 	if err != nil {
 		t.Fatalf("stderr pipe: %v", err)

@@ -50,6 +50,15 @@ type Request struct {
 	WantModel bool `json:"want_model,omitempty"`
 	// WantTelemetry asks for the unified obs snapshot in the response.
 	WantTelemetry bool `json:"want_telemetry,omitempty"`
+	// NoCache bypasses the verdict cache for this request: no lookup, no
+	// store, no single-flight join. The verdict is computed from scratch.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Fingerprint is a precomputed canonical fingerprint of the decided
+	// formula (the router fills it after its own canonicalization). The
+	// server uses it only when Config.TrustFingerprint is set — a deployment
+	// statement that only the router reaches this backend — and otherwise
+	// recomputes; an untrusted or malformed value is ignored.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Shed reasons carried in Response.ShedReason on a 503.
@@ -91,6 +100,12 @@ type Response struct {
 	Attempts       int    `json:"attempts,omitempty"`
 	// Clamped lists request fields tightened to the server ceilings.
 	Clamped []string `json:"clamped,omitempty"`
+	// Cached is set when the verdict was served from the cache (or from a
+	// concurrent identical request's single-flight) instead of a fresh solve.
+	Cached bool `json:"cached,omitempty"`
+	// Fingerprint is the canonical fingerprint of the decided formula, when
+	// the cache layer computed (or trusted) one.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Stats is a compact measurement block for definitive answers.
 	Stats *RespStats `json:"stats,omitempty"`
 	// ModelConsts/ModelBools carry the falsifying assignment when the status

@@ -91,6 +91,23 @@ type Config struct {
 	// MinRetryBudget is the minimum remaining deadline for a ResourceOut
 	// retry on the lazy path (0 = 20ms).
 	MinRetryBudget time.Duration
+	// NoCache disables the verdict cache (and its single-flight collapsing)
+	// server-wide; individual requests opt out with Request.NoCache.
+	NoCache bool
+	// CacheEntries bounds the verdict cache (0 = DefaultCacheEntries;
+	// negative = unbounded entry count, byte bound still applies).
+	CacheEntries int
+	// CacheBytes bounds the cache's estimated resident bytes (0 =
+	// DefaultCacheBytes; negative = unbounded).
+	CacheBytes int64
+	// TrustFingerprint accepts the request's precomputed fingerprint as the
+	// cache key instead of recanonicalizing. Enable only when every client is
+	// trusted to compute it honestly (the sufrouter deployment), since a
+	// forged fingerprint could poison the cache across formulas.
+	TrustFingerprint bool
+	// MaxBatch bounds the item count of one /v1/decide/batch request
+	// (0 = 64).
+	MaxBatch int
 	// Hook, when non-nil, is called at each server fault point (the Stage…
 	// constants above) and threaded through to the decision pipeline's own
 	// stage hooks. A returned error fails the request with a structured 500;
@@ -127,6 +144,10 @@ type task struct {
 	enqueued time.Time
 	deadline time.Time
 	done     chan *Response
+	// fp is the canonical fingerprint of the decided formula ("" when the
+	// cache is bypassed); flight is the single-flight slot this task leads.
+	fp     string
+	flight *Flight
 }
 
 // Server is the decision service. Create with New, serve its Handler (or
@@ -136,6 +157,8 @@ type Server struct {
 	probe   *obs.ServiceProbe
 	metrics *obs.ServiceMetrics
 	flight  *obs.FlightRecorder
+
+	cache *Cache
 
 	queue chan *task
 	mu    sync.Mutex // guards draining and the queue close
@@ -184,6 +207,9 @@ func New(cfg Config) *Server {
 	if cfg.MinRetryBudget <= 0 {
 		cfg.MinRetryBudget = 20 * time.Millisecond
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
 	probe := cfg.Probe
 	if probe == nil {
 		probe = &obs.ServiceProbe{}
@@ -202,6 +228,17 @@ func New(cfg Config) *Server {
 		workersDone: make(chan struct{}),
 		baseCtx:     ctx,
 		baseCancel:  cancel,
+	}
+	if !cfg.NoCache {
+		s.cache = NewCache(cfg.CacheEntries, cfg.CacheBytes)
+		s.metrics.RegisterCache(func() obs.CacheCounters {
+			st := s.cache.Stats()
+			return obs.CacheCounters{
+				Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+				SingleflightJoins: st.SingleFlown,
+				Entries:           int64(st.Entries), Bytes: st.Bytes,
+			}
+		})
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
@@ -480,6 +517,27 @@ func (s *Server) exec(t *task, depthAtDequeue int, queueWait time.Duration) (res
 		resp.ModelConsts = res.Counterexample.Consts()
 		resp.ModelBools = res.Counterexample.Bools()
 	}
+	resp.Fingerprint = t.fp
+	// Publish to the verdict cache and release single-flight followers: a
+	// definitive verdict (degraded-path ones included — they are just as
+	// sound) is stored; anything else frees the followers to solve alone.
+	if t.flight != nil {
+		if res.Status.Definitive() {
+			e := &CacheEntry{
+				Status: resp.Status,
+				Method: resp.Method,
+				Stats:  resp.Stats,
+				Source: t.req.Formula,
+			}
+			if res.Counterexample != nil {
+				e.ModelConsts = res.Counterexample.Consts()
+				e.ModelBools = res.Counterexample.Bools()
+			}
+			t.flight.Finish(e)
+		} else {
+			t.flight.Abort()
+		}
+	}
 	// The request span always ends (its End feeds the flight ring); the
 	// snapshot rides in the response only on request.
 	t.endRequestSpan(resp.Status)
@@ -565,6 +623,7 @@ func (s *Server) errorResponse(t *task, err error, queueMS float64) *Response {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decide", s.handleDecide)
+	mux.HandleFunc("/v1/decide/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n") //nolint:errcheck
@@ -582,7 +641,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{ //nolint:errcheck
+		status := map[string]any{
 			"build":    obs.GetBuildInfo(),
 			"counters": s.probe.Counters(),
 			"draining": s.Draining(),
@@ -594,7 +653,11 @@ func (s *Server) Handler() http.Handler {
 				"recorded":    s.flight.Recorded(),
 				"overwritten": s.flight.Overwritten(),
 			},
-		})
+		}
+		if s.cache != nil {
+			status["cache"] = s.cache.Stats()
+		}
+		enc.Encode(status) //nolint:errcheck
 	})
 	if s.cfg.Metrics != nil {
 		mux.Handle("/metrics", s.cfg.Metrics.Handler())
@@ -668,20 +731,87 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if reqID == "" && obs.ValidRequestID(req.RequestID) {
 		reqID = req.RequestID
 	}
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	resp := s.decide(r.Context(), &req, reqID)
+	if resp == nil {
+		// The client is gone; there is no one to write to.
+		return
+	}
+	if resp.Status != "shed" && resp.Status != "malformed" && !resp.Cached {
+		if err := s.hook(StageRespond); err != nil {
+			respond(&Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
+			return
+		}
+	}
+	respond(resp)
+}
+
+// validFingerprint reports whether s looks like a canonical fingerprint
+// (64 lowercase hex digits) and is therefore acceptable as a trusted key.
+func validFingerprint(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// cachedResponse builds the response for a verdict served from the cache.
+// The model rides along only for the identical formula source — a cached
+// model's symbol names do not transfer to an alpha-variant.
+func cachedResponse(req *Request, fp string, e *CacheEntry) *Response {
+	resp := &Response{
+		Status:      e.Status,
+		Method:      e.Method,
+		Cached:      true,
+		Fingerprint: fp,
+		Stats:       e.Stats,
+		HTTPStatus:  http.StatusOK,
+	}
+	if req.WantModel && e.Source == req.Formula {
+		resp.ModelConsts = e.ModelConsts
+		resp.ModelBools = e.ModelBools
+	}
+	return resp
+}
+
+// usableEntry reports whether a cached entry can answer this request: always
+// for verdict-only requests; a want_model request for an invalid formula
+// additionally needs the stored model and the identical source text.
+func usableEntry(req *Request, e *CacheEntry) bool {
+	if e == nil {
+		return false
+	}
+	if req.WantModel && e.Status == core.Invalid.String() {
+		return e.ModelConsts != nil && e.Source == req.Formula
+	}
+	return true
+}
+
+// decide runs one decoded request end to end: validate and parse, verdict
+// cache (lookup, then single-flight), admission control, worker solve. It is
+// the shared engine of POST /decide and POST /v1/decide/batch. A nil return
+// means the client's context died with no one left to answer.
+func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Response {
 	if req.Formula == "" {
 		s.probe.Malformed()
-		respond(malformed("missing formula"))
-		return
+		return malformed("missing formula")
 	}
 	method, err := ParseMethod(req.Method)
 	if err != nil {
 		s.probe.Malformed()
-		respond(malformed(err.Error()))
-		return
+		return malformed(err.Error())
 	}
-	// Parsing runs in the handler, outside the admission queue: malformed
-	// bytes must never cost a queue slot (and must never kill the server —
-	// the parsers return errors, enforced by the FuzzParse corpora).
+	// Parsing runs before admission: malformed bytes must never cost a queue
+	// slot (and must never kill the server — the parsers return errors,
+	// enforced by the FuzzParse corpora).
 	b := sufsat.NewBuilder()
 	var f sufsat.Formula
 	if req.SMT2 {
@@ -691,8 +821,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.probe.Malformed()
-		respond(malformed(fmt.Sprintf("parse: %v", err)))
-		return
+		return malformed(fmt.Sprintf("parse: %v", err))
 	}
 	if req.SMT2 {
 		// sat(F) ⟺ ¬valid(¬F): decide the negation; "invalid" then means
@@ -709,17 +838,65 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	deadline := now.Add(opts.Timeout)
 	opts.Timeout = 0 // the worker applies the deadline via context
 
-	if reqID == "" {
-		reqID = obs.NewRequestID()
+	// Verdict cache. The fingerprint keys the decided formula (negation
+	// included for SMT2 requests, so a sat-check can never collide with a
+	// validity check over the same text). The router precomputes it; the
+	// server trusts that only under Config.TrustFingerprint.
+	// want_telemetry requests bypass the cache entirely: the snapshot
+	// describes an actual solve, and a cached verdict has none to offer.
+	var fp string
+	var fl *Flight
+	if s.cache != nil && !req.NoCache && !req.WantTelemetry {
+		if s.cfg.TrustFingerprint && validFingerprint(req.Fingerprint) {
+			fp = req.Fingerprint
+		} else {
+			fp = f.Fingerprint()
+		}
+		lookupStart := time.Now()
+		if e, ok := s.cache.Get(fp, req.Formula, req.WantModel); ok {
+			resp := cachedResponse(req, fp, e)
+			resp.Clamped = clamped
+			resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
+			s.metrics.ObserveCacheHit(time.Since(lookupStart).Seconds())
+			s.flight.Record(obs.FlightCacheHit, reqID, req.Method, time.Since(lookupStart).Microseconds(), 0)
+			return resp
+		}
+		fl = s.cache.Begin(fp)
+		if !fl.Leader() {
+			// An identical formula is being solved right now: wait for its
+			// verdict instead of burning a second worker on the same search.
+			wctx, cancel := context.WithDeadline(ctx, deadline)
+			e, werr := fl.Wait(wctx)
+			cancel()
+			if werr == nil && usableEntry(req, e) {
+				resp := cachedResponse(req, fp, e)
+				resp.Clamped = clamped
+				resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
+				s.metrics.ObserveCacheHit(time.Since(lookupStart).Seconds())
+				s.flight.Record(obs.FlightCacheHit, reqID, req.Method, time.Since(lookupStart).Microseconds(), 1)
+				return resp
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+			// Leader produced nothing usable (non-definitive, or a model we
+			// need that it lacks): fall through and solve ourselves, without
+			// a flight of our own.
+			fl = nil
+		} else {
+			// Leader: whatever happens below, the followers must be released.
+			defer fl.Abort()
+		}
 	}
+
 	rec := obs.NewRecorder()
 	rec.SetRequestID(reqID)
 	rec.SetFlight(s.flight)
 	opts.Telemetry = rec
 	opts.Hook = s.cfg.Hook
 	t := &task{
-		ctx:      r.Context(),
-		req:      &req,
+		ctx:      ctx,
+		req:      req,
 		reqID:    reqID,
 		opts:     opts,
 		formula:  f,
@@ -729,15 +906,15 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		enqueued: now,
 		deadline: deadline,
 		done:     make(chan *Response, 1),
+		fp:       fp,
+		flight:   fl,
 	}
 
 	if err := s.hook(StageAdmit); err != nil {
-		respond(&Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
-		return
+		return &Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError}
 	}
 	if resp := s.admit(t); resp != nil {
-		respond(resp)
-		return
+		return resp
 	}
 	s.flight.Record(obs.FlightAdmit, reqID, req.Method, 0, int64(s.QueueLen()))
 
@@ -745,16 +922,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	case resp, ok := <-t.done:
 		if !ok || resp == nil {
 			// The worker observed a dead client context; nothing to write.
-			return
-		}
-		if err := s.hook(StageRespond); err != nil {
-			respond(&Response{Status: core.Error.String(), Error: err.Error(), HTTPStatus: http.StatusInternalServerError})
-			return
+			return nil
 		}
 		resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
-		respond(resp)
-	case <-r.Context().Done():
+		return resp
+	case <-ctx.Done():
 		// Client gone; the worker will observe the same context and skip.
+		return nil
 	}
 }
 

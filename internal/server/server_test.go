@@ -143,7 +143,10 @@ func TestShedQueueFull(t *testing.T) {
 		}
 		return nil
 	}
-	s, c := newTestServer(t, server.Config{Workers: 1, MaxQueue: 2, Hook: hook, DegradeDepth: -1})
+	// NoCache: the flood is one identical formula on purpose; with the
+	// verdict cache on, duplicates would single-flight onto the held leader
+	// instead of filling the queue, which is the behavior under test here.
+	s, c := newTestServer(t, server.Config{Workers: 1, MaxQueue: 2, Hook: hook, DegradeDepth: -1, NoCache: true})
 	defer once.Do(func() { close(block) })
 
 	const n = 10
@@ -219,7 +222,7 @@ func TestShedDeadlineInQueue(t *testing.T) {
 		}
 		return nil
 	}
-	s, c := newTestServer(t, server.Config{Workers: 1, MaxQueue: 4, Hook: hook, DegradeDepth: -1})
+	s, c := newTestServer(t, server.Config{Workers: 1, MaxQueue: 4, Hook: hook, DegradeDepth: -1, NoCache: true})
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -263,7 +266,10 @@ func TestShedDeadlineInQueue(t *testing.T) {
 // TestDegradationLadder checks a blown clause budget on the eager path is
 // retried once on the lazy path and answered definitively.
 func TestDegradationLadder(t *testing.T) {
-	s, c := newTestServer(t, server.Config{Workers: 1})
+	// NoCache: the second request expects resource-out for the same formula
+	// the first one answered — a cached verdict would (correctly, but
+	// unhelpfully for this test) answer it.
+	s, c := newTestServer(t, server.Config{Workers: 1, NoCache: true})
 
 	resp := decide(t, c, &server.Request{Formula: chain, MaxCNFClauses: 1, TimeoutMS: 10000})
 	if resp == nil || resp.Status != "valid" {
@@ -300,7 +306,7 @@ func TestSaturationDegrade(t *testing.T) {
 		}
 		return nil
 	}
-	s, c := newTestServer(t, server.Config{Workers: 1, MaxQueue: 8, DegradeDepth: 1, Hook: hook})
+	s, c := newTestServer(t, server.Config{Workers: 1, MaxQueue: 8, DegradeDepth: 1, Hook: hook, NoCache: true})
 
 	results := make(chan *server.Response, 4)
 	var wg sync.WaitGroup
@@ -348,7 +354,7 @@ func TestSaturationDegrade(t *testing.T) {
 // keeps serving afterwards.
 func TestPanicIsolation(t *testing.T) {
 	inj := faultinject.New(server.StageExec, faultinject.Panic).EveryNth(2)
-	s, c := newTestServer(t, server.Config{Workers: 1, Hook: inj.Stage})
+	s, c := newTestServer(t, server.Config{Workers: 1, Hook: inj.Stage, NoCache: true})
 
 	ok := decide(t, c, &server.Request{Formula: congruence})
 	if ok == nil || ok.Status != "valid" {
@@ -374,7 +380,7 @@ func TestPanicIsolation(t *testing.T) {
 
 	// A panic deep inside the decision pipeline is contained the same way.
 	inj2 := faultinject.New("sat", faultinject.Panic)
-	_, c2 := newTestServer(t, server.Config{Workers: 1, Hook: inj2.Stage})
+	_, c2 := newTestServer(t, server.Config{Workers: 1, Hook: inj2.Stage, NoCache: true})
 	crash = decide(t, c2, &server.Request{Formula: congruence})
 	if crash == nil || crash.HTTPStatus != http.StatusInternalServerError || !strings.Contains(crash.Error, "panic") {
 		t.Errorf("pipeline panic: got %+v; want contained 500", crash)
@@ -394,7 +400,9 @@ func TestGracefulDrain(t *testing.T) {
 			}
 			return nil
 		}
-		s := server.New(server.Config{Workers: 2, MaxQueue: 8, Hook: hook, DegradeDepth: -1})
+		// NoCache: all four requests are the same formula; the drain test needs
+		// each of them admitted, not collapsed onto one single-flight leader.
+		s := server.New(server.Config{Workers: 2, MaxQueue: 8, Hook: hook, DegradeDepth: -1, NoCache: true})
 		hs := httptest.NewServer(s.Handler())
 		defer hs.Close()
 		c := client.New(hs.URL)

@@ -12,6 +12,7 @@
 package tsys
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -206,6 +207,70 @@ func (s *System) BMC(prop *suf.BoolExpr, depth int, opts core.Options) (*CheckRe
 		}
 		cur = next
 		subs = append(subs, cur)
+	}
+	return &CheckResult{Holds: true, Step: -1, Status: core.Valid}, nil
+}
+
+// bmcGuardName names the per-depth guard symbol of the session-based BMC
+// unrolling. The "@" keeps it out of the way of ordinary state/input names
+// the same way step-indexed inputs are.
+func bmcGuardName(k int) string { return fmt.Sprintf("bmc_guard@%d", k) }
+
+// BMCSession is BMC on one incremental solver session: the whole unrolling
+// is encoded ONCE as the guarded conjunction
+//
+//	⋀_k  g_k ⟹ (init(s₀) ⟹ prop(s_k))
+//
+// and each depth is then a SolveAssume query fixing g_k true and every other
+// guard false (making the conjunction equivalent to depth k's query), so the
+// per-depth cost is one assumption-solve on a warm solver — learnt clauses
+// and the encoding are shared across all depths — instead of a full
+// parse/analyze/encode/solve pipeline per depth. Verdict-equivalent to BMC:
+// fixing Boolean guard symbols only deactivates atoms, and the eager
+// encodings are sound for every subset of the atom set.
+func (s *System) BMCSession(ctx context.Context, prop *suf.BoolExpr, depth int, opts core.Options) (*CheckResult, error) {
+	b := s.b
+	cur := identitySubst()
+	subs := []*suf.Subst{cur}
+	guarded := b.True()
+	for k := 0; k <= depth; k++ {
+		propK := cur.ApplyBool(prop, b)
+		query := propK
+		if s.init != nil {
+			query = b.Implies(s.init, propK)
+		}
+		guarded = b.And(guarded, b.Implies(b.BoolSym(bmcGuardName(k)), query))
+		if k == depth {
+			break
+		}
+		next, err := s.step(cur, k)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		subs = append(subs, cur)
+	}
+
+	sess, err := core.OpenSession(ctx, guarded, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	assume := make(map[string]bool, depth+1)
+	for k := 0; k <= depth; k++ {
+		for j := 0; j <= depth; j++ {
+			assume[bmcGuardName(j)] = j == k
+		}
+		res := sess.DecideAssuming(ctx, assume)
+		switch {
+		case !res.Status.Definitive():
+			return &CheckResult{Status: res.Status, Step: k}, res.Err
+		case res.Status == core.Invalid:
+			out := &CheckResult{Holds: false, Step: k, Status: res.Status, Model: res.Model}
+			out.Trace = s.trace(subs[:k+1], res.Model)
+			return out, nil
+		}
 	}
 	return &CheckResult{Holds: true, Step: -1, Status: core.Valid}, nil
 }

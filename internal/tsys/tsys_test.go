@@ -1,6 +1,7 @@
 package tsys
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -197,5 +198,64 @@ func TestBMCTrace(t *testing.T) {
 			t.Fatalf("step %d: now_serving %d → %d, want %d",
 				j, cur.Ints["now_serving"], next.Ints["now_serving"], wantNS)
 		}
+	}
+}
+
+// TestBMCSessionMatchesBMC: the incremental session-based BMC must agree
+// with the per-depth pipeline on both a safe and a violated system, with the
+// same first-violation depth and a usable trace.
+func TestBMCSessionMatchesBMC(t *testing.T) {
+	ctx := context.Background()
+
+	good, inv := ticketLock(true)
+	cold, err := good.BMC(inv, 5, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := good.BMCSession(ctx, inv, 5, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Holds != cold.Holds || warm.Holds != true {
+		t.Fatalf("safe system: session %+v vs cold %+v", warm, cold)
+	}
+
+	bad, badInv := ticketLock(false)
+	cold, err = bad.BMC(badInv, 5, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err = bad.BMCSession(ctx, badInv, 5, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Holds || warm.Step != cold.Step {
+		t.Fatalf("violated system: session step %d vs cold step %d", warm.Step, cold.Step)
+	}
+	if warm.Model == nil || len(warm.Trace) != warm.Step+1 {
+		t.Fatalf("session violation must carry model and trace: %+v", warm)
+	}
+	// The trace must actually exhibit the violation dynamics: service passes
+	// the ticket counter at the final step.
+	last := warm.Trace[warm.Step]
+	if last.Ints["now_serving"] <= last.Ints["next_ticket"] {
+		t.Errorf("session trace does not violate the invariant: %+v", last)
+	}
+}
+
+// TestBMCSessionDepthZero pins the degenerate single-depth unrolling.
+func TestBMCSessionDepthZero(t *testing.T) {
+	b := suf.NewBuilder()
+	s := NewSystem(b)
+	x := s.IntVar("x")
+	s.SetNext("x", x)
+	s.SetInit(b.Lt(x, b.Sym("bound")))
+	res, err := s.BMCSession(context.Background(), b.Lt(x, b.Sym("bound")), 0, opts())
+	if err != nil || !res.Holds {
+		t.Fatalf("init-implied property must hold at depth 0: %+v %v", res, err)
+	}
+	res, err = s.BMCSession(context.Background(), b.Lt(x, b.Offset(b.Sym("bound"), -1)), 0, opts())
+	if err != nil || res.Holds {
+		t.Fatalf("too-strong property must fail at depth 0: %+v %v", res, err)
 	}
 }

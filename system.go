@@ -1,6 +1,7 @@
 package sufsat
 
 import (
+	"context"
 	"time"
 
 	"sufsat/internal/core"
@@ -127,6 +128,27 @@ func (s *System) CheckInductive(prop Formula, opts Options) (*CheckOutcome, erro
 func (s *System) BMC(prop Formula, depth int, opts Options) (*CheckOutcome, error) {
 	s.b.checkF(prop)
 	r, err := s.s.BMC(prop.f, depth, sysOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return outcome(r), nil
+}
+
+// BMCIncremental is BMC on one incremental solver session: the whole
+// unrolling is encoded once as a guard-indexed conjunction and each depth is
+// answered by an assumption query on the same warm solver, sharing the
+// encoding and every learnt clause across depths (see Session). It returns
+// the same outcomes as BMC; prefer it when sweeping more than a couple of
+// depths of a nontrivial system.
+func (s *System) BMCIncremental(prop Formula, depth int, opts Options) (*CheckOutcome, error) {
+	return s.BMCIncrementalContext(context.Background(), prop, depth, opts)
+}
+
+// BMCIncrementalContext is BMCIncremental under a caller context: cancelling
+// ctx aborts the in-progress depth and returns a Timeout outcome.
+func (s *System) BMCIncrementalContext(ctx context.Context, prop Formula, depth int, opts Options) (*CheckOutcome, error) {
+	s.b.checkF(prop)
+	r, err := s.s.BMCSession(ctx, prop.f, depth, sysOpts(opts))
 	if err != nil {
 		return nil, err
 	}
