@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate fleet-trace-smoke affinity-bench
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
@@ -17,8 +17,10 @@ GO ?= go
 # 99%+ availability and zero leaked goroutines), and the cache gate (cached
 # repeats 10x faster than cold with a no-cache control agreeing, the
 # incremental BMC session 1.5x faster than per-depth, and a race-instrumented
-# cache-mix soak with zero verdict mismatches).
-ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate
+# cache-mix soak with zero verdict mismatches), plus the fleet-trace smoke
+# (real router + backends, a kill mid-run, and the merged cross-tier trace
+# strict-validated by tracecheck -fleet).
+ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate fleet-trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -116,6 +118,27 @@ cache-gate:
 	$(GO) test -run 'TestCacheColdWarmSpeedup|TestBatchDecide' ./internal/server
 	$(GO) test -run TestBMCStreamSpeedup ./internal/bench
 	$(GO) test -race -run TestSoakCacheMix ./internal/server
+
+# fleet-trace-smoke is the distributed-tracing gate: real sufrouter and
+# sufserved processes end to end. Phase 1 kills a request's home backend and
+# requires the failover to surface in ONE merged cross-tier Chrome trace that
+# the strict `tracecheck -fleet` validator accepts. Phase 2 is the full
+# acceptance scenario — primary blackholed at the wire, hedge target dead,
+# failover target cache-warm — so a single request is simultaneously hedged,
+# failed over and cache-served, with the whole disposition in the merged
+# trace and the router's /debug/slowlog.
+fleet-trace-smoke:
+	$(GO) test -run TestFleetTraceSmoke ./internal/bench
+
+# affinity-bench regenerates the cross-node cache-observability artifact at
+# the repo root (BENCH_PR8.json): a kill/restart chaos soak under a hedging
+# router with a cache-heavy mix, scraping every backend's sufsat_cache_*
+# families into a warm-node affinity report, plus the tracing+slowlog
+# instrumentation microbench gated at <=2% of the soak p50. Schema documented
+# in EXPERIMENTS.md.
+affinity-bench:
+	$(GO) run ./cmd/sufbench -affinity -clients 10 -requests 200 -soak-timeout 6s \
+		-out BENCH_PR8.json
 
 # chaos-bench regenerates the fleet tail-latency artifact at the repo root:
 # the same scripted chaos soaked twice, hedging on then off, gated on the

@@ -15,6 +15,8 @@
 //	         [-soak-timeout 6s]
 //	sufbench -cache [-out BENCH_PR7.json] [-clients N] [-requests N]
 //	         [-soak-timeout 20s] [-cache-mix 0.4]
+//	sufbench -affinity [-out BENCH_PR8.json] [-clients N] [-requests N]
+//	         [-soak-timeout 6s] [-cache-mix 0.5]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
@@ -39,6 +41,14 @@
 // alpha-renamed spellings that must hit the cache (gates: zero verdict
 // mismatches, hit rate above half the mix), and the BMC-stream sweep of one
 // incremental solver session vs per-depth pipelines (gate: at least 1.5x).
+//
+// -affinity switches to the cross-node cache-observability benchmark
+// (BENCH_PR8.json): a kill/restart chaos soak through a hedging router with a
+// cache-heavy mix, after which every backend's own /metrics is scraped for
+// its sufsat_cache_* families and folded into a warm-node affinity report
+// (per-backend hit rates, fleet aggregate, stable-vs-victim split). The run
+// also measures the isolated tracing+slowlog hot-path cost and gates it at
+// ≤2% of the soak's p50 latency.
 //
 // -soak switches to service load testing: concurrent retrying clients hammer
 // a sufserved instance (-url, or an in-process server on an ephemeral port
@@ -73,6 +83,7 @@ func main() {
 	soak := flag.Bool("soak", false, "run the service soak instead of the solver benchmark")
 	chaos := flag.Bool("chaos", false, "run the fleet chaos benchmark (hedged vs unhedged) instead of the solver benchmark")
 	cacheBench := flag.Bool("cache", false, "run the cache/incrementality benchmark (repeat-decide, cache-mix soak, BMC stream)")
+	affinity := flag.Bool("affinity", false, "run the cross-node cache-affinity benchmark (chaos soak + per-backend cache scrape + trace-overhead gate)")
 	cacheMix := flag.Float64("cache-mix", 0, "soak: fraction of requests issued as alpha-renamed spellings (0 disables)")
 	soakURL := flag.String("url", "", "soak: sufserved base URL (empty = start an in-process server)")
 	soakClients := flag.Int("clients", 8, "soak: concurrent clients")
@@ -96,6 +107,13 @@ func main() {
 			*out = "BENCH_PR7.json"
 		}
 		runCacheBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout, *cacheMix)
+		return
+	}
+	if *affinity {
+		if *out == "BENCH_PR3.json" {
+			*out = "BENCH_PR8.json"
+		}
+		runAffinityBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout, *cacheMix)
 		return
 	}
 	if *soak {
@@ -217,6 +235,87 @@ func runChaosBench(ctx context.Context, out string, clients, requests int, timeo
 		fmt.Fprintf(os.Stderr, "sufbench: chaos FAILED: hedged p99 %.1fms > unhedged p99 %.1fms\n",
 			rep.Hedged.LatencyP99MS, rep.Unhedged.LatencyP99MS)
 		os.Exit(1)
+	}
+}
+
+// runAffinityBench drives the cross-node cache-observability benchmark and
+// writes BENCH_PR8.json: one kill/restart chaos soak through a hedging
+// router with a cache-heavy mix, per-backend sufsat_cache_* scrapes folded
+// into the warm-node affinity report, and the tracing+slowlog
+// instrumentation microbench. Gates: zero verdict mismatches, a populated
+// affinity report with fleet-wide cache traffic, and instrumentation cost
+// ≤2% of the soak's p50 latency.
+func runAffinityBench(ctx context.Context, out string, clients, requests int, timeout time.Duration, cacheMix float64) {
+	if cacheMix <= 0 {
+		cacheMix = 0.5
+	}
+	dir, err := os.MkdirTemp("", "sufbench-affinity-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	served, err := bench.BuildBinary(dir, "sufsat/cmd/sufserved")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "sufbench: affinity chaos soak: %d clients, %d requests, mix %.0f%%, deadline %s\n",
+		clients, requests, 100*cacheMix, timeout)
+	crep, err := bench.RunChaos(ctx, bench.ChaosConfig{
+		ServedBin: served,
+		Clients:   clients,
+		Requests:  requests,
+		TimeoutMS: timeout.Milliseconds(),
+		Hedge:     true,
+		Kill:      true,
+		CacheMix:  cacheMix,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	instrUS := bench.MeasureTraceInstrumentation()
+	ov, overheadOK := bench.CheckOverhead(instrUS, crep.LatencyP50MS)
+	fmt.Fprintf(os.Stderr,
+		"sufbench: tracing+slowlog overhead %.1fµs/request = %.3f%% of p50 (limit 2%%)\n",
+		ov.InstrUSPerRequest, 100*ov.Fraction)
+
+	rep := &bench.PR8Report{Chaos: crep, TraceOverhead: &ov}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "sufbench: affinity FAILED: "+format+"\n", a...)
+		os.Exit(1)
+	}
+	if crep.Mismatches > 0 {
+		fail("%d verdict mismatches", crep.Mismatches)
+	}
+	aff := crep.CacheAffinity
+	if aff == nil || len(aff.Backends) == 0 {
+		fail("no cache-affinity report collected")
+	}
+	if aff.FleetHitRate <= 0 {
+		fail("fleet cache hit rate %.3f — the cache mix produced no hits", aff.FleetHitRate)
+	}
+	if !overheadOK {
+		fail("tracing overhead %.3f%% exceeds 2%% of p50", 100*ov.Fraction)
 	}
 }
 

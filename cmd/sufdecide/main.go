@@ -9,11 +9,16 @@
 //	          [-stats | -stats=json] [-stats-out FILE] [-trace FILE]
 //	          [-debug-addr ADDR] [-remote URL] [-batch] [file.suf]
 //
-// With -remote the formula is decided by the sufserved instance at URL
-// (through the retrying client, honoring Retry-After on load shedding) and
-// reported with the same output and exit codes as a local run; budget flags
-// travel with the request and are clamped to the server's ceilings. -trace,
-// -debug-addr and -dimacs are local-only and rejected with -remote.
+// With -remote the formula is decided by the sufserved (or sufrouter)
+// instance at URL (through the retrying client, honoring Retry-After on load
+// shedding) and reported with the same output and exit codes as a local run;
+// budget flags travel with the request and are clamped to the server's
+// ceilings. -trace then switches meaning: the request is traced end to end
+// (W3C traceparent, the client minting the trace ID) and the merged
+// cross-tier timeline from the response — through a router: client span,
+// route and attempt spans, the winning backend's phase spans — is written as
+// a fleet Chrome trace, validatable with tracecheck -fleet. -debug-addr and
+// -dimacs stay local-only and are rejected with -remote.
 //
 // With -batch (remote-only) the input is one formula per line (blank lines
 // and ";" comments skipped) and the whole set is decided in a single
@@ -100,9 +105,11 @@ func (s *statsFlag) Set(v string) error {
 
 // decideRemote ships the raw input to a sufserved instance via the retrying
 // client and reports the response with the same output and exit codes as a
-// local run, so scripts can switch between the two with one flag. It never
-// returns.
-func decideRemote(baseURL, src string, req *server.Request, statsMode, statsOut string) {
+// local run, so scripts can switch between the two with one flag. With
+// traceFile the request is traced end to end (the client mints the trace ID)
+// and the merged cross-tier timeline that comes back is written as a fleet
+// Chrome trace — validatable with tracecheck -fleet. It never returns.
+func decideRemote(baseURL, src string, req *server.Request, statsMode, statsOut, traceFile string) {
 	req.Formula = src
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -163,6 +170,23 @@ func decideRemote(baseURL, src string, req *server.Request, statsMode, statsOut 
 			}
 		} else {
 			resp.Telemetry.RenderText(out)
+		}
+	}
+	if traceFile != "" {
+		if resp.Telemetry == nil {
+			fmt.Fprintln(os.Stderr, "sufdecide: trace: the response carried no telemetry")
+		} else if f, err := os.Create(traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "sufdecide: trace:", err)
+			os.Exit(2)
+		} else {
+			err := obs.WriteFleetChromeTrace(f, resp.Telemetry)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sufdecide: trace:", err)
+				os.Exit(2)
+			}
 		}
 	}
 
@@ -314,8 +338,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *remote != "" {
-		if *traceFile != "" || *debugAddr != "" || *dimacs != "" {
-			fmt.Fprintln(os.Stderr, "sufdecide: -trace, -debug-addr and -dimacs require a local run, not -remote")
+		if *debugAddr != "" || *dimacs != "" {
+			fmt.Fprintln(os.Stderr, "sufdecide: -debug-addr and -dimacs require a local run, not -remote")
+			os.Exit(2)
+		}
+		if *traceFile != "" && *batch {
+			fmt.Fprintln(os.Stderr, "sufdecide: -trace traces a single remote request, not -batch")
 			os.Exit(2)
 		}
 		if *batch {
@@ -345,8 +373,8 @@ func main() {
 			SolverWorkers:     *workers,
 			NoDegrade:         *noDegrade,
 			WantModel:         *showModel,
-			WantTelemetry:     stats.mode != "",
-		}, stats.mode, *statsOut)
+			WantTelemetry:     stats.mode != "" || *traceFile != "",
+		}, stats.mode, *statsOut, *traceFile)
 	}
 
 	var m sufsat.Method

@@ -14,12 +14,21 @@
 //	          [-hedge-delay auto|off|DUR] [-hedge-ratio 0.1] [-hedge-burst 5]
 //	          [-failover-ratio 0.2] [-failover-burst 10]
 //	          [-default-deadline 10s] [-max-deadline 60s]
-//	          [-drain-timeout 30s] [-no-metrics] [-quiet]
+//	          [-drain-timeout 30s] [-slowlog N] [-no-metrics] [-quiet]
 //
 // Endpoints: POST /decide (the same request/response JSON as sufserved —
 // clients need no changes to talk to the fleet), GET /healthz, GET /readyz
 // (503 while draining or with every breaker open), GET /statusz (backend
-// breaker table), GET /metrics (sufrouter_* families, docs/FORMATS.md).
+// breaker table), GET /metrics (sufrouter_* families, docs/FORMATS.md),
+// GET /debug/slowlog (the -slowlog N slowest requests with their merged
+// cross-tier span timelines and routing disposition).
+//
+// The router participates in distributed traces: an incoming traceparent
+// header (or want_telemetry, which roots a fresh trace) makes it record a
+// route span plus one attempt span per backend try, propagate the attempt's
+// span ID downstream, and merge the winning backend's spans into one
+// cross-tier timeline in the response telemetry (validated by
+// tracecheck -fleet).
 //
 // On SIGTERM or SIGINT the router drains: readiness flips to 503, new
 // requests are shed, in-flight requests finish (bounded by -drain-timeout),
@@ -73,6 +82,7 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "per-request deadline ceiling")
 	maxBody := flag.Int64("max-body", 1<<20, "request body byte cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests on SIGTERM")
+	slowlogK := flag.Int("slowlog", 0, "slow-request exemplars kept for /debug/slowlog (0 = default 32)")
 	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint")
 	quiet := flag.Bool("quiet", false, "suppress lifecycle and failover logging")
 	flag.Parse()
@@ -108,6 +118,7 @@ func main() {
 		DefaultTimeout:  *defaultDeadline,
 		MaxTimeout:      *maxDeadline,
 		MaxRequestBytes: *maxBody,
+		SlowLogSize:     *slowlogK,
 	}
 	if !*noMetrics {
 		cfg.Registry = obs.NewRegistry()

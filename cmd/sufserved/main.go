@@ -12,7 +12,7 @@
 //	          [-maxtrans N] [-maxcnf N] [-maxconflicts N] [-maxmem BYTES]
 //	          [-nodegrade] [-no-cache] [-cache-entries N] [-cache-bytes N]
 //	          [-trust-fingerprint] [-max-batch N]
-//	          [-drain-timeout 30s] [-debug-addr ADDR]
+//	          [-drain-timeout 30s] [-debug-addr ADDR] [-slowlog N]
 //	          [-no-metrics] [-flightrec-out FILE] [-quiet]
 //
 // Endpoints: POST /decide (request/response JSON documented in
@@ -21,7 +21,13 @@
 // GET /readyz (readiness; 503 once draining), GET /statusz (build info +
 // admission-control counters + verdict-cache stats),
 // GET /metrics (Prometheus text exposition, unless -no-metrics), GET
-// /debug/flightrec (recent request/span/degradation events as JSON).
+// /debug/flightrec (recent request/span/degradation events as JSON), GET
+// /debug/slowlog (the -slowlog N slowest requests with their span timelines).
+//
+// The server joins distributed traces: a traceparent request header makes the
+// telemetry recorder mint span IDs, parent the request's phase spans to the
+// sender's span (the router attempt that carried it), and stamp the trace ID
+// into the telemetry snapshot.
 //
 // Definitive verdicts are cached in a size-bounded LRU keyed by the
 // formula's canonical fingerprint (alpha-renaming- and commutativity-
@@ -95,6 +101,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "items accepted per /v1/decide/batch request (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests on SIGTERM before they are cancelled")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof and the flight recorder on this extra address (e.g. :6060)")
+	slowlogK := flag.Int("slowlog", 0, "slow-request exemplars kept for /debug/slowlog (0 = default 32)")
 	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint and the aggregation behind it")
 	flightOut := flag.String("flightrec-out", "", "write the SIGQUIT flight-recorder dump to this file (default stderr)")
 	quiet := flag.Bool("quiet", false, "suppress lifecycle and request logging")
@@ -122,6 +129,7 @@ func main() {
 		CacheBytes:       *cacheBytes,
 		TrustFingerprint: *trustFP,
 		MaxBatch:         *maxBatch,
+		SlowLogSize:      *slowlogK,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr

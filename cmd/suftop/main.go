@@ -22,11 +22,17 @@
 // federates each backend's /metrics into a per-backend table — breaker
 // state, attempt and failure rates seen from the router, and queue depth /
 // in-flight / qps / verdict-cache hit rate (HIT%, lifetime
-// hits/(hits+misses); "off" when the backend runs cache-disabled) as
-// reported by the backend itself (marked unreachable when its scrape fails).
+// hits/(hits+misses); "-" when the backend is unreachable or exports no
+// sufsat_cache_* families) as reported by the backend itself.
+//
+// Both views end with a slowlog panel: the slowest requests the target's
+// /debug/slowlog endpoint remembers, with verdict, total and routing
+// disposition (cached / hedged / failover). The panel is skipped silently
+// when the endpoint is absent.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -268,21 +274,82 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 			if v, ok := bs.Value("sufsat_queue_depth"); ok {
 				bq = fmt.Sprintf("%d", int(v))
 			}
-			// Lifetime verdict-cache hit rate; "off" when the backend exports
-			// no cache families (cache disabled).
-			hits, okH := bs.Value("sufsat_cache_hits_total")
-			misses, okM := bs.Value("sufsat_cache_misses_total")
-			switch {
-			case !okH && !okM:
-				hit = "off"
-			case hits+misses > 0:
-				hit = fmt.Sprintf("%.0f", 100*hits/(hits+misses))
-			}
+			hit = hitPercent(bs)
 		} else {
 			qps = "unreach"
 		}
 		fmt.Fprintf(w, "%-40s %-10s %8.1f %8.1f %8.0f %7s %9s %7s %6s\n",
 			name, breakerStateName(state), att/secs, fail/secs, probeF, qps, bif, bq, hit)
+	}
+}
+
+// hitPercent renders the verdict-cache hit-rate cell of the fleet table:
+// "-" when the backend is unreachable (nil scrape) or its scrape carries no
+// sufsat_cache_* families at all (cache disabled, or an older build that
+// does not export them — indistinguishable from here, and neither is a 0%
+// hit rate), "0" for a cache that is on but has served no lookups yet, and
+// the lifetime hits/(hits+misses) percentage otherwise.
+func hitPercent(bs *obs.PromScrape) string {
+	if bs == nil {
+		return "-"
+	}
+	hits, okH := bs.Value("sufsat_cache_hits_total")
+	misses, okM := bs.Value("sufsat_cache_misses_total")
+	switch {
+	case !okH && !okM:
+		return "-"
+	case hits+misses > 0:
+		return fmt.Sprintf("%.0f", 100*hits/(hits+misses))
+	}
+	return "0"
+}
+
+// slowlogPanel fetches the target's /debug/slowlog dump and renders its top
+// entries: correlation IDs, verdict, total and the routing disposition. The
+// panel is skipped silently when the endpoint is absent or malformed (older
+// builds, or a proxy that does not forward debug routes).
+func slowlogPanel(w io.Writer, hc *http.Client, base string, top int) {
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/debug/slowlog")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return
+	}
+	var dump obs.SlowLogDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil || len(dump.Entries) == 0 {
+		return
+	}
+	n := len(dump.Entries)
+	if n > top {
+		n = top
+	}
+	fmt.Fprintf(w, "\nslowlog  top %d of %d kept (%d requests seen)\n", n, len(dump.Entries), dump.Seen)
+	fmt.Fprintf(w, "%-22s %10s %-8s %-7s %s\n", "REQUEST", "TOTAL", "STATUS", "SPANS", "DISPOSITION")
+	for _, e := range dump.Entries[:n] {
+		var flags []string
+		if e.Cached {
+			flags = append(flags, "cached")
+		}
+		if e.Hedged {
+			flags = append(flags, "hedged")
+		}
+		if e.HedgeWon {
+			flags = append(flags, "hedge-won")
+		}
+		if e.FailedOver {
+			flags = append(flags, "failover")
+		}
+		if e.Backend != "" {
+			flags = append(flags, "via "+e.Backend)
+		}
+		disp := strings.Join(flags, " ")
+		if disp == "" {
+			disp = "-"
+		}
+		fmt.Fprintf(w, "%-22s %8.1fms %-8s %7d %s\n", e.RequestID, e.TotalMS, e.Status, len(e.Spans), disp)
 	}
 }
 
@@ -350,6 +417,7 @@ func main() {
 		} else {
 			frame(os.Stdout, cur, nil, 0)
 		}
+		slowlogPanel(os.Stdout, hc, base, 5)
 		return
 	}
 
@@ -373,6 +441,7 @@ func main() {
 		} else {
 			frame(os.Stdout, cur, prev, *interval)
 		}
+		slowlogPanel(os.Stdout, hc, base, 5)
 		prev = cur
 		frames++
 		if *count > 0 && frames >= *count {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sufsat/internal/obs"
+)
+
+func scrapeOf(t *testing.T, text string) *obs.PromScrape {
+	t.Helper()
+	s, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	return s
+}
+
+// TestHitPercent pins the HIT% cell semantics: "-" must be reserved for
+// "no cache signal at all" (unreachable backend or a scrape without the
+// sufsat_cache_* families), never conflated with a real 0% hit rate.
+func TestHitPercent(t *testing.T) {
+	withCache := scrapeOf(t, `# TYPE sufsat_cache_hits_total counter
+sufsat_cache_hits_total 30
+# TYPE sufsat_cache_misses_total counter
+sufsat_cache_misses_total 10
+`)
+	coldCache := scrapeOf(t, `# TYPE sufsat_cache_hits_total counter
+sufsat_cache_hits_total 0
+# TYPE sufsat_cache_misses_total counter
+sufsat_cache_misses_total 0
+`)
+	allMisses := scrapeOf(t, `# TYPE sufsat_cache_hits_total counter
+sufsat_cache_hits_total 0
+# TYPE sufsat_cache_misses_total counter
+sufsat_cache_misses_total 7
+`)
+	noCache := scrapeOf(t, `# TYPE sufsat_completed_total counter
+sufsat_completed_total 5
+`)
+
+	cases := []struct {
+		name string
+		bs   *obs.PromScrape
+		want string
+	}{
+		{"unreachable", nil, "-"},
+		{"families absent", noCache, "-"},
+		{"cold cache", coldCache, "0"},
+		{"all misses", allMisses, "0"},
+		{"hits and misses", withCache, "75"},
+	}
+	for _, tc := range cases {
+		if got := hitPercent(tc.bs); got != tc.want {
+			t.Errorf("%s: hitPercent = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}

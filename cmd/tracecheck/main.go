@@ -1,13 +1,20 @@
 // Command tracecheck validates the telemetry artifacts the toolchain emits —
 // a Chrome trace-event file (-trace), a JSON stats snapshot (-stats), a
-// Prometheus /metrics exposition (-metrics) and a flight-recorder dump
-// (-flightrec) — against the schemas documented in docs/FORMATS.md. It is
-// the checker behind `make trace-smoke` and `make metrics-smoke`.
+// Prometheus /metrics exposition (-metrics), a flight-recorder dump
+// (-flightrec) and a merged fleet trace (-fleet) — against the schemas
+// documented in docs/FORMATS.md. It is the checker behind `make trace-smoke`,
+// `make metrics-smoke` and `make fleet-trace-smoke`.
 //
 // Usage:
 //
 //	tracecheck [-trace t.json] [-stats s.json] [-want-spans funcelim,analyze,...]
-//	           [-metrics m.txt] [-flightrec f.json]
+//	           [-metrics m.txt] [-flightrec f.json] [-fleet ft.json]
+//
+// -fleet strict-validates a merged cross-tier trace (the
+// obs.WriteFleetChromeTrace output): a valid trace ID, unique span IDs,
+// exactly one root span, every parent link resolving, children nested inside
+// their parents, and — when a router participated — at least one attempt span
+// parented to the route span with exactly one attempt marked as the winner.
 //
 // The trace file must be a JSON object with a traceEvents array of events in
 // the trace-event format ("ph" one of M, X, C; microsecond timestamps;
@@ -205,6 +212,7 @@ func checkMetrics(path string) {
 var flightKinds = map[string]bool{
 	"span": true, "admit": true, "start": true, "done": true,
 	"shed": true, "degrade": true, "panic": true, "malformed": true,
+	"cache-hit": true, "cache-miss": true, "cache-parked": true, "cache-woken": true,
 }
 
 // checkFlightrec strict-validates a flight-recorder dump.
@@ -248,15 +256,28 @@ func checkFlightrec(path string) {
 		path, len(dump.Events), dump.Cap, dump.Overwritten)
 }
 
+// checkFleet strict-validates a merged fleet trace.
+func checkFleet(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := obs.ValidateFleetTrace(data); err != nil {
+		fail("%s: %v", path, err)
+	}
+	fmt.Printf("tracecheck: %s ok (valid fleet trace)\n", path)
+}
+
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	statsPath := flag.String("stats", "", "JSON stats snapshot to validate")
 	wantSpans := flag.String("want-spans", "", "comma-separated span names that must appear in order on the pipeline thread")
 	metricsPath := flag.String("metrics", "", "Prometheus /metrics exposition to validate")
 	flightPath := flag.String("flightrec", "", "flight-recorder dump to validate")
+	fleetPath := flag.String("fleet", "", "merged fleet trace to strict-validate")
 	flag.Parse()
-	if *tracePath == "" && *statsPath == "" && *metricsPath == "" && *flightPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c] [-metrics m.txt] [-flightrec f.json]")
+	if *tracePath == "" && *statsPath == "" && *metricsPath == "" && *flightPath == "" && *fleetPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c] [-metrics m.txt] [-flightrec f.json] [-fleet ft.json]")
 		os.Exit(1)
 	}
 	if *tracePath != "" {
@@ -270,5 +291,8 @@ func main() {
 	}
 	if *flightPath != "" {
 		checkFlightrec(*flightPath)
+	}
+	if *fleetPath != "" {
+		checkFleet(*fleetPath)
 	}
 }

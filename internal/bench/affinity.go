@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"sufsat/internal/obs"
+)
+
+// Cross-node cache observability: a chaos soak routes repeated (and
+// alpha-renamed) formulas through the consistent-hash ring, so each
+// fingerprint's verdict should be cached exactly where the ring homes it —
+// warm-node affinity. Killing and restarting a backend wipes its cache and
+// (while it is down) shifts its keys to the next ring node, so the per-node
+// hit rates quantify what ring stability buys: stable nodes should hold a
+// visibly higher hit rate than the crash victim.
+
+// BackendCacheStats is one backend's verdict-cache view after a chaos soak,
+// scraped from its own /metrics (the backend's real URL, not the fault
+// proxy — the scrape must work even while the proxy blackholes the wire the
+// router sees).
+type BackendCacheStats struct {
+	URL string `json:"url"`
+	// Victim marks the kill/restart target; Proxied marks the backend behind
+	// the fault-injecting network proxy.
+	Victim  bool `json:"victim,omitempty"`
+	Proxied bool `json:"proxied,omitempty"`
+	// Reachable is false when the final scrape failed (backend down at soak
+	// end); the counts are then zero and excluded from the aggregates.
+	Reachable bool    `json:"reachable"`
+	Hits      float64 `json:"hits"`
+	Misses    float64 `json:"misses"`
+	// HitRate = hits / (hits + misses), 0 with no lookups.
+	HitRate   float64 `json:"hit_rate"`
+	Completed float64 `json:"completed"`
+}
+
+// AffinityReport is the warm-node affinity artifact of one chaos soak
+// (BENCH_PR8.json): per-backend cache hit rates plus the fleet-wide rate and
+// the stable-vs-victim split that shows cache affinity surviving (or not
+// surviving) kill/restart cycles.
+type AffinityReport struct {
+	Backends []BackendCacheStats `json:"backends"`
+	// FleetHitRate aggregates hits/(hits+misses) over every reachable backend.
+	FleetHitRate float64 `json:"fleet_hit_rate"`
+	// StableHitRate aggregates over backends that were neither killed nor
+	// proxied; VictimHitRate is the kill/restart target's rate (its cache
+	// restarts cold after every kill). StableHitRate ≥ VictimHitRate is the
+	// expected affinity signature under a cache-heavy mix.
+	StableHitRate float64 `json:"stable_hit_rate"`
+	VictimHitRate float64 `json:"victim_hit_rate"`
+}
+
+// collectAffinity scrapes every backend process and builds the report.
+// victimIdx / proxiedIdx are -1 when no backend had that role.
+func collectAffinity(procs []*BackendProc, victimIdx, proxiedIdx int) *AffinityReport {
+	rep := &AffinityReport{}
+	var fleetH, fleetM, stableH, stableM float64
+	for i, p := range procs {
+		st := BackendCacheStats{
+			URL:     p.URL(),
+			Victim:  i == victimIdx,
+			Proxied: i == proxiedIdx,
+		}
+		if scrape, err := scrapeProm(p.URL() + "/metrics"); err == nil {
+			st.Reachable = true
+			st.Hits, _ = scrape.Value("sufsat_cache_hits_total")
+			st.Misses, _ = scrape.Value("sufsat_cache_misses_total")
+			st.Completed, _ = scrape.Value("sufsat_completed_total")
+			if n := st.Hits + st.Misses; n > 0 {
+				st.HitRate = st.Hits / n
+			}
+			fleetH += st.Hits
+			fleetM += st.Misses
+			switch {
+			case st.Victim:
+				rep.VictimHitRate = st.HitRate
+			case !st.Proxied:
+				stableH += st.Hits
+				stableM += st.Misses
+			}
+		}
+		rep.Backends = append(rep.Backends, st)
+	}
+	if n := fleetH + fleetM; n > 0 {
+		rep.FleetHitRate = fleetH / n
+	}
+	if n := stableH + stableM; n > 0 {
+		rep.StableHitRate = stableH / n
+	}
+	return rep
+}
+
+// PR8Report is the cross-node cache-observability artifact (BENCH_PR8.json):
+// one kill/restart chaos soak under a hedging router with a cache-heavy mix
+// (its CacheAffinity block is the warm-node affinity report), plus the
+// isolated tracing+slowlog instrumentation cost gated at ≤2% of that soak's
+// p50 latency.
+type PR8Report struct {
+	Chaos *ChaosReport `json:"chaos"`
+	// TraceOverhead is the tracing/slowlog hot-path cost vs the soak p50
+	// (gate: Fraction <= Limit).
+	TraceOverhead *MetricsOverhead `json:"trace_overhead"`
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *PR8Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// MeasureTraceInstrumentation times the complete per-request tracing and
+// slowlog surface added to the hot path — trace-ID and span-ID minting,
+// traceparent parse and format (router ingress, two attempt headers), the
+// slowlog admission check and the per-span identity cost — and returns the
+// mean microseconds per request. Like MeasureInstrumentation: no network, no
+// scheduler, a pure CPU cost measurement for the ≤2%-of-p50 gate.
+func MeasureTraceInstrumentation() float64 {
+	slow := obs.NewSlowLog(obs.DefaultSlowLogSize)
+	// A full slowlog with a high threshold measures the steady-state
+	// admission check (one atomic load), not the warmup insertions.
+	for i := 0; i < obs.DefaultSlowLogSize; i++ {
+		slow.Observe(obs.SlowEntry{Status: "valid", TotalMS: 1e6})
+	}
+
+	const iters = 20000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		traceID := obs.NewTraceID()
+		root := obs.NewSpanID()
+		hdr := obs.FormatTraceparent(traceID, root)
+		gotTrace, gotParent, _ := obs.ParseTraceparent(hdr)
+
+		// The router path: a traced recorder minting the route span and two
+		// attempt spans, each attempt formatting its downstream header.
+		rec := obs.NewRecorder()
+		rec.SetTraceContext(gotTrace, gotParent)
+		routeSp := rec.StartSpan("route")
+		for a := 0; a < 2; a++ {
+			sp := rec.StartSpan("attempt")
+			_ = obs.FormatTraceparent(gotTrace, sp.SpanID())
+			sp.End()
+		}
+		routeSp.End()
+		_ = rec.SpanRecords()
+
+		slow.Candidate(25.0)
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Microseconds()) / iters
+}

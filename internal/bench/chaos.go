@@ -40,6 +40,11 @@ type ChaosConfig struct {
 	// NetFaults routes the last backend through a NetProxy cycling
 	// latency → clean → blackhole → clean windows.
 	NetFaults bool
+	// CacheMix, in (0,1), replaces that fraction of requests with
+	// alpha-renamed respellings of earlier formulas (SoakConfig.CacheMix), so
+	// the fleet's verdict caches see repeat fingerprints and the per-backend
+	// cache-affinity report measures something.
+	CacheMix float64
 	// KillInterval is the crash cadence (0 = 1500ms kill, restart after 700ms).
 	KillInterval time.Duration
 	// FaultWindow is each proxy-fault window's length (0 = 800ms).
@@ -70,6 +75,11 @@ type ChaosReport struct {
 	RouterHedges    float64 `json:"router_hedges"`
 	RouterHedgeWins float64 `json:"router_hedge_wins"`
 	RouterSheds     float64 `json:"router_sheds"`
+
+	// CacheAffinity is the per-backend verdict-cache view scraped from every
+	// backend after the load (set when ChaosConfig.CacheMix > 0): warm-node
+	// affinity across the kill/restart cycles.
+	CacheAffinity *AffinityReport `json:"cache_affinity,omitempty"`
 }
 
 // ChaosBenchReport is the two-phase chaos artifact (BENCH_PR6.json): the
@@ -263,6 +273,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		Clients:   cfg.Clients,
 		Requests:  cfg.Requests,
 		TimeoutMS: cfg.TimeoutMS,
+		CacheMix:  cfg.CacheMix,
 		Log:       cfg.Log,
 	})
 	stopChaos()
@@ -289,6 +300,22 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 		crep.RouterHedges = scrape.Sum("sufrouter_hedges_total")
 		crep.RouterHedgeWins = scrape.Sum("sufrouter_hedge_wins_total")
 		crep.RouterSheds = scrape.Sum("sufrouter_sheds_total")
+	}
+	// Per-backend cache scrape, against each backend's real URL (not the
+	// fault proxy): the warm-node affinity view across the chaos.
+	if cfg.CacheMix > 0 {
+		victimIdx, proxiedIdx := -1, -1
+		if cfg.Kill && len(procs) >= 2 {
+			victimIdx = 1
+		}
+		if cfg.NetFaults {
+			proxiedIdx = len(procs) - 1
+		}
+		crep.CacheAffinity = collectAffinity(procs, victimIdx, proxiedIdx)
+		if a := crep.CacheAffinity; a != nil {
+			logf("chaos: cache affinity fleet=%.3f stable=%.3f victim=%.3f",
+				a.FleetHitRate, a.StableHitRate, a.VictimHitRate)
+		}
 	}
 
 	// Orderly teardown inside the run (not the deferred fallback) so leak

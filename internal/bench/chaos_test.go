@@ -2,7 +2,6 @@ package bench_test
 
 import (
 	"context"
-	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -129,11 +128,15 @@ func TestRouterProcessSmoke(t *testing.T) {
 	}
 	defer rp.Stop(5 * time.Second)
 
-	// A spread of distinct (all valid, by congruence) formulas so both
-	// backends own some fingerprints on the ring.
+	// A spread of structurally distinct (all valid, by congruence) formulas
+	// so both backends own some fingerprints on the ring. Distinct variable
+	// spellings are NOT enough: the canonical fingerprint is invariant under
+	// alpha-renaming, so 16 renamed copies of one formula would share a
+	// single fingerprint — and whichever backend the ring homes it on would
+	// own the whole workload, making the failover assertion a coin flip.
 	formulas := make([]string, 16)
 	for i := range formulas {
-		formulas[i] = fmt.Sprintf("(=> (= x%d y%d) (= (f x%d) (f y%d)))", i, i, i, i)
+		formulas[i] = chainFormula(i + 1)
 	}
 	decideAll := func(phase string) {
 		c := client.New(rp.URL())

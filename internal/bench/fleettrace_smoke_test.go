@@ -1,0 +1,309 @@
+package bench_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sufsat/internal/bench"
+	"sufsat/internal/faultinject"
+	"sufsat/internal/obs"
+	"sufsat/internal/router"
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
+)
+
+// chainFormula builds a structurally distinct valid formula per length n: an
+// equality chain v0=v1=…=vn implying (f v0)=(f vn). The conjunct count
+// changes the term structure, so each n gets its own canonical fingerprint
+// (alpha-renamed respellings would not — the fingerprint is
+// renaming-invariant), while the encoding cost stays linear in n (nesting
+// function applications instead would blow up the nested-ITE elimination
+// exponentially).
+func chainFormula(n int) string {
+	var b strings.Builder
+	b.WriteString("(=> (and")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " (= v%d v%d)", i, i+1)
+	}
+	fmt.Fprintf(&b, ") (= (f v0) (f v%d)))", n)
+	return b.String()
+}
+
+// formulaWithOrder searches the chain family for a formula whose ring
+// preference order starts at wantFirst, mirroring the router's own ring
+// (same replica count, same member names).
+func formulaWithOrder(t *testing.T, names []string, wantFirst string) (string, []string) {
+	t.Helper()
+	ring := router.NewRing(64)
+	for _, n := range names {
+		ring.Add(n)
+	}
+	for d := 1; d <= 200; d++ {
+		f := chainFormula(d)
+		fp, err := router.Fingerprint(f, false)
+		if err != nil {
+			t.Fatalf("Fingerprint(%q): %v", f, err)
+		}
+		order := ring.Order(fp, len(names))
+		if order[0] == wantFirst {
+			return f, order
+		}
+	}
+	t.Fatalf("no chain formula of depth <= 200 homes on %s", wantFirst)
+	return "", nil
+}
+
+// runTracecheckFleet validates a merged snapshot with the real tracecheck
+// binary (-fleet mode), the same gate `make fleet-trace-smoke` runs.
+func runTracecheckFleet(t *testing.T, bin string, snap *obs.Snapshot, label string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteFleetChromeTrace(&buf, snap); err != nil {
+		t.Fatalf("%s: WriteFleetChromeTrace: %v", label, err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-fleet", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s: tracecheck -fleet rejected the merged trace: %v\n%s\ntrace:\n%s",
+			label, err, out, buf.String())
+	}
+	t.Logf("%s: %s", label, bytes.TrimSpace(out))
+}
+
+// spanCensus indexes a merged timeline by span name and collects attempt
+// dispositions.
+type spanCensus struct {
+	names    map[string]int
+	outcomes map[string]int // attempt outcome -> count
+	kinds    map[string]int // attempt kind -> count
+	winners  int
+}
+
+func census(spans []obs.SpanRecord) spanCensus {
+	c := spanCensus{names: map[string]int{}, outcomes: map[string]int{}, kinds: map[string]int{}}
+	for _, sp := range spans {
+		c.names[sp.Name]++
+		if sp.Name != "attempt" {
+			continue
+		}
+		if v, _ := sp.Attrs["outcome"].(string); v != "" {
+			c.outcomes[v]++
+		}
+		if v, _ := sp.Attrs["kind"].(string); v != "" {
+			c.kinds[v]++
+		}
+		if w, _ := sp.Attrs["winner"].(bool); w {
+			c.winners++
+		}
+	}
+	return c
+}
+
+// fetchSlowlog reads and decodes a /debug/slowlog dump.
+func fetchSlowlog(t *testing.T, base string) *obs.SlowLogDump {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/slowlog")
+	if err != nil {
+		t.Fatalf("GET /debug/slowlog: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/slowlog: HTTP %d", resp.StatusCode)
+	}
+	var dump obs.SlowLogDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decode slowlog: %v", err)
+	}
+	return &dump
+}
+
+// TestFleetTraceSmoke is the fleet-trace gate (make fleet-trace-smoke): real
+// sufrouter and sufserved processes, distributed tracing end to end.
+//
+// Phase 1 — failover trace: a router over two backends; the formula's home
+// node is SIGKILLed, the traced request fails over, and the merged timeline
+// (client root → route → failed + winning attempts → backend phase spans)
+// must pass the strict `tracecheck -fleet` validator.
+//
+// Phase 2 — the full acceptance scenario: three backends; the primary is
+// blackholed at the wire, the hedge target is already dead, and the failover
+// target has the verdict cached. One request is simultaneously hedged,
+// failed over and cache-served — and yields ONE merged Chrome trace with the
+// router's attempt spans parenting the backend's spans, plus a slowlog entry
+// carrying the whole disposition.
+func TestFleetTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet trace smoke skipped in -short mode")
+	}
+	dir := t.TempDir()
+	served, err := bench.BuildBinary(dir, "sufsat/cmd/sufserved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerBin, err := bench.BuildBinary(dir, "sufsat/cmd/sufrouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracecheckBin, err := bench.BuildBinary(dir, "sufsat/cmd/tracecheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	t.Run("FailoverTrace", func(t *testing.T) {
+		b0, err := bench.StartBackend(ctx, served, "-quiet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b0.Stop(5 * time.Second)
+		b1, err := bench.StartBackend(ctx, served, "-quiet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b1.Stop(5 * time.Second)
+
+		rp, err := bench.StartBackend(ctx, routerBin,
+			"-backends", b0.URL()+","+b1.URL(),
+			"-hedge-delay", "off",
+			"-health-interval", "1h", // passive only: the kill shows up as a failed attempt, not a breaker probe
+			"-quiet",
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rp.Stop(5 * time.Second)
+
+		names := []string{b0.URL(), b1.URL()}
+		formula, order := formulaWithOrder(t, names, b1.URL())
+
+		// Kill the home node mid-run: the next traced request must fail over.
+		if err := b1.Kill(); err != nil {
+			t.Fatalf("kill: %v", err)
+		}
+		resp, err := client.New(rp.URL()).Decide(ctx, &server.Request{
+			Formula: formula, WantTelemetry: true, TimeoutMS: 8000,
+		})
+		if err != nil {
+			t.Fatalf("decide: %v", err)
+		}
+		if resp.Status != "valid" || resp.Telemetry == nil {
+			t.Fatalf("status %q telemetry=%v", resp.Status, resp.Telemetry != nil)
+		}
+		c := census(resp.Telemetry.Spans)
+		if c.names["client"] != 1 || c.names["route"] != 1 || c.names["attempt"] != 2 {
+			t.Fatalf("span census %v, want client/route/2 attempts (order %v)", c.names, order)
+		}
+		if c.outcomes["failed"] != 1 || c.outcomes["won"] != 1 || c.winners != 1 {
+			t.Fatalf("attempt dispositions %v winners=%d, want one failed + one won", c.outcomes, c.winners)
+		}
+		runTracecheckFleet(t, tracecheckBin, resp.Telemetry, "failover trace")
+	})
+
+	t.Run("HedgedFailedOverCached", func(t *testing.T) {
+		procs := make([]*bench.BackendProc, 3)
+		for i := range procs {
+			p, err := bench.StartBackend(ctx, served, "-quiet")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Stop(5 * time.Second)
+			procs[i] = p
+		}
+		// The primary-to-be sits behind a fault proxy so its wire can be
+		// blackholed while the process (and its /metrics) stays healthy.
+		proxy, err := faultinject.NewProxy(procs[0].URL()[len("http://"):])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer proxy.Close()
+		proxyURL := "http://" + proxy.Addr()
+
+		names := []string{proxyURL, procs[1].URL(), procs[2].URL()}
+		rp, err := bench.StartBackend(ctx, routerBin,
+			"-backends", names[0]+","+names[1]+","+names[2],
+			"-hedge-delay", "75ms",
+			"-health-interval", "1h",
+			"-quiet",
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rp.Stop(5 * time.Second)
+
+		// Roles follow the ring: order[0] (the proxy) hangs, order[1] is
+		// pre-killed so the hedge fails fast, order[2] has the verdict cached.
+		formula, order := formulaWithOrder(t, names, proxyURL)
+		byName := map[string]*bench.BackendProc{
+			proxyURL: procs[0], names[1]: procs[1], names[2]: procs[2],
+		}
+		hedgeTarget, warmTarget := byName[order[1]], byName[order[2]]
+
+		// Prewarm the failover target's cache with the same formula (the
+		// fingerprint is canonical, so the direct solve and the routed
+		// request share a cache key).
+		warm, err := client.New(warmTarget.URL()).Decide(ctx, &server.Request{Formula: formula, TimeoutMS: 8000})
+		if err != nil || warm.Status != "valid" {
+			t.Fatalf("prewarm: %v / %+v", err, warm)
+		}
+		if err := hedgeTarget.Kill(); err != nil {
+			t.Fatalf("kill hedge target: %v", err)
+		}
+		proxy.SetMode(faultinject.FaultBlackhole)
+		defer proxy.SetMode(faultinject.FaultNone)
+
+		resp, err := client.New(rp.URL()).Decide(ctx, &server.Request{
+			Formula: formula, WantTelemetry: true, TimeoutMS: 8000,
+		})
+		if err != nil {
+			t.Fatalf("decide: %v", err)
+		}
+		if resp.Status != "valid" || !resp.Cached || resp.Telemetry == nil {
+			t.Fatalf("status=%q cached=%v telemetry=%v — want a cache-served verdict",
+				resp.Status, resp.Cached, resp.Telemetry != nil)
+		}
+
+		c := census(resp.Telemetry.Spans)
+		if c.names["client"] != 1 || c.names["route"] != 1 || c.names["attempt"] != 3 {
+			t.Fatalf("span census %v, want client/route/3 attempts (order %v)", c.names, order)
+		}
+		if c.kinds["primary"] != 1 || c.kinds["hedge"] != 1 || c.kinds["failover"] != 1 {
+			t.Fatalf("attempt kinds %v, want primary+hedge+failover", c.kinds)
+		}
+		if c.winners != 1 || c.outcomes["won"] != 1 {
+			t.Fatalf("attempt dispositions %v winners=%d, want exactly one winner", c.outcomes, c.winners)
+		}
+		if c.names["cache"] != 1 {
+			t.Fatalf("span census %v: the cache-served backend must contribute its cache span", c.names)
+		}
+		runTracecheckFleet(t, tracecheckBin, resp.Telemetry, "hedged+failover+cached trace")
+
+		// The router's slowlog remembers the request with its full
+		// disposition and the merged timeline.
+		dump := fetchSlowlog(t, rp.URL())
+		found := false
+		for _, e := range dump.Entries {
+			if e.Hedged && e.FailedOver && e.Cached && len(e.Spans) > 0 {
+				found = true
+				if e.TraceID != resp.Telemetry.TraceID {
+					t.Errorf("slowlog trace_id %q != response %q", e.TraceID, resp.Telemetry.TraceID)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no slowlog entry with hedged+failed-over+cached disposition among %d entries", len(dump.Entries))
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Fleet traces: one request's spans across every tier that touched it —
+// client root, router route/attempt spans, backend phase spans — merged into
+// a single timeline under one trace ID. The tiers run on different clocks,
+// so merging rebases each remote snapshot into the local timeline: the
+// remote root is centered inside the local parent interval (symmetric-delay
+// midpoint) and every remote span is clamped into that interval, which makes
+// the merged timeline deterministic and guarantees parent/child nesting for
+// the strict validator regardless of cross-host clock skew.
+
+// TierAttr is the span attribute naming the tier a span was measured on
+// ("client", "router", "backend"); the fleet Chrome writer maps tiers to
+// trace processes.
+const TierAttr = "tier"
+
+// spanTier reads the tier attribute ("" when untagged).
+func spanTier(sp SpanRecord) string {
+	if v, ok := sp.Attrs[TierAttr]; ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// TagSpanTier sets the tier attribute on a span record (in place).
+func TagSpanTier(sp *SpanRecord, tier string) {
+	if sp.Attrs == nil {
+		sp.Attrs = map[string]any{}
+	}
+	if _, dup := sp.Attrs[TierAttr]; !dup {
+		sp.attrOrder = append(sp.attrOrder, TierAttr)
+	}
+	sp.Attrs[TierAttr] = tier
+}
+
+// RebaseSpans rebases a remote snapshot's spans into a local timeline, under
+// the local parent interval [parentStartMS, parentStartMS+parentDurMS] (the
+// router attempt span, or a client's request interval). The remote root —
+// the earliest-starting span — is shifted so it sits centered in the slack
+// the parent interval has around it (the symmetric network-delay estimate),
+// and every span is clamped into the parent interval. Spans still untagged
+// get the given tier. The input slice is not modified.
+func RebaseSpans(spans []SpanRecord, parentStartMS, parentDurMS float64, tier string) []SpanRecord {
+	if len(spans) == 0 {
+		return nil
+	}
+	rootStart, rootDur := spans[0].StartMS, spans[0].DurMS
+	for _, sp := range spans[1:] {
+		if sp.StartMS < rootStart {
+			rootStart, rootDur = sp.StartMS, sp.DurMS
+		}
+	}
+	shift := parentStartMS - rootStart
+	if slack := parentDurMS - rootDur; slack > 0 {
+		shift += slack / 2
+	}
+	end := parentStartMS + parentDurMS
+	out := make([]SpanRecord, len(spans))
+	for i, sp := range spans {
+		sp.StartMS += shift
+		if sp.StartMS < parentStartMS {
+			sp.StartMS = parentStartMS
+		}
+		if sp.StartMS > end {
+			sp.StartMS = end
+		}
+		if sp.StartMS+sp.DurMS > end {
+			sp.DurMS = end - sp.StartMS
+		}
+		if sp.DurMS < 0 {
+			sp.DurMS = 0
+		}
+		if spanTier(sp) == "" && tier != "" {
+			// Copy the attrs map before tagging: the input records may be
+			// shared with the snapshot they came from.
+			attrs := make(map[string]any, len(sp.Attrs)+1)
+			for k, v := range sp.Attrs {
+				attrs[k] = v
+			}
+			sp.Attrs = attrs
+			sp.Attrs[TierAttr] = tier
+		}
+		out[i] = sp
+	}
+	return out
+}
+
+// WriteFleetChromeTrace renders a merged snapshot as a Chrome trace-event
+// file: one trace process per tier (pid = tier order of first appearance),
+// every span a complete event carrying its span_id/parent_id in args, the
+// trace and request IDs in otherData. Loadable in chrome://tracing or
+// Perfetto; strict-validated by ValidateFleetTrace / tracecheck -fleet.
+func WriteFleetChromeTrace(w io.Writer, snap *Snapshot) error {
+	tf := traceFile{DisplayTimeUnit: "ms", OtherData: map[string]any{}}
+	if snap.TraceID != "" {
+		tf.OtherData["trace_id"] = snap.TraceID
+	}
+	if snap.RequestID != "" {
+		tf.OtherData["request_id"] = snap.RequestID
+	}
+	pids := map[string]int{}
+	pidOf := func(tier string) int {
+		if tier == "" {
+			tier = "backend"
+		}
+		if pid, ok := pids[tier]; ok {
+			return pid
+		}
+		pid := len(pids)
+		pids[tier] = pid
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": tier},
+		})
+		return pid
+	}
+	for _, sp := range snap.Spans {
+		ev := traceEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   sp.StartMS * 1e3,
+			Dur:  sp.DurMS * 1e3,
+			Pid:  pidOf(spanTier(sp)),
+			Tid:  0,
+		}
+		if ev.Dur <= 0 {
+			ev.Dur = 1
+		}
+		args := make(map[string]any, len(sp.Attrs)+3)
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		if sp.SpanID != "" {
+			args["span_id"] = sp.SpanID
+		}
+		if sp.ParentID != "" {
+			args["parent_id"] = sp.ParentID
+		}
+		if sp.Unfinished {
+			args["unfinished"] = true
+		}
+		ev.Args = args
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// fleetNestSlackUS is the nesting tolerance of the validator, in trace-file
+// microseconds: rebasing clamps remote spans hard, but locally-recorded
+// children may overshoot their parent by the duration-floor rounding.
+const fleetNestSlackUS = 1000.0
+
+// ValidateFleetTrace strict-validates a merged fleet trace (the
+// WriteFleetChromeTrace output): well-formed events only, every span carries
+// a span ID, span IDs unique, exactly one root, every parent link resolves,
+// children nest inside their parents (monotonic timeline), at least one
+// router attempt span, every attempt parented to the route span, and exactly
+// one attempt marked as the winner.
+func ValidateFleetTrace(data []byte) error {
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts,omitempty"`
+			Dur  *float64       `json:"dur,omitempty"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return fmt.Errorf("fleet trace: decode: %w", err)
+	}
+	if id, ok := tf.OtherData["trace_id"].(string); !ok || !ValidTraceID(id) {
+		return fmt.Errorf("fleet trace: otherData.trace_id missing or malformed")
+	}
+
+	type span struct {
+		name    string
+		ts, end float64
+		parent  string
+		winner  bool
+	}
+	spans := map[string]*span{}
+	order := []string{}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("fleet trace: event %d: unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("fleet trace: span %q: missing or negative ts", ev.Name)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return fmt.Errorf("fleet trace: span %q: missing or negative dur", ev.Name)
+		}
+		if ev.Pid == nil {
+			return fmt.Errorf("fleet trace: span %q: missing pid", ev.Name)
+		}
+		id, _ := ev.Args["span_id"].(string)
+		if !ValidSpanID(id) {
+			return fmt.Errorf("fleet trace: span %q: missing or malformed span_id", ev.Name)
+		}
+		if _, dup := spans[id]; dup {
+			return fmt.Errorf("fleet trace: duplicate span_id %s", id)
+		}
+		parent, _ := ev.Args["parent_id"].(string)
+		winner, _ := ev.Args["winner"].(bool)
+		spans[id] = &span{name: ev.Name, ts: *ev.Ts, end: *ev.Ts + *ev.Dur, parent: parent, winner: winner}
+		order = append(order, id)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("fleet trace: no spans")
+	}
+
+	roots, attempts, winners, routes := 0, 0, 0, 0
+	for _, id := range order {
+		sp := spans[id]
+		if sp.name == "route" {
+			routes++
+		}
+		if sp.parent == "" {
+			roots++
+			continue
+		}
+		par, ok := spans[sp.parent]
+		if !ok {
+			return fmt.Errorf("fleet trace: span %q (%s): parent %s not in trace", sp.name, id, sp.parent)
+		}
+		if sp.ts < par.ts-fleetNestSlackUS || sp.end > par.end+fleetNestSlackUS {
+			return fmt.Errorf("fleet trace: span %q (%s) [%.0f,%.0f]us escapes parent %q [%.0f,%.0f]us",
+				sp.name, id, sp.ts, sp.end, par.name, par.ts, par.end)
+		}
+		if sp.name == "attempt" {
+			attempts++
+			if par.name != "route" {
+				return fmt.Errorf("fleet trace: attempt span %s parented to %q, want the route span", id, par.name)
+			}
+			if sp.winner {
+				winners++
+			}
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("fleet trace: %d root spans, want exactly 1", roots)
+	}
+	// The attempt invariants bind whenever a router participated (a route
+	// span is present); a direct client↔backend trace has neither and is
+	// valid without them.
+	if routes > 0 && attempts == 0 {
+		return fmt.Errorf("fleet trace: route span but no attempt spans")
+	}
+	if attempts > 0 && winners != 1 {
+		return fmt.Errorf("fleet trace: %d winning attempts, want exactly 1", winners)
+	}
+	// Every interval must lie inside the root's: the whole merged timeline is
+	// monotonic within the request.
+	var root *span
+	for _, id := range order {
+		if spans[id].parent == "" {
+			root = spans[id]
+		}
+	}
+	for _, id := range order {
+		sp := spans[id]
+		if sp.ts < root.ts-fleetNestSlackUS || sp.end > root.end+fleetNestSlackUS {
+			return fmt.Errorf("fleet trace: span %q (%s) escapes the root interval", sp.name, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// mkSpan builds a SpanRecord with identity and tier for merge tests.
+func mkSpan(name string, startMS, durMS float64, spanID, parentID, tier string, attrs map[string]any) SpanRecord {
+	sp := SpanRecord{Name: name, StartMS: startMS, DurMS: durMS, SpanID: spanID, ParentID: parentID}
+	for k, v := range attrs {
+		if sp.Attrs == nil {
+			sp.Attrs = map[string]any{}
+		}
+		sp.Attrs[k] = v
+		sp.attrOrder = append(sp.attrOrder, k)
+	}
+	if tier != "" {
+		TagSpanTier(&sp, tier)
+	}
+	return sp
+}
+
+func TestRebaseSpansCentersAndClamps(t *testing.T) {
+	// Remote snapshot: root at 5ms for 10ms, child inside it. The local
+	// parent interval is [100, 120]: 20ms of parent for 10ms of remote work
+	// leaves 10ms slack, so the remote root lands centered at 105.
+	remote := []SpanRecord{
+		mkSpan("request", 5, 10, "aaaaaaaaaaaaaaaa", "", "", nil),
+		mkSpan("solve", 7, 6, "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "", nil),
+	}
+	out := RebaseSpans(remote, 100, 20, "backend")
+	if len(out) != 2 {
+		t.Fatalf("got %d spans, want 2", len(out))
+	}
+	if out[0].StartMS != 105 || out[0].DurMS != 10 {
+		t.Errorf("root rebased to [%g, +%g], want [105, +10]", out[0].StartMS, out[0].DurMS)
+	}
+	if out[1].StartMS != 107 {
+		t.Errorf("child rebased to start %g, want 107", out[1].StartMS)
+	}
+	for _, sp := range out {
+		if spanTier(sp) != "backend" {
+			t.Errorf("span %q tier = %q, want backend", sp.Name, spanTier(sp))
+		}
+	}
+	// The input must not have been tagged in place.
+	if spanTier(remote[0]) != "" {
+		t.Errorf("RebaseSpans mutated the input's attrs")
+	}
+
+	// A remote span wider than the parent interval is clamped into it.
+	wide := []SpanRecord{mkSpan("request", 0, 500, "cccccccccccccccc", "", "", nil)}
+	out = RebaseSpans(wide, 50, 10, "backend")
+	if out[0].StartMS < 50 || out[0].StartMS+out[0].DurMS > 60 {
+		t.Errorf("wide span [%g, +%g] escapes parent [50, 60]", out[0].StartMS, out[0].DurMS)
+	}
+}
+
+// fleetSnap builds a merged snapshot the validator should accept: a router
+// route span, two attempts (one winner), and backend spans under the winner.
+func fleetSnap() *Snapshot {
+	spans := []SpanRecord{
+		mkSpan("route", 0, 100, "1111111111111111", "", "router", nil),
+		mkSpan("attempt", 1, 40, "2222222222222222", "1111111111111111", "router",
+			map[string]any{"backend": "a", "kind": "primary", "outcome": "failed"}),
+		mkSpan("attempt", 10, 80, "3333333333333333", "1111111111111111", "router",
+			map[string]any{"backend": "b", "kind": "failover", "outcome": "won", "winner": true}),
+		mkSpan("request", 12, 70, "4444444444444444", "3333333333333333", "backend", nil),
+		mkSpan("solve", 14, 60, "5555555555555555", "4444444444444444", "backend", nil),
+	}
+	return &Snapshot{
+		RequestID: "req-fleet",
+		TraceID:   "0af7651916cd43dd8448eb211c80319c",
+		Spans:     spans,
+	}
+}
+
+func TestFleetTraceWriteAndValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFleetChromeTrace(&buf, fleetSnap()); err != nil {
+		t.Fatalf("WriteFleetChromeTrace: %v", err)
+	}
+	if err := ValidateFleetTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateFleetTrace rejected a well-formed trace: %v", err)
+	}
+	// Tier metadata must map to distinct trace processes.
+	out := buf.String()
+	for _, tier := range []string{"router", "backend"} {
+		if !strings.Contains(out, `"name":"`+tier+`"`) {
+			t.Errorf("trace output missing process metadata for tier %q", tier)
+		}
+	}
+}
+
+// TestFleetTraceValidateDirect accepts a routerless client↔backend trace:
+// no route span, no attempts, still one root and resolving parents.
+func TestFleetTraceValidateDirect(t *testing.T) {
+	snap := &Snapshot{
+		TraceID: "0af7651916cd43dd8448eb211c80319c",
+		Spans: []SpanRecord{
+			mkSpan("client", 0, 50, "1111111111111111", "", "client", nil),
+			mkSpan("request", 5, 40, "2222222222222222", "1111111111111111", "backend", nil),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFleetChromeTrace(&buf, snap); err != nil {
+		t.Fatalf("WriteFleetChromeTrace: %v", err)
+	}
+	if err := ValidateFleetTrace(buf.Bytes()); err != nil {
+		t.Fatalf("direct-mode trace rejected: %v", err)
+	}
+}
+
+func TestFleetTraceValidateRejects(t *testing.T) {
+	render := func(mutate func(*Snapshot)) []byte {
+		snap := fleetSnap()
+		mutate(snap)
+		var buf bytes.Buffer
+		if err := WriteFleetChromeTrace(&buf, snap); err != nil {
+			t.Fatalf("WriteFleetChromeTrace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name   string
+		data   []byte
+		substr string
+	}{
+		{"not json", []byte("nope"), "decode"},
+		{"no trace id", render(func(s *Snapshot) { s.TraceID = "" }), "trace_id"},
+		{"missing span id", render(func(s *Snapshot) { s.Spans[4].SpanID = "" }), "span_id"},
+		{"duplicate span id", render(func(s *Snapshot) { s.Spans[4].SpanID = s.Spans[3].SpanID }), "duplicate"},
+		{"dangling parent", render(func(s *Snapshot) { s.Spans[4].ParentID = "feedfacefeedface" }), "not in trace"},
+		{"two roots", render(func(s *Snapshot) { s.Spans[1].ParentID = "" }), "root"},
+		{"child escapes parent", render(func(s *Snapshot) { s.Spans[4].DurMS = 500 }), "escapes"},
+		{"no winner", render(func(s *Snapshot) { delete(s.Spans[2].Attrs, "winner") }), "winning"},
+		{"two winners", render(func(s *Snapshot) { s.Spans[1].Attrs["winner"] = true }), "winning"},
+		{"attempt not under route", render(func(s *Snapshot) { s.Spans[1].ParentID = s.Spans[3].SpanID; s.Spans[1].StartMS = 13 }), "parented"},
+		{"route without attempts", render(func(s *Snapshot) {
+			s.Spans = s.Spans[:1]
+		}), "no attempt"},
+	}
+	for _, tc := range cases {
+		err := ValidateFleetTrace(tc.data)
+		if err == nil {
+			t.Errorf("%s: validator accepted a broken trace", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}

@@ -27,15 +27,18 @@ import (
 type FlightKind uint32
 
 const (
-	FlightSpan      FlightKind = iota + 1 // a pipeline span ended (name = span, dur set)
-	FlightAdmit                           // request admitted to the queue
-	FlightStart                           // worker began executing a request
-	FlightDone                            // response written (name = status)
-	FlightShed                            // request shed (name = reason)
-	FlightDegrade                         // degradation ladder engaged (name = reason)
-	FlightPanic                           // contained per-request panic
-	FlightMalformed                       // pre-admission rejection
-	FlightCacheHit                        // verdict served from the cache (val: 0 = lookup, 1 = single-flight join)
+	FlightSpan        FlightKind = iota + 1 // a pipeline span ended (name = span, dur set)
+	FlightAdmit                             // request admitted to the queue
+	FlightStart                             // worker began executing a request
+	FlightDone                              // response written (name = status)
+	FlightShed                              // request shed (name = reason)
+	FlightDegrade                           // degradation ladder engaged (name = reason)
+	FlightPanic                             // contained per-request panic
+	FlightMalformed                         // pre-admission rejection
+	FlightCacheHit                          // verdict served from the cache (val: 0 = lookup, 1 = single-flight join)
+	FlightCacheMiss                         // cache lookup missed; a fresh solve follows
+	FlightCacheParked                       // single-flight follower parked behind the leader
+	FlightCacheWoken                        // parked follower woken (val: 1 = usable verdict, 0 = solves alone)
 )
 
 // String returns the dump-schema name of the kind.
@@ -59,6 +62,12 @@ func (k FlightKind) String() string {
 		return "malformed"
 	case FlightCacheHit:
 		return "cache-hit"
+	case FlightCacheMiss:
+		return "cache-miss"
+	case FlightCacheParked:
+		return "cache-parked"
+	case FlightCacheWoken:
+		return "cache-woken"
 	}
 	return "unknown"
 }

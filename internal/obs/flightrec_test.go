@@ -222,3 +222,38 @@ func TestZeroAllocPaths(t *testing.T) {
 		t.Errorf("nil Histogram.Observe allocates %.1f/op, want 0", n)
 	}
 }
+
+// TestFlightCacheKinds pins the cache event vocabulary: the four kinds the
+// verdict-cache path records round-trip through the ring with their String
+// spellings (the tracecheck -flightrec schema), and recording each stays
+// zero-alloc like every other hot-path event.
+func TestFlightCacheKinds(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record(FlightCacheMiss, "req-c", "HYBRID", 12, 0)
+	fr.Record(FlightCacheParked, "req-c", "HYBRID", 0, 0)
+	fr.Record(FlightCacheWoken, "req-c", "HYBRID", 340, 1)
+	fr.Record(FlightCacheHit, "req-c", "HYBRID", 5, 0)
+
+	evs := fr.Events()
+	wantKinds := []string{"cache-miss", "cache-parked", "cache-woken", "cache-hit"}
+	if len(evs) != len(wantKinds) {
+		t.Fatalf("got %d events, want %d", len(evs), len(wantKinds))
+	}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind %q, want %q", i, ev.Kind, wantKinds[i])
+		}
+	}
+	if evs[2].Value != 1 {
+		t.Errorf("cache-woken val = %d, want 1 (usable verdict)", evs[2].Value)
+	}
+
+	for _, k := range []FlightKind{FlightCacheHit, FlightCacheMiss, FlightCacheParked, FlightCacheWoken} {
+		k := k
+		if n := testing.AllocsPerRun(1000, func() {
+			fr.Record(k, "0123456789abcdef", "HYBRID", 42, 1)
+		}); n != 0 {
+			t.Errorf("Record(%s) allocates %.1f/op, want 0", k, n)
+		}
+	}
+}

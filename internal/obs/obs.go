@@ -35,12 +35,14 @@ type Attr struct {
 // along the way. Spans are created with Recorder.StartSpan and closed with
 // End; a nil *Span ignores every call.
 type Span struct {
-	rec   *Recorder
-	name  string
-	start time.Duration
-	dur   time.Duration
-	attrs []Attr
-	ended bool
+	rec      *Recorder
+	name     string
+	start    time.Duration
+	dur      time.Duration
+	attrs    []Attr
+	ended    bool
+	spanID   string
+	parentID string
 }
 
 // Recorder collects the telemetry of one Decide run: spans, worker progress
@@ -59,6 +61,13 @@ type Recorder struct {
 	probes  ProbeSet
 	reqID   string
 	flight  *FlightRecorder
+
+	// Trace context (SetTraceContext): when traceID is set, every span minted
+	// on this recorder gets a span ID; the first span becomes the local root,
+	// parented to the remote parentSpanID, and later spans parent to the root.
+	traceID      string
+	parentSpanID string
+	rootSpanID   string
 
 	sampling bool
 }
@@ -91,9 +100,31 @@ func (r *Recorder) StartSpan(name string) *Span {
 	sp := &Span{rec: r, name: name}
 	r.mu.Lock()
 	sp.start = time.Since(r.epoch)
+	if r.traceID != "" {
+		sp.spanID = NewSpanID()
+		if r.rootSpanID == "" {
+			r.rootSpanID = sp.spanID
+			sp.parentID = r.parentSpanID
+		} else {
+			sp.parentID = r.rootSpanID
+		}
+	}
 	r.spans = append(r.spans, sp)
 	r.mu.Unlock()
 	return sp
+}
+
+// SpanID returns the span's trace identity ("" for nil spans and spans of an
+// untraced recorder). The router sends it downstream as the traceparent
+// parent, so a backend's spans come back parented to the attempt that
+// carried them.
+func (sp *Span) SpanID() string {
+	if sp == nil {
+		return ""
+	}
+	sp.rec.mu.Lock()
+	defer sp.rec.mu.Unlock()
+	return sp.spanID
 }
 
 // End closes the span at the current offset. Redundant End calls keep the
@@ -171,12 +202,18 @@ func (sp *Span) AttrBool(key string, v bool) *Span {
 // SpanRecord is the exported form of a span (milliseconds relative to the
 // recorder epoch), used by the JSON snapshot and the Chrome trace writer.
 type SpanRecord struct {
-	Name       string         `json:"name"`
-	StartMS    float64        `json:"start_ms"`
-	DurMS      float64        `json:"dur_ms"`
-	Unfinished bool           `json:"unfinished,omitempty"`
-	Attrs      map[string]any `json:"attrs,omitempty"`
-	attrOrder  []string
+	Name       string  `json:"name"`
+	StartMS    float64 `json:"start_ms"`
+	DurMS      float64 `json:"dur_ms"`
+	Unfinished bool    `json:"unfinished,omitempty"`
+	// SpanID and ParentID carry the trace-context identity of the span when
+	// the recorder has a trace attached (SetTraceContext); empty otherwise.
+	// ParentID names either another span in the same snapshot or the remote
+	// sender's span (the router attempt, or a client's root span).
+	SpanID    string         `json:"span_id,omitempty"`
+	ParentID  string         `json:"parent_id,omitempty"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+	attrOrder []string
 }
 
 // AttrKeys returns the attribute keys in attachment order.
@@ -194,8 +231,10 @@ func (r *Recorder) SpanRecords() []SpanRecord {
 	out := make([]SpanRecord, 0, len(r.spans))
 	for _, sp := range r.spans {
 		rec := SpanRecord{
-			Name:    sp.name,
-			StartMS: durMS(sp.start),
+			Name:     sp.name,
+			StartMS:  durMS(sp.start),
+			SpanID:   sp.spanID,
+			ParentID: sp.parentID,
 		}
 		if sp.ended {
 			rec.DurMS = durMS(sp.dur)
@@ -255,11 +294,21 @@ func (r *Recorder) Adopt(child *Recorder) {
 	defer r.mu.Unlock()
 	for _, sp := range spans {
 		adopted := &Span{
-			rec:   r,
-			name:  sp.Name,
-			start: msDur(sp.StartMS + shift),
-			dur:   msDur(sp.DurMS),
-			ended: !sp.Unfinished,
+			rec:      r,
+			name:     sp.Name,
+			start:    msDur(sp.StartMS + shift),
+			dur:      msDur(sp.DurMS),
+			ended:    !sp.Unfinished,
+			spanID:   sp.SpanID,
+			parentID: sp.ParentID,
+		}
+		// A traced recorder adopting an untraced child (the portfolio's racer
+		// recorders) grafts the child spans under its own root.
+		if r.traceID != "" && adopted.spanID == "" {
+			adopted.spanID = NewSpanID()
+			if adopted.parentID == "" {
+				adopted.parentID = r.rootSpanID
+			}
 		}
 		for _, k := range sp.attrOrder {
 			adopted.attrs = append(adopted.attrs, Attr{Key: k, Value: sp.Attrs[k]})

@@ -60,6 +60,42 @@ func (r *Recorder) RequestID() string {
 	return r.reqID
 }
 
+// SetTraceContext attaches a distributed-trace identity to the recorder:
+// spans started afterwards are minted span IDs, the first one becomes the
+// local root parented to parentSpanID (the remote sender's span; "" for a
+// trace rooted here), and Snapshot.Finish stamps the trace ID. Call before
+// the first StartSpan. No-op on nil.
+func (r *Recorder) SetTraceContext(traceID, parentSpanID string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = traceID
+	r.parentSpanID = parentSpanID
+	r.mu.Unlock()
+}
+
+// TraceID returns the recorder's trace ID ("" for nil or untraced).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// RootSpanID returns the span ID of the recorder's root span ("" before the
+// first span, or when untraced).
+func (r *Recorder) RootSpanID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rootSpanID
+}
+
 // SetFlight routes this recorder's span-end events into a flight ring
 // (normally the package-level Flight). No-op on nil.
 func (r *Recorder) SetFlight(f *FlightRecorder) {

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog is a fixed-size top-K store of the slowest recent requests, the
+// exemplar complement to the latency histograms: the histogram says p99 is
+// 2s, the slowlog says *which* requests those were and shows their merged
+// span timeline. Served at /debug/slowlog on sufserved and sufrouter and
+// rendered as a suftop panel.
+//
+// The hot path is lock-cheap: Candidate is a single atomic load of the
+// current admission threshold (the K-th slowest total), so the overwhelming
+// majority of requests — everything faster than the current top-K — pay one
+// atomic read and never build an entry or touch the mutex.
+
+// SlowEntry is one exemplar: identity, verdict, disposition and timeline.
+type SlowEntry struct {
+	RequestID   string  `json:"request_id,omitempty"`
+	TraceID     string  `json:"trace_id,omitempty"`
+	Status      string  `json:"status"`
+	Method      string  `json:"method,omitempty"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	TotalMS     float64 `json:"total_ms"`
+	AtNS        int64   `json:"at_ns"`
+	// Disposition flags: cache-served, hedge fired, hedge won, failed over,
+	// and — on the router — the backend that answered.
+	Cached     bool   `json:"cached,omitempty"`
+	Hedged     bool   `json:"hedged,omitempty"`
+	HedgeWon   bool   `json:"hedge_won,omitempty"`
+	FailedOver bool   `json:"failed_over,omitempty"`
+	Backend    string `json:"backend,omitempty"`
+	// Spans is the request's span timeline when one was measured (the merged
+	// cross-tier timeline on the router; the recorder's spans on a backend).
+	Spans []SpanRecord `json:"spans,omitempty"`
+}
+
+// SlowLog holds the K slowest entries seen since process start (recency is
+// implicit: a newer request displaces an older one only by being slower, and
+// the store is small enough that a restarted workload repopulates it in
+// seconds). Safe for concurrent use; a nil *SlowLog ignores every call.
+type SlowLog struct {
+	k           int
+	thresholdUS atomic.Int64 // admission gate: K-th slowest total, µs
+	seen        atomic.Int64
+
+	mu      sync.Mutex
+	entries []SlowEntry // sorted slowest first
+}
+
+// DefaultSlowLogSize is the exemplar count kept by default.
+const DefaultSlowLogSize = 32
+
+// NewSlowLog returns a store keeping the k slowest requests (0 picks the
+// default).
+func NewSlowLog(k int) *SlowLog {
+	if k <= 0 {
+		k = DefaultSlowLogSize
+	}
+	return &SlowLog{k: k}
+}
+
+// Candidate reports whether a request with the given total would enter the
+// store — the hot-path gate, one atomic load. Callers build the (allocating)
+// SlowEntry only after a true answer.
+func (l *SlowLog) Candidate(totalMS float64) bool {
+	if l == nil {
+		return false
+	}
+	return int64(totalMS*1e3) > l.thresholdUS.Load()
+}
+
+// Observe offers one finished request. Entries faster than the current K-th
+// slowest are dropped without locking; admitted entries displace the fastest
+// stored one.
+func (l *SlowLog) Observe(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.seen.Add(1)
+	if !l.Candidate(e.TotalMS) {
+		return
+	}
+	if e.AtNS == 0 {
+		e.AtNS = time.Now().UnixNano()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Insert keeping the slice sorted slowest-first (K is small; linear is
+	// cheaper than a heap at this size).
+	idx := sort.Search(len(l.entries), func(i int) bool {
+		return l.entries[i].TotalMS < e.TotalMS
+	})
+	l.entries = append(l.entries, SlowEntry{})
+	copy(l.entries[idx+1:], l.entries[idx:])
+	l.entries[idx] = e
+	if len(l.entries) > l.k {
+		l.entries = l.entries[:l.k]
+	}
+	if len(l.entries) == l.k {
+		l.thresholdUS.Store(int64(l.entries[len(l.entries)-1].TotalMS * 1e3))
+	}
+}
+
+// Entries returns the stored exemplars, slowest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]SlowEntry(nil), l.entries...)
+}
+
+// Seen returns how many requests were offered to the store.
+func (l *SlowLog) Seen() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.seen.Load()
+}
+
+// SlowLogDump is the /debug/slowlog JSON schema (docs/FORMATS.md).
+type SlowLogDump struct {
+	DumpedAtNS int64       `json:"dumped_at_ns"`
+	K          int         `json:"k"`
+	Seen       int64       `json:"seen"`
+	Entries    []SlowEntry `json:"entries"`
+}
+
+// Dump builds the dump structure.
+func (l *SlowLog) Dump() *SlowLogDump {
+	d := &SlowLogDump{DumpedAtNS: time.Now().UnixNano(), Seen: l.Seen()}
+	if l != nil {
+		d.K = l.k
+	}
+	d.Entries = l.Entries()
+	if d.Entries == nil {
+		d.Entries = []SlowEntry{}
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (l *SlowLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Dump())
+}
+
+// Handler returns the /debug/slowlog endpoint.
+func (l *SlowLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		l.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+	})
+}

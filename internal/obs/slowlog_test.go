@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestSlowLogTopK(t *testing.T) {
+	l := NewSlowLog(3)
+	for i, ms := range []float64{10, 50, 30, 5, 70, 20} {
+		l.Observe(SlowEntry{RequestID: string(rune('a' + i)), Status: "valid", TotalMS: ms})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(got))
+	}
+	want := []float64{70, 50, 30}
+	for i, e := range got {
+		if e.TotalMS != want[i] {
+			t.Errorf("entry %d total %g, want %g (slowest first)", i, e.TotalMS, want[i])
+		}
+	}
+	if l.Seen() != 6 {
+		t.Errorf("seen = %d, want 6", l.Seen())
+	}
+	// Once full, anything at or below the K-th slowest is not a candidate.
+	if l.Candidate(30) {
+		t.Errorf("Candidate(30) = true with threshold at 30ms")
+	}
+	if !l.Candidate(31) {
+		t.Errorf("Candidate(31) = false, want admission above the K-th slowest")
+	}
+}
+
+func TestSlowLogNil(t *testing.T) {
+	var l *SlowLog
+	if l.Candidate(1e9) {
+		t.Errorf("nil SlowLog admitted a candidate")
+	}
+	l.Observe(SlowEntry{TotalMS: 1})
+	if l.Entries() != nil || l.Seen() != 0 {
+		t.Errorf("nil SlowLog holds state")
+	}
+}
+
+func TestSlowLogCandidateZeroAlloc(t *testing.T) {
+	l := NewSlowLog(4)
+	for i := 0; i < 4; i++ {
+		l.Observe(SlowEntry{TotalMS: 100})
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		l.Candidate(1)
+	}); n != 0 {
+		t.Errorf("SlowLog.Candidate allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(SlowEntry{Status: "valid", TotalMS: float64(g*200 + i)})
+				l.Entries()
+				l.Candidate(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := l.Entries()
+	if len(got) != 8 {
+		t.Fatalf("kept %d entries, want 8", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TotalMS > got[i-1].TotalMS {
+			t.Fatalf("entries not sorted slowest-first: %g after %g", got[i].TotalMS, got[i-1].TotalMS)
+		}
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(2)
+	l.Observe(SlowEntry{RequestID: "r1", TraceID: "0af7651916cd43dd8448eb211c80319c",
+		Status: "valid", TotalMS: 12.5, Hedged: true, FailedOver: true, Backend: "http://b"})
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slowlog", nil))
+	if rr.Code != 200 {
+		t.Fatalf("HTTP %d from the slowlog handler", rr.Code)
+	}
+	var dump SlowLogDump
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("slowlog dump not JSON: %v", err)
+	}
+	if dump.K != 2 || dump.Seen != 1 || len(dump.Entries) != 1 {
+		t.Fatalf("dump = k=%d seen=%d entries=%d, want 2/1/1", dump.K, dump.Seen, len(dump.Entries))
+	}
+	e := dump.Entries[0]
+	if e.RequestID != "r1" || !e.Hedged || !e.FailedOver || e.Backend != "http://b" {
+		t.Errorf("entry round-trip lost fields: %+v", e)
+	}
+	if e.AtNS == 0 || dump.DumpedAtNS == 0 {
+		t.Errorf("timestamps not stamped: at=%d dumped=%d", e.AtNS, dump.DumpedAtNS)
+	}
+}

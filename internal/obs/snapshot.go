@@ -29,6 +29,11 @@ type Snapshot struct {
 	// for local runs without one); the same ID appears in the response, the
 	// request log line, the trace file and the flight-recorder events.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the fleet-wide distributed-trace ID (empty for untraced
+	// runs). Every tier that handled the request — client, router attempt,
+	// backend — stamps the same ID, and the span records carry per-span
+	// span_id/parent_id links under it.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Pipeline PipelineStats `json:"pipeline"`
 	Encoding EncodingStats `json:"encoding"`
@@ -144,6 +149,9 @@ func (s *Snapshot) Finish(r *Recorder) *Snapshot {
 	s.Samples = r.Samples()
 	if s.RequestID == "" {
 		s.RequestID = r.RequestID()
+	}
+	if s.TraceID == "" {
+		s.TraceID = r.TraceID()
 	}
 	return s
 }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Fleet-wide trace context: a W3C-traceparent-shaped header carries one trace
+// ID and the sender's span ID across the HTTP hop, so the router's per-attempt
+// spans parent the backend's phase spans and a client, a router and a backend
+// all stamp the same trace ID on their telemetry. The format is the standard
+// "00-<32 hex trace-id>-<16 hex parent-id>-01" shape (version 00, sampled
+// flag), parsed and emitted with zero dependencies; foreign W3C producers
+// interoperate as long as their IDs are well-formed lowercase hex.
+
+// TraceparentHeader is the HTTP header name the trace context rides in.
+const TraceparentHeader = "traceparent"
+
+// NewTraceID mints a 32-hex-character random trace ID (128 bits).
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Same posture as NewRequestID: a broken platform gets a constant,
+		// obviously-wrong ID rather than a crash.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a 16-hex-character random span ID (64 bits).
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// lowerHex reports whether s is exactly n lowercase hex digits, not all zero
+// (the W3C forbids the all-zero trace and span IDs).
+func lowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// ValidTraceID reports whether s is a well-formed trace ID.
+func ValidTraceID(s string) bool { return lowerHex(s, 32) }
+
+// ValidSpanID reports whether s is a well-formed span ID.
+func ValidSpanID(s string) bool { return lowerHex(s, 16) }
+
+// FormatTraceparent renders the header value for the given trace ID and
+// sender span ID.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent decodes a traceparent header value. ok is false — and both
+// IDs empty — for a missing or malformed header; callers then mint a fresh
+// trace. Only version 00 is accepted.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	// "00-" + 32 + "-" + 16 + "-" + 2 = 55 bytes.
+	if len(h) != 55 || h[:3] != "00-" || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	traceID, parentID = h[3:35], h[36:52]
+	if !ValidTraceID(traceID) || !ValidSpanID(parentID) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	traceID := NewTraceID()
+	spanID := NewSpanID()
+	if !ValidTraceID(traceID) {
+		t.Fatalf("NewTraceID() = %q, not a valid trace ID", traceID)
+	}
+	if !ValidSpanID(spanID) {
+		t.Fatalf("NewSpanID() = %q, not a valid span ID", spanID)
+	}
+	hdr := FormatTraceparent(traceID, spanID)
+	if len(hdr) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", hdr, len(hdr))
+	}
+	gotTrace, gotSpan, ok := ParseTraceparent(hdr)
+	if !ok || gotTrace != traceID || gotSpan != spanID {
+		t.Fatalf("ParseTraceparent(%q) = (%q, %q, %v), want (%q, %q, true)",
+			hdr, gotTrace, gotSpan, ok, traceID, spanID)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := FormatTraceparent("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	if _, _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", valid)
+	}
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],             // truncated
+		valid + "0",            // too long
+		"01" + valid[2:],       // unsupported version
+		strings.ToUpper(valid), // uppercase hex
+		valid[:3] + strings.Repeat("0", 32) + valid[35:],  // all-zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // all-zero span ID
+		strings.Replace(valid, "-", "_", 1),
+	}
+	for _, h := range bad {
+		if trace, span, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted: (%q, %q)", h, trace, span)
+		}
+	}
+}
+
+// TestRecorderTraceContext pins the span-identity minting rules: the first
+// span of a traced recorder becomes the local root parented to the remote
+// span, later spans parent to the root, and an untraced recorder mints no
+// IDs at all (the golden-snapshot compatibility guarantee).
+func TestRecorderTraceContext(t *testing.T) {
+	rec := NewRecorder()
+	rec.SetTraceContext("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331")
+	root := rec.StartSpan("request")
+	child := rec.StartSpan("solve")
+	child.End()
+	root.End()
+
+	spans := rec.SpanRecords()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if !ValidSpanID(spans[0].SpanID) || spans[0].ParentID != "b7ad6b7169203331" {
+		t.Errorf("root span identity = (%q, parent %q), want minted ID parented to remote span",
+			spans[0].SpanID, spans[0].ParentID)
+	}
+	if !ValidSpanID(spans[1].SpanID) || spans[1].ParentID != spans[0].SpanID {
+		t.Errorf("child span identity = (%q, parent %q), want minted ID parented to root %q",
+			spans[1].SpanID, spans[1].ParentID, spans[0].SpanID)
+	}
+	if root.SpanID() != spans[0].SpanID {
+		t.Errorf("Span.SpanID() = %q, want %q", root.SpanID(), spans[0].SpanID)
+	}
+
+	untraced := NewRecorder()
+	sp := untraced.StartSpan("request")
+	sp.End()
+	if got := untraced.SpanRecords(); got[0].SpanID != "" || got[0].ParentID != "" {
+		t.Errorf("untraced recorder minted span identity: %+v", got[0])
+	}
+	if sp.SpanID() != "" {
+		t.Errorf("untraced Span.SpanID() = %q, want empty", sp.SpanID())
+	}
+}

@@ -92,6 +92,10 @@ type Config struct {
 	// metrics). Log receives failover/shed lines (nil = silent).
 	Registry *obs.Registry
 	Log      *log.Logger
+
+	// SlowLogSize bounds the slow-request exemplar store served at
+	// /debug/slowlog (0 = obs.DefaultSlowLogSize).
+	SlowLogSize int
 }
 
 func (c *Config) withDefaults() Config {
@@ -142,6 +146,7 @@ type Router struct {
 	ring     *Ring
 	backends map[string]*backend
 	metrics  *obs.RouterMetrics
+	slow     *obs.SlowLog
 
 	failoverBudget *Budget
 	hedgeBudget    *Budget
@@ -168,6 +173,7 @@ func New(cfg Config) (*Router, error) {
 		backends:       make(map[string]*backend, len(c.Backends)),
 		failoverBudget: NewBudget(c.FailoverRatio, c.FailoverBurst),
 		hedgeBudget:    NewBudget(c.HedgeRatio, c.HedgeBurst),
+		slow:           obs.NewSlowLog(c.SlowLogSize),
 	}
 	rt.metrics = obs.NewRouterMetrics(c.Registry, func() float64 {
 		return float64(rt.inFlight.Load())
@@ -252,11 +258,12 @@ func (rt *Router) BackendState(name string) (BreakerState, bool) {
 
 // Handler returns the router's HTTP surface:
 //
-//	POST /decide   routed decision requests
-//	GET  /healthz  liveness (always 200)
-//	GET  /readyz   readiness (503 while draining or with every breaker open)
-//	GET  /statusz  human-readable backend table
-//	GET  /metrics  Prometheus exposition (when a Registry is configured)
+//	POST /decide         routed decision requests
+//	GET  /healthz        liveness (always 200)
+//	GET  /readyz         readiness (503 while draining or with every breaker open)
+//	GET  /statusz        human-readable backend table
+//	GET  /metrics        Prometheus exposition (when a Registry is configured)
+//	GET  /debug/slowlog  slow-request exemplars (merged cross-tier timelines)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decide", rt.handleDecide)
@@ -269,6 +276,7 @@ func (rt *Router) Handler() http.Handler {
 	if reg := rt.metrics.Registry(); reg != nil {
 		mux.Handle("/metrics", reg.Handler())
 	}
+	mux.Handle("/debug/slowlog", rt.slow.Handler())
 	return mux
 }
 
@@ -400,6 +408,16 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 	// across the fleet, and the ring key equals the backend cache key.
 	req.Fingerprint = fp
 
+	// Trace context: join the sender's trace when a traceparent header came
+	// in; root a fresh trace when the request wants telemetry (the merged
+	// timeline is part of the snapshot); otherwise stay untraced and track
+	// only the disposition flags for the slowlog.
+	traceID, parentSpan, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if traceID == "" && req.WantTelemetry {
+		traceID = obs.NewTraceID()
+	}
+	tr := newRouteTrace(req.RequestID, traceID, parentSpan)
+
 	// Deadline: the request's budget (or the default), clamped, forwarded to
 	// the backend via timeout_ms, plus one second of router grace so the
 	// backend's own timeout verdict arrives instead of being cut off mid-body.
@@ -415,18 +433,24 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	order := rt.ring.Order(fp, rt.cfg.MaxAttempts)
-	resp, who, retryAfter, reason := rt.route(ctx, &req, order)
+	resp, who, retryAfter, reason := rt.route(ctx, &req, order, tr)
 	switch {
 	case resp != nil:
+		tr.end(resp.Status)
+		tr.mergeResponse(resp)
 		w.Header().Set("X-Sufrouter-Backend", who)
 		rt.metrics.ObserveRequest(resp.Status, time.Since(start).Seconds())
+		rt.observeSlow(tr, resp, req.RequestID, traceID, fp, who, time.Since(start))
 		writeJSON(w, resp.HTTPStatus, resp)
 	case reason != "":
+		tr.end("shed")
 		rt.shed(w, req.RequestID, reason, retryAfter, start)
 	default:
 		// The router's deadline (request budget + grace) expired with no
 		// answer: report a timeout upward rather than hanging.
+		tr.end("timeout")
 		rt.metrics.ObserveRequest("timeout", time.Since(start).Seconds())
+		rt.observeSlow(tr, nil, req.RequestID, traceID, fp, "", time.Since(start))
 		writeJSON(w, http.StatusGatewayTimeout, &server.Response{
 			Status:    "timeout",
 			RequestID: req.RequestID,
@@ -434,6 +458,37 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 			TotalMS:   float64(time.Since(start).Milliseconds()),
 		})
 	}
+}
+
+// observeSlow feeds a finished request into the slow-request exemplar log:
+// correlation IDs, verdict, routing disposition (hedge / failover / cache)
+// and — when the winning response carried telemetry — the merged cross-tier
+// timeline. resp nil records a router-side timeout.
+func (rt *Router) observeSlow(tr *routeTrace, resp *server.Response, reqID, traceID, fp, who string, total time.Duration) {
+	totalMS := float64(total.Microseconds()) / 1e3
+	if !rt.slow.Candidate(totalMS) {
+		return
+	}
+	e := obs.SlowEntry{
+		RequestID:   reqID,
+		TraceID:     traceID,
+		Status:      "timeout",
+		Fingerprint: fp,
+		TotalMS:     totalMS,
+		Hedged:      tr.hedged,
+		HedgeWon:    tr.hedgeWon(),
+		FailedOver:  tr.failedOver,
+		Backend:     who,
+	}
+	if resp != nil {
+		e.Status = resp.Status
+		e.Method = resp.Method
+		e.Cached = resp.Cached
+		if resp.Telemetry != nil {
+			e.Spans = resp.Telemetry.Spans
+		}
+	}
+	rt.slow.Observe(e)
 }
 
 // attemptResult is one backend attempt's outcome.
@@ -448,8 +503,15 @@ type attemptResult struct {
 }
 
 // launch fires one attempt against b under its own cancelable context and
-// reports the outcome on ch. The returned cancel aborts the attempt.
-func (rt *Router) launch(ctx context.Context, b *backend, trial, hedge bool, req *server.Request, ch chan<- attemptResult) context.CancelFunc {
+// reports the outcome on ch. The returned cancel aborts the attempt. tp is
+// the attempt's traceparent ("" when untraced); the request is shallow-copied
+// before stamping it so concurrent attempts never share the mutable field.
+func (rt *Router) launch(ctx context.Context, b *backend, trial, hedge bool, tp string, req *server.Request, ch chan<- attemptResult) context.CancelFunc {
+	if tp != "" {
+		c := *req
+		c.Traceparent = tp
+		req = &c
+	}
 	actx, cancel := context.WithCancel(ctx)
 	go func() {
 		begin := time.Now()
@@ -532,7 +594,7 @@ func raOrDefault(d time.Duration) time.Duration {
 // promptly). Returns exactly one of: a response (with the winning backend's
 // name), a shed reason (with the aggregated Retry-After), or neither when
 // ctx expired.
-func (rt *Router) route(ctx context.Context, req *server.Request, order []string) (resp *server.Response, who string, retryAfter time.Duration, reason string) {
+func (rt *Router) route(ctx context.Context, req *server.Request, order []string, tr *routeTrace) (resp *server.Response, who string, retryAfter time.Duration, reason string) {
 	rt.failoverBudget.Note()
 	rt.hedgeBudget.Note()
 
@@ -572,7 +634,7 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 	if !ok {
 		return nil, "", raOrDefault(maxRA), ShedBackendsOpen
 	}
-	cancels[primary] = rt.launch(ctx, primary, trial, false, req, ch)
+	cancels[primary] = rt.launch(ctx, primary, trial, false, tr.startAttempt(primary, "primary", trial), req, ch)
 	defer func() {
 		// Release every per-attempt context (winner included) once decided.
 		for _, c := range cancels {
@@ -605,7 +667,7 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 				continue
 			}
 			rt.metrics.Hedge()
-			cancels[hb] = rt.launch(ctx, hb, htrial, true, req, ch)
+			cancels[hb] = rt.launch(ctx, hb, htrial, true, tr.startAttempt(hb, "hedge", htrial), req, ch)
 			inflight++
 
 		case r := <-ch:
@@ -613,6 +675,7 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 			if r.err == nil && r.resp.HTTPStatus != http.StatusServiceUnavailable {
 				// A definitive answer (decision verdict, or a final 4xx/5xx
 				// such as a contained panic) — first answer wins.
+				tr.endAttempt(r.b.name, "won", true, r.resp.Cached)
 				r.b.br.ReportSuccess(r.trial)
 				r.b.lat.Observe(r.elapsed)
 				rt.metrics.ObserveAttempt(r.b.name, false)
@@ -626,6 +689,7 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 			case r.err == nil:
 				// Backend 503: it answered properly but is shedding — a
 				// breaker-healthy outcome that still warrants failover.
+				tr.endAttempt(r.b.name, "shed", false, false)
 				sawShed = true
 				if r.retryAfter > maxRA {
 					maxRA = r.retryAfter
@@ -634,8 +698,10 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 				rt.metrics.ObserveAttempt(r.b.name, false)
 			case errors.Is(r.err, context.Canceled) && ctx.Err() == nil:
 				// Canceled by the router, not a backend fault.
+				tr.endAttempt(r.b.name, "canceled", false, false)
 				r.b.br.ReportCanceled(r.trial)
 			default:
+				tr.endAttempt(r.b.name, "failed", false, false)
 				r.b.br.ReportFailure(r.trial)
 				rt.metrics.ObserveAttempt(r.b.name, true)
 				if rt.cfg.Log != nil {
@@ -669,7 +735,7 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 			if rt.cfg.Log != nil {
 				rt.cfg.Log.Printf("failover to backend=%s request_id=%s", nb.name, req.RequestID)
 			}
-			cancels[nb] = rt.launch(ctx, nb, ntrial, false, req, ch)
+			cancels[nb] = rt.launch(ctx, nb, ntrial, false, tr.startAttempt(nb, "failover", ntrial), req, ch)
 			inflight++
 		}
 	}

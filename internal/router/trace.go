@@ -1,0 +1,141 @@
+package router
+
+import (
+	"sufsat/internal/obs"
+	"sufsat/internal/server"
+)
+
+// routeTrace is the router-side state of one request's distributed trace: a
+// "route" root span covering the routing decision and one "attempt" span per
+// backend attempt (primary, hedge, failover), each carrying the backend
+// name, the attempt kind, the breaker state at launch and the outcome. The
+// attempt span's ID travels to the backend in the traceparent header, so the
+// backend's phase spans come back parented to the attempt that carried them.
+//
+// A routeTrace is always created — when the request is untraced (no
+// traceparent and no want_telemetry) it only tracks the disposition flags
+// (hedged / failed over) for the slowlog and mints no spans. All methods are
+// called from the single handleDecide goroutine; no locking is needed.
+type routeTrace struct {
+	traceID string
+	rec     *obs.Recorder
+	root    *obs.Span
+
+	open       map[string]openAttempt // by backend name
+	winner     *obs.Span
+	winnerKind string
+	hedged     bool
+	failedOver bool
+	ended      bool
+}
+
+// openAttempt is one in-flight attempt's span and kind.
+type openAttempt struct {
+	sp   *obs.Span
+	kind string
+}
+
+// newRouteTrace builds the per-request trace state. traceID "" yields a
+// flags-only trace (no recorder, no spans); parentSpan is the remote sender's
+// span ID ("" when the trace is rooted here).
+func newRouteTrace(reqID, traceID, parentSpan string) *routeTrace {
+	tr := &routeTrace{traceID: traceID, open: map[string]openAttempt{}}
+	if traceID != "" {
+		tr.rec = obs.NewRecorder()
+		tr.rec.SetRequestID(reqID)
+		tr.rec.SetTraceContext(traceID, parentSpan)
+		tr.root = tr.rec.StartSpan("route")
+	}
+	return tr
+}
+
+// startAttempt opens an attempt span for a launch against b and returns the
+// traceparent header value to send with it ("" when untraced).
+func (tr *routeTrace) startAttempt(b *backend, kind string, trial bool) string {
+	switch kind {
+	case "hedge":
+		tr.hedged = true
+	case "failover":
+		tr.failedOver = true
+	}
+	if tr.rec == nil {
+		return ""
+	}
+	sp := tr.rec.StartSpan("attempt")
+	sp.AttrStr("backend", b.name)
+	sp.AttrStr("kind", kind)
+	sp.AttrStr("breaker", b.br.State().String())
+	if trial {
+		sp.AttrBool("trial", true)
+	}
+	tr.open[b.name] = openAttempt{sp: sp, kind: kind}
+	return obs.FormatTraceparent(tr.traceID, sp.SpanID())
+}
+
+// endAttempt closes the named backend's attempt span with its outcome
+// ("won", "shed", "failed", "canceled"). The winning attempt is marked and
+// remembered for the merge.
+func (tr *routeTrace) endAttempt(backendName, outcome string, winner, cached bool) {
+	oa, ok := tr.open[backendName]
+	if !ok {
+		return
+	}
+	delete(tr.open, backendName)
+	if winner {
+		tr.winner = oa.sp
+		tr.winnerKind = oa.kind
+	}
+	oa.sp.AttrStr("outcome", outcome)
+	if winner {
+		oa.sp.AttrBool("winner", true)
+		if cached {
+			oa.sp.AttrBool("cached", true)
+		}
+	}
+	oa.sp.End()
+}
+
+// end closes any attempt spans still open (canceled losers of the race) and
+// the route span itself. Idempotent.
+func (tr *routeTrace) end(status string) {
+	if tr.ended {
+		return
+	}
+	tr.ended = true
+	for name, oa := range tr.open {
+		delete(tr.open, name)
+		oa.sp.AttrStr("outcome", "canceled")
+		oa.sp.End()
+	}
+	tr.root.AttrStr("status", status)
+	tr.root.End()
+}
+
+// hedgeWon reports whether the winning attempt was the hedge.
+func (tr *routeTrace) hedgeWon() bool { return tr.winnerKind == "hedge" }
+
+// mergeResponse folds the winning backend's telemetry snapshot into the
+// router's trace: the router spans (route + attempts, tier "router") first,
+// then the backend's spans rebased and clamped into the winning attempt's
+// interval (tier "backend"). The result is one cross-tier timeline under one
+// trace ID, ready for obs.WriteFleetChromeTrace. No-op when the request is
+// untraced or carries no telemetry. Call after end.
+func (tr *routeTrace) mergeResponse(resp *server.Response) {
+	if tr.rec == nil || resp == nil || resp.Telemetry == nil {
+		return
+	}
+	spans := tr.rec.SpanRecords()
+	for i := range spans {
+		obs.TagSpanTier(&spans[i], "router")
+	}
+	winID := tr.winner.SpanID()
+	aStart, aDur := 0.0, 0.0
+	for _, sp := range spans {
+		if sp.SpanID != "" && sp.SpanID == winID {
+			aStart, aDur = sp.StartMS, sp.DurMS
+		}
+	}
+	backendSpans := obs.RebaseSpans(resp.Telemetry.Spans, aStart, aDur, "backend")
+	resp.Telemetry.Spans = append(spans, backendSpans...)
+	resp.Telemetry.TraceID = tr.traceID
+}

@@ -15,7 +15,9 @@ import (
 // Config.MaxBatch independent decision requests answered in one round trip.
 // Each item is a full Request (formula, method, budgets, want_model, …);
 // item request IDs are derived from the batch's correlation ID as
-// "<batch-id>.<index>" unless an item names its own.
+// "<batch-id>#<index>" unless an item names its own. The derived sub-request
+// ID is echoed in the item's response and carried through the item's log
+// line and flight-recorder events, so one batch correlates end to end.
 type BatchRequest struct {
 	Items []Request `json:"items"`
 	// RequestID is the batch-level correlation ID (header precedence as for
@@ -91,6 +93,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !obs.ValidRequestID(batchID) {
 		batchID = obs.NewRequestID()
 	}
+	traceID, parentSpan, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 
 	out := &BatchResponse{
 		Responses: make([]*Response, len(breq.Items)),
@@ -105,9 +108,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			req := &breq.Items[i]
 			reqID := req.RequestID
 			if !obs.ValidRequestID(reqID) {
-				reqID = fmt.Sprintf("%s.%d", batchID, i)
+				reqID = fmt.Sprintf("%s#%d", batchID, i)
 			}
-			resp := s.decide(r.Context(), req, reqID)
+			resp := s.decide(r.Context(), req, reqID, traceID, parentSpan)
 			if resp == nil {
 				// Client context died; record a canceled item so the slice
 				// has no holes if the write races the disconnect.
@@ -115,7 +118,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.RequestID = reqID
 			out.Responses[i] = resp
-			s.finishRequest(resp, reqID, time.Since(start))
+			s.finishRequest(resp, reqID, traceID, time.Since(start))
 		}(i)
 	}
 	wg.Wait()

@@ -155,6 +155,17 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 	if req.RequestID == "" {
 		req.RequestID = obs.NewRequestID()
 	}
+	// Direct mode is the trace root: mint the trace and a client root span so
+	// the response telemetry comes back as a client-rooted fleet trace. The
+	// root is minted once and shared by every retry attempt, like the request
+	// ID. A caller that already carries a trace (or wants none) is left alone.
+	var traceID, rootSpan string
+	if req.Traceparent == "" && req.WantTelemetry {
+		traceID = obs.NewTraceID()
+		rootSpan = obs.NewSpanID()
+		req.Traceparent = obs.FormatTraceparent(traceID, rootSpan)
+	}
+	start := time.Now()
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encode request: %w", err)
@@ -170,9 +181,10 @@ func (c *Client) Decide(ctx context.Context, req *server.Request) (*server.Respo
 	var last *server.Response
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		resp, retryAfter, err := c.post(ctx, body, req.RequestID)
+		resp, retryAfter, err := c.post(ctx, body, req.RequestID, req.Traceparent)
 		if err == nil && (resp.HTTPStatus != http.StatusServiceUnavailable) {
 			resp.ClientAttempts = attempt
+			mergeClientTrace(resp, traceID, rootSpan, time.Since(start))
 			return resp, nil
 		}
 		if err != nil {
@@ -228,7 +240,7 @@ func (c *Client) DecideOnce(ctx context.Context, req *server.Request) (*server.R
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: encode request: %w", err)
 	}
-	resp, retryAfter, err := c.post(ctx, body, req.RequestID)
+	resp, retryAfter, err := c.post(ctx, body, req.RequestID, req.Traceparent)
 	if err != nil {
 		return nil, retryAfter, err
 	}
@@ -236,10 +248,28 @@ func (c *Client) DecideOnce(ctx context.Context, req *server.Request) (*server.R
 	return resp, retryAfter, nil
 }
 
+// mergeClientTrace rebases a backend snapshot into a client-rooted fleet
+// trace: a "client" root span covering the whole round trip (retries
+// included), with the backend's spans rebased and clamped inside it. No-op
+// unless Decide minted the trace root and the response carries telemetry.
+func mergeClientTrace(resp *server.Response, traceID, rootSpan string, elapsed time.Duration) {
+	if traceID == "" || resp == nil || resp.Telemetry == nil {
+		return
+	}
+	elapsedMS := float64(elapsed.Microseconds()) / 1e3
+	root := obs.SpanRecord{Name: "client", StartMS: 0, DurMS: elapsedMS, SpanID: rootSpan}
+	obs.TagSpanTier(&root, "client")
+	merged := make([]obs.SpanRecord, 0, len(resp.Telemetry.Spans)+1)
+	merged = append(merged, root)
+	merged = append(merged, obs.RebaseSpans(resp.Telemetry.Spans, 0, elapsedMS, "backend")...)
+	resp.Telemetry.Spans = merged
+	resp.Telemetry.TraceID = traceID
+}
+
 // post performs one attempt. The response's HTTPStatus field is filled from
 // the transport so callers (and the retry loop) see the status without the
 // header.
-func (c *Client) post(ctx context.Context, body []byte, reqID string) (*server.Response, time.Duration, error) {
+func (c *Client) post(ctx context.Context, body []byte, reqID, traceparent string) (*server.Response, time.Duration, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/decide", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: build request: %w", err)
@@ -247,6 +277,9 @@ func (c *Client) post(ctx context.Context, body []byte, reqID string) (*server.R
 	hreq.Header.Set("Content-Type", "application/json")
 	if reqID != "" {
 		hreq.Header.Set("X-Request-Id", reqID)
+	}
+	if traceparent != "" {
+		hreq.Header.Set(obs.TraceparentHeader, traceparent)
 	}
 	hc := c.HTTP
 	if hc == nil {

@@ -137,6 +137,89 @@ func TestRequestCorrelation(t *testing.T) {
 	}
 }
 
+// TestBatchCorrelation pins the batch sub-request ID contract: every item of
+// a /v1/decide/batch request gets "<batch-id>#<index>" unless it names its
+// own ID, and the derived IDs are echoed in the item responses and carried
+// through the structured log and the flight recorder.
+func TestBatchCorrelation(t *testing.T) {
+	var logBuf bytes.Buffer
+	logMu := &syncWriter{buf: &logBuf}
+	flight := obs.NewFlightRecorder(256)
+	s := server.New(server.Config{
+		Workers: 2,
+		Logger:  slog.New(slog.NewTextHandler(logMu, nil)),
+		Flight:  flight,
+	})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+		hs.Close()
+	})
+
+	body := `{"items":[
+		{"formula":"(=> (= x y) (= (f x) (f y)))"},
+		{"formula":"((("},
+		{"formula":"(=> (= a b) (= b a))","request_id":"item-own-id"}
+	]}`
+	hreq, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/decide/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", "batch-7")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var bresp server.BatchResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&bresp); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+
+	if bresp.RequestID != "batch-7" || hresp.Header.Get("X-Request-Id") != "batch-7" {
+		t.Errorf("batch ID not echoed: body=%q header=%q",
+			bresp.RequestID, hresp.Header.Get("X-Request-Id"))
+	}
+	if len(bresp.Responses) != 3 {
+		t.Fatalf("got %d item responses, want 3", len(bresp.Responses))
+	}
+	wantIDs := []string{"batch-7#0", "batch-7#1", "item-own-id"}
+	for i, want := range wantIDs {
+		if got := bresp.Responses[i].RequestID; got != want {
+			t.Errorf("item %d request_id %q, want %q", i, got, want)
+		}
+	}
+	// The malformed middle item failed alone; its siblings decided.
+	if bresp.Responses[0].Status != "valid" || bresp.Responses[2].Status != "valid" {
+		t.Errorf("item statuses = %q, %q, want valid", bresp.Responses[0].Status, bresp.Responses[2].Status)
+	}
+	if bresp.Responses[1].Status != "malformed" {
+		t.Errorf("malformed item status %q", bresp.Responses[1].Status)
+	}
+
+	// Each sub-request ID reached the structured log...
+	logs := logMu.String()
+	for _, id := range wantIDs {
+		if !strings.Contains(logs, "req_id="+id) {
+			t.Errorf("request log missing req_id=%s:\n%s", id, logs)
+		}
+	}
+	// ...and the flight recorder (the malformed item records no request
+	// events, so only the decided items are required here).
+	seen := map[string]bool{}
+	for _, ev := range flight.Events() {
+		seen[ev.ReqID] = true
+	}
+	for _, id := range []string{"batch-7#0", "item-own-id"} {
+		if !seen[id] {
+			t.Errorf("flight recorder has no events for %s", id)
+		}
+	}
+}
+
 // syncWriter is a mutex-guarded bytes.Buffer for concurrent slog output.
 type syncWriter struct {
 	mu  sync.Mutex

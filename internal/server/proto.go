@@ -59,6 +59,11 @@ type Request struct {
 	// statement that only the router reaches this backend — and otherwise
 	// recomputes; an untrusted or malformed value is ignored.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Traceparent is the distributed-trace context, transported as the
+	// "traceparent" HTTP header rather than in the JSON body (the client and
+	// the router fill it; the server reads the header). Format in
+	// docs/FORMATS.md.
+	Traceparent string `json:"-"`
 }
 
 // Shed reasons carried in Response.ShedReason on a 503.

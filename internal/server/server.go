@@ -129,6 +129,9 @@ type Config struct {
 	// recorded into (nil = the process-wide obs.Flight). Served at
 	// /debug/flightrec.
 	Flight *obs.FlightRecorder
+	// SlowLogSize bounds the slow-request exemplar store served at
+	// /debug/slowlog (0 = obs.DefaultSlowLogSize).
+	SlowLogSize int
 }
 
 // task is one admitted request travelling from the handler to a pool worker.
@@ -157,6 +160,7 @@ type Server struct {
 	probe   *obs.ServiceProbe
 	metrics *obs.ServiceMetrics
 	flight  *obs.FlightRecorder
+	slow    *obs.SlowLog
 
 	cache *Cache
 
@@ -224,6 +228,7 @@ func New(cfg Config) *Server {
 		probe:       probe,
 		metrics:     obs.NewServiceMetrics(cfg.Metrics, probe, flight),
 		flight:      flight,
+		slow:        obs.NewSlowLog(cfg.SlowLogSize),
 		queue:       make(chan *task, cfg.MaxQueue),
 		workersDone: make(chan struct{}),
 		baseCtx:     ctx,
@@ -663,6 +668,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/metrics", s.cfg.Metrics.Handler())
 	}
 	mux.Handle("/debug/flightrec", s.flight.Handler())
+	mux.Handle("/debug/slowlog", s.slow.Handler())
 	// The outermost recover keeps a handler-level panic (fault-injected or
 	// otherwise) from killing the connection without a structured response.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -695,6 +701,10 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if !obs.ValidRequestID(reqID) {
 		reqID = ""
 	}
+	// Trace context: a well-formed traceparent header enrolls this request in
+	// the sender's distributed trace (span IDs minted, snapshot stamped); a
+	// missing or malformed header leaves the request untraced.
+	traceID, parentSpan, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 	// respond is the single exit: it fixes the correlation ID, echoes it in
 	// header and body, writes the response and emits the request's metrics,
 	// flight event and log record.
@@ -705,7 +715,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		resp.RequestID = reqID
 		w.Header().Set("X-Request-Id", reqID)
 		writeJSON(w, resp)
-		s.finishRequest(resp, reqID, time.Since(handlerStart))
+		s.finishRequest(resp, reqID, traceID, time.Since(handlerStart))
 	}
 	// Fast-path shed while draining, before reading the body.
 	if s.Draining() {
@@ -734,7 +744,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if reqID == "" {
 		reqID = obs.NewRequestID()
 	}
-	resp := s.decide(r.Context(), &req, reqID)
+	resp := s.decide(r.Context(), &req, reqID, traceID, parentSpan)
 	if resp == nil {
 		// The client is gone; there is no one to write to.
 		return
@@ -795,11 +805,36 @@ func usableEntry(req *Request, e *CacheEntry) bool {
 	return true
 }
 
+// cacheSnapshot builds the telemetry snapshot of a cache-served request: a
+// "request" root span with a "cache" child, so a cached verdict still yields
+// a complete (if short) timeline — and the trace-context span links the
+// fleet-trace merge needs — instead of no snapshot at all.
+func cacheSnapshot(reqID, traceID, parentSpan string, e *CacheEntry, join bool) *obs.Snapshot {
+	rec := obs.NewRecorder()
+	rec.SetRequestID(reqID)
+	if traceID != "" {
+		rec.SetTraceContext(traceID, parentSpan)
+	}
+	root := rec.StartSpan("request")
+	root.AttrStr("status", e.Status)
+	root.AttrBool("cached", true)
+	sp := rec.StartSpan("cache")
+	sp.AttrBool("hit", true)
+	if join {
+		sp.AttrBool("join", true)
+	}
+	sp.End()
+	root.End()
+	snap := &obs.Snapshot{Method: e.Method, Status: e.Status}
+	return snap.Finish(rec)
+}
+
 // decide runs one decoded request end to end: validate and parse, verdict
 // cache (lookup, then single-flight), admission control, worker solve. It is
 // the shared engine of POST /decide and POST /v1/decide/batch. A nil return
-// means the client's context died with no one left to answer.
-func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Response {
+// means the client's context died with no one left to answer. traceID and
+// parentSpan are the distributed-trace context ("" = untraced).
+func (s *Server) decide(ctx context.Context, req *Request, reqID, traceID, parentSpan string) *Response {
 	if req.Formula == "" {
 		s.probe.Malformed()
 		return malformed("missing formula")
@@ -841,12 +876,13 @@ func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Respon
 	// Verdict cache. The fingerprint keys the decided formula (negation
 	// included for SMT2 requests, so a sat-check can never collide with a
 	// validity check over the same text). The router precomputes it; the
-	// server trusts that only under Config.TrustFingerprint.
-	// want_telemetry requests bypass the cache entirely: the snapshot
-	// describes an actual solve, and a cached verdict has none to offer.
+	// server trusts that only under Config.TrustFingerprint. A cache-served
+	// want_telemetry request gets a synthesized snapshot (a request span with
+	// a cache child) — the verdict had no solve, but the fleet trace still
+	// needs the hop accounted for.
 	var fp string
 	var fl *Flight
-	if s.cache != nil && !req.NoCache && !req.WantTelemetry {
+	if s.cache != nil && !req.NoCache {
 		if s.cfg.TrustFingerprint && validFingerprint(req.Fingerprint) {
 			fp = req.Fingerprint
 		} else {
@@ -857,21 +893,30 @@ func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Respon
 			resp := cachedResponse(req, fp, e)
 			resp.Clamped = clamped
 			resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
+			if req.WantTelemetry {
+				resp.Telemetry = cacheSnapshot(reqID, traceID, parentSpan, e, false)
+			}
 			s.metrics.ObserveCacheHit(time.Since(lookupStart).Seconds())
 			s.flight.Record(obs.FlightCacheHit, reqID, req.Method, time.Since(lookupStart).Microseconds(), 0)
 			return resp
 		}
+		s.flight.Record(obs.FlightCacheMiss, reqID, req.Method, time.Since(lookupStart).Microseconds(), 0)
 		fl = s.cache.Begin(fp)
 		if !fl.Leader() {
 			// An identical formula is being solved right now: wait for its
 			// verdict instead of burning a second worker on the same search.
+			s.flight.Record(obs.FlightCacheParked, reqID, req.Method, 0, 0)
 			wctx, cancel := context.WithDeadline(ctx, deadline)
 			e, werr := fl.Wait(wctx)
 			cancel()
 			if werr == nil && usableEntry(req, e) {
+				s.flight.Record(obs.FlightCacheWoken, reqID, req.Method, time.Since(lookupStart).Microseconds(), 1)
 				resp := cachedResponse(req, fp, e)
 				resp.Clamped = clamped
 				resp.TotalMS = float64(time.Since(now).Microseconds()) / 1e3
+				if req.WantTelemetry {
+					resp.Telemetry = cacheSnapshot(reqID, traceID, parentSpan, e, true)
+				}
 				s.metrics.ObserveCacheHit(time.Since(lookupStart).Seconds())
 				s.flight.Record(obs.FlightCacheHit, reqID, req.Method, time.Since(lookupStart).Microseconds(), 1)
 				return resp
@@ -882,6 +927,7 @@ func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Respon
 			// Leader produced nothing usable (non-definitive, or a model we
 			// need that it lacks): fall through and solve ourselves, without
 			// a flight of our own.
+			s.flight.Record(obs.FlightCacheWoken, reqID, req.Method, time.Since(lookupStart).Microseconds(), 0)
 			fl = nil
 		} else {
 			// Leader: whatever happens below, the followers must be released.
@@ -892,6 +938,9 @@ func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Respon
 	rec := obs.NewRecorder()
 	rec.SetRequestID(reqID)
 	rec.SetFlight(s.flight)
+	if traceID != "" {
+		rec.SetTraceContext(traceID, parentSpan)
+	}
 	opts.Telemetry = rec
 	opts.Hook = s.cfg.Hook
 	t := &task{
@@ -933,9 +982,10 @@ func (s *Server) decide(ctx context.Context, req *Request, reqID string) *Respon
 }
 
 // finishRequest emits the post-write observability of one request: the
-// flight-ring terminal event, the aggregated metrics observation, and the
-// structured request log record — one correlation ID joins all three.
-func (s *Server) finishRequest(resp *Response, reqID string, total time.Duration) {
+// flight-ring terminal event, the aggregated metrics observation, the
+// slow-request exemplar offer, and the structured request log record — one
+// correlation ID joins them all.
+func (s *Server) finishRequest(resp *Response, reqID, traceID string, total time.Duration) {
 	httpStatus := resp.HTTPStatus
 	if httpStatus == 0 {
 		httpStatus = http.StatusOK
@@ -949,6 +999,27 @@ func (s *Server) finishRequest(resp *Response, reqID string, total time.Duration
 		s.flight.Record(obs.FlightDone, reqID, resp.Status, total.Microseconds(), int64(httpStatus))
 		s.metrics.ObserveRequest(resp.Status, resp.Method,
 			resp.QueueMS/1e3, resp.SolveMS/1e3, total.Seconds())
+		// The slowlog gate is one atomic load; the entry is built only for
+		// requests slower than the current top-K.
+		totalMS := float64(total.Microseconds()) / 1e3
+		if s.slow.Candidate(totalMS) {
+			e := obs.SlowEntry{
+				RequestID:   reqID,
+				TraceID:     traceID,
+				Status:      resp.Status,
+				Method:      resp.Method,
+				Fingerprint: resp.Fingerprint,
+				TotalMS:     totalMS,
+				Cached:      resp.Cached,
+			}
+			if resp.Telemetry != nil {
+				e.Spans = resp.Telemetry.Spans
+				if e.TraceID == "" {
+					e.TraceID = resp.Telemetry.TraceID
+				}
+			}
+			s.slow.Observe(e)
+		}
 	}
 	if s.cfg.Logger == nil {
 		return

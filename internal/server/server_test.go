@@ -73,12 +73,36 @@ func TestDecideBasic(t *testing.T) {
 		t.Errorf("ordering: want stats, got %+v", resp.Stats)
 	}
 
+	// congruence was decided above, so this is a cache hit: the telemetry is
+	// the synthesized cache-hit snapshot (request span + cache span), not a
+	// solve's.
 	resp = decide(t, c, &server.Request{Formula: congruence, WantTelemetry: true})
 	if resp == nil || resp.Telemetry == nil {
 		t.Fatalf("want telemetry snapshot, got %+v", resp)
 	}
 	if resp.Telemetry.Status != "valid" {
 		t.Errorf("telemetry status: got %q want valid", resp.Telemetry.Status)
+	}
+	if !resp.Cached {
+		t.Errorf("repeat formula with want_telemetry not cache-served")
+	}
+	// client.Decide merged the snapshot into a client-rooted fleet trace:
+	// the client root span first, then the backend's request/cache spans.
+	if len(resp.Telemetry.Spans) < 3 || resp.Telemetry.Spans[0].Name != "client" ||
+		resp.Telemetry.Spans[1].Name != "request" || resp.Telemetry.Spans[2].Name != "cache" {
+		t.Errorf("cache-hit snapshot spans: %+v", resp.Telemetry.Spans)
+	}
+	if resp.Telemetry.TraceID == "" {
+		t.Errorf("merged cache-hit snapshot missing trace_id")
+	}
+
+	// A fresh solve still returns the pipeline's full snapshot.
+	resp = decide(t, c, &server.Request{Formula: chain, WantTelemetry: true})
+	if resp == nil || resp.Telemetry == nil || resp.Telemetry.Status != "valid" || resp.Cached {
+		t.Fatalf("fresh want_telemetry solve: got %+v", resp)
+	}
+	if resp.Telemetry.Pipeline.SUFNodes == 0 {
+		t.Errorf("fresh solve snapshot missing pipeline stats")
 	}
 
 	if got := s.Probe().Counters(); got.Admitted != 3 || got.Completed != 3 {
