@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate fleet-trace-smoke affinity-bench
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate fleet-trace-smoke affinity-bench membership-soak membership-bench
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
@@ -19,8 +19,11 @@ GO ?= go
 # incremental BMC session 1.5x faster than per-depth, and a race-instrumented
 # cache-mix soak with zero verdict mismatches), plus the fleet-trace smoke
 # (real router + backends, a kill mid-run, and the merged cross-tier trace
-# strict-validated by tracecheck -fleet).
-ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate fleet-trace-smoke
+# strict-validated by tracecheck -fleet), and the membership soak (every
+# backend of a live fleet rolled through drain -> SIGKILL -> restart -> rejoin
+# plus a cold join mid-load, gated on zero mismatches, 99%+ availability, the
+# predicted epoch, ~1/N key movement per step and zero leaked goroutines).
+ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate fleet-trace-smoke membership-soak
 
 vet:
 	$(GO) vet ./...
@@ -139,6 +142,26 @@ fleet-trace-smoke:
 affinity-bench:
 	$(GO) run ./cmd/sufbench -affinity -clients 10 -requests 200 -soak-timeout 6s \
 		-out BENCH_PR8.json
+
+# membership-soak is the rolling-upgrade chaos gate, run with -race so the
+# in-process router is instrumented: every backend of a live 3-node fleet is
+# rolled through drain -> SIGKILL -> restart -> rejoin via the admin API while
+# verifying clients hammer the router, then a cold backend joins mid-load via
+# the declarative PUT. Zero verdict mismatches, 99%+ availability, the epoch
+# exactly where the choreography predicts, ~1/N key movement per step, warm
+# survivors still serving cache hits after the join, and zero leaked
+# goroutines — or the gate fails. The companion process test pins SIGHUP and
+# PUT to the same Reconfigure path on a real sufrouter.
+membership-soak:
+	$(GO) test -race -run 'TestMembershipSoak|TestRouterMembershipProcess' ./internal/bench
+
+# membership-bench regenerates the dynamic-membership artifact at the repo
+# root (BENCH_PR9.json): the rolling-upgrade membership soak with its
+# per-step key-movement record and the survivor cache-warmth comparison
+# around the cold join. Schema documented in EXPERIMENTS.md.
+membership-bench:
+	$(GO) run ./cmd/sufbench -membership -clients 10 -requests 250 -soak-timeout 8s \
+		-out BENCH_PR9.json
 
 # chaos-bench regenerates the fleet tail-latency artifact at the repo root:
 # the same scripted chaos soaked twice, hedging on then off, gated on the

@@ -17,6 +17,8 @@
 //	         [-soak-timeout 20s] [-cache-mix 0.4]
 //	sufbench -affinity [-out BENCH_PR8.json] [-clients N] [-requests N]
 //	         [-soak-timeout 6s] [-cache-mix 0.5]
+//	sufbench -membership [-out BENCH_PR9.json] [-clients N] [-requests N]
+//	         [-soak-timeout 8s] [-cache-mix 0.5]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
@@ -49,6 +51,16 @@
 // (per-backend hit rates, fleet aggregate, stable-vs-victim split). The run
 // also measures the isolated tracing+slowlog hot-path cost and gates it at
 // ≤2% of the soak's p50 latency.
+//
+// -membership switches to the dynamic-membership benchmark (BENCH_PR9.json):
+// the rolling-upgrade membership soak — every backend of a live 3-node fleet
+// rolled through drain → SIGKILL → restart → rejoin via the admin API under
+// verifying load with a cache-heavy mix, then a cold backend joined mid-soak
+// via the declarative PUT. The report records every membership step with its
+// sampled key-movement ratio, the final epoch against the predicted one, and
+// the survivors' cache warmth on both sides of the join. A verdict mismatch,
+// availability below 99%, an unexpected epoch, or a step moving more than its
+// 1/N fair share plus slack fails the run.
 //
 // -soak switches to service load testing: concurrent retrying clients hammer
 // a sufserved instance (-url, or an in-process server on an ephemeral port
@@ -84,6 +96,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fleet chaos benchmark (hedged vs unhedged) instead of the solver benchmark")
 	cacheBench := flag.Bool("cache", false, "run the cache/incrementality benchmark (repeat-decide, cache-mix soak, BMC stream)")
 	affinity := flag.Bool("affinity", false, "run the cross-node cache-affinity benchmark (chaos soak + per-backend cache scrape + trace-overhead gate)")
+	membership := flag.Bool("membership", false, "run the dynamic-membership benchmark (rolling-upgrade soak + cold join + key-movement record)")
 	cacheMix := flag.Float64("cache-mix", 0, "soak: fraction of requests issued as alpha-renamed spellings (0 disables)")
 	soakURL := flag.String("url", "", "soak: sufserved base URL (empty = start an in-process server)")
 	soakClients := flag.Int("clients", 8, "soak: concurrent clients")
@@ -114,6 +127,13 @@ func main() {
 			*out = "BENCH_PR8.json"
 		}
 		runAffinityBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout, *cacheMix)
+		return
+	}
+	if *membership {
+		if *out == "BENCH_PR3.json" {
+			*out = "BENCH_PR9.json"
+		}
+		runMembershipBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout, *cacheMix)
 		return
 	}
 	if *soak {
@@ -316,6 +336,80 @@ func runAffinityBench(ctx context.Context, out string, clients, requests int, ti
 	}
 	if !overheadOK {
 		fail("tracing overhead %.3f%% exceeds 2%% of p50", 100*ov.Fraction)
+	}
+}
+
+// runMembershipBench drives the rolling-upgrade membership soak and writes
+// BENCH_PR9.json. Gates: zero verdict mismatches, availability ≥ 99%, the
+// final epoch exactly where the roll choreography predicts, no membership
+// step moving more than its 1/N fair share plus slack, and warm survivors
+// still serving cache hits after the cold join.
+func runMembershipBench(ctx context.Context, out string, clients, requests int, timeout time.Duration, cacheMix float64) {
+	if cacheMix <= 0 {
+		cacheMix = 0.5
+	}
+	dir, err := os.MkdirTemp("", "sufbench-membership-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	served, err := bench.BuildBinary(dir, "sufsat/cmd/sufserved")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "sufbench: membership soak: %d clients, %d requests/phase, mix %.0f%%, deadline %s\n",
+		clients, requests, 100*cacheMix, timeout)
+	mrep, err := bench.RunMembershipChaos(ctx, bench.MembershipConfig{
+		ServedBin: served,
+		Clients:   clients,
+		Requests:  requests,
+		TimeoutMS: timeout.Milliseconds(),
+		CacheMix:  cacheMix,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	rep := &bench.PR9Report{Membership: mrep}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "sufbench: membership FAILED: "+format+"\n", a...)
+		os.Exit(1)
+	}
+	if mrep.Mismatches > 0 {
+		fail("%d verdict mismatches", mrep.Mismatches)
+	}
+	if mrep.Availability < 0.99 {
+		fail("availability %.4f < 0.99", mrep.Availability)
+	}
+	if mrep.FinalEpoch != mrep.ExpectedEpoch {
+		fail("final epoch %d, want %d", mrep.FinalEpoch, mrep.ExpectedEpoch)
+	}
+	if mrep.MoveBoundViolations > 0 {
+		fail("%d steps moved more than their 1/N fair share + slack", mrep.MoveBoundViolations)
+	}
+	if mrep.SurvivorHitsAfterJoin <= mrep.SurvivorHitsBeforeJoin {
+		fail("survivor cache hits %.0f → %.0f across the cold join",
+			mrep.SurvivorHitsBeforeJoin, mrep.SurvivorHitsAfterJoin)
 	}
 }
 

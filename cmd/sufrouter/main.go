@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	sufrouter -backends URL[,URL...] [-addr :8090]
+//	sufrouter -backends URL[,URL...] | -backends-file PATH [-addr :8090]
 //	          [-replicas 64] [-health-interval 500ms] [-probe-timeout 1s]
 //	          [-max-inflight 256] [-max-attempts 3]
 //	          [-hedge-delay auto|off|DUR] [-hedge-ratio 0.1] [-hedge-burst 5]
@@ -19,9 +19,20 @@
 // Endpoints: POST /decide (the same request/response JSON as sufserved —
 // clients need no changes to talk to the fleet), GET /healthz, GET /readyz
 // (503 while draining or with every breaker open), GET /statusz (backend
-// breaker table), GET /metrics (sufrouter_* families, docs/FORMATS.md),
-// GET /debug/slowlog (the -slowlog N slowest requests with their merged
-// cross-tier span timelines and routing disposition).
+// membership + breaker table with the membership epoch), GET /metrics
+// (sufrouter_* families, docs/FORMATS.md), GET /debug/slowlog (the
+// -slowlog N slowest requests with their merged cross-tier span timelines
+// and routing disposition), and GET/PUT/POST /admin/backends — the
+// membership control plane (authenticated by bind: expose the router only
+// on trusted networks).
+//
+// Membership is dynamic: PUT /admin/backends with {"backends":[...]}
+// declares the desired active set, POST applies one add/drain/remove verb,
+// and with -backends-file the same declarative reload runs on SIGHUP —
+// rewrite the file, signal the process, and the router reconfigures through
+// the same Reconfigure path with no restart and no dropped in-flight
+// requests. Backend lists (flag and file alike) are validated per entry:
+// every malformed or duplicate URL is reported, not just the first.
 //
 // The router participates in distributed traces: an incoming traceparent
 // header (or want_telemetry, which roots a fresh trace) makes it record a
@@ -65,9 +76,29 @@ func parseHedgeDelay(s string) (time.Duration, error) {
 	return time.ParseDuration(s)
 }
 
+// readBackendsFile loads a -backends-file: one URL per line, blank lines
+// and #-comment lines ignored, validated per entry through the router's
+// shared parser.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	return router.ParseBackendList(entries)
+}
+
 func main() {
 	addr := flag.String("addr", ":8090", "listen address (port 0 picks a free port)")
-	backends := flag.String("backends", "", "comma-separated sufserved base URLs (required)")
+	backends := flag.String("backends", "", "comma-separated sufserved base URLs")
+	backendsFile := flag.String("backends-file", "", "file with one sufserved base URL per line (# comments); SIGHUP reloads it")
 	replicas := flag.Int("replicas", 64, "virtual nodes per backend on the hash ring")
 	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "active /readyz probe cadence per backend (jittered)")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "timeout for one health probe")
@@ -88,13 +119,25 @@ func main() {
 	flag.Parse()
 
 	var urls []string
-	for _, u := range strings.Split(*backends, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, strings.TrimRight(u, "/"))
+	switch {
+	case *backends != "" && *backendsFile != "":
+		fmt.Fprintln(os.Stderr, "sufrouter: -backends and -backends-file are mutually exclusive")
+		os.Exit(2)
+	case *backendsFile != "":
+		var err error
+		if urls, err = readBackendsFile(*backendsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "sufrouter: -backends-file:", err)
+			os.Exit(2)
+		}
+	default:
+		var err error
+		if urls, err = router.ParseBackendList(strings.Split(*backends, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "sufrouter: -backends:", err)
+			os.Exit(2)
 		}
 	}
 	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "sufrouter: -backends is required (comma-separated sufserved URLs)")
+		fmt.Fprintln(os.Stderr, "sufrouter: -backends or -backends-file is required (sufserved URLs)")
 		os.Exit(2)
 	}
 	hd, err := parseHedgeDelay(*hedgeDelay)
@@ -142,6 +185,36 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hsrv.Serve(ln) }()
 
+	// SIGHUP: reload -backends-file and reconfigure the live pool through
+	// the same declarative Reconfigure path the admin PUT uses. Without a
+	// backends file the signal is logged and ignored.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	hupDone := make(chan struct{})
+	go func() {
+		defer close(hupDone)
+		for range hup {
+			if *backendsFile == "" {
+				fmt.Fprintln(os.Stderr, "sufrouter: SIGHUP ignored (no -backends-file)")
+				continue
+			}
+			desired, err := readBackendsFile(*backendsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sufrouter: SIGHUP reload:", err)
+				continue
+			}
+			ch, err := rt.Reconfigure(desired)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sufrouter: SIGHUP reconfigure:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "sufrouter: SIGHUP reconfigured epoch=%d backends=%d active=%d added=%d reactivated=%d removed=%d moved=%.3f\n",
+				ch.Epoch, ch.Backends, ch.ActiveBackends,
+				len(ch.Added), len(ch.Reactivated), len(ch.Removed), ch.KeysMovedRatio)
+		}
+	}()
+
 	bi := obs.GetBuildInfo()
 	fmt.Fprintf(os.Stderr, "sufrouter: build version=%s go=%s revision=%s backends=%d\n",
 		bi.Version, bi.GoVersion, bi.Revision, len(urls))
@@ -168,5 +241,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sufrouter: drain:", err)
 		os.Exit(1)
 	}
+	signal.Stop(hup)
+	close(hup)
+	<-hupDone
 	fmt.Fprintln(os.Stderr, "sufrouter: drained")
 }

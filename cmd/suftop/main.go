@@ -17,13 +17,16 @@
 // after N frames.
 //
 // -fleet points at a sufrouter instead: the dashboard renders the router's
-// own traffic (routed qps, sheds, failovers, hedges, latency quantiles),
-// discovers the backend pool from the sufrouter_backend_state labels, and
-// federates each backend's /metrics into a per-backend table — breaker
-// state, attempt and failure rates seen from the router, and queue depth /
-// in-flight / qps / verdict-cache hit rate (HIT%, lifetime
-// hits/(hits+misses); "-" when the backend is unreachable or exports no
-// sufsat_cache_* families) as reported by the backend itself.
+// own traffic (routed qps, sheds, failovers, hedges, latency quantiles, the
+// membership epoch), discovers the backend pool from the
+// sufrouter_backend_state labels (removed members, reporting -1 on
+// sufrouter_backend_membership, are filtered out), and federates each
+// backend's /metrics into a per-backend table — membership state
+// (joining / active / draining), breaker state, attempt and failure rates
+// seen from the router, and queue depth / in-flight / qps / verdict-cache
+// hit rate (HIT%, lifetime hits/(hits+misses); "-" when the backend is
+// unreachable or exports no sufsat_cache_* families) as reported by the
+// backend itself.
 //
 // Both views end with a slowlog panel: the slowest requests the target's
 // /debug/slowlog endpoint remembers, with verdict, total and routing
@@ -206,6 +209,8 @@ func frame(w io.Writer, cur, prev *obs.PromScrape, interval time.Duration) {
 // breakerStateName renders the sufrouter_backend_state encoding.
 func breakerStateName(v float64) string {
 	switch int(v) {
+	case -1:
+		return "removed"
 	case 0:
 		return "closed"
 	case 1:
@@ -216,7 +221,30 @@ func breakerStateName(v float64) string {
 	return "?"
 }
 
+// memberStateName renders a backend's sufrouter_backend_membership cell:
+// "-" when the router does not export the family (an older build without
+// dynamic membership), the state name otherwise.
+func memberStateName(scrape *obs.PromScrape, backend string) string {
+	v, ok := scrape.Value("sufrouter_backend_membership", "backend", backend)
+	if !ok {
+		return "-"
+	}
+	switch int(v) {
+	case -1:
+		return "removed"
+	case 0:
+		return "joining"
+	case 1:
+		return "active"
+	case 2:
+		return "draining"
+	}
+	return "?"
+}
+
 // fleetBackends lists the backend names present in the router scrape.
+// Removed members keep their (unregisterable) gauges forever, reporting -1;
+// they are filtered out so the table shows the live pool, not its ghosts.
 func fleetBackends(scrape *obs.PromScrape) []string {
 	f := scrape.Family("sufrouter_backend_state")
 	if f == nil {
@@ -224,9 +252,14 @@ func fleetBackends(scrape *obs.PromScrape) []string {
 	}
 	var out []string
 	for _, s := range f.Samples {
-		if b := s.Label("backend"); b != "" {
-			out = append(out, b)
+		b := s.Label("backend")
+		if b == "" {
+			continue
 		}
+		if m, ok := scrape.Value("sufrouter_backend_membership", "backend", b); ok && m < 0 {
+			continue
+		}
+		out = append(out, b)
 	}
 	sort.Strings(out)
 	return out
@@ -247,8 +280,12 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 	hedges := delta(cur, prev, "sufrouter_hedges_total")
 	hedgeWins := delta(cur, prev, "sufrouter_hedge_wins_total")
 	inFlight, _ := cur.Value("sufrouter_in_flight")
-	fmt.Fprintf(w, "router  qps %.1f   shed/s %.1f   failover/s %.1f   hedge/s %.1f (wins %.1f)   in-flight %d\n",
-		routed/secs, shed/secs, failovers/secs, hedges/secs, hedgeWins/secs, int(inFlight))
+	epochCell := ""
+	if epoch, ok := cur.Value("sufrouter_membership_epoch"); ok {
+		epochCell = fmt.Sprintf("   epoch %d", int(epoch))
+	}
+	fmt.Fprintf(w, "router  qps %.1f   shed/s %.1f   failover/s %.1f   hedge/s %.1f (wins %.1f)   in-flight %d%s\n",
+		routed/secs, shed/secs, failovers/secs, hedges/secs, hedgeWins/secs, int(inFlight), epochCell)
 
 	buckets := bucketDelta(cur, prev, "sufrouter_request_duration_seconds")
 	fmt.Fprintf(w, "latency  p50 %s   p95 %s   p99 %s\n\n",
@@ -256,8 +293,8 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 		fmtSecs(obs.HistQuantile(0.95, buckets)),
 		fmtSecs(obs.HistQuantile(0.99, buckets)))
 
-	fmt.Fprintf(w, "%-40s %-10s %8s %8s %8s %7s %9s %7s %6s\n",
-		"BACKEND", "STATE", "ATT/S", "FAIL/S", "PROBE-F", "QPS", "IN-FLIGHT", "QUEUE", "HIT%")
+	fmt.Fprintf(w, "%-40s %-9s %-10s %8s %8s %8s %7s %9s %7s %6s\n",
+		"BACKEND", "MEMBER", "BREAKER", "ATT/S", "FAIL/S", "PROBE-F", "QPS", "IN-FLIGHT", "QUEUE", "HIT%")
 	for _, name := range fleetBackends(cur) {
 		state, _ := cur.Value("sufrouter_backend_state", "backend", name)
 		att := delta(cur, prev, "sufrouter_backend_requests_total", "backend", name)
@@ -278,8 +315,8 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 		} else {
 			qps = "unreach"
 		}
-		fmt.Fprintf(w, "%-40s %-10s %8.1f %8.1f %8.0f %7s %9s %7s %6s\n",
-			name, breakerStateName(state), att/secs, fail/secs, probeF, qps, bif, bq, hit)
+		fmt.Fprintf(w, "%-40s %-9s %-10s %8.1f %8.1f %8.0f %7s %9s %7s %6s\n",
+			name, memberStateName(cur, name), breakerStateName(state), att/secs, fail/secs, probeF, qps, bif, bq, hit)
 	}
 }
 

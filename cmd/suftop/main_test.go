@@ -56,3 +56,52 @@ sufsat_completed_total 5
 		}
 	}
 }
+
+// TestFleetMembership pins the MEMBER cell semantics and the ghost filter:
+// a removed backend keeps its gauges forever (the registry cannot
+// unregister) reporting -1, and must vanish from the fleet table rather
+// than appear as a dead row; a router without the membership family (older
+// build) renders "-" and filters nothing.
+func TestFleetMembership(t *testing.T) {
+	withMembership := scrapeOf(t, `# TYPE sufrouter_backend_state gauge
+sufrouter_backend_state{backend="http://a:1"} 0
+sufrouter_backend_state{backend="http://b:2"} 2
+sufrouter_backend_state{backend="http://c:3"} -1
+# TYPE sufrouter_backend_membership gauge
+sufrouter_backend_membership{backend="http://a:1"} 1
+sufrouter_backend_membership{backend="http://b:2"} 2
+sufrouter_backend_membership{backend="http://c:3"} -1
+sufrouter_backend_membership{backend="http://d:4"} 0
+`)
+	got := fleetBackends(withMembership)
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("fleetBackends = %v, want %v (removed ghost filtered)", got, want)
+	}
+
+	cells := []struct {
+		backend string
+		want    string
+	}{
+		{"http://a:1", "active"},
+		{"http://b:2", "draining"},
+		{"http://c:3", "removed"},
+		{"http://d:4", "joining"},
+		{"http://absent:9", "-"},
+	}
+	for _, tc := range cells {
+		if got := memberStateName(withMembership, tc.backend); got != tc.want {
+			t.Errorf("memberStateName(%s) = %q, want %q", tc.backend, got, tc.want)
+		}
+	}
+
+	legacy := scrapeOf(t, `# TYPE sufrouter_backend_state gauge
+sufrouter_backend_state{backend="http://a:1"} 0
+`)
+	if got := fleetBackends(legacy); len(got) != 1 || got[0] != "http://a:1" {
+		t.Errorf("fleetBackends (no membership family) = %v, want the full pool", got)
+	}
+	if got := memberStateName(legacy, "http://a:1"); got != "-" {
+		t.Errorf("memberStateName (no membership family) = %q, want \"-\"", got)
+	}
+}

@@ -213,6 +213,7 @@ var flightKinds = map[string]bool{
 	"span": true, "admit": true, "start": true, "done": true,
 	"shed": true, "degrade": true, "panic": true, "malformed": true,
 	"cache-hit": true, "cache-miss": true, "cache-parked": true, "cache-woken": true,
+	"member-join": true, "member-drain": true, "member-remove": true,
 }
 
 // checkFlightrec strict-validates a flight-recorder dump.

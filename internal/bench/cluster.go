@@ -145,6 +145,19 @@ func (p *BackendProc) Restart(ctx context.Context) error {
 	return fmt.Errorf("bench: restart on %s: %w", addr, lastErr)
 }
 
+// Signal delivers sig to the running process (e.g. SIGHUP for a config
+// reload). A nil on a stopped process is not an error worth distinguishing;
+// the caller observes the effect (or its absence) through the API under test.
+func (p *BackendProc) Signal(sig syscall.Signal) error {
+	p.mu.Lock()
+	cmd := p.cmd
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("bench: signal %v: process not running", sig)
+	}
+	return cmd.Process.Signal(sig)
+}
+
 // Stop terminates the process with SIGTERM and falls back to SIGKILL when it
 // does not exit within the grace period.
 func (p *BackendProc) Stop(grace time.Duration) {

@@ -39,6 +39,9 @@ const (
 	FlightCacheMiss                         // cache lookup missed; a fresh solve follows
 	FlightCacheParked                       // single-flight follower parked behind the leader
 	FlightCacheWoken                        // parked follower woken (val: 1 = usable verdict, 0 = solves alone)
+	FlightMemberJoin                        // backend joined or reactivated (name = host:port, val = epoch)
+	FlightMemberDrain                       // backend drained out of the ring (name = host:port, val = epoch)
+	FlightMemberRemove                      // backend removed from the pool (name = host:port, val = epoch)
 )
 
 // String returns the dump-schema name of the kind.
@@ -68,6 +71,12 @@ func (k FlightKind) String() string {
 		return "cache-parked"
 	case FlightCacheWoken:
 		return "cache-woken"
+	case FlightMemberJoin:
+		return "member-join"
+	case FlightMemberDrain:
+		return "member-drain"
+	case FlightMemberRemove:
+		return "member-remove"
 	}
 	return "unknown"
 }

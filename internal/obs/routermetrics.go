@@ -24,6 +24,11 @@ import "sync"
 //	sufrouter_sheds_total{reason}             router-level 503s by cause
 //	sufrouter_probe_failures_total{backend}   failed active health probes
 //	sufrouter_in_flight                       requests currently inside the router
+//	sufrouter_backend_membership{backend}     membership state (0 joining, 1 active, 2 draining, -1 removed)
+//	sufrouter_membership_epoch                monotonic membership epoch (1 at start, +1 per change)
+//	sufrouter_membership_changes_total{verb}  membership operations by verb (join, drain, remove)
+//	sufrouter_membership_keys_moved_total     sampled keys whose home node moved across changes
+//	sufrouter_membership_last_move_ratio      sampled moved-key fraction of the latest change
 type RouterMetrics struct {
 	reg *Registry
 
@@ -35,7 +40,13 @@ type RouterMetrics struct {
 	hedgeWins      *Counter
 	hedgeDenied    *Counter
 
+	memberJoins   *Counter
+	memberDrains  *Counter
+	memberRemoves *Counter
+	keysMoved     *Counter
+
 	mu            sync.Mutex
+	registered    map[string]bool     // backends with per-backend gauges
 	requests      map[string]*Counter // by status
 	sheds         map[string]*Counter // by reason
 	backendReqs   map[string]*Counter // by backend
@@ -52,6 +63,7 @@ func NewRouterMetrics(reg *Registry, inFlight func() float64) *RouterMetrics {
 	}
 	m := &RouterMetrics{
 		reg:           reg,
+		registered:    make(map[string]bool),
 		requests:      make(map[string]*Counter),
 		sheds:         make(map[string]*Counter),
 		backendReqs:   make(map[string]*Counter),
@@ -72,6 +84,14 @@ func NewRouterMetrics(reg *Registry, inFlight func() float64) *RouterMetrics {
 		"Hedge requests that answered before the primary.")
 	m.hedgeDenied = reg.Counter("sufrouter_hedge_denied_total",
 		"Hedges blocked by the hedge budget (self-load-shedding under saturation).")
+	m.memberJoins = reg.Counter("sufrouter_membership_changes_total",
+		"Membership operations by verb (reactivations count as joins).", "verb", "join")
+	m.memberDrains = reg.Counter("sufrouter_membership_changes_total",
+		"Membership operations by verb (reactivations count as joins).", "verb", "drain")
+	m.memberRemoves = reg.Counter("sufrouter_membership_changes_total",
+		"Membership operations by verb (reactivations count as joins).", "verb", "remove")
+	m.keysMoved = reg.Counter("sufrouter_membership_keys_moved_total",
+		"Sampled probe keys whose home backend moved, summed over membership changes.")
 	if inFlight != nil {
 		reg.GaugeFunc("sufrouter_in_flight",
 			"Requests currently inside the router.", inFlight)
@@ -87,16 +107,60 @@ func (m *RouterMetrics) Registry() *Registry {
 	return m.reg
 }
 
-// RegisterBackend registers the per-backend breaker-state gauge, read at
-// scrape time from stateFn (0 closed, 1 half-open, 2 open). Call once per
-// backend at router construction.
-func (m *RouterMetrics) RegisterBackend(name string, stateFn func() float64) {
+// RegisterBackend registers the per-backend gauges, read at scrape time:
+// stateFn is the breaker state (0 closed, 1 half-open, 2 open; -1 once the
+// backend is removed), memberFn the membership state (0 joining, 1 active,
+// 2 draining, -1 removed). The registry cannot unregister, so the closures
+// must resolve the backend by name at scrape time, and re-registering a
+// name (a removed backend re-added) is a deduped no-op — the existing
+// gauges keep reading through the same closures.
+func (m *RouterMetrics) RegisterBackend(name string, stateFn, memberFn func() float64) {
 	if m == nil {
 		return
 	}
+	m.mu.Lock()
+	// The registry is append-only (no unregistration), so cap how many
+	// distinct backend names ever get gauges — the same cardinality bound as
+	// the labeled counters, here enforced by skipping instead of "other".
+	if m.registered[name] || len(m.registered) >= maxLabelChildren {
+		m.mu.Unlock()
+		return
+	}
+	m.registered[name] = true
+	m.mu.Unlock()
 	m.reg.GaugeFunc("sufrouter_backend_state",
-		"Circuit-breaker state per backend: 0 closed, 1 half-open, 2 open.",
+		"Circuit-breaker state per backend: 0 closed, 1 half-open, 2 open, -1 removed.",
 		stateFn, "backend", name)
+	if memberFn != nil {
+		m.reg.GaugeFunc("sufrouter_backend_membership",
+			"Membership state per backend: 0 joining, 1 active, 2 draining, -1 removed.",
+			memberFn, "backend", name)
+	}
+}
+
+// RegisterMembership registers the fleet-wide membership gauges, read at
+// scrape time: the monotonic epoch and the latest change's sampled
+// moved-key ratio.
+func (m *RouterMetrics) RegisterMembership(epochFn, lastMoveFn func() float64) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc("sufrouter_membership_epoch",
+		"Monotonic membership epoch: 1 at construction, +1 per effective change.", epochFn)
+	m.reg.GaugeFunc("sufrouter_membership_last_move_ratio",
+		"Sampled fraction of the keyspace whose home backend moved in the latest membership change.", lastMoveFn)
+}
+
+// ObserveMembership records one effective membership change: verb counts
+// (reactivations count as joins) and the sampled moved-key count.
+func (m *RouterMetrics) ObserveMembership(joins, drains, removes, keysMoved int) {
+	if m == nil {
+		return
+	}
+	m.memberJoins.Add(int64(joins))
+	m.memberDrains.Add(int64(drains))
+	m.memberRemoves.Add(int64(removes))
+	m.keysMoved.Add(int64(keysMoved))
 }
 
 // labeled returns (creating on first use) the counter child of family name

@@ -1,0 +1,139 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// The membership admin API, served under /admin/backends. It is
+// authenticated by bind: the router exposes it on the same listener as
+// /decide, so deployments must bind the router to a trusted network (or
+// front it with an authenticating proxy) — the endpoint itself performs no
+// authentication, exactly like /debug/slowlog and /metrics.
+//
+//	GET  /admin/backends   current epoch + per-member status
+//	PUT  /admin/backends   declarative desired set  {"backends":["url",...]}
+//	POST /admin/backends   one verb                 {"verb":"add|drain|remove","backend":"url"}
+//
+// PUT and POST answer with the MembershipChange summary; validation errors
+// are 400 with one message per bad entry, unknown members are 404, and a
+// draining (shutting down) router answers 503.
+
+// adminDesired is the PUT request body.
+type adminDesired struct {
+	Backends []string `json:"backends"`
+}
+
+// adminVerb is the POST request body.
+type adminVerb struct {
+	Verb    string `json:"verb"`
+	Backend string `json:"backend"`
+}
+
+// adminStatus is the GET response body.
+type adminStatus struct {
+	Epoch          uint64         `json:"epoch"`
+	LastMoveRatio  float64        `json:"last_move_ratio"`
+	Backends       []MemberStatus `json:"backends"`
+	RouterDraining bool           `json:"router_draining,omitempty"`
+}
+
+// maxAdminBody bounds an admin request body; a desired set is small.
+const maxAdminBody = 1 << 20
+
+func adminJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func adminError(w http.ResponseWriter, status int, msg string) {
+	adminJSON(w, status, map[string]string{"error": msg})
+}
+
+// changeStatus maps a membership-change error onto its HTTP status.
+func changeStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownBackend):
+		return http.StatusNotFound
+	case errors.Is(err, errRouterDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (rt *Router) handleAdminBackends(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		adminJSON(w, http.StatusOK, adminStatus{
+			Epoch:          rt.Epoch(),
+			LastMoveRatio:  rt.LastMoveRatio(),
+			Backends:       rt.Members(),
+			RouterDraining: rt.draining.Load(),
+		})
+
+	case http.MethodPut:
+		var req adminDesired
+		if !decodeAdminBody(w, r, &req) {
+			return
+		}
+		ch, err := rt.Reconfigure(req.Backends)
+		if err != nil {
+			adminError(w, changeStatus(err), err.Error())
+			return
+		}
+		adminJSON(w, http.StatusOK, ch)
+
+	case http.MethodPost:
+		var req adminVerb
+		if !decodeAdminBody(w, r, &req) {
+			return
+		}
+		var ch *MembershipChange
+		var err error
+		switch req.Verb {
+		case "add":
+			ch, err = rt.AddBackend(req.Backend)
+		case "drain":
+			ch, err = rt.DrainBackend(req.Backend)
+		case "remove":
+			ch, err = rt.RemoveBackend(req.Backend)
+		default:
+			adminError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown verb %q (want add, drain or remove)", req.Verb))
+			return
+		}
+		if err != nil {
+			adminError(w, changeStatus(err), err.Error())
+			return
+		}
+		adminJSON(w, http.StatusOK, ch)
+
+	default:
+		w.Header().Set("Allow", "GET, PUT, POST")
+		adminError(w, http.StatusMethodNotAllowed, "GET, PUT or POST only")
+	}
+}
+
+// decodeAdminBody reads and decodes a bounded JSON body, answering 400
+// itself on failure.
+func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxAdminBody+1))
+	if err != nil {
+		adminError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return false
+	}
+	if len(body) > maxAdminBody {
+		adminError(w, http.StatusBadRequest, fmt.Sprintf("request body exceeds %d bytes", maxAdminBody))
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		adminError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return false
+	}
+	return true
+}

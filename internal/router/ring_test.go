@@ -85,6 +85,80 @@ func TestRingRebalance(t *testing.T) {
 	}
 }
 
+// TestRingMembershipMoveBound quantifies the rebalance property the
+// membership soak's per-step gate relies on: over a fingerprint-shaped
+// 10k-key corpus and several pool sizes, one backend joining moves at most
+// its fair share (1/(N+1)) of keys plus a vnode-variance allowance — all of
+// them TO the joiner — and one backend leaving moves at most its own share
+// (1/N) plus the same allowance, none of them between survivors.
+func TestRingMembershipMoveBound(t *testing.T) {
+	const keys = 10000
+	// Vnode placement variance at 64 replicas makes a member's true share
+	// wobble around 1/N; 0.08 absolute slack covers the worst observed skew
+	// across these pool sizes with margin, while still failing hard if
+	// rebalancing ever degrades toward full reshuffles (ratio ≈ 1−1/N).
+	const epsilon = 0.08
+
+	corpus := make([]string, keys)
+	for i := range corpus {
+		// Shaped like real fingerprints: fixed-width hex digests.
+		corpus[i] = fmt.Sprintf("%016x%016x",
+			mix64(uint64(i)*0x9e3779b97f4a7c15+7), mix64(uint64(i)+0xabcdef))
+	}
+
+	for _, n := range []int{3, 4, 6, 8} {
+		r := NewRing(64)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("http://backend-%d:8080", i))
+		}
+		before := make([]string, keys)
+		for i, k := range corpus {
+			before[i] = r.Order(k, 1)[0]
+		}
+
+		joiner := fmt.Sprintf("http://backend-%d:8080", n)
+		r.Add(joiner)
+		moved := 0
+		for i, k := range corpus {
+			if now := r.Order(k, 1)[0]; now != before[i] {
+				moved++
+				if now != joiner {
+					t.Fatalf("N=%d: key %d moved %s→%s on join — churn between survivors", n, i, before[i], now)
+				}
+			}
+		}
+		bound := 1.0/float64(n+1) + epsilon
+		if ratio := float64(moved) / keys; ratio > bound {
+			t.Errorf("N=%d join: moved %.4f of keys, bound %.4f (fair share %.4f)",
+				n, ratio, bound, 1.0/float64(n+1))
+		}
+
+		// Leave from the N+1 pool: the leaver's keys scatter to survivors, but
+		// no key owned by a survivor may move.
+		after := make([]string, keys)
+		for i, k := range corpus {
+			after[i] = r.Order(k, 1)[0]
+		}
+		leaver := "http://backend-0:8080"
+		r.Remove(leaver)
+		moved = 0
+		for i, k := range corpus {
+			if now := r.Order(k, 1)[0]; now != after[i] {
+				moved++
+				if after[i] != leaver {
+					t.Fatalf("N=%d: key %d moved %s→%s on leave of %s — churn between survivors",
+						n, i, after[i], now, leaver)
+				}
+			}
+		}
+		bound = 1.0/float64(n+1) + epsilon
+		if ratio := float64(moved) / keys; ratio > bound {
+			t.Errorf("N=%d leave: moved %.4f of keys, bound %.4f (fair share %.4f)",
+				n, ratio, bound, 1.0/float64(n+1))
+		}
+	}
+}
+
 func TestRingSpread(t *testing.T) {
 	r := NewRing(64)
 	counts := map[string]int{}

@@ -17,6 +17,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,13 +141,15 @@ func (c *Config) withDefaults() Config {
 }
 
 // Router routes /decide requests across the backend pool. Create with New,
-// serve via Handler, stop with Shutdown.
+// serve via Handler, stop with Shutdown. Membership is dynamic: the pool
+// lives in a copy-on-write fleetView swapped atomically by Reconfigure and
+// the add/drain/remove verbs (membership.go), so in-flight requests keep a
+// consistent ring+member snapshot while the pool changes under them.
 type Router struct {
-	cfg      Config
-	ring     *Ring
-	backends map[string]*backend
-	metrics  *obs.RouterMetrics
-	slow     *obs.SlowLog
+	cfg     Config
+	view    atomic.Pointer[fleetView]
+	metrics *obs.RouterMetrics
+	slow    *obs.SlowLog
 
 	failoverBudget *Budget
 	hedgeBudget    *Budget
@@ -154,6 +157,15 @@ type Router struct {
 	inFlight atomic.Int64
 	draining atomic.Bool
 
+	// memberMu serializes membership changes (and Shutdown's draining flip,
+	// so no prober starts after the probers have been joined). epoch counts
+	// effective membership changes, starting at 1; lastMoveRatio holds the
+	// float64 bits of the latest change's sampled moved-key ratio.
+	memberMu      sync.Mutex
+	epoch         atomic.Uint64
+	lastMoveRatio atomic.Uint64
+
+	probeCtx    context.Context
 	probeCancel context.CancelFunc
 	probeWG     sync.WaitGroup
 	reqWG       sync.WaitGroup
@@ -161,16 +173,19 @@ type Router struct {
 }
 
 // New builds the router, registers its metrics, and starts the health
-// probers.
+// probers. Configured backends start active; backends added later via the
+// membership API start joining.
 func New(cfg Config) (*Router, error) {
 	c := cfg.withDefaults()
-	if len(c.Backends) == 0 {
+	urls, err := ParseBackendList(c.Backends)
+	if err != nil {
+		return nil, err
+	}
+	if len(urls) == 0 {
 		return nil, errors.New("router: no backends configured")
 	}
 	rt := &Router{
 		cfg:            c,
-		ring:           NewRing(c.Replicas),
-		backends:       make(map[string]*backend, len(c.Backends)),
 		failoverBudget: NewBudget(c.FailoverRatio, c.FailoverBurst),
 		hedgeBudget:    NewBudget(c.HedgeRatio, c.HedgeBurst),
 		slow:           obs.NewSlowLog(c.SlowLogSize),
@@ -178,28 +193,43 @@ func New(cfg Config) (*Router, error) {
 	rt.metrics = obs.NewRouterMetrics(c.Registry, func() float64 {
 		return float64(rt.inFlight.Load())
 	})
-	for _, url := range c.Backends {
-		if _, dup := rt.backends[url]; dup {
-			return nil, fmt.Errorf("router: duplicate backend %q", url)
-		}
-		b := newBackend(url, c.Breaker)
-		rt.backends[url] = b
-		rt.ring.Add(url)
-		br := b.br
-		rt.metrics.RegisterBackend(url, func() float64 { return float64(br.State()) })
+	rt.metrics.RegisterMembership(
+		func() float64 { return float64(rt.epoch.Load()) },
+		rt.LastMoveRatio,
+	)
+	rt.probeCtx, rt.probeCancel = context.WithCancel(context.Background())
+	members := make(map[string]*backend, len(urls))
+	ring := NewRing(c.Replicas)
+	for _, url := range urls {
+		b := newBackend(url, c.Breaker, MemberActive)
+		members[url] = b
+		ring.Add(url)
+		rt.registerBackendMetrics(url)
 	}
-	pctx, cancel := context.WithCancel(context.Background())
-	rt.probeCancel = cancel
-	for _, b := range rt.backends {
-		rt.probeWG.Add(1)
-		go rt.probeLoop(pctx, b)
+	rt.view.Store(&fleetView{ring: ring, members: members})
+	rt.epoch.Store(1)
+	for _, b := range members {
+		rt.startProber(b)
 	}
 	return rt, nil
+}
+
+// startProber launches b's health-probe goroutine under its own cancel
+// (derived from the router-wide probe context) so a removed member's prober
+// can be reaped individually while Shutdown still stops them all. Caller
+// holds memberMu or is New.
+func (rt *Router) startProber(b *backend) {
+	pctx, cancel := context.WithCancel(rt.probeCtx)
+	b.probeCancel = cancel
+	b.probeDone = make(chan struct{})
+	rt.probeWG.Add(1)
+	go rt.probeLoop(pctx, b)
 }
 
 // probeLoop actively probes one backend's /readyz at the configured cadence,
 // jittered ±50%, feeding the breaker's active signal.
 func (rt *Router) probeLoop(ctx context.Context, b *backend) {
+	defer close(b.probeDone)
 	defer rt.probeWG.Done()
 	interval := rt.cfg.HealthInterval
 	for {
@@ -220,6 +250,11 @@ func (rt *Router) probeLoop(ctx context.Context, b *backend) {
 		b.br.ReportProbe(err == nil)
 		if err != nil {
 			rt.metrics.ObserveProbeFailure(b.name)
+		} else if b.activate() {
+			// First healthy probe of a joining member: it is a full peer now.
+			if rt.cfg.Log != nil {
+				rt.cfg.Log.Printf("backend %s joining -> active (probe)", b.name)
+			}
 		}
 	}
 }
@@ -227,7 +262,11 @@ func (rt *Router) probeLoop(ctx context.Context, b *backend) {
 // Shutdown stops accepting work, halts the probers, and waits for in-flight
 // requests (and their loser-attempt reapers) to finish, bounded by ctx.
 func (rt *Router) Shutdown(ctx context.Context) error {
+	// Under memberMu so no membership change (which may start probers) races
+	// the prober join below.
+	rt.memberMu.Lock()
 	rt.draining.Store(true)
+	rt.memberMu.Unlock()
 	rt.probeCancel()
 	rt.probeWG.Wait()
 	done := make(chan struct{})
@@ -238,18 +277,24 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// All in-flight work settled: drop every member's keep-alive pool so
+		// a drained router leaves no conn goroutines behind.
+		for _, b := range rt.view.Load().members {
+			b.closeIdle()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("router: shutdown: %w", ctx.Err())
 	}
 }
 
-// Backends returns the pool member names in ring order.
-func (rt *Router) Backends() []string { return rt.ring.Backends() }
+// Backends returns the names of members currently owning ring keys (the
+// non-draining pool), sorted.
+func (rt *Router) Backends() []string { return rt.view.Load().ring.Backends() }
 
 // BackendState reports a member's breaker state (ok=false for unknown).
 func (rt *Router) BackendState(name string) (BreakerState, bool) {
-	b, ok := rt.backends[name]
+	b, ok := rt.member(name)
 	if !ok {
 		return 0, false
 	}
@@ -264,9 +309,11 @@ func (rt *Router) BackendState(name string) (BreakerState, bool) {
 //	GET  /statusz        human-readable backend table
 //	GET  /metrics        Prometheus exposition (when a Registry is configured)
 //	GET  /debug/slowlog  slow-request exemplars (merged cross-tier timelines)
+//	GET/PUT/POST /admin/backends  membership control plane (admin.go)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decide", rt.handleDecide)
+	mux.HandleFunc("/admin/backends", rt.handleAdminBackends)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n") //nolint:errcheck
@@ -287,28 +334,34 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "draining\n") //nolint:errcheck
 		return
 	}
-	for _, b := range rt.backends {
-		if b.br.State() != BreakerOpen {
+	for _, b := range rt.view.Load().members {
+		if !b.isDraining() && b.br.State() != BreakerOpen {
 			io.WriteString(w, "ok\n") //nolint:errcheck
 			return
 		}
 	}
 	w.WriteHeader(http.StatusServiceUnavailable)
-	io.WriteString(w, "all backends open\n") //nolint:errcheck
+	io.WriteString(w, "all backends open or draining\n") //nolint:errcheck
 }
 
 func (rt *Router) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	v := rt.view.Load()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "sufrouter  backends=%d  in_flight=%d  draining=%v\n",
-		len(rt.backends), rt.inFlight.Load(), rt.draining.Load())
-	fmt.Fprintf(w, "failover budget spent=%d  hedge budget spent=%d\n\n",
-		rt.failoverBudget.Spent(), rt.hedgeBudget.Spent())
-	fmt.Fprintf(w, "%-40s %-10s %-10s %-12s %s\n",
-		"BACKEND", "STATE", "ERR-EWMA", "PROBE-FAILS", "REOPEN-IN")
-	for _, name := range rt.ring.Backends() {
-		b := rt.backends[name]
-		fmt.Fprintf(w, "%-40s %-10s %-10.3f %-12d %s\n",
-			name, b.br.State(), b.br.ErrorRate(),
+	fmt.Fprintf(w, "sufrouter  backends=%d  active=%d  epoch=%d  in_flight=%d  draining=%v\n",
+		len(v.members), v.ring.Len(), rt.epoch.Load(), rt.inFlight.Load(), rt.draining.Load())
+	fmt.Fprintf(w, "failover budget spent=%d  hedge budget spent=%d  last_move_ratio=%.3f\n\n",
+		rt.failoverBudget.Spent(), rt.hedgeBudget.Spent(), rt.LastMoveRatio())
+	fmt.Fprintf(w, "%-40s %-10s %-10s %-10s %-12s %s\n",
+		"BACKEND", "MEMBER", "BREAKER", "ERR-EWMA", "PROBE-FAILS", "REOPEN-IN")
+	names := make([]string, 0, len(v.members))
+	for name := range v.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := v.members[name]
+		fmt.Fprintf(w, "%-40s %-10s %-10s %-10.3f %-12d %s\n",
+			name, b.memberState(), b.br.State(), b.br.ErrorRate(),
 			b.br.ConsecutiveProbeFailures(), b.br.ReopenIn().Round(time.Millisecond))
 	}
 }
@@ -432,8 +485,12 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout+time.Second)
 	defer cancel()
 
-	order := rt.ring.Order(fp, rt.cfg.MaxAttempts)
-	resp, who, retryAfter, reason := rt.route(ctx, &req, order, tr)
+	// One view per request: the ring walk and the member lookups below come
+	// from the same membership snapshot, so a concurrent reconfiguration
+	// never hands this request a ring entry it cannot resolve.
+	v := rt.view.Load()
+	order := v.ring.Order(fp, rt.cfg.MaxAttempts)
+	resp, who, retryAfter, reason := rt.route(ctx, v, &req, order, tr)
 	switch {
 	case resp != nil:
 		tr.end(resp.Status)
@@ -594,7 +651,7 @@ func raOrDefault(d time.Duration) time.Duration {
 // promptly). Returns exactly one of: a response (with the winning backend's
 // name), a shed reason (with the aggregated Retry-After), or neither when
 // ctx expired.
-func (rt *Router) route(ctx context.Context, req *server.Request, order []string, tr *routeTrace) (resp *server.Response, who string, retryAfter time.Duration, reason string) {
+func (rt *Router) route(ctx context.Context, v *fleetView, req *server.Request, order []string, tr *routeTrace) (resp *server.Response, who string, retryAfter time.Duration, reason string) {
 	rt.failoverBudget.Note()
 	rt.hedgeBudget.Note()
 
@@ -602,12 +659,18 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 	sawShed := false
 
 	// nextAllowed walks the preference order past open breakers, collecting
-	// their reopen times into the aggregated Retry-After.
+	// their reopen times into the aggregated Retry-After. The membership
+	// state is read live (not from the view): a backend drained after this
+	// request was admitted must not be chosen as a hedge or failover target,
+	// even though the request's ring snapshot still lists it.
 	idx := 0
 	nextAllowed := func() (*backend, bool, bool) {
 		for idx < len(order) {
-			b := rt.backends[order[idx]]
+			b := v.members[order[idx]]
 			idx++
+			if b == nil || b.isDraining() {
+				continue
+			}
 			if ok, trial := b.br.Allow(); ok {
 				return b, trial, true
 			}
@@ -679,6 +742,9 @@ func (rt *Router) route(ctx context.Context, req *server.Request, order []string
 				r.b.br.ReportSuccess(r.trial)
 				r.b.lat.Observe(r.elapsed)
 				rt.metrics.ObserveAttempt(r.b.name, false)
+				if r.b.activate() && rt.cfg.Log != nil {
+					rt.cfg.Log.Printf("backend %s joining -> active (won a request)", r.b.name)
+				}
 				if r.hedge {
 					rt.metrics.HedgeWin()
 				}

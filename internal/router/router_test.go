@@ -27,6 +27,7 @@ type fakeBackend struct {
 
 	decides  int
 	canceled int // decide handlers whose request context was canceled
+	readies  int // /readyz probes answered
 }
 
 func newFakeBackend(t *testing.T, mode string) *fakeBackend {
@@ -80,6 +81,7 @@ func newFakeBackend(t *testing.T, mode string) *fakeBackend {
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
 		f.mu.Lock()
 		ready := f.ready
+		f.readies++
 		f.mu.Unlock()
 		if !ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -110,6 +112,12 @@ func (f *fakeBackend) counts() (decides, canceled int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.decides, f.canceled
+}
+
+func (f *fakeBackend) readyCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readies
 }
 
 // newTestRouter builds a router over the fakes with probing effectively off
@@ -215,7 +223,7 @@ func TestRouterFailoverOnBackendError(t *testing.T) {
 	a, b := newFakeBackend(t, "ok"), newFakeBackend(t, "ok")
 	rt, srv, byURL := newTestRouter(t, Config{HedgeDelay: -1}, a, b)
 
-	order := rt.ring.Order(mustFingerprint(t), 3)
+	order := rt.view.Load().ring.Order(mustFingerprint(t), 3)
 	byURL[order[0]].set("error", 0) // the home node cuts every connection
 
 	resp, hresp := postDecide(t, srv.URL, &server.Request{Formula: testFormula})
@@ -247,7 +255,7 @@ func TestRouterAllBackendsOpen(t *testing.T) {
 
 	for _, name := range rt.Backends() {
 		for i := 0; i < 3; i++ {
-			rt.backends[name].br.ReportProbe(false)
+			rt.view.Load().members[name].br.ReportProbe(false)
 		}
 		if st, _ := rt.BackendState(name); st != BreakerOpen {
 			t.Fatalf("backend %s state %v after 3 probe failures", name, st)
@@ -294,7 +302,7 @@ func TestRouterHedgePrimaryWins(t *testing.T) {
 	a, b := newFakeBackend(t, "ok"), newFakeBackend(t, "ok")
 	rt, srv, byURL := newTestRouter(t, Config{HedgeDelay: 20 * time.Millisecond}, a, b)
 
-	order := rt.ring.Order(mustFingerprint(t), 3)
+	order := rt.view.Load().ring.Order(mustFingerprint(t), 3)
 	byURL[order[0]].set("ok", 150*time.Millisecond) // slow but answers
 	byURL[order[1]].set("hang", 0)                  // the hedge target never answers
 
@@ -323,7 +331,7 @@ func TestRouterHedgeWins(t *testing.T) {
 	a, b := newFakeBackend(t, "ok"), newFakeBackend(t, "ok")
 	rt, srv, byURL := newTestRouter(t, Config{HedgeDelay: 20 * time.Millisecond}, a, b)
 
-	order := rt.ring.Order(mustFingerprint(t), 3)
+	order := rt.view.Load().ring.Order(mustFingerprint(t), 3)
 	byURL[order[0]].set("hang", 0)
 	byURL[order[1]].set("ok", 0)
 

@@ -90,7 +90,7 @@ func TestRouterTraceMerge(t *testing.T) {
 	})
 	// Kill whichever backend the ring picks as the formula's home node, so
 	// the request must fail over to the other.
-	order := rt.ring.Order(mustFingerprint(t), 2)
+	order := rt.view.Load().ring.Order(mustFingerprint(t), 2)
 	dead, healthy := b1, b2
 	if order[0] == b2.srv.URL {
 		dead, healthy = b2, b1
