@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate fleet-trace-smoke affinity-bench membership-soak membership-bench
+.PHONY: ci vet build test race bench bench-smoke trace-smoke serve-smoke metrics-smoke soak router-smoke chaos-soak chaos-bench cache-gate fleet-trace-smoke affinity-bench membership-soak membership-bench slo-smoke slo-bench
 
 # ci is the full verification gate: static analysis, build, the whole test
 # suite, a race-detector pass over the concurrency-bearing packages (the
@@ -22,8 +22,11 @@ GO ?= go
 # strict-validated by tracecheck -fleet), and the membership soak (every
 # backend of a live fleet rolled through drain -> SIGKILL -> restart -> rejoin
 # plus a cold join mid-load, gated on zero mismatches, 99%+ availability, the
-# predicted epoch, ~1/N key movement per step and zero leaked goroutines).
-ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate fleet-trace-smoke membership-soak
+# predicted epoch, ~1/N key movement per step and zero leaked goroutines),
+# and the SLO smoke (flood a 1-worker sufserved until the latency objective
+# burns, assert the state transition in /metrics + the flight recorder and
+# exactly one rate-limited profile capture validated by tracecheck -profiles).
+ci: vet build test race bench-smoke trace-smoke serve-smoke metrics-smoke router-smoke chaos-soak cache-gate fleet-trace-smoke membership-soak slo-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +39,7 @@ test:
 
 race:
 	$(GO) test -race -short ./internal/core ./internal/sat ./internal/obs \
+		./internal/obs/history ./internal/obs/slo \
 		./internal/server ./internal/server/client ./internal/router \
 		./internal/tsys
 
@@ -162,6 +166,23 @@ membership-soak:
 membership-bench:
 	$(GO) run ./cmd/sufbench -membership -clients 10 -requests 250 -soak-timeout 8s \
 		-out BENCH_PR9.json
+
+# slo-smoke is the SLO/profiling gate: a real sufserved with second-scale
+# SLO windows and a 10ms latency threshold is flooded with slow requests
+# until the latency-p95 objective burns. The burning gauge, transition
+# counter, /statusz SLO block, /debug/history window, flight-recorder
+# slo-burn event and exactly one rate-limited cpu+heap profile capture
+# (strict-validated by tracecheck -profiles) are all asserted.
+slo-smoke:
+	$(GO) test -run TestSLOSmoke ./internal/server
+
+# slo-bench regenerates the SLO/observability-overhead artifact at the repo
+# root (BENCH_PR10.json): the history+SLO+trigger pipeline's per-request
+# overhead measured against the PR 5 instrumentation-cost gate (<=2% of the
+# soak p50), plus the time-to-detect for an injected latency regression.
+# Schema documented in EXPERIMENTS.md.
+slo-bench:
+	$(GO) run ./cmd/sufbench -slo -out BENCH_PR10.json
 
 # chaos-bench regenerates the fleet tail-latency artifact at the repo root:
 # the same scripted chaos soaked twice, hedging on then off, gated on the

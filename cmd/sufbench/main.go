@@ -19,6 +19,8 @@
 //	         [-soak-timeout 6s] [-cache-mix 0.5]
 //	sufbench -membership [-out BENCH_PR9.json] [-clients N] [-requests N]
 //	         [-soak-timeout 8s] [-cache-mix 0.5]
+//	sufbench -slo [-out BENCH_PR10.json] [-clients N] [-requests N]
+//	         [-soak-timeout 20s]
 //
 // Each benchmark is encoded once (the full Decide pipeline up to the SAT
 // stage); the resulting CNF is then solved twice from a cold start, so the
@@ -62,6 +64,17 @@
 // availability below 99%, an unexpected epoch, or a step moving more than its
 // 1/N fair share plus slack fails the run.
 //
+// -slo switches to the SLO/observability benchmark (BENCH_PR10.json): a soak
+// against an in-process server with the metrics-history ring and the SLO
+// burn-rate engine live on a 1s snapshot cadence, the amortized cost of the
+// whole observability stack (per-request instrumentation plus the
+// per-snapshot history+SLO cycle spread over the soak's request rate) gated
+// at ≤2% of the soak's server-side p50 latency, and the time-to-detect for
+// an injected latency regression — a flood of slow real solves against
+// second-scale SLO windows, clocked from first slow request to the engine
+// reporting the latency objective burning (the burn must also fire the
+// trigger chain into a profile capture).
+//
 // -soak switches to service load testing: concurrent retrying clients hammer
 // a sufserved instance (-url, or an in-process server on an ephemeral port
 // when -url is empty) with the Sample16 workload plus invalid variants,
@@ -97,6 +110,7 @@ func main() {
 	cacheBench := flag.Bool("cache", false, "run the cache/incrementality benchmark (repeat-decide, cache-mix soak, BMC stream)")
 	affinity := flag.Bool("affinity", false, "run the cross-node cache-affinity benchmark (chaos soak + per-backend cache scrape + trace-overhead gate)")
 	membership := flag.Bool("membership", false, "run the dynamic-membership benchmark (rolling-upgrade soak + cold join + key-movement record)")
+	sloBench := flag.Bool("slo", false, "run the SLO/observability benchmark (history+SLO overhead gate + time-to-detect)")
 	cacheMix := flag.Float64("cache-mix", 0, "soak: fraction of requests issued as alpha-renamed spellings (0 disables)")
 	soakURL := flag.String("url", "", "soak: sufserved base URL (empty = start an in-process server)")
 	soakClients := flag.Int("clients", 8, "soak: concurrent clients")
@@ -134,6 +148,13 @@ func main() {
 			*out = "BENCH_PR9.json"
 		}
 		runMembershipBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout, *cacheMix)
+		return
+	}
+	if *sloBench {
+		if *out == "BENCH_PR3.json" {
+			*out = "BENCH_PR10.json"
+		}
+		runSLOBench(ctx, *out, *soakClients, *soakRequests, *soakTimeout)
 		return
 	}
 	if *soak {
@@ -509,6 +530,108 @@ func runCacheBench(ctx context.Context, out string, clients, requests int, timeo
 	}
 	if rep.BMCStream.Speedup < 1.5 {
 		fail("BMC-stream speedup x%.2f < x1.5", rep.BMCStream.Speedup)
+	}
+}
+
+// runSLOBench drives the SLO/observability benchmark and writes
+// BENCH_PR10.json. Phase 1 soaks an in-process server with the history ring
+// and SLO engine live on a 1s cadence, then gates the amortized cost of the
+// whole observability stack — the per-request instrumentation path plus the
+// per-snapshot history+SLO cycle spread over the soak's request rate — at
+// ≤2% of the soak's server-side p50 latency. Phase 2 measures time-to-detect
+// for an injected latency regression; the burn must also fire the trigger
+// chain into a profile capture. A mismatch, a blown gate, or a burn that
+// never fires fails the run.
+func runSLOBench(ctx context.Context, out string, clients, requests int, timeout time.Duration) {
+	const histInterval = time.Second
+
+	srv := server.New(server.Config{
+		Log:             os.Stderr,
+		NoCache:         true,
+		Metrics:         obs.NewRegistry(),
+		Flight:          obs.NewFlightRecorder(obs.DefaultFlightSize),
+		HistoryInterval: histInterval,
+	})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	url := "http://" + addr
+	fmt.Fprintf(os.Stderr, "sufbench: in-process sufserved on %s (history+SLO on, %s cadence)\n",
+		url, histInterval)
+
+	rep := &bench.PR10Report{}
+	rep.Soak, err = bench.RunSoak(ctx, bench.SoakConfig{
+		URL:       url,
+		Clients:   clients,
+		Requests:  requests,
+		TimeoutMS: timeout.Milliseconds(),
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	rep.Soak.Metrics, err = bench.ScrapeSoakMetrics(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench: drain:", err)
+		os.Exit(1)
+	}
+
+	instrUS := bench.MeasureInstrumentation()
+	snapUS := bench.MeasureSLOPipeline()
+	ov, overheadOK := bench.CheckSLOOverhead(instrUS, snapUS, histInterval,
+		rep.Soak.ThroughputRPS, rep.Soak.Metrics.RequestP50MS)
+	rep.Overhead = &ov
+	fmt.Fprintf(os.Stderr,
+		"sufbench: observability overhead %.1fµs/request (%.1fµs instr + %.1fµs amortized from %.0fµs/snapshot at %.1f rps) = %.3f%% of p50 (limit 2%%)\n",
+		ov.TotalUSPerRequest, ov.InstrUSPerRequest, ov.AmortizedUSPerRequest,
+		ov.SnapEvalUSPerSnapshot, ov.SoakRPS, 100*ov.Fraction)
+
+	fmt.Fprintln(os.Stderr, "sufbench: injecting latency regression for time-to-detect")
+	rep.Detect, err = bench.RunSLODetect(ctx, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"sufbench: latency-p95 burn detected in %.0fms (%.1f snapshot intervals), profile captured=%v\n",
+		rep.Detect.DetectMS, rep.Detect.DetectIntervals, rep.Detect.ProfileCaptured)
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sufbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "sufbench:", err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "sufbench: slo FAILED: "+format+"\n", a...)
+		os.Exit(1)
+	}
+	if rep.Soak.Mismatches > 0 || rep.Soak.TransportErrors > 0 {
+		fail("%d mismatches, %d transport errors", rep.Soak.Mismatches, rep.Soak.TransportErrors)
+	}
+	if !overheadOK {
+		fail("observability overhead %.3f%% exceeds 2%% of p50", 100*ov.Fraction)
+	}
+	if !rep.Detect.ProfileCaptured {
+		fail("the burn transition never fired a profile capture")
 	}
 }
 

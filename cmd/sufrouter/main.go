@@ -15,6 +15,10 @@
 //	          [-failover-ratio 0.2] [-failover-burst 10]
 //	          [-default-deadline 10s] [-max-deadline 60s]
 //	          [-drain-timeout 30s] [-slowlog N] [-no-metrics] [-quiet]
+//	          [-no-history] [-history-interval 5s] [-history-slots 768]
+//	          [-slo-fast 5m] [-slo-slow 1h] [-slo-latency-p95 1s]
+//	          [-slo-latency-p99 4s] [-profile-dir DIR] [-profile-cpu 1s]
+//	          [-profile-gap 60s] [-profile-slow-ms MS]
 //
 // Endpoints: POST /decide (the same request/response JSON as sufserved —
 // clients need no changes to talk to the fleet), GET /healthz, GET /readyz
@@ -116,6 +120,17 @@ func main() {
 	slowlogK := flag.Int("slowlog", 0, "slow-request exemplars kept for /debug/slowlog (0 = default 32)")
 	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint")
 	quiet := flag.Bool("quiet", false, "suppress lifecycle and failover logging")
+	noHistory := flag.Bool("no-history", false, "disable the metrics history ring, SLO engine and trigger-fired profiling")
+	historyInterval := flag.Duration("history-interval", 0, "metrics history snapshot cadence (0 = 5s)")
+	historySlots := flag.Int("history-slots", 0, "metrics history ring slots (0 = 768)")
+	sloFast := flag.Duration("slo-fast", 0, "SLO fast burn-rate window (0 = 5m)")
+	sloSlow := flag.Duration("slo-slow", 0, "SLO slow burn-rate window (0 = 1h)")
+	sloP95 := flag.Duration("slo-latency-p95", 0, "latency-p95 SLO threshold (0 = 1s)")
+	sloP99 := flag.Duration("slo-latency-p99", 0, "latency-p99 SLO threshold (0 = 4s)")
+	profileDir := flag.String("profile-dir", "", "also spill trigger-fired pprof captures to this directory")
+	profileCPU := flag.Duration("profile-cpu", 0, "CPU profile duration per trigger-fired capture (0 = 1s)")
+	profileGap := flag.Duration("profile-gap", 0, "minimum gap between trigger-fired captures (0 = 60s)")
+	profileSlowMS := flag.Float64("profile-slow-ms", 0, "capture a profile when a slowlog admission exceeds this many ms (0 = off)")
 	flag.Parse()
 
 	var urls []string
@@ -162,6 +177,18 @@ func main() {
 		MaxTimeout:      *maxDeadline,
 		MaxRequestBytes: *maxBody,
 		SlowLogSize:     *slowlogK,
+
+		NoHistory:          *noHistory,
+		HistoryInterval:    *historyInterval,
+		HistorySlots:       *historySlots,
+		SLOFastWindow:      *sloFast,
+		SLOSlowWindow:      *sloSlow,
+		SLOLatencyP95:      *sloP95,
+		SLOLatencyP99:      *sloP99,
+		ProfileDir:         *profileDir,
+		ProfileCPUDuration: *profileCPU,
+		ProfileMinGap:      *profileGap,
+		ProfileSlowMS:      *profileSlowMS,
 	}
 	if !*noMetrics {
 		cfg.Registry = obs.NewRegistry()

@@ -14,6 +14,10 @@
 //	          [-trust-fingerprint] [-max-batch N]
 //	          [-drain-timeout 30s] [-debug-addr ADDR] [-slowlog N]
 //	          [-no-metrics] [-flightrec-out FILE] [-quiet]
+//	          [-no-history] [-history-interval 5s] [-history-slots 768]
+//	          [-slo-fast 5m] [-slo-slow 1h] [-slo-latency-p95 500ms]
+//	          [-slo-latency-p99 2s] [-profile-dir DIR] [-profile-cpu 1s]
+//	          [-profile-gap 60s] [-profile-slow-ms MS]
 //
 // Endpoints: POST /decide (request/response JSON documented in
 // docs/FORMATS.md), POST /v1/decide/batch (up to -max-batch requests in one
@@ -105,6 +109,17 @@ func main() {
 	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics endpoint and the aggregation behind it")
 	flightOut := flag.String("flightrec-out", "", "write the SIGQUIT flight-recorder dump to this file (default stderr)")
 	quiet := flag.Bool("quiet", false, "suppress lifecycle and request logging")
+	noHistory := flag.Bool("no-history", false, "disable the metrics history ring, SLO engine and trigger-fired profiling")
+	historyInterval := flag.Duration("history-interval", 0, "metrics history snapshot cadence (0 = 5s)")
+	historySlots := flag.Int("history-slots", 0, "metrics history ring slots (0 = 768)")
+	sloFast := flag.Duration("slo-fast", 0, "SLO fast burn-rate window (0 = 5m)")
+	sloSlow := flag.Duration("slo-slow", 0, "SLO slow burn-rate window (0 = 1h)")
+	sloP95 := flag.Duration("slo-latency-p95", 0, "latency-p95 SLO threshold (0 = 500ms)")
+	sloP99 := flag.Duration("slo-latency-p99", 0, "latency-p99 SLO threshold (0 = 2s)")
+	profileDir := flag.String("profile-dir", "", "also spill trigger-fired pprof captures to this directory")
+	profileCPU := flag.Duration("profile-cpu", 0, "CPU profile duration per trigger-fired capture (0 = 1s)")
+	profileGap := flag.Duration("profile-gap", 0, "minimum gap between trigger-fired captures (0 = 60s)")
+	profileSlowMS := flag.Float64("profile-slow-ms", 0, "capture a profile when a slowlog admission exceeds this many ms (0 = off)")
 	flag.Parse()
 
 	if *solverWorkers <= 0 {
@@ -130,6 +145,18 @@ func main() {
 		TrustFingerprint: *trustFP,
 		MaxBatch:         *maxBatch,
 		SlowLogSize:      *slowlogK,
+
+		NoHistory:          *noHistory,
+		HistoryInterval:    *historyInterval,
+		HistorySlots:       *historySlots,
+		SLOFastWindow:      *sloFast,
+		SLOSlowWindow:      *sloSlow,
+		SLOLatencyP95:      *sloP95,
+		SLOLatencyP99:      *sloP99,
+		ProfileDir:         *profileDir,
+		ProfileCPUDuration: *profileCPU,
+		ProfileMinGap:      *profileGap,
+		ProfileSlowMS:      *profileSlowMS,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"sufsat/internal/obs"
+	"sufsat/internal/obs/history"
 )
 
 // scrapeMetrics fetches and strict-parses one /metrics exposition.
@@ -67,10 +68,17 @@ func scrapeMetrics(hc *http.Client, url string) (*obs.PromScrape, error) {
 // bucketDelta subtracts the previous scrape's cumulative buckets from the
 // current ones, producing the windowed bucket series HistQuantile wants.
 // With no previous scrape it returns the current buckets unchanged.
-func bucketDelta(cur, prev *obs.PromScrape, family string) []obs.PromSample {
+//
+// Cumulative bucket counters are monotonic within one process lifetime; a
+// negative delta means the scrape pair straddles a backend restart (the
+// counters reset to zero under us). The window is meaningless then — reported
+// ok=false so the caller renders "-" for one tick instead of quantiles
+// computed from a garbage window, matching how the fleet table treats an
+// unreadable backend.
+func bucketDelta(cur, prev *obs.PromScrape, family string) ([]obs.PromSample, bool) {
 	f := cur.Family(family)
 	if f == nil {
-		return nil
+		return nil, true
 	}
 	var out []obs.PromSample
 	for _, s := range f.Samples {
@@ -83,12 +91,24 @@ func bucketDelta(cur, prev *obs.PromScrape, family string) []obs.PromSample {
 				v -= pv
 			}
 		}
+		if v < 0 {
+			return nil, false
+		}
 		out = append(out, obs.PromSample{Name: s.Name, Labels: s.Labels, Value: v})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return leValue(out[i].Label("le")) < leValue(out[j].Label("le"))
 	})
-	return out
+	return out, true
+}
+
+// quantCell renders one windowed-quantile cell: "-" across a counter reset,
+// the estimated quantile otherwise.
+func quantCell(ok bool, q float64, buckets []obs.PromSample) string {
+	if !ok {
+		return "-"
+	}
+	return fmtSecs(obs.HistQuantile(q, buckets))
 }
 
 func leValue(s string) float64 {
@@ -135,11 +155,11 @@ func frame(w io.Writer, cur, prev *obs.PromScrape, interval time.Duration) {
 	fmt.Fprintf(w, "qps %.1f   admitted/s %.1f   shed/s %.1f (%.1f%%)   queue %d   in-flight %d\n",
 		completed/secs, admitted/secs, shed/secs, shedRate, int(queueDepth), int(inFlight))
 
-	buckets := bucketDelta(cur, prev, "sufsat_request_duration_seconds")
+	buckets, bucketsOK := bucketDelta(cur, prev, "sufsat_request_duration_seconds")
 	fmt.Fprintf(w, "latency  p50 %s   p95 %s   p99 %s\n",
-		fmtSecs(obs.HistQuantile(0.50, buckets)),
-		fmtSecs(obs.HistQuantile(0.95, buckets)),
-		fmtSecs(obs.HistQuantile(0.99, buckets)))
+		quantCell(bucketsOK, 0.50, buckets),
+		quantCell(bucketsOK, 0.95, buckets),
+		quantCell(bucketsOK, 0.99, buckets))
 
 	// Per-phase share of decision time: the request envelope span dominates
 	// every other span by construction, so it is excluded from the share.
@@ -287,11 +307,11 @@ func fleetFrame(w io.Writer, cur, prev *obs.PromScrape, backends map[string]*obs
 	fmt.Fprintf(w, "router  qps %.1f   shed/s %.1f   failover/s %.1f   hedge/s %.1f (wins %.1f)   in-flight %d%s\n",
 		routed/secs, shed/secs, failovers/secs, hedges/secs, hedgeWins/secs, int(inFlight), epochCell)
 
-	buckets := bucketDelta(cur, prev, "sufrouter_request_duration_seconds")
+	buckets, bucketsOK := bucketDelta(cur, prev, "sufrouter_request_duration_seconds")
 	fmt.Fprintf(w, "latency  p50 %s   p95 %s   p99 %s\n\n",
-		fmtSecs(obs.HistQuantile(0.50, buckets)),
-		fmtSecs(obs.HistQuantile(0.95, buckets)),
-		fmtSecs(obs.HistQuantile(0.99, buckets)))
+		quantCell(bucketsOK, 0.50, buckets),
+		quantCell(bucketsOK, 0.95, buckets),
+		quantCell(bucketsOK, 0.99, buckets))
 
 	fmt.Fprintf(w, "%-40s %-9s %-10s %8s %8s %8s %7s %9s %7s %6s\n",
 		"BACKEND", "MEMBER", "BREAKER", "ATT/S", "FAIL/S", "PROBE-F", "QPS", "IN-FLIGHT", "QUEUE", "HIT%")
@@ -339,6 +359,108 @@ func hitPercent(bs *obs.PromScrape) string {
 		return fmt.Sprintf("%.0f", 100*hits/(hits+misses))
 	}
 	return "0"
+}
+
+// sparkRunes are the eight block-element levels a sparkline cell can take.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a series as unicode block elements scaled to its own
+// max ("" for an empty or all-zero series).
+func sparkline(points []history.Point) string {
+	max := 0.0
+	for _, p := range points {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if max <= 0 || len(points) == 0 {
+		return ""
+	}
+	out := make([]rune, 0, len(points))
+	for _, p := range points {
+		i := int(p.V / max * float64(len(sparkRunes)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkRunes) {
+			i = len(sparkRunes) - 1
+		}
+		out = append(out, sparkRunes[i])
+	}
+	return string(out)
+}
+
+// alertsPanel renders the SLO burn-rate table: one row per objective with
+// its state (from the <prefix>_slo_burning gauge in the current scrape),
+// current fast/slow burn rates, and a sparkline of the fast burn rate's
+// recent history fetched from /debug/history. The panel is skipped silently
+// when the target exports no SLO families (older build, -no-history) or the
+// history endpoint is absent.
+func alertsPanel(w io.Writer, hc *http.Client, base string, cur *obs.PromScrape) {
+	// Both tiers export the same shape under their own prefix; find it by
+	// suffix so one dashboard handles sufserved and sufrouter alike.
+	prefix := ""
+	for _, f := range cur.Families {
+		if strings.HasSuffix(f.Name, "_slo_burning") {
+			prefix = strings.TrimSuffix(f.Name, "_slo_burning")
+			break
+		}
+	}
+	if prefix == "" {
+		return
+	}
+	burning := cur.Family(prefix + "_slo_burning")
+
+	// The burn-rate history drives the sparklines; losing it degrades the
+	// panel to current values only.
+	sparks := map[string]string{}
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/debug/history?family=" + prefix + "_slo_burn_rate&window=10m")
+	if err == nil {
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				return
+			}
+			var dump history.Dump
+			if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+				return
+			}
+			for _, fam := range dump.Families {
+				for _, ch := range fam.Children {
+					if !strings.Contains(ch.Labels, `window="fast"`) {
+						continue
+					}
+					sparks[labelValue(ch.Labels, "slo")] = sparkline(ch.Points)
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(w, "\nalerts  %-16s %-9s %9s %9s  %s\n", "SLO", "STATE", "FAST", "SLOW", "BURN (fast)")
+	for _, s := range burning.Samples {
+		name := s.Label("slo")
+		state := "ok"
+		if s.Value > 0 {
+			state = "BURNING"
+		}
+		fast, _ := cur.Value(prefix+"_slo_burn_rate", "slo", name, "window", "fast")
+		slow, _ := cur.Value(prefix+"_slo_burn_rate", "slo", name, "window", "slow")
+		fmt.Fprintf(w, "        %-16s %-9s %9.3f %9.3f  %s\n", name, state, fast, slow, sparks[name])
+	}
+}
+
+// labelValue extracts one label's value from a rendered {k="v",...} suffix.
+func labelValue(labels, key string) string {
+	i := strings.Index(labels, key+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(key)+2:]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return ""
 }
 
 // slowlogPanel fetches the target's /debug/slowlog dump and renders its top
@@ -454,6 +576,7 @@ func main() {
 		} else {
 			frame(os.Stdout, cur, nil, 0)
 		}
+		alertsPanel(os.Stdout, hc, base, cur)
 		slowlogPanel(os.Stdout, hc, base, 5)
 		return
 	}
@@ -478,6 +601,7 @@ func main() {
 		} else {
 			frame(os.Stdout, cur, prev, *interval)
 		}
+		alertsPanel(os.Stdout, hc, base, cur)
 		slowlogPanel(os.Stdout, hc, base, 5)
 		prev = cur
 		frames++

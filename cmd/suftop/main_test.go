@@ -1,10 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"sufsat/internal/obs"
+	"sufsat/internal/obs/history"
 )
 
 func scrapeOf(t *testing.T, text string) *obs.PromScrape {
@@ -103,5 +105,92 @@ sufrouter_backend_state{backend="http://a:1"} 0
 	}
 	if got := memberStateName(legacy, "http://a:1"); got != "-" {
 		t.Errorf("memberStateName (no membership family) = %q, want \"-\"", got)
+	}
+}
+
+// TestBucketDeltaCounterReset pins the windowed-quantile cell across a
+// backend restart: cumulative bucket counters reset to zero, so a scrape
+// pair straddling the restart yields negative deltas. The old renderer fed
+// those to HistQuantile and silently printed 0s; the window must instead be
+// reported invalid (ok=false) and the cells render "-" for that tick.
+func TestBucketDeltaCounterReset(t *testing.T) {
+	hist := `# TYPE sufsat_request_duration_seconds histogram
+sufsat_request_duration_seconds_bucket{le="0.1"} %d
+sufsat_request_duration_seconds_bucket{le="1"} %d
+sufsat_request_duration_seconds_bucket{le="+Inf"} %d
+sufsat_request_duration_seconds_sum %d
+sufsat_request_duration_seconds_count %d
+`
+	scrapeAt := func(a, b, c int) *obs.PromScrape {
+		return scrapeOf(t, fmt.Sprintf(hist, a, b, c, c, c))
+	}
+
+	// Healthy pair: strictly growing counters, valid window.
+	prev, cur := scrapeAt(10, 20, 30), scrapeAt(15, 30, 45)
+	buckets, ok := bucketDelta(cur, prev, "sufsat_request_duration_seconds")
+	if !ok {
+		t.Fatal("monotone pair reported as counter reset")
+	}
+	if len(buckets) != 3 || buckets[0].Value != 5 || buckets[1].Value != 10 || buckets[2].Value != 15 {
+		t.Fatalf("windowed buckets = %v, want deltas 5/10/15", buckets)
+	}
+	if cell := quantCell(ok, 0.5, buckets); cell == "-" {
+		t.Fatalf("valid window rendered %q", cell)
+	}
+
+	// Restart pair: the backend came back with fresh (smaller) counters.
+	restarted := scrapeAt(2, 4, 6)
+	if _, ok := bucketDelta(restarted, prev, "sufsat_request_duration_seconds"); ok {
+		t.Fatal("counter reset not detected (cur < prev)")
+	}
+	if cell := quantCell(false, 0.95, nil); cell != "-" {
+		t.Fatalf("reset window cell = %q, want \"-\"", cell)
+	}
+
+	// First scrape (no prev): cumulative view, still valid.
+	if _, ok := bucketDelta(cur, nil, "sufsat_request_duration_seconds"); !ok {
+		t.Fatal("cumulative view (nil prev) reported as reset")
+	}
+
+	// Absent family: nil buckets but not a reset.
+	empty := scrapeOf(t, "# TYPE sufsat_completed_total counter\nsufsat_completed_total 1\n")
+	if b, ok := bucketDelta(empty, prev, "sufsat_request_duration_seconds"); !ok || b != nil {
+		t.Fatalf("absent family = (%v, %v), want (nil, true)", b, ok)
+	}
+}
+
+// TestSparkline pins the sparkline scaling: per-series max, eight levels,
+// empty/all-zero series render empty.
+func TestSparkline(t *testing.T) {
+	pts := func(vs ...float64) []history.Point {
+		out := make([]history.Point, len(vs))
+		for i, v := range vs {
+			out[i] = history.Point{V: v}
+		}
+		return out
+	}
+	if got := sparkline(nil); got != "" {
+		t.Errorf("sparkline(nil) = %q", got)
+	}
+	if got := sparkline(pts(0, 0, 0)); got != "" {
+		t.Errorf("all-zero sparkline = %q", got)
+	}
+	got := sparkline(pts(0, 1, 2, 4))
+	if want := "▁▂▄█"; got != want {
+		t.Errorf("sparkline = %q, want %q", got, want)
+	}
+}
+
+// TestLabelValue pins the rendered-label extractor the alerts panel uses.
+func TestLabelValue(t *testing.T) {
+	labels := `{slo="latency-p95",window="fast"}`
+	if got := labelValue(labels, "slo"); got != "latency-p95" {
+		t.Errorf("labelValue(slo) = %q", got)
+	}
+	if got := labelValue(labels, "window"); got != "fast" {
+		t.Errorf("labelValue(window) = %q", got)
+	}
+	if got := labelValue(labels, "absent"); got != "" {
+		t.Errorf("labelValue(absent) = %q", got)
 	}
 }

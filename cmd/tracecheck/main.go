@@ -9,6 +9,14 @@
 //
 //	tracecheck [-trace t.json] [-stats s.json] [-want-spans funcelim,analyze,...]
 //	           [-metrics m.txt] [-flightrec f.json] [-fleet ft.json]
+//	           [-profiles DIR]
+//
+// -profiles strict-validates a trigger-fired profile capture directory (the
+// -profile-dir of a sufserved/sufrouter run plus the /debug/profiles index
+// saved as profiles.json): the index must decode with no unknown fields,
+// every error-free capture's <id>-<kind>.pb.gz spill must be a parseable
+// gzipped pprof protobuf (wire-format walked, sample_type required), and at
+// least one complete cpu+heap pair must exist.
 //
 // -fleet strict-validates a merged cross-tier trace (the
 // obs.WriteFleetChromeTrace output): a valid trace ID, unique span IDs,
@@ -32,10 +40,15 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -214,6 +227,7 @@ var flightKinds = map[string]bool{
 	"shed": true, "degrade": true, "panic": true, "malformed": true,
 	"cache-hit": true, "cache-miss": true, "cache-parked": true, "cache-woken": true,
 	"member-join": true, "member-drain": true, "member-remove": true,
+	"slo-burn": true, "slo-clear": true, "profile": true,
 }
 
 // checkFlightrec strict-validates a flight-recorder dump.
@@ -257,6 +271,134 @@ func checkFlightrec(path string) {
 		path, len(dump.Events), dump.Cap, dump.Overwritten)
 }
 
+// validatePprof checks that data is a gzipped pprof protobuf: it gunzips,
+// then walks the top-level protobuf fields of the Profile message checking
+// wire-format consistency end to end and requiring at least one sample_type
+// entry (field 1, the ValueType list every CPU and heap profile carries).
+// No protobuf library — the walk reads tag varints and skips payloads by
+// wire type, which is enough to reject truncated or non-pprof bytes.
+func validatePprof(data []byte) error {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return fmt.Errorf("gunzip: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		return fmt.Errorf("gzip checksum: %v", err)
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("empty profile")
+	}
+	sawSampleType := false
+	for i := 0; i < len(raw); {
+		key, n := binary.Uvarint(raw[i:])
+		if n <= 0 {
+			return fmt.Errorf("bad field tag at offset %d", i)
+		}
+		i += n
+		field, wire := key>>3, key&7
+		switch wire {
+		case 0: // varint
+			_, n := binary.Uvarint(raw[i:])
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", field)
+			}
+			i += n
+		case 1: // fixed64
+			i += 8
+		case 2: // length-delimited
+			l, n := binary.Uvarint(raw[i:])
+			if n <= 0 || i+n+int(l) > len(raw) {
+				return fmt.Errorf("truncated length-delimited field %d", field)
+			}
+			i += n + int(l)
+			if field == 1 {
+				sawSampleType = true
+			}
+		case 5: // fixed32
+			i += 4
+		default:
+			return fmt.Errorf("field %d has invalid wire type %d", field, wire)
+		}
+		if i > len(raw) {
+			return fmt.Errorf("field %d overruns the message", field)
+		}
+	}
+	if !sawSampleType {
+		return fmt.Errorf("no sample_type entries (field 1) — not a pprof profile")
+	}
+	return nil
+}
+
+// checkProfiles strict-validates a trigger-fired profile capture directory:
+// <dir>/profiles.json must strict-decode as the /debug/profiles index, every
+// error-free entry must have its <id>-<kind>.pb.gz spill present and be a
+// parseable gzipped pprof profile, and at least one complete cpu+heap pair
+// must exist.
+func checkProfiles(dir string) {
+	data, err := os.ReadFile(filepath.Join(dir, "profiles.json"))
+	if err != nil {
+		fail("%v", err)
+	}
+	var idx obs.ProfileIndex
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&idx); err != nil {
+		fail("%s: not a valid profile index: %v", dir, err)
+	}
+	if idx.Captures <= 0 {
+		fail("%s: no completed captures (captures=%d)", dir, idx.Captures)
+	}
+	if idx.Suppressed < 0 {
+		fail("%s: negative suppressed count", dir)
+	}
+	kinds := map[string]int{}
+	validated := 0
+	for i, p := range idx.Profiles {
+		if p.ID <= 0 {
+			fail("%s: profile %d has non-positive id %d", dir, i, p.ID)
+		}
+		if p.Kind != "cpu" && p.Kind != "heap" {
+			fail("%s: profile %d has unknown kind %q", dir, i, p.Kind)
+		}
+		if p.Trigger == "" {
+			fail("%s: profile %d has no trigger", dir, i)
+		}
+		if p.AtNS <= 0 {
+			fail("%s: profile %d has non-positive timestamp", dir, i)
+		}
+		if p.Error != "" {
+			continue // an errored capture records why; nothing to parse
+		}
+		if p.SizeBytes <= 0 {
+			fail("%s: profile %d (%s) is empty with no error recorded", dir, i, p.Kind)
+		}
+		if p.File == "" {
+			fail("%s: profile %d (%s) has no spill file in a -profile-dir run", dir, i, p.Kind)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, p.File))
+		if err != nil {
+			fail("%s: profile %d: %v", dir, i, err)
+		}
+		if len(raw) != p.SizeBytes {
+			fail("%s: profile %d: spill is %d bytes, index says %d", dir, i, len(raw), p.SizeBytes)
+		}
+		if err := validatePprof(raw); err != nil {
+			fail("%s: profile %d (%s, %s): %v", dir, i, p.Kind, p.File, err)
+		}
+		kinds[p.Kind]++
+		validated++
+	}
+	if kinds["cpu"] == 0 || kinds["heap"] == 0 {
+		fail("%s: no complete cpu+heap pair (cpu=%d heap=%d)", dir, kinds["cpu"], kinds["heap"])
+	}
+	fmt.Printf("tracecheck: %s ok (%d captures, %d profiles validated, %d suppressed)\n",
+		dir, idx.Captures, validated, idx.Suppressed)
+}
+
 // checkFleet strict-validates a merged fleet trace.
 func checkFleet(path string) {
 	data, err := os.ReadFile(path)
@@ -276,9 +418,10 @@ func main() {
 	metricsPath := flag.String("metrics", "", "Prometheus /metrics exposition to validate")
 	flightPath := flag.String("flightrec", "", "flight-recorder dump to validate")
 	fleetPath := flag.String("fleet", "", "merged fleet trace to strict-validate")
+	profilesDir := flag.String("profiles", "", "trigger-fired profile capture directory (profiles.json + *.pb.gz) to strict-validate")
 	flag.Parse()
-	if *tracePath == "" && *statsPath == "" && *metricsPath == "" && *flightPath == "" && *fleetPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c] [-metrics m.txt] [-flightrec f.json] [-fleet ft.json]")
+	if *tracePath == "" && *statsPath == "" && *metricsPath == "" && *flightPath == "" && *fleetPath == "" && *profilesDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace t.json] [-stats s.json] [-want-spans a,b,c] [-metrics m.txt] [-flightrec f.json] [-fleet ft.json] [-profiles DIR]")
 		os.Exit(1)
 	}
 	if *tracePath != "" {
@@ -295,5 +438,8 @@ func main() {
 	}
 	if *fleetPath != "" {
 		checkFleet(*fleetPath)
+	}
+	if *profilesDir != "" {
+		checkProfiles(*profilesDir)
 	}
 }

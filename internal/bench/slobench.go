@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sufsat/internal/obs"
+	"sufsat/internal/obs/history"
+	"sufsat/internal/obs/slo"
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
+)
+
+// SLOOverhead is the observability-cost section of the PR 10 report. The
+// history ring and the SLO engine run once per snapshot interval, not per
+// request, so their cost is amortized over the soak's request rate and added
+// to the per-request instrumentation path before applying the same
+// ≤2%-of-p50 gate the metrics soak uses.
+type SLOOverhead struct {
+	// InstrUSPerRequest is the isolated per-request instrumentation cost
+	// (histograms, label lookups, snapshot walk, flight recorder), in
+	// microseconds — the same measurement the metrics soak gates.
+	InstrUSPerRequest float64 `json:"instr_us_per_request"`
+	// SnapEvalUSPerSnapshot is the cost of one history snapshot plus a full
+	// SLO evaluation over a warm ring, in microseconds.
+	SnapEvalUSPerSnapshot float64 `json:"snap_eval_us_per_snapshot"`
+	// SnapshotIntervalMS and SoakRPS are the amortization base: one snapshot
+	// every interval is spread over interval×RPS requests.
+	SnapshotIntervalMS float64 `json:"snapshot_interval_ms"`
+	SoakRPS            float64 `json:"soak_rps"`
+	// AmortizedUSPerRequest is the history+SLO share of one request.
+	AmortizedUSPerRequest float64 `json:"amortized_us_per_request"`
+	// TotalUSPerRequest = InstrUSPerRequest + AmortizedUSPerRequest.
+	TotalUSPerRequest float64 `json:"total_us_per_request"`
+	// RequestP50US is the server-side p50 request latency, in microseconds.
+	RequestP50US float64 `json:"request_p50_us"`
+	// Fraction is TotalUSPerRequest / RequestP50US — the gated value.
+	Fraction float64 `json:"fraction"`
+	// Limit is the gate (0.02).
+	Limit float64 `json:"limit"`
+}
+
+// SLODetectReport is the time-to-detect measurement: a live in-process
+// server with second-scale SLO windows is hit with an injected latency
+// regression (slow solves far above the latency threshold) and the report
+// records how long the burn-rate engine took to call it burning.
+type SLODetectReport struct {
+	HistoryIntervalMS float64 `json:"history_interval_ms"`
+	FastWindowMS      float64 `json:"fast_window_ms"`
+	SlowWindowMS      float64 `json:"slow_window_ms"`
+	ThresholdMS       float64 `json:"threshold_ms"`
+	// DetectMS is the wall-clock from the first slow request entering the
+	// system to SLOStatus reporting the latency objective burning.
+	DetectMS float64 `json:"detect_ms"`
+	// DetectIntervals is DetectMS expressed in snapshot intervals — the
+	// scale-free number: detection latency is bounded by windows, not load.
+	DetectIntervals float64 `json:"detect_intervals"`
+	// ProfileCaptured reports whether the burn transition fired the
+	// trigger-chain all the way into a profile capture.
+	ProfileCaptured bool `json:"profile_captured"`
+}
+
+// PR10Report is the SLO/observability artifact (BENCH_PR10.json): a metrics-
+// and-history-on soak, the amortized overhead of the full observability
+// stack gated at ≤2% of that soak's server-side p50, and the time-to-detect
+// for an injected latency regression.
+type PR10Report struct {
+	Soak     *SoakReport      `json:"soak"`
+	Overhead *SLOOverhead     `json:"slo_overhead"`
+	Detect   *SLODetectReport `json:"detect"`
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *PR10Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// MeasureSLOPipeline times one history-snapshot-plus-SLO-evaluation cycle —
+// the whole per-interval cost of the PR 10 observability layer — against a
+// registry shaped like a loaded sufserved (full service-metrics family set
+// including the cache families, warm label children, a warm ring) and
+// returns the mean microseconds per cycle. Deterministic up to clock
+// resolution: no network, no scheduler, no load.
+func MeasureSLOPipeline() float64 {
+	reg := obs.NewRegistry()
+	probe := &obs.ServiceProbe{}
+	flight := obs.NewFlightRecorder(obs.DefaultFlightSize)
+	m := obs.NewServiceMetrics(reg, probe, flight)
+	m.RegisterCache(func() obs.CacheCounters {
+		return obs.CacheCounters{Hits: 500, Misses: 120, Evictions: 3,
+			SingleflightJoins: 40, Entries: 64, Bytes: 1 << 20}
+	})
+	snap := overheadSnapshot()
+	m.ObserveSnapshot(snap)
+	for i := 0; i < 64; i++ {
+		m.ObserveRequest("valid", "HYBRID", 0.001, 0.02, 0.025)
+	}
+
+	var eng *slo.Engine
+	hist := history.New(reg, history.Config{Slots: history.DefaultSlots})
+	eng = slo.New(reg, hist, flight, "sufsat",
+		slo.ServerObjectives(0, 0, true), slo.Config{})
+
+	// Warm the ring so the evaluation walks real windowed data (column
+	// registration and first-sight baselines happen here, not in the loop).
+	for i := 0; i < 16; i++ {
+		hist.Snap()
+		eng.Evaluate()
+	}
+
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		hist.Snap()
+		eng.Evaluate()
+	}
+	return float64(time.Since(start).Microseconds()) / iters
+}
+
+// CheckSLOOverhead amortizes the per-snapshot cost over the soak's request
+// rate, adds the per-request instrumentation path, and applies the 2%-of-p50
+// gate. A zero p50 or a zero request rate fails: the gate must be computed
+// over real traffic.
+func CheckSLOOverhead(instrUS, snapUS float64, interval time.Duration, rps, p50MS float64) (SLOOverhead, bool) {
+	ov := SLOOverhead{
+		InstrUSPerRequest:     instrUS,
+		SnapEvalUSPerSnapshot: snapUS,
+		SnapshotIntervalMS:    float64(interval.Microseconds()) / 1e3,
+		SoakRPS:               rps,
+		RequestP50US:          p50MS * 1e3,
+		Limit:                 0.02,
+	}
+	if ov.RequestP50US <= 0 || rps <= 0 || interval <= 0 {
+		return ov, false
+	}
+	requestsPerSnapshot := interval.Seconds() * rps
+	ov.AmortizedUSPerRequest = snapUS / requestsPerSnapshot
+	ov.TotalUSPerRequest = instrUS + ov.AmortizedUSPerRequest
+	ov.Fraction = ov.TotalUSPerRequest / ov.RequestP50US
+	return ov, ov.Fraction <= ov.Limit
+}
+
+// RunSLODetect measures the burn-rate engine's time-to-detect on a live
+// in-process server: second-scale windows, a 10ms latency-p95 threshold, and
+// an injected regression of real dlx-7 solves that each take hundreds of
+// milliseconds. The clock starts when the first slow request is issued and
+// stops when SLOStatus reports the latency objective burning.
+func RunSLODetect(ctx context.Context, log io.Writer) (*SLODetectReport, error) {
+	const (
+		interval  = 100 * time.Millisecond
+		fast      = time.Second
+		slow      = 2 * time.Second
+		threshold = 10 * time.Millisecond
+	)
+	srv := server.New(server.Config{
+		Log:                log,
+		Workers:            1,
+		NoCache:            true,
+		Metrics:            obs.NewRegistry(),
+		Flight:             obs.NewFlightRecorder(obs.DefaultFlightSize),
+		HistoryInterval:    interval,
+		HistorySlots:       128,
+		SLOFastWindow:      fast,
+		SLOSlowWindow:      slow,
+		SLOLatencyP95:      threshold,
+		SLOLatencyP99:      2 * threshold,
+		ProfileCPUDuration: 200 * time.Millisecond,
+		ProfileMinGap:      time.Hour,
+	})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	url := "http://" + addr
+
+	bm, ok := ByName("dlx-7")
+	if !ok {
+		return nil, fmt.Errorf("slobench: benchmark dlx-7 not in suite")
+	}
+	f, _ := bm.Build()
+	formula := f.String()
+
+	rep := &SLODetectReport{
+		HistoryIntervalMS: float64(interval.Microseconds()) / 1e3,
+		FastWindowMS:      float64(fast.Microseconds()) / 1e3,
+		SlowWindowMS:      float64(slow.Microseconds()) / 1e3,
+		ThresholdMS:       float64(threshold.Microseconds()) / 1e3,
+	}
+
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	var flood sync.WaitGroup
+	injected := time.Now()
+	for i := 0; i < 4; i++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			c := client.New(url)
+			c.MaxAttempts = 1
+			for floodCtx.Err() == nil {
+				c.Decide(floodCtx, &server.Request{Formula: formula, TimeoutMS: 30_000}) //nolint:errcheck
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	detected := false
+	for !detected {
+		for _, st := range srv.SLOStatus() {
+			if st.Name == "latency-p95" && st.State == "burning" {
+				rep.DetectMS = float64(time.Since(injected).Microseconds()) / 1e3
+				detected = true
+				break
+			}
+		}
+		if detected {
+			break
+		}
+		if ctx.Err() != nil {
+			stopFlood()
+			flood.Wait()
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			stopFlood()
+			flood.Wait()
+			return nil, fmt.Errorf("slobench: latency-p95 never burned under the injected regression")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep.DetectIntervals = rep.DetectMS / rep.HistoryIntervalMS
+	stopFlood()
+	flood.Wait()
+
+	// The trigger chain should have fired exactly one capture; give the
+	// async cpu+heap goroutine a moment to land.
+	capDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(capDeadline) {
+		if srv.Profiles().Captured() >= 1 {
+			rep.ProfileCaptured = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return nil, fmt.Errorf("slobench: drain: %w", err)
+	}
+	return rep, nil
+}

@@ -42,6 +42,9 @@ const (
 	FlightMemberJoin                        // backend joined or reactivated (name = host:port, val = epoch)
 	FlightMemberDrain                       // backend drained out of the ring (name = host:port, val = epoch)
 	FlightMemberRemove                      // backend removed from the pool (name = host:port, val = epoch)
+	FlightSLOBurn                           // SLO entered burning state (name = objective, val = fast burn x1000)
+	FlightSLOClear                          // SLO recovered to ok (name = objective, val = fast burn x1000)
+	FlightProfile                           // trigger-fired profile captured (name = trigger, req/trace ID attached)
 )
 
 // String returns the dump-schema name of the kind.
@@ -77,6 +80,12 @@ func (k FlightKind) String() string {
 		return "member-drain"
 	case FlightMemberRemove:
 		return "member-remove"
+	case FlightSLOBurn:
+		return "slo-burn"
+	case FlightSLOClear:
+		return "slo-clear"
+	case FlightProfile:
+		return "profile"
 	}
 	return "unknown"
 }

@@ -53,6 +53,9 @@ type family struct {
 	name, help string
 	kind       metricKind
 	children   []*child
+	// bucketName/sumName/countName cache the suffixed histogram sample names
+	// for VisitSamples (built on first walk).
+	bucketName, sumName, countName string
 }
 
 // child is one labeled sample (or histogram) of a family.
@@ -63,6 +66,10 @@ type child struct {
 	gauge  *Gauge
 	gfn    func() float64
 	hist   *Histogram
+	// bucketLabels caches the per-bucket rendered label suffixes (labels plus
+	// le=...) for histogram children, built on first VisitSamples walk so the
+	// periodic history snapshotter allocates nothing per cycle.
+	bucketLabels []string
 }
 
 // NewRegistry returns an empty registry.
@@ -452,4 +459,74 @@ func (r *Registry) Handler() http.Handler {
 			return
 		}
 	})
+}
+
+// SampleInfo is one flattened sample handed to a VisitSamples callback — the
+// structured twin of one exposition line. Histogram children expand into one
+// bucket sample per bound (cumulative, like the text format) plus _sum and
+// _count; for those, Family keeps the base name while Name carries the
+// suffix, BaseLabels is the child's labels without le, and Le is the bucket
+// bound (+Inf included). Non-bucket samples have Le = NaN and BaseLabels ==
+// Labels.
+type SampleInfo struct {
+	Family     string // family name as registered
+	Name       string // full sample name (with _bucket/_sum/_count suffix)
+	Labels     string // rendered {k="v",...} suffix, including le for buckets
+	BaseLabels string // Labels minus any le pair — the child identity
+	Kind       string // "counter" | "gauge" | "histogram"
+	Le         float64
+	Value      float64
+}
+
+// VisitSamples walks every sample currently registered, in registration
+// order, calling fn once per flattened sample with values read atomically.
+// It is the programmatic equivalent of WritePrometheus: same samples, same
+// cumulative histogram buckets, no text round-trip. All per-sample strings
+// (names, label suffixes) are cached after the first walk, so a periodic
+// caller — the metrics history snapshotter — allocates nothing per cycle.
+func (r *Registry) VisitSamples(fn func(SampleInfo)) {
+	if r == nil {
+		return
+	}
+	nan := math.NaN()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		kind := string(f.kind)
+		for _, c := range f.children {
+			switch {
+			case c.ctr != nil:
+				fn(SampleInfo{Family: f.name, Name: f.name, Labels: c.labels, BaseLabels: c.labels, Kind: kind, Le: nan, Value: float64(c.ctr.Value())})
+			case c.fctr != nil:
+				fn(SampleInfo{Family: f.name, Name: f.name, Labels: c.labels, BaseLabels: c.labels, Kind: kind, Le: nan, Value: c.fctr.Value()})
+			case c.gauge != nil:
+				fn(SampleInfo{Family: f.name, Name: f.name, Labels: c.labels, BaseLabels: c.labels, Kind: kind, Le: nan, Value: float64(c.gauge.Value())})
+			case c.gfn != nil:
+				fn(SampleInfo{Family: f.name, Name: f.name, Labels: c.labels, BaseLabels: c.labels, Kind: kind, Le: nan, Value: c.gfn()})
+			case c.hist != nil:
+				h := c.hist
+				if f.bucketName == "" {
+					f.bucketName = f.name + "_bucket"
+					f.sumName = f.name + "_sum"
+					f.countName = f.name + "_count"
+				}
+				if c.bucketLabels == nil {
+					c.bucketLabels = make([]string, 0, len(h.bounds)+1)
+					for _, b := range h.bounds {
+						c.bucketLabels = append(c.bucketLabels, labelJoin(c.labels, `le="`+formatFloat(b)+`"`))
+					}
+					c.bucketLabels = append(c.bucketLabels, labelJoin(c.labels, `le="+Inf"`))
+				}
+				cum := int64(0)
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					fn(SampleInfo{Family: f.name, Name: f.bucketName, Labels: c.bucketLabels[i], BaseLabels: c.labels, Kind: kind, Le: b, Value: float64(cum)})
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fn(SampleInfo{Family: f.name, Name: f.bucketName, Labels: c.bucketLabels[len(h.bounds)], BaseLabels: c.labels, Kind: kind, Le: math.Inf(1), Value: float64(cum)})
+				fn(SampleInfo{Family: f.name, Name: f.sumName, Labels: c.labels, BaseLabels: c.labels, Kind: kind, Le: nan, Value: h.Sum()})
+				fn(SampleInfo{Family: f.name, Name: f.countName, Labels: c.labels, BaseLabels: c.labels, Kind: kind, Le: nan, Value: float64(cum)})
+			}
+		}
+	}
 }

@@ -172,6 +172,94 @@ func TestHistQuantile(t *testing.T) {
 	}
 }
 
+// TestParseInfOnlyHistogram pins the strict parser and HistQuantile on the
+// degenerate histograms real scrapers meet: a histogram whose only bucket is
+// +Inf (every bound removed, or a default-bounds build exporting none), and
+// a freshly registered histogram with zero observations. Both must parse —
+// the envelope invariants (cumulative, +Inf == _count, _sum present) hold
+// vacuously — and quantiles over them must be the neutral 0, never NaN or a
+// fabricated bound.
+func TestParseInfOnlyHistogram(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		// quantile inputs/expectation over the parsed h_bucket samples
+		q    float64
+		want float64
+	}{
+		{
+			name: "inf-only, zero observations",
+			text: "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n",
+			q:    0.99,
+			want: 0,
+		},
+		{
+			name: "inf-only, observations",
+			text: "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 7\nh_sum 3.5\nh_count 7\n",
+			q:    0.5,
+			// Every observation lands in the unbounded tail: no finite bound
+			// precedes it, so the quantile degrades to 0 rather than inventing
+			// an upper bound.
+			want: 0,
+		},
+		{
+			name: "finite bounds, zero observations",
+			text: "# TYPE h histogram\nh_bucket{le=\"0.1\"} 0\nh_bucket{le=\"1\"} 0\n" +
+				"h_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n",
+			q:    0.5,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		scrape, err := ParsePrometheus(strings.NewReader(tc.text))
+		if err != nil {
+			t.Errorf("%s: strict parser rejected a valid degenerate histogram: %v", tc.name, err)
+			continue
+		}
+		f := scrape.Family("h")
+		if f == nil || f.Type != "histogram" {
+			t.Errorf("%s: family h missing or mistyped: %+v", tc.name, f)
+			continue
+		}
+		var buckets []PromSample
+		for _, s := range f.Samples {
+			if s.Name == "h_bucket" {
+				buckets = append(buckets, s)
+			}
+		}
+		if got := HistQuantile(tc.q, buckets); got != tc.want {
+			t.Errorf("%s: HistQuantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+
+	// The registry side of the same pin: a Histogram registered with no
+	// bounds exposes exactly the +Inf-only shape, and the round trip through
+	// the strict parser holds before and after observations.
+	reg := NewRegistry()
+	h := reg.Histogram("h", "help", nil)
+	for _, phase := range []struct {
+		name string
+		obs  func()
+	}{
+		{"before observations", func() {}},
+		{"after observations", func() { h.Observe(0.25); h.Observe(4) }},
+	} {
+		phase.obs()
+		scrape, err := ParsePrometheus(strings.NewReader(reg.Expose()))
+		if err != nil {
+			t.Fatalf("%s: round trip: %v", phase.name, err)
+		}
+		inf, ok := scrape.Value("h_bucket", "le", "+Inf")
+		if !ok {
+			t.Fatalf("%s: +Inf bucket missing", phase.name)
+		}
+		count, _ := scrape.Value("h_count")
+		if inf != count {
+			t.Fatalf("%s: +Inf bucket %v != count %v", phase.name, inf, count)
+		}
+	}
+}
+
 // TestServiceMetricsNil verifies the nil-receiver contract: every update on
 // a nil *ServiceMetrics is a no-op.
 func TestServiceMetricsNil(t *testing.T) {

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trigger-fired profiling: when an SLO enters the burning state or a slowlog
+// admission crosses a threshold, the process captures its own CPU and heap
+// pprof profiles at the moment the badness is happening — instead of hoping a
+// human is watching /debug/pprof when it recurs. Captures are rate-limited
+// (one in flight, a minimum gap between captures), the store is bounded, and
+// each capture carries the triggering request/trace ID so a slow decode
+// links directly to the profile that explains it.
+//
+// The CPU profile reuses the worker pprof labels the request path already
+// sets, so samples are attributable per-request inside the capture.
+
+// ProfileConfig tunes a ProfileStore. Zero values pick the defaults.
+type ProfileConfig struct {
+	// Dir, when set, also writes each capture to <dir>/<id>-<kind>.pb.gz;
+	// empty keeps captures in memory only.
+	Dir string
+	// MaxCaptures bounds retained captures (each capture is a CPU+heap
+	// pair); oldest evicted first. Default 8.
+	MaxCaptures int
+	// MinGap is the minimum time between capture starts (default 60s);
+	// triggers inside the gap are counted as suppressed.
+	MinGap time.Duration
+	// CPUDuration is how long the CPU profile runs (default 1s).
+	CPUDuration time.Duration
+	// Flight, when set, receives a FlightProfile event per capture.
+	Flight *FlightRecorder
+}
+
+// CapturedProfile is one stored profile's metadata (the /debug/profiles
+// index entry; docs/FORMATS.md).
+type CapturedProfile struct {
+	ID        int64   `json:"id"`
+	Kind      string  `json:"kind"` // "cpu" | "heap"
+	Trigger   string  `json:"trigger"`
+	RequestID string  `json:"request_id,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	AtNS      int64   `json:"at_ns"`
+	DurMS     float64 `json:"dur_ms"`
+	SizeBytes int     `json:"size_bytes"`
+	File      string  `json:"file,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// ProfileIndex is the /debug/profiles JSON schema.
+type ProfileIndex struct {
+	DumpedAtNS int64             `json:"dumped_at_ns"`
+	Captures   int64             `json:"captures"`
+	Suppressed int64             `json:"suppressed"`
+	Profiles   []CapturedProfile `json:"profiles"`
+}
+
+// ProfileStore owns trigger-fired captures. Create with NewProfileStore; a
+// nil store ignores every call, so the trigger sites need no gating.
+type ProfileStore struct {
+	cfg       ProfileConfig
+	capturing atomic.Bool
+	lastNS    atomic.Int64
+	captures  atomic.Int64
+	suppress  atomic.Int64
+	seq       atomic.Int64
+
+	mu       sync.Mutex
+	profiles []CapturedProfile
+	data     map[int64][]byte
+	wg       sync.WaitGroup
+}
+
+// NewProfileStore returns a store with cfg's bounds applied.
+func NewProfileStore(cfg ProfileConfig) *ProfileStore {
+	if cfg.MaxCaptures <= 0 {
+		cfg.MaxCaptures = 8
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = 60 * time.Second
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = time.Second
+	}
+	return &ProfileStore{cfg: cfg, data: make(map[int64][]byte)}
+}
+
+// Captured returns how many captures completed; Suppressed how many
+// triggers the rate limit swallowed. Both monotonic (CounterFunc sources).
+func (s *ProfileStore) Captured() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.captures.Load()
+}
+
+// Suppressed returns how many triggers were rate-limited away.
+func (s *ProfileStore) Suppressed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.suppress.Load()
+}
+
+// TryCapture requests a capture for the given trigger (e.g. "slo:latency-p95"
+// or "slowlog"), tagged with the triggering request/trace IDs. It returns
+// true when a capture was started — at most one runs at a time, and no more
+// than one per MinGap; everything else is counted as suppressed. The capture
+// itself runs on its own goroutine (a CPU profile takes CPUDuration to
+// collect); callers never block.
+func (s *ProfileStore) TryCapture(trigger, reqID, traceID string) bool {
+	if s == nil {
+		return false
+	}
+	now := time.Now()
+	last := s.lastNS.Load()
+	if last != 0 && now.Sub(time.Unix(0, last)) < s.cfg.MinGap {
+		s.suppress.Add(1)
+		return false
+	}
+	if !s.capturing.CompareAndSwap(false, true) {
+		s.suppress.Add(1)
+		return false
+	}
+	s.lastNS.Store(now.UnixNano())
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.capturing.Store(false)
+		s.capture(trigger, reqID, traceID)
+	}()
+	return true
+}
+
+// capture collects the CPU profile (for CPUDuration, while the badness that
+// fired the trigger is still happening) and a heap profile, then stores both.
+func (s *ProfileStore) capture(trigger, reqID, traceID string) {
+	start := time.Now()
+	var cpu bytes.Buffer
+	cpuErr := pprof.StartCPUProfile(&cpu)
+	if cpuErr == nil {
+		time.Sleep(s.cfg.CPUDuration)
+		pprof.StopCPUProfile()
+	}
+	cpuDur := time.Since(start)
+
+	var heap bytes.Buffer
+	heapErr := pprof.Lookup("heap").WriteTo(&heap, 0)
+
+	s.store(trigger, reqID, traceID, "cpu", cpu.Bytes(), cpuDur, cpuErr)
+	s.store(trigger, reqID, traceID, "heap", heap.Bytes(), 0, heapErr)
+	s.captures.Add(1)
+	s.cfg.Flight.Record(FlightProfile, reqID, trigger, cpuDur.Microseconds(), s.captures.Load())
+}
+
+// store appends one profile, evicting beyond the bound and spilling to disk
+// when a directory is configured.
+func (s *ProfileStore) store(trigger, reqID, traceID, kind string, data []byte, dur time.Duration, err error) {
+	p := CapturedProfile{
+		ID:        s.seq.Add(1),
+		Kind:      kind,
+		Trigger:   trigger,
+		RequestID: reqID,
+		TraceID:   traceID,
+		AtNS:      time.Now().UnixNano(),
+		DurMS:     float64(dur.Microseconds()) / 1e3,
+		SizeBytes: len(data),
+	}
+	if err != nil {
+		p.Error = err.Error()
+		data = nil
+	}
+	if s.cfg.Dir != "" && len(data) > 0 {
+		name := fmt.Sprintf("%d-%s.pb.gz", p.ID, kind)
+		if werr := os.WriteFile(filepath.Join(s.cfg.Dir, name), data, 0o644); werr == nil {
+			p.File = name
+		} else if p.Error == "" {
+			p.Error = werr.Error()
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles = append(s.profiles, p)
+	if len(data) > 0 {
+		s.data[p.ID] = data
+	}
+	// Bound: MaxCaptures capture pairs = 2x individual profiles.
+	for len(s.profiles) > 2*s.cfg.MaxCaptures {
+		old := s.profiles[0]
+		s.profiles = s.profiles[1:]
+		delete(s.data, old.ID)
+		if old.File != "" {
+			os.Remove(filepath.Join(s.cfg.Dir, old.File)) //nolint:errcheck // eviction is best-effort
+		}
+	}
+}
+
+// Wait blocks until any in-flight capture finishes (tests and drain paths).
+func (s *ProfileStore) Wait() {
+	if s == nil {
+		return
+	}
+	s.wg.Wait()
+}
+
+// Index builds the /debug/profiles listing.
+func (s *ProfileStore) Index() *ProfileIndex {
+	idx := &ProfileIndex{DumpedAtNS: time.Now().UnixNano(), Profiles: []CapturedProfile{}}
+	if s == nil {
+		return idx
+	}
+	idx.Captures = s.Captured()
+	idx.Suppressed = s.Suppressed()
+	s.mu.Lock()
+	idx.Profiles = append(idx.Profiles, s.profiles...)
+	s.mu.Unlock()
+	return idx
+}
+
+// Bytes returns one stored profile's raw pprof bytes.
+func (s *ProfileStore) Bytes(id int64) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.data[id]
+	return b, ok
+}
+
+// Handler serves the profile store: GET /debug/profiles lists the index as
+// JSON; GET /debug/profiles?id=N streams that profile's gzipped pprof bytes.
+func (s *ProfileStore) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if s == nil {
+			http.Error(w, "trigger-fired profiling disabled", http.StatusNotFound)
+			return
+		}
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseInt(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			b, ok := s.Bytes(id)
+			if !ok {
+				http.Error(w, "no such profile (evicted or errored)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="profile-`+idStr+`.pb.gz"`)
+			w.Write(b) //nolint:errcheck // client gone; nothing to do
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Index()) //nolint:errcheck // client gone; nothing to do
+	})
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestNilProfileStore(t *testing.T) {
+	var s *ProfileStore
+	if s.TryCapture("t", "", "") {
+		t.Fatal("nil store captured")
+	}
+	s.Wait()
+	if s.Captured() != 0 || s.Suppressed() != 0 {
+		t.Fatal("nil store counters")
+	}
+	if idx := s.Index(); len(idx.Profiles) != 0 {
+		t.Fatal("nil store index")
+	}
+	if _, ok := s.Bytes(1); ok {
+		t.Fatal("nil store bytes")
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil handler status = %d, want 404", rec.Code)
+	}
+}
+
+// TestTryCaptureRateLimit pins the trigger discipline: the first trigger
+// captures, every trigger inside MinGap is suppressed, and the capture
+// stores a CPU+heap pair with the triggering IDs and a flight event.
+func TestTryCaptureRateLimit(t *testing.T) {
+	fl := NewFlightRecorder(16)
+	s := NewProfileStore(ProfileConfig{
+		MinGap:      time.Hour,
+		CPUDuration: 10 * time.Millisecond,
+		Flight:      fl,
+	})
+	if !s.TryCapture("slo:latency-p95", "req-1", "trace-1") {
+		t.Fatal("first trigger did not capture")
+	}
+	for i := 0; i < 5; i++ {
+		if s.TryCapture("slo:latency-p95", "req-x", "") {
+			t.Fatal("trigger inside MinGap captured")
+		}
+	}
+	s.Wait()
+	if got := s.Captured(); got != 1 {
+		t.Fatalf("Captured = %d, want 1", got)
+	}
+	if got := s.Suppressed(); got != 5 {
+		t.Fatalf("Suppressed = %d, want 5", got)
+	}
+
+	idx := s.Index()
+	if len(idx.Profiles) != 2 {
+		t.Fatalf("stored %d profiles, want a cpu+heap pair", len(idx.Profiles))
+	}
+	kinds := map[string]bool{}
+	for _, p := range idx.Profiles {
+		kinds[p.Kind] = true
+		if p.Trigger != "slo:latency-p95" || p.RequestID != "req-1" || p.TraceID != "trace-1" {
+			t.Fatalf("profile metadata = %+v", p)
+		}
+		if p.Error != "" {
+			t.Fatalf("capture errored: %s", p.Error)
+		}
+		if p.SizeBytes <= 0 {
+			t.Fatalf("profile %s empty", p.Kind)
+		}
+		if b, ok := s.Bytes(p.ID); !ok || len(b) != p.SizeBytes {
+			t.Fatalf("Bytes(%d) mismatch", p.ID)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("kinds = %v, want cpu and heap", kinds)
+	}
+
+	var sawFlight bool
+	for _, e := range fl.Events() {
+		if e.Kind == "profile" {
+			sawFlight = true
+		}
+	}
+	if !sawFlight {
+		t.Fatal("no flight-recorder profile event")
+	}
+}
+
+// TestProfileStoreBound pins eviction: at most 2*MaxCaptures retained, disk
+// spill files created and removed with their entries.
+func TestProfileStoreBound(t *testing.T) {
+	dir := t.TempDir()
+	s := NewProfileStore(ProfileConfig{Dir: dir, MaxCaptures: 2, MinGap: time.Nanosecond, CPUDuration: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		if !s.TryCapture("slowlog", "", "") {
+			// Back off until the previous capture's goroutine releases the
+			// one-in-flight latch.
+			s.Wait()
+			i--
+			continue
+		}
+		s.Wait()
+		time.Sleep(time.Millisecond)
+	}
+	idx := s.Index()
+	if len(idx.Profiles) > 4 {
+		t.Fatalf("retained %d profiles, bound is 4", len(idx.Profiles))
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(idx.Profiles) {
+		t.Fatalf("disk has %d files for %d retained profiles", len(files), len(idx.Profiles))
+	}
+	for _, p := range idx.Profiles {
+		if p.File == "" {
+			t.Fatalf("profile %d not spilled: %+v", p.ID, p)
+		}
+		if _, err := os.Stat(filepath.Join(dir, p.File)); err != nil {
+			t.Fatalf("spilled file missing: %v", err)
+		}
+	}
+}
+
+// TestProfileHandler pins the HTTP surface: JSON index, raw download, 404s.
+func TestProfileHandler(t *testing.T) {
+	s := NewProfileStore(ProfileConfig{MinGap: time.Hour, CPUDuration: time.Millisecond})
+	s.TryCapture("slowlog", "req-9", "")
+	s.Wait()
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx ProfileIndex
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if idx.Captures != 1 || len(idx.Profiles) != 2 {
+		t.Fatalf("index = %+v", idx)
+	}
+
+	for _, tc := range []struct {
+		q    string
+		code int
+	}{
+		{"?id=" + strconv.FormatInt(idx.Profiles[0].ID, 10), 200},
+		{"?id=banana", 400},
+		{"?id=99999", 404},
+	} {
+		resp, err := srv.Client().Get(srv.URL + "/debug/profiles" + tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("GET %s = %d, want %d", tc.q, resp.StatusCode, tc.code)
+		}
+	}
+}

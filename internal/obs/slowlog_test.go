@@ -83,6 +83,97 @@ func TestSlowLogConcurrent(t *testing.T) {
 	}
 }
 
+// TestSlowLogConcurrentAdmission races parallel stores against top-K
+// eviction (run under -race in CI): 16 goroutines offer distinct totals in
+// conflicting orders while readers dump concurrently. Afterwards the store
+// must hold exactly K sorted entries including the global slowest, with the
+// admission threshold agreeing with the K-th slowest actually stored — the
+// invariants a racing insert+truncate could silently break.
+func TestSlowLogConcurrentAdmission(t *testing.T) {
+	const (
+		k          = 16
+		writers    = 16
+		perWriter  = 500
+		totalSpan  = writers * perWriter
+		slowestVal = float64(totalSpan) // offered exactly once, by one writer
+	)
+	l := NewSlowLog(k)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Distinct totals across all writers; interleave so every
+				// goroutine keeps offering values around the moving threshold
+				// (writer g offers g+1, writers+g+1, 2*writers+g+1, ...).
+				v := float64(i*writers + g + 1)
+				l.Observe(SlowEntry{Status: "valid", TotalMS: v})
+			}
+		}(g)
+	}
+	// Concurrent readers: Entries, Dump and the hot-path gate must be safe
+	// against racing eviction.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 1; i < len(l.Entries()); i++ {
+					_ = i
+				}
+				l.Dump()
+				l.Candidate(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	got := l.Entries()
+	if len(got) != k {
+		t.Fatalf("kept %d entries, want %d", len(got), k)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TotalMS > got[i-1].TotalMS {
+			t.Fatalf("entries not sorted slowest-first: %g after %g", got[i].TotalMS, got[i-1].TotalMS)
+		}
+	}
+	if got[0].TotalMS != slowestVal {
+		t.Errorf("global slowest %g lost; top entry is %g", slowestVal, got[0].TotalMS)
+	}
+	// Admission races may leave a few of the theoretical top-K displaced,
+	// but never below the K-th slowest that IS stored: the threshold and the
+	// stored tail must agree exactly.
+	if th := float64(l.thresholdUS.Load()) / 1e3; th != got[k-1].TotalMS {
+		t.Errorf("threshold %gms != stored K-th slowest %gms", th, got[k-1].TotalMS)
+	}
+	if l.Seen() != int64(totalSpan) {
+		t.Errorf("seen = %d, want %d", l.Seen(), totalSpan)
+	}
+	// The hot-path gate stays allocation-free after the race settled.
+	if n := testing.AllocsPerRun(1000, func() {
+		l.Candidate(1)
+	}); n != 0 {
+		t.Errorf("post-race Candidate allocates %.1f/op, want 0", n)
+	}
+	// So does the full Observe fast path for a non-candidate: one atomic
+	// add, one atomic load, no entry copy retained.
+	if n := testing.AllocsPerRun(1000, func() {
+		l.Observe(SlowEntry{Status: "valid", TotalMS: 0.001})
+	}); n != 0 {
+		t.Errorf("non-candidate Observe allocates %.1f/op, want 0", n)
+	}
+}
+
 func TestSlowLogHandler(t *testing.T) {
 	l := NewSlowLog(2)
 	l.Observe(SlowEntry{RequestID: "r1", TraceID: "0af7651916cd43dd8448eb211c80319c",

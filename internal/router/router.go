@@ -18,11 +18,14 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sufsat/internal/obs"
+	"sufsat/internal/obs/history"
+	"sufsat/internal/obs/slo"
 	"sufsat/internal/server"
 )
 
@@ -97,6 +100,34 @@ type Config struct {
 	// SlowLogSize bounds the slow-request exemplar store served at
 	// /debug/slowlog (0 = obs.DefaultSlowLogSize).
 	SlowLogSize int
+
+	// NoHistory disables the metrics-history ring, the SLO engine and
+	// trigger-fired profiling. History also stays off when Registry is nil.
+	NoHistory bool
+	// HistoryInterval is the history snapshot cadence and HistorySlots the
+	// ring bound (zero = the history package defaults). Served at
+	// /debug/history.
+	HistoryInterval time.Duration
+	HistorySlots    int
+	// SLOFastWindow/SLOSlowWindow/SLOBurnThreshold tune the burn-rate
+	// engine (zero = the slo package defaults: 5m, 1h, 1.0).
+	SLOFastWindow    time.Duration
+	SLOSlowWindow    time.Duration
+	SLOBurnThreshold float64
+	// SLOObjectives overrides the evaluated objective set (nil =
+	// slo.RouterObjectives parameterized by the latency bounds below).
+	SLOObjectives []slo.Objective
+	// SLOLatencyP95/SLOLatencyP99 parameterize the default latency
+	// objectives (0 = 1s / 4s — router budgets sit above the backend's).
+	SLOLatencyP95 time.Duration
+	SLOLatencyP99 time.Duration
+	// ProfileDir/ProfileCPUDuration/ProfileMinGap tune trigger-fired
+	// profiling (listed at /debug/profiles); ProfileSlowMS > 0 additionally
+	// fires a capture on slowlog admissions at least that slow.
+	ProfileDir         string
+	ProfileCPUDuration time.Duration
+	ProfileMinGap      time.Duration
+	ProfileSlowMS      float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -151,6 +182,10 @@ type Router struct {
 	metrics *obs.RouterMetrics
 	slow    *obs.SlowLog
 
+	hist     *history.History
+	slos     *slo.Engine
+	profiles *obs.ProfileStore
+
 	failoverBudget *Budget
 	hedgeBudget    *Budget
 
@@ -197,6 +232,44 @@ func New(cfg Config) (*Router, error) {
 		func() float64 { return float64(rt.epoch.Load()) },
 		rt.LastMoveRatio,
 	)
+	if c.Registry != nil && !c.NoHistory {
+		rt.hist = history.New(c.Registry, history.Config{
+			Interval:   c.HistoryInterval,
+			Slots:      c.HistorySlots,
+			OnSnapshot: func() { rt.slos.Evaluate() },
+		})
+		objs := c.SLOObjectives
+		if objs == nil {
+			objs = slo.RouterObjectives(c.SLOLatencyP95, c.SLOLatencyP99)
+		}
+		rt.slos = slo.New(c.Registry, rt.hist, obs.Flight, "sufrouter", objs, slo.Config{
+			FastWindow:    c.SLOFastWindow,
+			SlowWindow:    c.SLOSlowWindow,
+			BurnThreshold: c.SLOBurnThreshold,
+		})
+		rt.profiles = obs.NewProfileStore(obs.ProfileConfig{
+			Dir:         c.ProfileDir,
+			CPUDuration: c.ProfileCPUDuration,
+			MinGap:      c.ProfileMinGap,
+			Flight:      obs.Flight,
+		})
+		rt.slos.OnBurn(func(name string) {
+			reqID, traceID := "", ""
+			if top := rt.slow.Entries(); len(top) > 0 {
+				reqID, traceID = top[0].RequestID, top[0].TraceID
+			}
+			if rt.profiles.TryCapture("slo:"+name, reqID, traceID) && rt.cfg.Log != nil {
+				rt.cfg.Log.Printf("slo %s burning, capturing profile", name)
+			}
+		})
+		c.Registry.CounterFunc("sufrouter_profile_captures_total",
+			"Trigger-fired profile capture attempts by result.",
+			func() float64 { return float64(rt.profiles.Captured()) }, "result", "captured")
+		c.Registry.CounterFunc("sufrouter_profile_captures_total",
+			"Trigger-fired profile capture attempts by result.",
+			func() float64 { return float64(rt.profiles.Suppressed()) }, "result", "suppressed")
+		rt.hist.Start()
+	}
 	rt.probeCtx, rt.probeCancel = context.WithCancel(context.Background())
 	members := make(map[string]*backend, len(urls))
 	ring := NewRing(c.Replicas)
@@ -269,6 +342,10 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 	rt.memberMu.Unlock()
 	rt.probeCancel()
 	rt.probeWG.Wait()
+	// Stop the history collector and let any in-flight profile capture
+	// finish so a drained router leaks no goroutines.
+	rt.hist.Stop()
+	rt.profiles.Wait()
 	done := make(chan struct{})
 	go func() {
 		rt.reqWG.Wait()
@@ -324,6 +401,8 @@ func (rt *Router) Handler() http.Handler {
 		mux.Handle("/metrics", reg.Handler())
 	}
 	mux.Handle("/debug/slowlog", rt.slow.Handler())
+	mux.Handle("/debug/history", rt.hist.Handler())
+	mux.Handle("/debug/profiles", rt.profiles.Handler())
 	return mux
 }
 
@@ -349,21 +428,86 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "sufrouter  backends=%d  active=%d  epoch=%d  in_flight=%d  draining=%v\n",
 		len(v.members), v.ring.Len(), rt.epoch.Load(), rt.inFlight.Load(), rt.draining.Load())
-	fmt.Fprintf(w, "failover budget spent=%d  hedge budget spent=%d  last_move_ratio=%.3f\n\n",
+	fmt.Fprintf(w, "failover budget spent=%d  hedge budget spent=%d  last_move_ratio=%.3f\n",
 		rt.failoverBudget.Spent(), rt.hedgeBudget.Spent(), rt.LastMoveRatio())
-	fmt.Fprintf(w, "%-40s %-10s %-10s %-10s %-12s %s\n",
-		"BACKEND", "MEMBER", "BREAKER", "ERR-EWMA", "PROBE-FAILS", "REOPEN-IN")
+	// The router's own objectives: the same data /statusz serves as JSON on a
+	// backend, rendered as one line per objective.
+	for _, st := range rt.slos.Status() {
+		fmt.Fprintf(w, "slo %-14s state=%-8s fast=%-8.3f slow=%-8.3f budget=%.3f transitions=%d\n",
+			st.Name, st.State, st.FastBurn, st.SlowBurn, st.Budget, st.Transitions)
+	}
+	fmt.Fprintln(w)
 	names := make([]string, 0, len(v.members))
 	for name := range v.members {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Federate per-backend SLO state: each backend's /statusz slo block,
+	// fetched concurrently under a short deadline so a hung backend cannot
+	// stall the fleet table ("?" marks an unreachable or pre-SLO backend).
+	backendSLO := rt.fetchBackendSLO(names)
+	fmt.Fprintf(w, "%-40s %-10s %-10s %-10s %-12s %-10s %s\n",
+		"BACKEND", "MEMBER", "BREAKER", "ERR-EWMA", "PROBE-FAILS", "REOPEN-IN", "SLO")
 	for _, name := range names {
 		b := v.members[name]
-		fmt.Fprintf(w, "%-40s %-10s %-10s %-10.3f %-12d %s\n",
+		fmt.Fprintf(w, "%-40s %-10s %-10s %-10.3f %-12d %-10s %s\n",
 			name, b.memberState(), b.br.State(), b.br.ErrorRate(),
-			b.br.ConsecutiveProbeFailures(), b.br.ReopenIn().Round(time.Millisecond))
+			b.br.ConsecutiveProbeFailures(), b.br.ReopenIn().Round(time.Millisecond),
+			backendSLO[name])
 	}
+}
+
+// fetchBackendSLO collects each backend's /statusz slo block concurrently
+// (500ms deadline per fetch) and summarizes it: "ok", "burning(a,b)", "-"
+// for a backend without an SLO engine, "?" for one that cannot be reached.
+func (rt *Router) fetchBackendSLO(names []string) map[string]string {
+	out := make(map[string]string, len(names))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	cl := &http.Client{Timeout: 500 * time.Millisecond}
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			state := rt.backendSLOState(cl, name)
+			mu.Lock()
+			out[name] = state
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	return out
+}
+
+// backendSLOState fetches and summarizes one backend's SLO block.
+func (rt *Router) backendSLOState(cl *http.Client, base string) string {
+	resp, err := cl.Get(base + "/statusz")
+	if err != nil {
+		return "?"
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "?"
+	}
+	var status struct {
+		SLO []slo.Status `json:"slo"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&status); err != nil {
+		return "?"
+	}
+	if len(status.SLO) == 0 {
+		return "-"
+	}
+	var burning []string
+	for _, st := range status.SLO {
+		if st.State == "burning" {
+			burning = append(burning, st.Name)
+		}
+	}
+	if len(burning) == 0 {
+		return "ok"
+	}
+	return "burning(" + strings.Join(burning, ",") + ")"
 }
 
 // writeJSON writes resp with the given HTTP status, setting the correlation
@@ -523,6 +667,9 @@ func (rt *Router) handleDecide(w http.ResponseWriter, r *http.Request) {
 // timeline. resp nil records a router-side timeout.
 func (rt *Router) observeSlow(tr *routeTrace, resp *server.Response, reqID, traceID, fp, who string, total time.Duration) {
 	totalMS := float64(total.Microseconds()) / 1e3
+	if rt.cfg.ProfileSlowMS > 0 && totalMS >= rt.cfg.ProfileSlowMS {
+		rt.profiles.TryCapture("slowlog", reqID, traceID)
+	}
 	if !rt.slow.Candidate(totalMS) {
 		return
 	}

@@ -47,6 +47,8 @@ import (
 	"sufsat"
 	"sufsat/internal/core"
 	"sufsat/internal/obs"
+	"sufsat/internal/obs/history"
+	"sufsat/internal/obs/slo"
 )
 
 // Server-side fault-point names, called on Config.Hook in request order.
@@ -132,6 +134,37 @@ type Config struct {
 	// SlowLogSize bounds the slow-request exemplar store served at
 	// /debug/slowlog (0 = obs.DefaultSlowLogSize).
 	SlowLogSize int
+	// NoHistory disables the metrics-history ring — and with it the SLO
+	// engine and trigger-fired profiling. History also stays off when
+	// Metrics is nil (there is nothing to snapshot).
+	NoHistory bool
+	// HistoryInterval is the history snapshot cadence (0 =
+	// history.DefaultInterval); HistorySlots bounds the ring (0 =
+	// history.DefaultSlots). Served at /debug/history.
+	HistoryInterval time.Duration
+	HistorySlots    int
+	// SLOFastWindow/SLOSlowWindow/SLOBurnThreshold tune the burn-rate
+	// engine (zero = the slo package defaults: 5m, 1h, 1.0).
+	SLOFastWindow    time.Duration
+	SLOSlowWindow    time.Duration
+	SLOBurnThreshold float64
+	// SLOObjectives overrides the evaluated objective set (nil =
+	// slo.ServerObjectives parameterized by the latency bounds below).
+	SLOObjectives []slo.Objective
+	// SLOLatencyP95/SLOLatencyP99 parameterize the default latency
+	// objectives (0 = 500ms / 2s).
+	SLOLatencyP95 time.Duration
+	SLOLatencyP99 time.Duration
+	// ProfileDir, when set, also writes trigger-fired profiles to disk;
+	// ProfileCPUDuration and ProfileMinGap tune the capture length and rate
+	// limit (0 = 1s / 60s). Profiles are listed at /debug/profiles.
+	ProfileDir         string
+	ProfileCPUDuration time.Duration
+	ProfileMinGap      time.Duration
+	// ProfileSlowMS, when > 0, fires a profile capture when a slowlog
+	// admission is at least this slow (the per-request trigger; SLO burn
+	// transitions always trigger).
+	ProfileSlowMS float64
 }
 
 // task is one admitted request travelling from the handler to a pool worker.
@@ -161,6 +194,10 @@ type Server struct {
 	metrics *obs.ServiceMetrics
 	flight  *obs.FlightRecorder
 	slow    *obs.SlowLog
+
+	hist     *history.History
+	slos     *slo.Engine
+	profiles *obs.ProfileStore
 
 	cache *Cache
 
@@ -245,6 +282,48 @@ func New(cfg Config) *Server {
 			}
 		})
 	}
+	if cfg.Metrics != nil && !cfg.NoHistory {
+		// The history ring snapshots the registry on a cadence; the SLO
+		// engine re-evaluates after every snapshot; a burning transition
+		// fires a rate-limited profile capture tagged with the slowest
+		// recent request — the probable culprit.
+		s.hist = history.New(cfg.Metrics, history.Config{
+			Interval:   cfg.HistoryInterval,
+			Slots:      cfg.HistorySlots,
+			OnSnapshot: func() { s.slos.Evaluate() },
+		})
+		objs := cfg.SLOObjectives
+		if objs == nil {
+			objs = slo.ServerObjectives(cfg.SLOLatencyP95, cfg.SLOLatencyP99, !cfg.NoCache)
+		}
+		s.slos = slo.New(cfg.Metrics, s.hist, flight, "sufsat", objs, slo.Config{
+			FastWindow:    cfg.SLOFastWindow,
+			SlowWindow:    cfg.SLOSlowWindow,
+			BurnThreshold: cfg.SLOBurnThreshold,
+		})
+		s.profiles = obs.NewProfileStore(obs.ProfileConfig{
+			Dir:         cfg.ProfileDir,
+			CPUDuration: cfg.ProfileCPUDuration,
+			MinGap:      cfg.ProfileMinGap,
+			Flight:      flight,
+		})
+		s.slos.OnBurn(func(name string) {
+			reqID, traceID := "", ""
+			if top := s.slow.Entries(); len(top) > 0 {
+				reqID, traceID = top[0].RequestID, top[0].TraceID
+			}
+			if s.profiles.TryCapture("slo:"+name, reqID, traceID) {
+				s.logf("server: slo %s burning, capturing profile", name)
+			}
+		})
+		cfg.Metrics.CounterFunc("sufsat_profile_captures_total",
+			"Trigger-fired profile capture attempts by result.",
+			func() float64 { return float64(s.profiles.Captured()) }, "result", "captured")
+		cfg.Metrics.CounterFunc("sufsat_profile_captures_total",
+			"Trigger-fired profile capture attempts by result.",
+			func() float64 { return float64(s.profiles.Suppressed()) }, "result", "suppressed")
+		s.hist.Start()
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		wg.Add(1)
@@ -264,6 +343,17 @@ func New(cfg Config) *Server {
 
 // Probe returns the server's admission-control metrics slot.
 func (s *Server) Probe() *obs.ServiceProbe { return s.probe }
+
+// SLOStatus returns the SLO engine's current objective states (nil when the
+// history layer is disabled). Exposed for the bench harness's time-to-detect
+// measurement; HTTP consumers read the same data from /statusz.
+func (s *Server) SLOStatus() []slo.Status { return s.slos.Status() }
+
+// History returns the metrics-history ring (nil when disabled).
+func (s *Server) History() *history.History { return s.hist }
+
+// Profiles returns the trigger-fired profile store (nil when disabled).
+func (s *Server) Profiles() *obs.ProfileStore { return s.profiles }
 
 // QueueLen reports the current admission-queue depth.
 func (s *Server) QueueLen() int { return len(s.queue) }
@@ -662,6 +752,21 @@ func (s *Server) Handler() http.Handler {
 		if s.cache != nil {
 			status["cache"] = s.cache.Stats()
 		}
+		if s.hist != nil {
+			status["history"] = map[string]any{
+				"interval_ms": s.hist.Interval().Milliseconds(),
+				"snapshots":   s.hist.Snapshots(),
+			}
+		}
+		if s.slos != nil {
+			status["slo"] = s.slos.Status()
+		}
+		if s.profiles != nil {
+			status["profiles"] = map[string]int64{
+				"captured":   s.profiles.Captured(),
+				"suppressed": s.profiles.Suppressed(),
+			}
+		}
 		enc.Encode(status) //nolint:errcheck
 	})
 	if s.cfg.Metrics != nil {
@@ -669,6 +774,8 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.Handle("/debug/flightrec", s.flight.Handler())
 	mux.Handle("/debug/slowlog", s.slow.Handler())
+	mux.Handle("/debug/history", s.hist.Handler())
+	mux.Handle("/debug/profiles", s.profiles.Handler())
 	// The outermost recover keeps a handler-level panic (fault-injected or
 	// otherwise) from killing the connection without a structured response.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -1019,6 +1126,12 @@ func (s *Server) finishRequest(resp *Response, reqID, traceID string, total time
 				}
 			}
 			s.slow.Observe(e)
+			// Slowlog-admission profile trigger: a request slow enough to
+			// clear the configured bar captures the process at the moment
+			// the slowness is happening, tagged with its correlation IDs.
+			if s.cfg.ProfileSlowMS > 0 && totalMS >= s.cfg.ProfileSlowMS {
+				s.profiles.TryCapture("slowlog", reqID, e.TraceID)
+			}
 		}
 	}
 	if s.cfg.Logger == nil {
@@ -1108,6 +1221,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 		s.mu.Unlock()
 		s.logf("server: draining (%d queued)", len(s.queue))
+		// Stop the history collector and let any in-flight profile capture
+		// finish (bounded by the CPU profile duration) so the drain leaks no
+		// goroutines.
+		s.hist.Stop()
+		s.profiles.Wait()
 	})
 
 	var err error

@@ -1,0 +1,282 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sufsat/internal/obs"
+	"sufsat/internal/server"
+	"sufsat/internal/server/client"
+)
+
+// fetchJSON GETs a URL and decodes the JSON body into out.
+func fetchJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// TestSLOSmoke is the process-level SLO smoke behind `make slo-smoke`: a
+// 1-worker sufserved with second-scale SLO windows and a 10ms latency-p95
+// threshold is flooded with slow dlx-7 requests until the latency objective
+// burns. The test then asserts the full trigger chain: the burning gauge and
+// transition counter in /metrics, the slo-burn event in the flight recorder,
+// the /statusz SLO block, the windowed view on /debug/history, and exactly
+// one rate-limited profile capture (cpu+heap pair) whose spill directory
+// passes `tracecheck -profiles` strict validation.
+func TestSLOSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	served := filepath.Join(dir, "sufserved")
+	tracecheck := filepath.Join(dir, "tracecheck")
+	for bin, pkg := range map[string]string{served: "sufsat/cmd/sufserved", tracecheck: "sufsat/cmd/tracecheck"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	profileDir := filepath.Join(dir, "profiles")
+	if err := os.MkdirAll(profileDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker and no cache: every dlx-7 decide takes hundreds of
+	// milliseconds of real solving — far beyond the 10ms latency-p95
+	// threshold, so the objective must burn once the windows have data.
+	// -profile-gap 1h pins "exactly one capture" however many objectives
+	// fire; -profile-cpu keeps the capture short.
+	proc := exec.Command(served,
+		"-addr", "127.0.0.1:0", "-workers", "1", "-no-cache",
+		"-history-interval", "250ms", "-history-slots", "64",
+		"-slo-fast", "2s", "-slo-slow", "4s",
+		"-slo-latency-p95", "10ms", "-slo-latency-p99", "20ms",
+		"-profile-dir", profileDir, "-profile-cpu", "200ms", "-profile-gap", "1h",
+	)
+	stderr, err := proc.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer proc.Process.Kill() //nolint:errcheck // no-op after a clean Wait
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "listening on http://"); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	var baseURL string
+	select {
+	case addr := <-addrCh:
+		baseURL = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never reported its listen address")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c := client.New(baseURL)
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+
+	// Flood with slow requests until the latency SLO burns.
+	slow := slowFormula(t)
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	var flood sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			fc := client.New(baseURL)
+			fc.MaxAttempts = 1
+			for floodCtx.Err() == nil {
+				fc.Decide(floodCtx, &server.Request{Formula: slow}) //nolint:errcheck
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := obs.ParsePrometheus(strings.NewReader(string(fetchMetrics(t, baseURL))))
+		if err != nil {
+			t.Fatalf("parse scrape: %v", err)
+		}
+		if v, _ := cur.Value("sufsat_slo_burning", "slo", "latency-p95"); v == 1 {
+			// The transition counter must agree with the gauge.
+			if tr, _ := cur.Value("sufsat_slo_transitions_total", "slo", "latency-p95", "state", "burning"); tr < 1 {
+				t.Fatalf("burning gauge is 1 but transitions counter is %v", tr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("latency-p95 SLO never burned under flood")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	stopFlood()
+	flood.Wait()
+
+	// /statusz must carry the SLO block with the burning objective.
+	var statusz struct {
+		SLO []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"slo"`
+	}
+	fetchJSON(t, baseURL+"/statusz", &statusz)
+	sawBurning := false
+	for _, s := range statusz.SLO {
+		if s.Name == "latency-p95" && s.State == "burning" {
+			sawBurning = true
+		}
+	}
+	if !sawBurning {
+		t.Errorf("/statusz slo block missing the burning latency-p95 objective: %+v", statusz.SLO)
+	}
+
+	// /debug/history serves the windowed latency view the SLO engine read.
+	var hist struct {
+		Snapshots int `json:"snapshots"`
+		Families  []struct {
+			Family   string `json:"family"`
+			Kind     string `json:"kind"`
+			Children []struct {
+				P95 float64 `json:"p95"`
+			} `json:"children"`
+		} `json:"families"`
+	}
+	fetchJSON(t, baseURL+"/debug/history?family=sufsat_request_duration_seconds&window=4s", &hist)
+	if hist.Snapshots < 2 || len(hist.Families) != 1 || len(hist.Families[0].Children) == 0 {
+		t.Fatalf("/debug/history window unusable: %+v", hist)
+	}
+	if p95 := hist.Families[0].Children[0].P95; p95 < 0.01 {
+		t.Errorf("windowed p95 = %vs, want >= the 10ms threshold that burned", p95)
+	}
+
+	// Exactly one profile capture: the burn fired one, the 1h gap suppressed
+	// every later trigger. Poll until its async cpu+heap pair lands.
+	var idx obs.ProfileIndex
+	profDeadline := time.Now().Add(30 * time.Second)
+	for {
+		fetchJSON(t, baseURL+"/debug/profiles", &idx)
+		if idx.Captures >= 1 && len(idx.Profiles) >= 2 {
+			break
+		}
+		if time.Now().After(profDeadline) {
+			t.Fatalf("profile capture never completed: %+v", idx)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if idx.Captures != 1 {
+		t.Fatalf("captures = %d, want exactly 1 (rate limit)", idx.Captures)
+	}
+	if len(idx.Profiles) != 2 {
+		t.Fatalf("stored %d profiles, want one cpu+heap pair", len(idx.Profiles))
+	}
+	for _, p := range idx.Profiles {
+		if !strings.HasPrefix(p.Trigger, "slo:") {
+			t.Errorf("profile trigger = %q, want an slo:* trigger", p.Trigger)
+		}
+		if p.RequestID == "" {
+			t.Errorf("profile %s carries no triggering request ID", p.Kind)
+		}
+		if p.Error != "" {
+			t.Errorf("capture errored: %s", p.Error)
+		}
+	}
+
+	// The capture directory (spills + saved index) passes strict validation.
+	idxJSON, err := json.MarshalIndent(&idx, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(profileDir, "profiles.json"), idxJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(tracecheck, "-profiles", profileDir).CombinedOutput(); err != nil {
+		t.Fatalf("tracecheck -profiles: %v\n%s", err, out)
+	}
+
+	// The flight recorder holds the state transition, and the dump passes
+	// tracecheck with the new kinds.
+	flightPath := filepath.Join(dir, "flight.json")
+	resp, err := http.Get(baseURL + "/debug/flightrec")
+	if err != nil {
+		t.Fatalf("GET /debug/flightrec: %v", err)
+	}
+	flightData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read flight dump: %v", err)
+	}
+	if err := os.WriteFile(flightPath, flightData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(tracecheck, "-flightrec", flightPath).CombinedOutput(); err != nil {
+		t.Fatalf("tracecheck -flightrec: %v\n%s", err, out)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(flightData, &dump); err != nil {
+		t.Fatalf("decode flight dump: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range dump.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["slo-burn"] == 0 {
+		t.Errorf("flight recorder has no slo-burn event; kinds=%v", kinds)
+	}
+	if kinds["profile"] == 0 {
+		t.Errorf("flight recorder has no profile event; kinds=%v", kinds)
+	}
+
+	// Clean drain: the history collector and profile goroutines must join.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v, want 0", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
